@@ -1,0 +1,92 @@
+"""E7 — Section 3.2: the history-grouped time/quality estimator.
+
+Paper mechanism reproduced: "we group the workflows which have been
+corrected in the past according to their sizes and substructures, and
+report the average running time and quality of each approach for the group
+that the current workflow belongs to."
+
+The experiment trains the estimator on half of a pool of correction
+problems and evaluates its predictions on the other half.
+"""
+
+import random
+
+import pytest
+
+from repro.core.estimator import Estimator
+from repro.core.metrics import quality
+from repro.core.optimal import optimal_split
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+
+from benchmarks.conftest import print_table, random_unsound_context
+
+ALGORITHMS = {"weak": weak_split, "strong": strong_split,
+              "optimal": optimal_split}
+
+
+@pytest.fixture(scope="module")
+def trained_estimator():
+    rng = random.Random(707)
+    pool = [random_unsound_context(rng, rng.choice([6, 8, 10, 12]))
+            for _ in range(40)]
+    train, test = pool[:20], pool[20:]
+    estimator = Estimator()
+    for ctx in train:
+        optimum = optimal_split(ctx).part_count
+        for name, corrector in ALGORITHMS.items():
+            result = corrector(ctx)
+            estimator.record(ctx, name, result.elapsed_seconds,
+                             result.part_count,
+                             quality=quality(result.part_count, optimum))
+    return estimator, test
+
+
+def test_estimates_rank_approaches_correctly(trained_estimator):
+    estimator, test = trained_estimator
+    rows = []
+    quality_order_ok = 0
+    for name in ALGORITHMS:
+        estimates = [estimator.estimate(ctx, name) for ctx in test]
+        mean_seconds = sum(e.expected_seconds for e in estimates) / len(
+            estimates)
+        mean_quality = sum(e.expected_quality for e in estimates) / len(
+            estimates)
+        rows.append([name, f"{mean_seconds * 1e3:.3f} ms",
+                     f"{mean_quality:.3f}"])
+    print_table("E7: estimator predictions on held-out composites",
+                ["approach", "predicted time", "predicted quality"], rows)
+    for ctx in test:
+        weak_estimate = estimator.estimate(ctx, "weak")
+        strong_estimate = estimator.estimate(ctx, "strong")
+        optimal_estimate = estimator.estimate(ctx, "optimal")
+        assert optimal_estimate.expected_quality >= \
+            strong_estimate.expected_quality - 1e-9
+        if strong_estimate.expected_quality >= \
+                weak_estimate.expected_quality:
+            quality_order_ok += 1
+    # the estimator reproduces the quality ordering on most instances
+    assert quality_order_ok >= len(test) * 0.8
+
+
+def test_estimator_time_prediction_within_order_of_magnitude(
+        trained_estimator):
+    estimator, test = trained_estimator
+    within = 0
+    for ctx in test:
+        predicted = estimator.estimate(ctx, "strong").expected_seconds
+        actual = strong_split(ctx).elapsed_seconds
+        ratio = max(predicted, 1e-7) / max(actual, 1e-7)
+        if 0.02 <= ratio <= 50:
+            within += 1
+    assert within >= len(test) * 0.7
+
+
+def test_benchmark_estimate_call(benchmark, trained_estimator):
+    estimator, test = trained_estimator
+
+    def estimate_all():
+        return [estimator.estimate(ctx, "strong") for ctx in test]
+
+    estimates = benchmark(estimate_all)
+    assert len(estimates) == len(test)

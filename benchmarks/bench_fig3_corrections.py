@@ -1,0 +1,61 @@
+"""E2 — Figure 3: weak (8 parts) vs strong (5 parts) local optimal splits.
+
+Paper claims reproduced:
+* the weak corrector splits the canonical unsound task into 8 composites;
+* the strong corrector reaches 5 — "a strictly better correction";
+* the optimal corrector also needs 5, so strong attains quality 1.0 here.
+"""
+
+import pytest
+
+from repro.core.metrics import quality
+from repro.core.optimal import optimal_split
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+from repro.workflow.catalog import (
+    FIG3_OPTIMAL_PARTS,
+    FIG3_STRONG_PARTS,
+    FIG3_WEAK_PARTS,
+    figure3_view,
+)
+
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def fig3_ctx():
+    return CompositeContext.from_view(figure3_view(), "T")
+
+
+def test_weak_corrector(benchmark, fig3_ctx):
+    result = benchmark(weak_split, fig3_ctx)
+    assert result.part_count == FIG3_WEAK_PARTS
+
+
+def test_strong_corrector(benchmark, fig3_ctx):
+    result = benchmark(strong_split, fig3_ctx)
+    assert result.part_count == FIG3_STRONG_PARTS
+
+
+def test_optimal_corrector(benchmark, fig3_ctx):
+    result = benchmark(optimal_split, fig3_ctx)
+    assert result.part_count == FIG3_OPTIMAL_PARTS
+
+
+def test_figure3_summary(fig3_ctx):
+    weak = weak_split(fig3_ctx)
+    strong = strong_split(fig3_ctx)
+    optimal = optimal_split(fig3_ctx)
+    rows = []
+    for result in (weak, strong, optimal):
+        rows.append([
+            result.algorithm,
+            result.part_count,
+            f"{quality(result.part_count, optimal.part_count):.3f}",
+            f"{result.elapsed_seconds * 1e3:.3f} ms",
+        ])
+    print_table("E2: Figure 3 corrections (paper: weak=8, strong=5)",
+                ["corrector", "parts", "quality", "time"], rows)
+    assert strong.part_count < weak.part_count
+    assert quality(strong.part_count, optimal.part_count) == 1.0

@@ -1,0 +1,135 @@
+"""E3 — Section 3.1: corrector runtime vs composite size.
+
+Paper claim reproduced: "the strongly local optimal corrector ... is several
+orders of magnitude faster [than the optimal corrector]. Furthermore, the
+efficiency of the strongly local optimal corrector is comparable with that
+of the weakly local optimal corrector."
+
+The sweep times all three correctors over pools of random unsound
+composites of growing size and prints the runtime series; the assertions
+pin the claim's *shape*: optimal degrades explosively while strong stays
+within a small constant factor of weak.
+"""
+
+import time
+
+import pytest
+
+from repro.core.optimal import optimal_split
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+
+from benchmarks.conftest import print_table
+
+OPTIMAL_SIZE_CAP = 14
+
+
+def _time_corrector(corrector, instances, **kwargs):
+    started = time.perf_counter()
+    parts = [corrector(ctx, **kwargs).part_count for ctx in instances]
+    elapsed = time.perf_counter() - started
+    return elapsed / len(instances), parts
+
+
+@pytest.fixture(scope="module")
+def sweep_results(sweep_instances):
+    rows = {}
+    for n, instances in sweep_instances.items():
+        weak_time, weak_parts = _time_corrector(weak_split, instances)
+        strong_time, strong_parts = _time_corrector(strong_split, instances)
+        entry = {
+            "weak": (weak_time, weak_parts),
+            "strong": (strong_time, strong_parts),
+        }
+        if n <= OPTIMAL_SIZE_CAP:
+            entry["optimal"] = _time_corrector(optimal_split, instances)
+        rows[n] = entry
+    return rows
+
+
+def test_runtime_series(sweep_results):
+    table = []
+    for n, entry in sorted(sweep_results.items()):
+        optimal_ms = (f"{entry['optimal'][0] * 1e3:9.3f}"
+                      if "optimal" in entry else "   (skip)")
+        table.append([
+            n,
+            f"{entry['weak'][0] * 1e3:9.3f}",
+            f"{entry['strong'][0] * 1e3:9.3f}",
+            optimal_ms,
+        ])
+    print_table("E3: mean correction time (ms) per composite size",
+                ["n", "weak", "strong", "optimal"], table)
+
+    largest = max(n for n in sweep_results if "optimal" in sweep_results[n])
+    entry = sweep_results[largest]
+    optimal_time = entry["optimal"][0]
+    strong_time = entry["strong"][0]
+    weak_time = entry["weak"][0]
+    # typical instances: optimal already clearly behind at the cap size
+    assert optimal_time > 3 * strong_time
+    # strong is comparable with weak (within a generous constant factor)
+    assert strong_time < 25 * weak_time
+
+
+def test_runtime_on_funnel_family():
+    """The orders-of-magnitude claim on the hard (crown funnel) family.
+
+    Crowns are where the NP-hardness of Theorem 2.2 bites: the optimal
+    corrector's iterative deepening explodes while weak and strong stay
+    polynomial — "several orders of magnitude faster".
+    """
+    from repro.core.hardness import crown_instance
+
+    table = []
+    ratios = {}
+    for k in (4, 5, 6, 7, 8):
+        ctx = crown_instance(k)
+        weak_time, _ = _time_corrector(weak_split, [ctx])
+        strong_time, strong_parts = _time_corrector(strong_split, [ctx])
+        optimal_time, optimal_parts = _time_corrector(
+            optimal_split, [ctx], node_limit=None)
+        ratios[k] = optimal_time / max(strong_time, 1e-9)
+        table.append([
+            f"crown {k} (n={ctx.n})",
+            f"{weak_time * 1e3:9.3f}",
+            f"{strong_time * 1e3:9.3f}",
+            f"{optimal_time * 1e3:9.3f}",
+            f"{ratios[k]:8.0f}x",
+        ])
+        # strong is exact on crowns, so the speed is not bought with quality
+        assert strong_parts == optimal_parts
+    print_table("E3b: correction time (ms) on the hard funnel family",
+                ["instance", "weak", "strong", "optimal",
+                 "optimal/strong"], table)
+    # the separation grows without bound; by crown 8 it is >= 2 orders
+    assert ratios[8] > 100
+    assert ratios[8] > ratios[4]
+
+
+def test_strong_never_coarser_than_reported(sweep_results):
+    for entry in sweep_results.values():
+        weak_parts = entry["weak"][1]
+        strong_parts = entry["strong"][1]
+        assert all(s <= w for s, w in zip(strong_parts, weak_parts))
+
+
+@pytest.mark.parametrize("n", [10, 14])
+def test_benchmark_strong_at_size(benchmark, sweep_instances, n):
+    instances = sweep_instances[n]
+
+    def run_all():
+        return [strong_split(ctx).part_count for ctx in instances]
+
+    counts = benchmark(run_all)
+    assert len(counts) == len(instances)
+
+
+def test_benchmark_optimal_at_cap(benchmark, sweep_instances):
+    instances = sweep_instances[OPTIMAL_SIZE_CAP]
+
+    def run_all():
+        return [optimal_split(ctx).part_count for ctx in instances]
+
+    counts = benchmark(run_all)
+    assert len(counts) == len(instances)

@@ -1,0 +1,74 @@
+"""E5 — Section 3.1: expert-defined vs automatically constructed views.
+
+Paper setup reproduced: "Both the views manually defined by expert users,
+such as the ones in real workflow repositories ... and the views
+automatically constructed by [2] are tested."  The synthetic corpus stands
+in for Kepler/myExperiment (see DESIGN.md substitutions); the census shows
+both families contain unsound views (the paper's survey finding), and the
+corrector fixes every one of them.
+"""
+
+import pytest
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import is_sound_view, unsound_composites
+from repro.repository.corpus import build_corpus
+
+from benchmarks.conftest import print_table
+
+FAMILIES = ("expert", "automatic")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(seed=2009, count=16, min_size=10, max_size=30,
+                        noise_moves=3)
+
+
+def test_unsoundness_census(corpus):
+    census = corpus.unsoundness_census()
+    rows = [[family,
+             census[family]["views"],
+             census[family]["unsound"],
+             f"{census[family]['unsound'] / census[family]['views']:.0%}"]
+            for family in FAMILIES]
+    print_table("E5a: repository survey (unsound views per family)",
+                ["family", "views", "unsound", "rate"], rows)
+    # the paper's survey finding: unsound views occur in the wild
+    assert any(census[f]["unsound"] > 0 for f in FAMILIES)
+
+
+def test_correction_statistics_per_family(corpus):
+    rows = []
+    for family in FAMILIES:
+        corrected = 0
+        composites_fixed = 0
+        parts_added = 0
+        for entry in corpus:
+            view = entry.view(family)
+            if is_sound_view(view):
+                continue
+            report = correct_view(view, Criterion.STRONG)
+            assert is_sound_view(report.corrected)
+            corrected += 1
+            composites_fixed += len(report.splits)
+            parts_added += report.parts_added
+        rows.append([family, corrected, composites_fixed, parts_added])
+    print_table("E5b: strong correction over the corpus",
+                ["family", "views corrected", "composites split",
+                 "parts added"], rows)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_benchmark_correct_family(benchmark, corpus, family):
+    views = [entry.view(family) for entry in corpus
+             if unsound_composites(entry.view(family))]
+    if not views:
+        pytest.skip(f"no unsound {family} views in this corpus seed")
+
+    def correct_all():
+        return [correct_view(view, Criterion.STRONG).corrected
+                for view in views]
+
+    corrected = benchmark(correct_all)
+    assert all(is_sound_view(view) for view in corrected)

@@ -1,0 +1,56 @@
+"""Shared machinery for the experiment benchmarks (DESIGN.md section 5).
+
+Each ``bench_*.py`` module regenerates one of the paper's figures or claims.
+Workloads are seeded and cached per session so pytest-benchmark timings and
+the printed result tables always describe the same instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.core.split import CompositeContext
+from repro.graphs.generators import random_dag
+
+
+def random_unsound_context(rng: random.Random, n: int,
+                           ext_prob: float = 0.5) -> CompositeContext:
+    """A random composite of exactly ``n`` tasks that is NOT already sound.
+
+    Mirrors the evaluation setup: composites cut out of repository views are
+    interesting precisely when they are unsound.
+    """
+    for _ in range(200):
+        graph = random_dag(rng, n, rng.uniform(0.15, 0.5))
+        nodes = graph.nodes()
+        ext_in = {v: rng.random() < ext_prob or not graph.predecessors(v)
+                  for v in nodes}
+        ext_out = {v: rng.random() < ext_prob or not graph.successors(v)
+                   for v in nodes}
+        ctx = CompositeContext(nodes, graph.edges(), ext_in, ext_out)
+        if not ctx.is_sound_part(ctx.full_mask):
+            return ctx
+    raise RuntimeError(f"could not generate an unsound composite of size {n}")
+
+
+@pytest.fixture(scope="session")
+def sweep_instances() -> Dict[int, List[CompositeContext]]:
+    """Per-size pools of unsound composites shared by E3/E4/E8."""
+    rng = random.Random(20090824)  # the VLDB'09 conference date
+    return {n: [random_unsound_context(rng, n) for _ in range(8)]
+            for n in (6, 8, 10, 12, 14)}
+
+
+def print_table(title: str, headers: List[str],
+                rows: List[List[object]]) -> None:
+    """Print an aligned results table (visible with ``pytest -s``)."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Figure 2 architecture as a scripted interactive session.
+
+Replays the demo's control loop on the Figure 3 workflow: import,
+understand, validate, consult the per-approach estimates, correct, give
+user feedback (a merge the user insists on), re-validate, and finish with a
+sound view — the "iterate until the user is satisfied" loop.
+
+Run with ``python examples/interactive_session.py``.
+"""
+
+from repro import Criterion, WolvesSession
+from repro.system.displayer import render_view
+from repro.workflow.catalog import figure3_view
+
+
+def main() -> None:
+    view = figure3_view()
+    session = WolvesSession(view.spec, view)
+
+    # -- Import & Understand ------------------------------------------------
+    print(render_view(session.view, expanded="T"))
+    print()
+
+    # -- Validator ------------------------------------------------------------
+    report = session.validate()
+    print("validator:", report.summary())
+    print()
+
+    # -- Corrector: warm up the estimator, then consult it -------------------
+    # (the GUI shows estimated time/quality per approach before the user
+    #  commits; estimates need history, so correct once with each approach
+    #  on a scratch copy of the same composite)
+    scratch = figure3_view()
+    scratch_session = WolvesSession(scratch.spec, scratch)
+    scratch_session.corrector = session.corrector
+    for criterion in (Criterion.WEAK, Criterion.STRONG, Criterion.OPTIMAL):
+        fresh = figure3_view()
+        probe = WolvesSession(fresh.spec, fresh)
+        probe.corrector = session.corrector
+        probe.split_task("T", criterion)
+
+    print("estimates for splitting composite T:")
+    for name, estimate in session.estimates("T").items():
+        quality_text = (f"{estimate.expected_quality:.3f}"
+                        if estimate.expected_quality is not None else "n/a")
+        print(f"  {name:>8}: ~{estimate.expected_seconds * 1e3:7.3f} ms, "
+              f"quality ~{quality_text} ({estimate.samples} samples)")
+    print()
+
+    # -- the user picks strong ------------------------------------------------
+    result = session.split_task("T", Criterion.STRONG)
+    print(f"strong split: {result.part_count} parts "
+          f"(weak would give 8 — the Figure 3 comparison)")
+    print(render_view(session.view))
+    print()
+
+    # -- Feedback: the user merges two parts back ----------------------------
+    labels = [label for label in session.view.composite_labels()
+              if str(label).startswith("T.")][:2]
+    outcome = session.create_composite_task(labels, new_label="user-merge")
+    print(f"user merges {labels}: "
+          f"{'sound' if outcome.sound else 'UNSOUND'}"
+          f"{' — warning: ' + outcome.warning if outcome.warning else ''}")
+
+    # -- loop until satisfied --------------------------------------------------
+    if not session.is_sound:
+        session.correct(Criterion.STRONG)
+    assert session.is_sound
+    print()
+    print(session.transcript())
+    print()
+    print("final view is sound; session complete")
+
+
+if __name__ == "__main__":
+    main()

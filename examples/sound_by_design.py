@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Designing views that are sound from the start.
+
+The demo's proactive mode: WOLVES can make "suggestions while users are
+creating a view" instead of repairing afterwards.  This example shows the
+three supporting tools on the climate post-processing workflow:
+
+1. the incremental :class:`ViewEditor` — immediate red/green feedback per
+   edit, with strict mode vetoing bad edits;
+2. :func:`suggest_sound_view` — the coarsest sound view reachable by
+   strong merging, as a starting point;
+3. :func:`suggest_user_view` — a sound automatic view around the tasks an
+   analyst cares about;
+4. a two-level hierarchy over the sound base, validated level-by-level.
+
+Run with ``python examples/sound_by_design.py``.
+"""
+
+from repro.views.editor import ViewEditor
+from repro.views.hierarchy import ViewHierarchy
+from repro.views.suggest import suggest_sound_view, suggest_user_view
+from repro.system.displayer import render_view, show_dependency
+from repro.workflow.catalog import climate_pipeline
+
+
+def main() -> None:
+    spec = climate_pipeline()
+
+    # -- 1. incremental editing with live feedback -------------------------
+    print("== incremental editing ==")
+    editor = ViewEditor(spec)
+    report = editor.group([3, 5], label="temperature")
+    print(f"group temperature track: ok={report.ok}")
+    report = editor.group([4, 6], label="precipitation")
+    print(f"group precipitation track: ok={report.ok}")
+    # grouping across the two tracks draws an immediate red flag
+    report = editor.group([5, 6], label="bias-correct")
+    print(f"group across tracks: ok={report.ok} "
+          f"newly_unsound={list(report.newly_unsound)}")
+    editor.ungroup("bias-correct")
+    print(f"after undo: sound={editor.is_sound}")
+
+    # strict mode simply refuses the bad edit
+    strict = ViewEditor(spec, strict=True)
+    vetoed = strict.group([3, 4], label="extracts")
+    print(f"strict mode veto: vetoed={vetoed.vetoed}")
+    print()
+
+    # -- 2. a sound starting view ------------------------------------------
+    print("== suggested sound view ==")
+    suggestion = suggest_sound_view(spec)
+    print(render_view(suggestion))
+    print()
+
+    # -- 3. a sound user view around relevant tasks -------------------------
+    print("== sound user view around tasks 7 (anomalies) and 10 "
+          "(validation) ==")
+    user = suggest_user_view(spec, [7, 10])
+    print(render_view(user))
+    print(show_dependency(user, user.composite_of(7)))
+    print()
+
+    # -- 4. a hierarchy over the sound base ---------------------------------
+    print("== two-level hierarchy ==")
+    hierarchy = ViewHierarchy(spec)
+    hierarchy.add_level(user.groups(), name="analyst-level")
+    labels = hierarchy.level(0).composite_labels()
+    hierarchy.add_level({"everything": labels}, name="executive-level")
+    for i in range(len(hierarchy)):
+        report = hierarchy.validate_level_locally(i)
+        print(f"level {i} ({hierarchy.level(i).name}): "
+              f"{'sound' if report.sound else 'UNSOUND'}")
+    print(f"hierarchy sound end-to-end: {hierarchy.is_sound()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The paper's core contribution: soundness and unsound-view correction.
+
+* :mod:`~repro.core.soundness` — Definitions 2.1-2.3 and Proposition 2.1:
+  the polynomial view validator with witnesses.
+* :mod:`~repro.core.split` — the self-contained per-composite correction
+  problem (:class:`~repro.core.split.CompositeContext`).
+* :mod:`~repro.core.weak` / :mod:`~repro.core.strong` /
+  :mod:`~repro.core.optimal` — the three correctors of the demo.
+* :mod:`~repro.core.optimality` — literal (exponential) verifiers of weak
+  and strong local optimality, used to certify the correctors.
+* :mod:`~repro.core.corrector` — view-level correction driver.
+* :mod:`~repro.core.metrics` — the demo's quality measure.
+* :mod:`~repro.core.estimator` — the demo's history-based time/quality
+  estimator (Section 3.2).
+* :mod:`~repro.core.hardness` — hard instance families illustrating
+  Theorem 2.2 (NP-hardness via biclique covers).
+"""
+
+from repro.core.soundness import (
+    is_sound_composite,
+    is_sound_view,
+    soundness_witness,
+    unsound_composites,
+    validate_view,
+    ValidationReport,
+)
+from repro.core.split import CompositeContext, SplitResult
+from repro.core.weak import weak_split
+from repro.core.strong import strong_split
+from repro.core.optimal import optimal_split
+from repro.core.optimality import (
+    is_sound_split,
+    is_weak_local_optimal,
+    is_strong_local_optimal,
+    brute_force_optimal_parts,
+)
+from repro.core.corrector import (
+    Criterion,
+    correct_view,
+    split_composite,
+    CorrectionReport,
+)
+from repro.core.metrics import quality
+from repro.core.estimator import CorrectionRecord, Estimator
+from repro.core.merging import merge_correct, hybrid_correct
+
+__all__ = [
+    "is_sound_composite",
+    "is_sound_view",
+    "soundness_witness",
+    "unsound_composites",
+    "validate_view",
+    "ValidationReport",
+    "CompositeContext",
+    "SplitResult",
+    "weak_split",
+    "strong_split",
+    "optimal_split",
+    "is_sound_split",
+    "is_weak_local_optimal",
+    "is_strong_local_optimal",
+    "brute_force_optimal_parts",
+    "Criterion",
+    "correct_view",
+    "split_composite",
+    "CorrectionReport",
+    "quality",
+    "CorrectionRecord",
+    "Estimator",
+    "merge_correct",
+    "hybrid_correct",
+]

@@ -1,0 +1,115 @@
+"""View-level correction: the Workflow View Corrector module.
+
+Proposition 2.1 makes correction compositional — a view is sound iff every
+composite is — so the corrector walks the unsound composites and splits each
+with the user-chosen criterion (Figure 2's three correctors).  Splitting
+only ever refines the view (the paper argues splitting preserves provenance
+information while merging loses it), so the corrected view is sound by
+construction, which :func:`correct_view` re-verifies before returning.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import CorrectionError
+from repro.core.optimal import optimal_split
+from repro.core.soundness import is_sound_view, unsound_composites
+from repro.core.split import CompositeContext, SplitResult, apply_split
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.views.wellformed import assert_well_formed
+
+
+class Criterion(enum.Enum):
+    """The three correction criteria offered by the WOLVES GUI."""
+
+    WEAK = "weak"
+    STRONG = "strong"
+    OPTIMAL = "optimal"
+
+    @classmethod
+    def parse(cls, text: str) -> "Criterion":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            known = ", ".join(c.value for c in cls)
+            raise CorrectionError(
+                f"unknown criterion {text!r}; choose one of {known}"
+            ) from None
+
+
+_SPLITTERS: Dict[Criterion, Callable[[CompositeContext], SplitResult]] = {
+    Criterion.WEAK: weak_split,
+    Criterion.STRONG: strong_split,
+    Criterion.OPTIMAL: optimal_split,
+}
+
+
+def split_composite(view: WorkflowView, label: CompositeLabel,
+                    criterion: Criterion = Criterion.STRONG) -> SplitResult:
+    """Split one composite with the chosen criterion (GUI: *Split Task*)."""
+    ctx = CompositeContext.from_view(view, label)
+    return _SPLITTERS[criterion](ctx)
+
+
+@dataclass
+class CorrectionReport:
+    """Outcome of correcting a whole view (GUI: *Correct View*)."""
+
+    criterion: Criterion
+    original: WorkflowView
+    corrected: WorkflowView
+    splits: Dict[CompositeLabel, SplitResult] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def corrected_composites(self) -> List[CompositeLabel]:
+        return list(self.splits)
+
+    @property
+    def parts_added(self) -> int:
+        return len(self.corrected) - len(self.original)
+
+    def summary(self) -> str:
+        if not self.splits:
+            return (f"view {self.original.name!r} was already sound; "
+                    f"nothing to correct")
+        details = ", ".join(
+            f"{label} -> {result.part_count} parts"
+            for label, result in self.splits.items())
+        return (f"corrected {len(self.splits)} unsound composite(s) with the "
+                f"{self.criterion.value} criterion in "
+                f"{self.elapsed_seconds * 1e3:.2f}ms: {details}")
+
+
+def correct_view(view: WorkflowView,
+                 criterion: Criterion = Criterion.STRONG,
+                 labels: Optional[List[CompositeLabel]] = None
+                 ) -> CorrectionReport:
+    """Correct every unsound composite of ``view`` (or just ``labels``).
+
+    The input view must be well-formed; the output view is sound, which is
+    asserted before returning (defence in depth — the correctors guarantee
+    it by construction).
+    """
+    assert_well_formed(view)
+    started = time.perf_counter()
+    targets = labels if labels is not None else unsound_composites(view)
+    current = view
+    splits: Dict[CompositeLabel, SplitResult] = {}
+    for label in targets:
+        result = split_composite(current, label, criterion)
+        splits[label] = result
+        current = apply_split(current, label, result)
+    elapsed = time.perf_counter() - started
+    if labels is None and not is_sound_view(current):
+        raise CorrectionError(
+            f"internal error: corrected view {current.name!r} is not sound")
+    return CorrectionReport(criterion=criterion, original=view,
+                            corrected=current, splits=splits,
+                            elapsed_seconds=elapsed)

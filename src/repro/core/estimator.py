@@ -1,0 +1,185 @@
+"""The demo's time/quality estimator (Section 3.2).
+
+To help a user pick a correction approach, WOLVES reports the estimated
+running time and quality of each approach: "we group the workflows which
+have been corrected in the past according to their sizes and substructures,
+and report the average running time and quality of each approach for the
+group that the current workflow belongs to."
+
+This module reproduces that mechanism: a :class:`CorrectionRecord` per past
+correction, grouped by a :class:`GroupKey` of size bucket and substructure
+signature (edge density and boundary-interface shape), with JSON
+persistence so the history survives sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import EstimatorError
+from repro.core.split import CompositeContext
+
+SIZE_BUCKETS = (4, 8, 16, 32, 64, 128)
+DENSITY_BUCKETS = (0.1, 0.25, 0.5, 1.0)
+
+
+def size_bucket(n: int) -> int:
+    """The smallest configured bucket holding ``n`` tasks."""
+    for bucket in SIZE_BUCKETS:
+        if n <= bucket:
+            return bucket
+    return SIZE_BUCKETS[-1]
+
+
+def density_bucket(density: float) -> float:
+    for bucket in DENSITY_BUCKETS:
+        if density <= bucket:
+            return bucket
+    return DENSITY_BUCKETS[-1]
+
+
+@dataclass(frozen=True)
+class GroupKey:
+    """Size + substructure group of Section 3.2."""
+
+    size: int
+    density: float
+    interface: str
+
+    @classmethod
+    def for_context(cls, ctx: CompositeContext) -> "GroupKey":
+        n = max(ctx.n, 1)
+        possible = n * (n - 1) / 2 or 1
+        density = ctx.graph.edge_count() / possible
+        ins = sum(1 for flag in ctx.ext_in if flag)
+        outs = sum(1 for flag in ctx.ext_out if flag)
+        # Interface shape: how funnel-like the composite's boundary is.
+        if ins <= 1 and outs <= 1:
+            interface = "pipeline"
+        elif ins > 1 and outs > 1:
+            interface = "funnel"
+        else:
+            interface = "fan"
+        return cls(size=size_bucket(n),
+                   density=density_bucket(density),
+                   interface=interface)
+
+    def as_string(self) -> str:
+        return f"size<={self.size}|density<={self.density}|{self.interface}"
+
+
+@dataclass(frozen=True)
+class CorrectionRecord:
+    """One past correction: the estimator's training datum."""
+
+    group: GroupKey
+    algorithm: str
+    elapsed_seconds: float
+    parts: int
+    quality: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """What the GUI shows next to each correction approach."""
+
+    algorithm: str
+    expected_seconds: float
+    expected_quality: Optional[float]
+    samples: int
+
+
+class Estimator:
+    """History-grouped average predictor of runtime and quality."""
+
+    def __init__(self) -> None:
+        self._records: List[CorrectionRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, ctx: CompositeContext, algorithm: str,
+               elapsed_seconds: float, parts: int,
+               quality: Optional[float] = None) -> CorrectionRecord:
+        """Store the outcome of a finished correction."""
+        entry = CorrectionRecord(
+            group=GroupKey.for_context(ctx),
+            algorithm=algorithm,
+            elapsed_seconds=elapsed_seconds,
+            parts=parts,
+            quality=quality,
+        )
+        self._records.append(entry)
+        return entry
+
+    def estimate(self, ctx: CompositeContext,
+                 algorithm: str) -> Estimate:
+        """Predicted time/quality for running ``algorithm`` on ``ctx``.
+
+        Falls back to the nearest size bucket with the same interface when
+        the exact group has no history, then to the algorithm's global
+        history; raises :class:`EstimatorError` with no history at all.
+        """
+        key = GroupKey.for_context(ctx)
+        exact = [r for r in self._records
+                 if r.algorithm == algorithm and r.group == key]
+        if not exact:
+            same_shape = [r for r in self._records
+                          if r.algorithm == algorithm
+                          and r.group.interface == key.interface]
+            exact = sorted(
+                same_shape,
+                key=lambda r: abs(math.log2(r.group.size)
+                                  - math.log2(key.size)))[:8]
+        if not exact:
+            exact = [r for r in self._records if r.algorithm == algorithm]
+        if not exact:
+            raise EstimatorError(
+                f"no history for algorithm {algorithm!r}")
+        seconds = sum(r.elapsed_seconds for r in exact) / len(exact)
+        qualities = [r.quality for r in exact if r.quality is not None]
+        expected_quality = (sum(qualities) / len(qualities)
+                            if qualities else None)
+        return Estimate(algorithm=algorithm, expected_seconds=seconds,
+                        expected_quality=expected_quality,
+                        samples=len(exact))
+
+    def estimates_for(self, ctx: CompositeContext,
+                      algorithms: Tuple[str, ...] = ("weak", "strong",
+                                                     "optimal")
+                      ) -> Dict[str, Estimate]:
+        """One estimate per approach, skipping approaches with no history."""
+        found: Dict[str, Estimate] = {}
+        for algorithm in algorithms:
+            try:
+                found[algorithm] = self.estimate(ctx, algorithm)
+            except EstimatorError:
+                continue
+        return found
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([{
+            "group": asdict(record.group),
+            "algorithm": record.algorithm,
+            "elapsed_seconds": record.elapsed_seconds,
+            "parts": record.parts,
+            "quality": record.quality,
+        } for record in self._records], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Estimator":
+        estimator = cls()
+        for entry in json.loads(text):
+            estimator._records.append(CorrectionRecord(
+                group=GroupKey(**entry["group"]),
+                algorithm=entry["algorithm"],
+                elapsed_seconds=entry["elapsed_seconds"],
+                parts=entry["parts"],
+                quality=entry.get("quality"),
+            ))
+        return estimator

@@ -1,0 +1,144 @@
+"""Hard instance families for Theorem 2.2.
+
+The paper proves that splitting an unsound composite into the minimum number
+of sound composites is NP-hard.  The hardness comes from *funnels*: inside a
+composite whose boundary tasks form a bipartite reachability relation, a
+sound part corresponds to a biclique (every in-task must reach every
+out-task), and minimising the number of parts embeds biclique-cover-style
+problems, which are NP-hard.
+
+This module generates such instances for benchmarks and stress tests:
+
+* :func:`bipartite_instance` — a composite whose internal structure realises
+  an arbitrary bipartite relation between ``a`` in-tasks and ``b``
+  out-tasks;
+* :func:`crown_instance` — the complete bipartite relation minus a perfect
+  matching (the "crown"), a classic family where local reasoning struggles:
+  no two opposite boundary tasks are combinable, yet large sound groups
+  exist;
+* :func:`random_hard_instance` — a random bipartite relation with tunable
+  density.
+
+Instances come back as :class:`CompositeContext` objects ready for the three
+correctors; the generator marks every in-task with an external input and
+every out-task with an external output, so offences can never be fixed by
+absorbing neighbours — the corrector must genuinely partition the funnel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.core.split import CompositeContext
+
+
+def bipartite_instance(relation: Sequence[Sequence[int]]
+                       ) -> CompositeContext:
+    """A composite realising the 0/1 ``relation`` between ins and outs.
+
+    ``relation[i][j] == 1`` iff in-task ``i`` must reach out-task ``j``.
+    In-tasks are named ``"i0", "i1", ...``, out-tasks ``"o0", ...``; each
+    related pair is wired with a direct edge.
+    """
+    if not relation or not relation[0]:
+        raise ValueError("relation must be a non-empty matrix")
+    a = len(relation)
+    b = len(relation[0])
+    ins = [f"i{i}" for i in range(a)]
+    outs = [f"o{j}" for j in range(b)]
+    edges: List[Tuple[str, str]] = []
+    for i, row in enumerate(relation):
+        if len(row) != b:
+            raise ValueError("relation rows must have equal length")
+        for j, bit in enumerate(row):
+            if bit:
+                edges.append((ins[i], outs[j]))
+    ext_in = {name: True for name in ins}
+    ext_in.update({name: False for name in outs})
+    ext_out = {name: False for name in ins}
+    ext_out.update({name: True for name in outs})
+    return CompositeContext(ins + outs, edges, ext_in, ext_out)
+
+
+def crown_instance(k: int) -> CompositeContext:
+    """Complete bipartite ``K_{k,k}`` minus a perfect matching.
+
+    In the crown, in-task ``i`` reaches every out-task except ``o_i``.  Any
+    sound part containing in-task ``i`` must avoid out-task ``o_i``, so the
+    minimum sound split is related to covering the crown with bicliques — a
+    structure where greedy pair merging performs poorly, which is what makes
+    the family a good stress test for the strong corrector.
+    """
+    if k < 2:
+        raise ValueError("crown needs k >= 2")
+    relation = [[0 if i == j else 1 for j in range(k)] for i in range(k)]
+    return bipartite_instance(relation)
+
+
+def random_hard_instance(rng: random.Random, a: int, b: int,
+                         density: float = 0.5) -> CompositeContext:
+    """A random bipartite funnel; unsound whenever some pair is unrelated."""
+    if a < 1 or b < 1:
+        raise ValueError("a and b must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    relation = [[1 if rng.random() < density else 0 for _ in range(b)]
+                for _ in range(a)]
+    # Guarantee the instance needs work: clear one cell when fully dense.
+    if all(all(row) for row in relation):
+        relation[rng.randrange(a)][rng.randrange(b)] = 0
+    return bipartite_instance(relation)
+
+
+def chained_funnel_instance(k: int) -> CompositeContext:
+    """The Figure 3 pattern at parameter ``k``: pre-chains + complete funnel.
+
+    ``a_i -> c_i`` pre-chains feed a complete funnel ``{c_*} -> {f_*}``;
+    an isolated pass-through task ``z`` makes the composite unsound (so it
+    is a genuine correction target).  The weak corrector merges each
+    pre-chain pair ``{a_i, c_i}`` and then stalls (no pair involving an
+    ``f`` is sound), ending at ``2k + 1`` parts; the strong corrector's
+    subset search merges the funnel into one sound part, ending at 2.
+    Quality gap: ``2/(2k+1)`` vs ``1.0`` — the Figure 3 phenomenon,
+    scalable.
+    """
+    if k < 2:
+        raise ValueError("chained funnel needs k >= 2")
+    pre = [f"a{i}" for i in range(k)]
+    ins = [f"c{i}" for i in range(k)]
+    outs = [f"f{i}" for i in range(k)]
+    nodes = pre + ins + outs + ["z"]
+    edges: List[Tuple[str, str]] = []
+    for i in range(k):
+        edges.append((pre[i], ins[i]))
+        for j in range(k):
+            edges.append((ins[i], outs[j]))
+    ext_in = {name: name.startswith("a") or name == "z" for name in nodes}
+    ext_out = {name: name.startswith("f") or name == "z" for name in nodes}
+    return CompositeContext(nodes, edges, ext_in, ext_out)
+
+
+def funnel_chain_instance(depth: int, width: int) -> CompositeContext:
+    """``depth`` crown-like funnels chained in series.
+
+    Exercises the strong corrector's branching: offences can be fixed on
+    either side of each stage, so the closure search must explore
+    alternatives instead of following forced fixes only.
+    """
+    if depth < 1 or width < 2:
+        raise ValueError("depth >= 1 and width >= 2 required")
+    nodes: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    for stage in range(depth + 1):
+        for lane in range(width):
+            nodes.append(f"s{stage}n{lane}")
+    for stage in range(depth):
+        for lane in range(width):
+            for to_lane in range(width):
+                if to_lane != lane:
+                    edges.append((f"s{stage}n{lane}",
+                                  f"s{stage + 1}n{to_lane}"))
+    ext_in = {name: name.startswith("s0") for name in nodes}
+    ext_out = {name: name.startswith(f"s{depth}") for name in nodes}
+    return CompositeContext(nodes, edges, ext_in, ext_out)

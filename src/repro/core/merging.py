@@ -1,0 +1,157 @@
+"""Merge-based resolution of unsound composites (the paper's open problem).
+
+WOLVES resolves unsound views by *splitting* because splitting refines the
+view and preserves provenance information; the paper explicitly leaves
+"allowing view abstraction by task merging, and the interaction between
+splitting and merging" as open problems.  This module implements both
+directions as an extension:
+
+* :func:`merge_correct` — absorb neighbouring composites into the unsound
+  one until the union is sound, using the same forced-fix closure search as
+  the strong corrector, but at the granularity of whole composites and
+  seeded with the single unsound composite.  The result is a *minimal-ish*
+  sound merge (every absorption is forced along some branch of the search);
+  it fails cleanly when an offending boundary task touches the workflow's
+  own entries/exits (nothing outside the workflow can be absorbed).
+* :func:`hybrid_correct` — resolve each unsound composite by whichever of
+  split/merge changes the view less (task moves, then composite-count
+  drift), realising the split/merge interaction.
+
+Merging *loses* provenance granularity, so :func:`merge_correct` reports
+how many composites were absorbed and the hybrid uses the paper's stance
+(prefer splitting) to break ties.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.corrector import Criterion, split_composite
+from repro.core.soundness import unsound_composites
+from repro.core.split import CompositeContext, apply_split
+from repro.core.strong import _PartLevel, closure_search
+from repro.errors import CorrectionError
+from repro.views.diff import view_delta
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.views.wellformed import assert_well_formed
+
+
+@dataclass
+class MergeOutcome:
+    """Result of merging an unsound composite with its neighbours."""
+
+    view: WorkflowView
+    merged_labels: List[CompositeLabel]
+    new_label: CompositeLabel
+    checks: int
+    branches: int
+
+    @property
+    def absorbed(self) -> int:
+        """How many other composites were swallowed (granularity lost)."""
+        return len(self.merged_labels) - 1
+
+
+def merge_correct(view: WorkflowView,
+                  label: CompositeLabel) -> MergeOutcome:
+    """Make composite ``label`` sound by absorbing neighbour composites.
+
+    Raises :class:`CorrectionError` when no sound merge exists — e.g. the
+    offending input task is fed by the workflow's own entry, so no amount
+    of merging inside the view can fix the composite.
+    """
+    assert_well_formed(view)
+    spec = view.spec
+    ctx = CompositeContext.standalone(spec)
+    labels = view.composite_labels()
+    parts = [ctx.mask_of(view.members(l)) for l in labels]
+    level = _PartLevel(ctx, parts)
+    seed = 1 << labels.index(label)
+    stats: Dict[str, int] = {"checks": 0, "branches": 0}
+    found = closure_search(ctx, level, seed, 1, stats, set())
+    if found is None:
+        raise CorrectionError(
+            f"composite {label!r} cannot be made sound by merging "
+            f"(an offending boundary task touches the workflow boundary)")
+    chosen = [labels[i] for i in range(len(labels)) if (found >> i) & 1]
+    if len(chosen) == 1:
+        # already sound: nothing to merge
+        return MergeOutcome(view=view, merged_labels=chosen,
+                            new_label=label, checks=stats["checks"],
+                            branches=stats["branches"])
+    new_label = "+".join(str(l) for l in chosen)
+    merged = view.merge(chosen, new_label=new_label)
+    return MergeOutcome(view=merged, merged_labels=chosen,
+                        new_label=new_label, checks=stats["checks"],
+                        branches=stats["branches"])
+
+
+class Resolution(enum.Enum):
+    """How an unsound composite ended up being resolved."""
+
+    SPLIT = "split"
+    MERGE = "merge"
+
+
+@dataclass
+class HybridReport:
+    """Outcome of hybrid correction over a whole view."""
+
+    original: WorkflowView
+    corrected: WorkflowView
+    resolutions: Dict[CompositeLabel, Resolution]
+
+    def summary(self) -> str:
+        if not self.resolutions:
+            return "view was already sound"
+        parts = ", ".join(f"{label}: {how.value}"
+                          for label, how in self.resolutions.items())
+        return (f"hybrid correction resolved {len(self.resolutions)} "
+                f"composite(s): {parts}")
+
+
+def hybrid_correct(view: WorkflowView,
+                   criterion: Criterion = Criterion.STRONG
+                   ) -> HybridReport:
+    """Resolve each unsound composite by split or merge, whichever is the
+    smaller change (measured by task moves, then by drift in composite
+    count; ties go to splitting, the paper's preferred direction).
+    """
+    assert_well_formed(view)
+    current = view
+    resolutions: Dict[CompositeLabel, Resolution] = {}
+    guard = 0
+    while guard <= len(view.spec):
+        guard += 1
+        bad = unsound_composites(current)
+        if not bad:
+            break
+        label = bad[0]
+        split_view = apply_split(
+            current, label, split_composite(current, label, criterion))
+        merge_view: Optional[WorkflowView] = None
+        try:
+            merge_view = merge_correct(current, label).view
+        except CorrectionError:
+            pass
+        chosen = split_view
+        how = Resolution.SPLIT
+        if merge_view is not None:
+            split_cost = _change_cost(current, split_view)
+            merge_cost = _change_cost(current, merge_view)
+            if merge_cost < split_cost:
+                chosen = merge_view
+                how = Resolution.MERGE
+        resolutions[label] = how
+        current = chosen
+    if unsound_composites(current):
+        raise CorrectionError("hybrid correction did not converge")
+    return HybridReport(original=view, corrected=current,
+                        resolutions=resolutions)
+
+
+def _change_cost(before: WorkflowView, after: WorkflowView) -> tuple:
+    delta = view_delta(before, after)
+    return (delta.moves, abs(delta.growth))

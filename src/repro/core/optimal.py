@@ -1,0 +1,174 @@
+"""The optimal (exponential) corrector.
+
+Splits an unsound composite into the **minimum** number of sound parts — the
+NP-hard problem of Theorem 2.2.  WOLVES offers it as the quality yardstick
+(Section 3.1); this implementation uses iterative deepening over the part
+count ``k`` with a topological assignment search and two admissible prunes:
+
+* **permanent offence** — nodes are assigned in topological order, so every
+  already-assigned predecessor decision is final: if a part already contains
+  a permanent ``in`` node ``i`` (external input, or an assigned predecessor
+  in another part) and a permanent ``out`` node ``o`` (external output, or
+  an assigned successor in another part) with ``i`` not reaching ``o``, no
+  completion can fix it;
+* **quotient cycle** — quotient edges only accumulate as nodes are
+  assigned, so a cyclic partial quotient can be cut immediately.
+
+Symmetry is broken by the standard restricted-growth convention (node ``0``
+opens part ``0``; a node may open at most one new part), so each partition
+is visited once.  The first ``k`` admitting a sound split is optimal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import CorrectionError
+from repro.core.split import CompositeContext, SplitResult
+
+DEFAULT_NODE_LIMIT = 24
+
+
+def optimal_split(ctx: CompositeContext,
+                  node_limit: Optional[int] = DEFAULT_NODE_LIMIT
+                  ) -> SplitResult:
+    """Split the composite into the minimum number of sound parts.
+
+    ``node_limit`` guards against accidentally launching the exponential
+    search on a huge composite; pass ``None`` to lift it.
+    """
+    if node_limit is not None and ctx.n > node_limit:
+        raise CorrectionError(
+            f"optimal corrector limited to {node_limit} tasks "
+            f"(got {ctx.n}); raise node_limit to force the search")
+    started = time.perf_counter()
+    n = ctx.n
+    if n == 0:
+        raise CorrectionError("cannot split an empty composite")
+    stats: Dict[str, int] = {"states": 0}
+    for k in range(1, n + 1):
+        searcher = _Search(ctx, k, stats)
+        solution = searcher.run()
+        if solution is not None:
+            return SplitResult(
+                algorithm="optimal",
+                parts=[ctx.tasks_of(mask) for mask in solution if mask],
+                checks=stats["states"],
+                elapsed_seconds=time.perf_counter() - started,
+                notes={"k": sum(1 for mask in solution if mask)},
+            )
+    raise CorrectionError("no sound split exists (unreachable: singletons "
+                          "are always a sound split)")
+
+
+class _Search:
+    """Depth-first restricted-growth assignment for a fixed part budget."""
+
+    def __init__(self, ctx: CompositeContext, k: int,
+                 stats: Dict[str, int]) -> None:
+        self.ctx = ctx
+        self.k = k
+        self.stats = stats
+        self.part_masks: List[int] = [0] * k
+
+    def run(self) -> Optional[List[int]]:
+        return self._assign(0, 0, 0)
+
+    def _assign(self, node: int, used: int,
+                assigned_mask: int) -> Optional[List[int]]:
+        ctx = self.ctx
+        if node == ctx.n:
+            active = [mask for mask in self.part_masks if mask]
+            if all(ctx.is_sound_part(mask) for mask in active) \
+                    and ctx.parts_quotient_acyclic(active):
+                return list(self.part_masks)
+            return None
+        bit = 1 << node
+        new_assigned = assigned_mask | bit
+        limit = min(used + 1, self.k)
+        for part_id in range(limit):
+            self.part_masks[part_id] |= bit
+            self.stats["states"] += 1
+            if self._feasible(new_assigned):
+                found = self._assign(node + 1,
+                                     max(used, part_id + 1), new_assigned)
+                if found is not None:
+                    return found
+            self.part_masks[part_id] &= ~bit
+        return None
+
+    def _feasible(self, assigned_mask: int) -> bool:
+        ctx = self.ctx
+        for part in self.part_masks:
+            part &= assigned_mask
+            if not part:
+                continue
+            perm_in = 0
+            perm_out = 0
+            rest = part
+            while rest:
+                low = rest & -rest
+                i = low.bit_length() - 1
+                if ctx.ext_in[i] or (ctx.preds[i] & assigned_mask & ~part):
+                    perm_in |= low
+                if ctx.ext_out[i] or (ctx.succs[i] & assigned_mask & ~part):
+                    perm_out |= low
+                rest ^= low
+            probe = perm_in
+            while probe:
+                low = probe & -probe
+                i = low.bit_length() - 1
+                if perm_out & ~(ctx.reach[i] | low):
+                    return False
+                probe ^= low
+        active = [mask & assigned_mask for mask in self.part_masks]
+        active = [mask for mask in active if mask]
+        if len(active) > 1 and not _prefix_quotient_acyclic(
+                ctx, active, assigned_mask):
+            return False
+        return True
+
+
+def _prefix_quotient_acyclic(ctx: CompositeContext, parts: List[int],
+                             assigned_mask: int) -> bool:
+    """Acyclicity of the quotient over the assigned prefix only."""
+    owner: Dict[int, int] = {}
+    for part_id, part in enumerate(parts):
+        rest = part
+        while rest:
+            low = rest & -rest
+            owner[low.bit_length() - 1] = part_id
+            rest ^= low
+    k = len(parts)
+    succ = [0] * k
+    for i in owner:
+        targets = ctx.succs[i] & assigned_mask
+        while targets:
+            low = targets & -targets
+            j = low.bit_length() - 1
+            if owner[i] != owner[j]:
+                succ[owner[i]] |= 1 << owner[j]
+            targets ^= low
+    # Kahn's algorithm on the small part graph.
+    indegree = [0] * k
+    for a in range(k):
+        rest = succ[a]
+        while rest:
+            low = rest & -rest
+            indegree[low.bit_length() - 1] += 1
+            rest ^= low
+    queue = [a for a in range(k) if indegree[a] == 0]
+    seen = 0
+    while queue:
+        a = queue.pop()
+        seen += 1
+        rest = succ[a]
+        while rest:
+            low = rest & -rest
+            b = low.bit_length() - 1
+            indegree[b] -= 1
+            if indegree[b] == 0:
+                queue.append(b)
+            rest ^= low
+    return seen == k

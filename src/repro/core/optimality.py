@@ -1,0 +1,121 @@
+"""Literal verifiers for the optimality criteria.
+
+These implement Definitions 2.5 and 2.6 exactly as written — by enumerating
+pairs, respectively subsets, of the split's parts — with no reliance on the
+correctors' internals.  They are exponential in the number of parts (for the
+strong check) and exist to *certify* the correctors in unit, property and
+integration tests, and to cross-check the optimal corrector against a
+brute-force partition enumeration on small composites.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.combinable import combinable
+from repro.core.split import CompositeContext
+from repro.workflow.task import TaskId
+
+STRONG_CHECK_PART_LIMIT = 20
+
+
+def masks_of(ctx: CompositeContext,
+             parts: Iterable[Iterable[TaskId]]) -> List[int]:
+    """Convert task-id parts to local bitmasks."""
+    return [ctx.mask_of(list(part)) for part in parts]
+
+
+def is_sound_split(ctx: CompositeContext,
+                   parts: Sequence[Iterable[TaskId]]) -> bool:
+    """Partition + every part sound + quotient acyclic."""
+    masks = masks_of(ctx, parts)
+    if not ctx.is_partition(masks):
+        return False
+    if not all(ctx.is_sound_part(mask) for mask in masks):
+        return False
+    return ctx.parts_quotient_acyclic(masks)
+
+
+def is_weak_local_optimal(ctx: CompositeContext,
+                          parts: Sequence[Iterable[TaskId]]) -> bool:
+    """Definition 2.5: a sound split with no combinable pair."""
+    masks = masks_of(ctx, parts)
+    if not is_sound_split(ctx, parts):
+        return False
+    for a, b in combinations(range(len(masks)), 2):
+        if combinable(ctx, masks, [masks[a], masks[b]]):
+            return False
+    return True
+
+
+def is_strong_local_optimal(ctx: CompositeContext,
+                            parts: Sequence[Iterable[TaskId]],
+                            part_limit: int = STRONG_CHECK_PART_LIMIT
+                            ) -> bool:
+    """Definition 2.6: a sound split with no combinable subset.
+
+    Enumerates every subset of parts of size >= 2 (exponential); refuses
+    splits larger than ``part_limit`` parts to keep tests honest about the
+    cost.
+    """
+    masks = masks_of(ctx, parts)
+    if len(masks) > part_limit:
+        raise ValueError(
+            f"strong optimality check is exponential; {len(masks)} parts "
+            f"exceed the limit of {part_limit}")
+    if not is_sound_split(ctx, parts):
+        return False
+    k = len(masks)
+    for size in range(2, k + 1):
+        for chosen in combinations(range(k), size):
+            if combinable(ctx, masks, [masks[i] for i in chosen]):
+                return False
+    return True
+
+
+def find_combinable_subset(ctx: CompositeContext,
+                           parts: Sequence[Iterable[TaskId]]
+                           ) -> Optional[List[int]]:
+    """The first combinable subset (as part indices) by brute force."""
+    masks = masks_of(ctx, parts)
+    k = len(masks)
+    for size in range(2, k + 1):
+        for chosen in combinations(range(k), size):
+            if combinable(ctx, masks, [masks[i] for i in chosen]):
+                return list(chosen)
+    return None
+
+
+def brute_force_optimal_parts(ctx: CompositeContext,
+                              node_limit: int = 9) -> int:
+    """Minimum sound-split size by enumerating *all* set partitions.
+
+    Bell-number cost; used only to certify :mod:`repro.core.optimal` on
+    composites of at most ``node_limit`` tasks.
+    """
+    if ctx.n > node_limit:
+        raise ValueError(
+            f"brute force limited to {node_limit} tasks (got {ctx.n})")
+    best = ctx.n
+
+    def extend(node: int, blocks: List[int]) -> None:
+        nonlocal best
+        if len(blocks) >= best:
+            return
+        if node == ctx.n:
+            if all(ctx.is_sound_part(mask) for mask in blocks) \
+                    and ctx.parts_quotient_acyclic(blocks):
+                best = min(best, len(blocks))
+            return
+        bit = 1 << node
+        for i in range(len(blocks)):
+            blocks[i] |= bit
+            extend(node + 1, blocks)
+            blocks[i] &= ~bit
+        blocks.append(bit)
+        extend(node + 1, blocks)
+        blocks.pop()
+
+    extend(0, [])
+    return best

@@ -1,0 +1,251 @@
+"""Soundness of workflow views (Definitions 2.1-2.3, Proposition 2.1).
+
+A view is *sound* when it preserves data dependencies: there is a path
+between composites ``T1 -> T2`` in the view iff some task of ``T1`` reaches
+some task of ``T2`` in the specification (Definition 2.1).  Checking that
+directly compares two quadratic relations; Proposition 2.1 reduces it to a
+per-composite test — composite ``T`` is sound iff every ``T.in`` task
+reaches every ``T.out`` task — which is what the WOLVES validator runs.
+
+Both checks are implemented here: the fast validator
+(:func:`is_sound_view`, :func:`validate_view`) and the literal
+Definition 2.1 comparison (:func:`is_sound_view_by_definition`).
+
+**Precision of Proposition 2.1.**  All-composites-sound *implies* the
+pairwise Definition 2.1 (a view path chains through sound composites; a
+workflow path projects onto the quotient).  The converse can fail on
+contrived inputs: a composite ``T = {i, o}`` with no path ``i -> o`` is
+unsound by Definition 2.3, yet if a redundant edge ``x -> y`` connects
+``T``'s upstream and downstream composites directly, every *pair* of
+composites still satisfies Definition 2.1 — the broken composite is masked.
+The per-composite validator is therefore deliberately conservative: it
+flags every composite whose internal dataflow contract is broken, because
+such a composite misleads any finer-grained reading of the view (the user
+believes ``T``'s inputs feed ``T``'s outputs).  Property tests pin down
+both the implication and the masking counterexample
+(tests/test_prop_soundness.py).
+
+Reachability is reflexive throughout (a singleton composite is always
+sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.views.wellformed import quotient_cycle
+from repro.workflow.task import TaskId
+
+
+def is_sound_composite(view: WorkflowView, label: CompositeLabel) -> bool:
+    """Definition 2.3: every ``T.in`` task reaches every ``T.out`` task."""
+    return soundness_witness(view, label) is None
+
+
+def soundness_witness(view: WorkflowView, label: CompositeLabel
+                      ) -> Optional[Tuple[TaskId, TaskId]]:
+    """An offending ``(t_in, t_out)`` pair, or ``None`` when sound.
+
+    The witness is the paper's diagnostic: for Figure 1's composite 16 it is
+    ``(4, 7)`` — task 4 receives external input, task 7 sends external
+    output, and no path runs 4 -> 7.
+    """
+    index = view.spec.reachability()
+    outs = view.out_set(label)
+    if not outs:
+        return None
+    out_mask = index.mask_of(outs)
+    for t_in in view.in_set(label):
+        reach = index.descendants_mask(t_in) | (1 << index.index_of(t_in))
+        missing = out_mask & ~reach
+        if missing:
+            return (t_in, index.nodes_of(missing)[0])
+    return None
+
+
+def unsound_composites(view: WorkflowView) -> List[CompositeLabel]:
+    """Labels of every unsound composite, in view order."""
+    return [label for label in view.composite_labels()
+            if not is_sound_composite(view, label)]
+
+
+def is_sound_view(view: WorkflowView) -> bool:
+    """Proposition 2.1: well-formed and every composite sound."""
+    return view.is_well_formed() and not unsound_composites(view)
+
+
+@dataclass
+class ValidationReport:
+    """Everything the Validator module tells the user about a view."""
+
+    view_name: str
+    well_formed: bool
+    cycle: Optional[List[CompositeLabel]]
+    witnesses: Dict[CompositeLabel, Tuple[TaskId, TaskId]] = field(
+        default_factory=dict)
+
+    @property
+    def sound(self) -> bool:
+        return self.well_formed and not self.witnesses
+
+    @property
+    def unsound_composites(self) -> List[CompositeLabel]:
+        return list(self.witnesses)
+
+    def summary(self) -> str:
+        if self.sound:
+            return f"view {self.view_name!r} is sound"
+        if not self.well_formed:
+            rendered = " -> ".join(str(c) for c in self.cycle or [])
+            return (f"view {self.view_name!r} is ill-formed "
+                    f"(quotient cycle: {rendered})")
+        parts = ", ".join(
+            f"{label} (no path {w[0]!r} -> {w[1]!r})"
+            for label, w in self.witnesses.items())
+        return f"view {self.view_name!r} is unsound: {parts}"
+
+
+def validate_view(view: WorkflowView) -> ValidationReport:
+    """Run the full Validator: well-formedness then per-composite soundness."""
+    cycle = quotient_cycle(view)
+    if cycle is not None:
+        return ValidationReport(view.name, well_formed=False, cycle=cycle)
+    witnesses: Dict[CompositeLabel, Tuple[TaskId, TaskId]] = {}
+    for label in view.composite_labels():
+        witness = soundness_witness(view, label)
+        if witness is not None:
+            witnesses[label] = witness
+    return ValidationReport(view.name, well_formed=True, cycle=None,
+                            witnesses=witnesses)
+
+
+def is_sound_view_by_definition(view: WorkflowView) -> bool:
+    """Definition 2.1 applied literally, for cross-checking the validator.
+
+    Compares, for every ordered pair of composites, path existence in the
+    view against existential task-level path existence in the specification.
+    Quadratically slower than :func:`is_sound_view`; tests assert the two
+    always agree (the empirical form of Proposition 2.1).
+    """
+    if not view.is_well_formed():
+        return False
+    spec_index = view.spec.reachability()
+    view_index = view.view_reachability()
+    labels = view.composite_labels()
+    members = {label: view.members(label) for label in labels}
+    for source in labels:
+        for target in labels:
+            if source == target:
+                continue
+            view_says = view_index.reaches(source, target)
+            spec_says = any(
+                spec_index.reaches(t1, t2)
+                for t1 in members[source] for t2 in members[target])
+            if view_says != spec_says:
+                return False
+    return True
+
+
+def is_sound_view_by_path_enumeration(view: WorkflowView,
+                                      path_budget: int = 2_000_000) -> bool:
+    """The naive checker the paper warns about (Section 2.1).
+
+    "Checking whether a view is sound can take exponential time, if
+    Definition 2.1 is directly applied by checking all possible paths in a
+    graph."  This function does exactly that — it enumerates simple paths
+    in the view quotient and in the specification to decide each pairwise
+    dependency — and exists so the E8 ablation can measure the blow-up the
+    per-composite validator avoids.  ``path_budget`` caps the enumeration
+    (a :class:`RuntimeError` signals the budget was hit).
+    """
+    if not view.is_well_formed():
+        return False
+
+    budget = [path_budget]
+
+    def any_path(graph, source, target) -> bool:
+        """Existence of a path by DFS over *all simple paths* (naive)."""
+        def walk(node, seen) -> bool:
+            budget[0] -= 1
+            if budget[0] <= 0:
+                raise RuntimeError("path enumeration budget exhausted")
+            if node == target:
+                return True
+            for succ in graph.successors(node):
+                if succ not in seen and walk(succ, seen | {succ}):
+                    return True
+            return False
+
+        return walk(source, {source})
+
+    labels = view.composite_labels()
+    members = {label: view.members(label) for label in labels}
+    for source_label in labels:
+        for target_label in labels:
+            if source_label == target_label:
+                continue
+            view_says = any_path(view.quotient, source_label, target_label)
+            spec_says = any(
+                any_path(view.spec.graph, t1, t2)
+                for t1 in members[source_label]
+                for t2 in members[target_label])
+            if view_says != spec_says:
+                return False
+    return True
+
+
+def spurious_dependencies(view: WorkflowView
+                          ) -> List[Tuple[CompositeLabel, CompositeLabel]]:
+    """Composite pairs the view claims dependent but the spec does not.
+
+    These are the *wrong provenance answers* of the paper's introduction:
+    in Figure 1 the pair ``(14, 18)`` is spurious — the view shows a path
+    but no task of 14 reaches any task of 18.
+    """
+    if not view.is_well_formed():
+        raise ValueError("spurious dependencies need a well-formed view")
+    spec_index = view.spec.reachability()
+    view_index = view.view_reachability()
+    labels = view.composite_labels()
+    members = {label: view.members(label) for label in labels}
+    found = []
+    for source in labels:
+        for target in labels:
+            if source == target:
+                continue
+            if not view_index.reaches(source, target):
+                continue
+            if not any(spec_index.reaches(t1, t2)
+                       for t1 in members[source] for t2 in members[target]):
+                found.append((source, target))
+    return found
+
+
+def missing_dependencies(view: WorkflowView
+                         ) -> List[Tuple[CompositeLabel, CompositeLabel]]:
+    """Composite pairs dependent in the spec but not in the view.
+
+    For views built by keeping every inter-composite edge this list is empty
+    whenever the view is well-formed (a specification path projects to a
+    quotient walk); it is exposed for completeness and asserted empty in the
+    property tests.
+    """
+    if not view.is_well_formed():
+        raise ValueError("missing dependencies need a well-formed view")
+    spec_index = view.spec.reachability()
+    view_index = view.view_reachability()
+    labels = view.composite_labels()
+    members = {label: view.members(label) for label in labels}
+    found = []
+    for source in labels:
+        for target in labels:
+            if source == target:
+                continue
+            if view_index.reaches(source, target):
+                continue
+            if any(spec_index.reaches(t1, t2)
+                   for t1 in members[source] for t2 in members[target]):
+                found.append((source, target))
+    return found

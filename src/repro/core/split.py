@@ -1,0 +1,237 @@
+"""The self-contained per-composite correction problem.
+
+Splitting an unsound composite ``T`` of a well-formed view never interacts
+with the rest of the view: a quotient cycle through composites outside ``T``
+would have been a cycle of the original view (DESIGN.md section 2).  The
+corrector therefore works on a :class:`CompositeContext` — the induced
+sub-DAG ``G[T]`` plus, per member task, two boundary flags:
+
+* ``ext_in`` — the task receives input from outside ``T`` (so it can never
+  leave a part's ``in`` set by merging inside ``T``);
+* ``ext_out`` — the task sends output outside ``T``.
+
+All sets of member tasks are represented as integer bitmasks over a local
+topological numbering, which keeps the inner loops of the three correctors
+allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CorrectionError
+from repro.graphs.dag import Digraph
+from repro.graphs.topo import is_acyclic, topological_sort
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+
+class CompositeContext:
+    """The correction problem for one composite task."""
+
+    def __init__(self, nodes: Sequence[TaskId],
+                 edges: Sequence[tuple],
+                 ext_in: Dict[TaskId, bool],
+                 ext_out: Dict[TaskId, bool]) -> None:
+        graph = Digraph()
+        for node in nodes:
+            graph.add_node(node)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        self.order: List[TaskId] = topological_sort(graph)
+        self.graph = graph
+        self.local: Dict[TaskId, int] = {
+            node: i for i, node in enumerate(self.order)}
+        n = len(self.order)
+        self.n = n
+        self.full_mask = (1 << n) - 1 if n else 0
+        self.preds = [0] * n
+        self.succs = [0] * n
+        for source, target in graph.edges():
+            self.succs[self.local[source]] |= 1 << self.local[target]
+            self.preds[self.local[target]] |= 1 << self.local[source]
+        # strict descendants, one reverse-topological pass
+        self.reach = [0] * n
+        for node in reversed(self.order):
+            i = self.local[node]
+            mask = 0
+            succ = self.succs[i]
+            j = 0
+            while succ:
+                if succ & 1:
+                    mask |= (1 << j) | self.reach[j]
+                succ >>= 1
+                j += 1
+            self.reach[i] = mask
+        self.ext_in = [bool(ext_in.get(node, False)) for node in self.order]
+        self.ext_out = [bool(ext_out.get(node, False)) for node in self.order]
+        self.ext_in_mask = sum(1 << i for i in range(n) if self.ext_in[i])
+        self.ext_out_mask = sum(1 << i for i in range(n) if self.ext_out[i])
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_view(cls, view: WorkflowView,
+                  label: CompositeLabel) -> "CompositeContext":
+        """The correction problem for composite ``label`` of ``view``."""
+        spec = view.spec
+        members = view.members(label)
+        member_set = set(members)
+        edges = [(source, target) for source in members
+                 for target in spec.successors(source)
+                 if target in member_set]
+        ext_in = {task: any(p not in member_set
+                            for p in spec.predecessors(task))
+                  for task in members}
+        ext_out = {task: any(s not in member_set
+                             for s in spec.successors(task))
+                   for task in members}
+        return cls(members, edges, ext_in, ext_out)
+
+    @classmethod
+    def standalone(cls, spec: WorkflowSpec) -> "CompositeContext":
+        """Treat a whole workflow as one composite (entries/exits external)."""
+        nodes = spec.task_ids()
+        edges = spec.dependencies()
+        ext_in = {task: not spec.predecessors(task) for task in nodes}
+        ext_out = {task: not spec.successors(task) for task in nodes}
+        return cls(nodes, edges, ext_in, ext_out)
+
+    # -- bitmask soundness machinery ------------------------------------------
+
+    def in_mask(self, part: int) -> int:
+        """Members of ``part`` that receive input from outside ``part``."""
+        mask = part & self.ext_in_mask
+        rest = part & ~mask
+        while rest:
+            low = rest & -rest
+            i = low.bit_length() - 1
+            if self.preds[i] & ~part:
+                mask |= low
+            rest ^= low
+        return mask
+
+    def out_mask(self, part: int) -> int:
+        """Members of ``part`` that send output outside ``part``."""
+        mask = part & self.ext_out_mask
+        rest = part & ~mask
+        while rest:
+            low = rest & -rest
+            i = low.bit_length() - 1
+            if self.succs[i] & ~part:
+                mask |= low
+            rest ^= low
+        return mask
+
+    def first_offence(self, part: int) -> Optional[tuple]:
+        """The first ``(i, o)`` bit pair violating Definition 2.3, or None.
+
+        ``i`` is in the part's ``in`` set, ``o`` in its ``out`` set, and
+        ``i`` does not reach ``o`` (reflexive reachability).
+        """
+        outs = self.out_mask(part)
+        if not outs:
+            return None
+        ins = self.in_mask(part)
+        while ins:
+            low = ins & -ins
+            i = low.bit_length() - 1
+            missing = outs & ~(self.reach[i] | low)
+            if missing:
+                o = (missing & -missing).bit_length() - 1
+                return (i, o)
+            ins ^= low
+        return None
+
+    def is_sound_part(self, part: int) -> bool:
+        """Definition 2.3 on a bitmask part."""
+        return self.first_offence(part) is None
+
+    def parts_quotient_acyclic(self, parts: Sequence[int]) -> bool:
+        """Would these parts keep the view's quotient acyclic?
+
+        Builds the quotient of ``G[T]`` by the parts and checks for cycles;
+        DESIGN.md section 2 shows external composites cannot contribute.
+        """
+        owner = {}
+        for part_id, part in enumerate(parts):
+            rest = part
+            while rest:
+                low = rest & -rest
+                owner[low.bit_length() - 1] = part_id
+                rest ^= low
+        quotient = Digraph()
+        for part_id in range(len(parts)):
+            quotient.add_node(part_id)
+        for i in range(self.n):
+            succ = self.succs[i]
+            while succ:
+                low = succ & -succ
+                j = low.bit_length() - 1
+                if owner[i] != owner[j]:
+                    quotient.add_edge(owner[i], owner[j])
+                succ ^= low
+        return is_acyclic(quotient)
+
+    # -- conversions ---------------------------------------------------------
+
+    def mask_of(self, tasks: Sequence[TaskId]) -> int:
+        mask = 0
+        for task in tasks:
+            mask |= 1 << self.local[task]
+        return mask
+
+    def tasks_of(self, mask: int) -> List[TaskId]:
+        found = []
+        while mask:
+            low = mask & -mask
+            found.append(self.order[low.bit_length() - 1])
+            mask ^= low
+        return found
+
+    def singleton_parts(self) -> List[int]:
+        return [1 << i for i in range(self.n)]
+
+    def is_partition(self, parts: Sequence[int]) -> bool:
+        union = 0
+        for part in parts:
+            if part == 0 or (union & part):
+                return False
+            union |= part
+        return union == self.full_mask
+
+    def __repr__(self) -> str:
+        return (f"CompositeContext(n={self.n}, "
+                f"edges={self.graph.edge_count()})")
+
+
+@dataclass
+class SplitResult:
+    """Outcome of splitting one composite."""
+
+    algorithm: str
+    parts: List[List[TaskId]]
+    checks: int = 0
+    branches: int = 0
+    elapsed_seconds: float = 0.0
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def part_count(self) -> int:
+        return len(self.parts)
+
+
+def apply_split(view: WorkflowView, label: CompositeLabel,
+                result: SplitResult) -> WorkflowView:
+    """Replace ``label`` in ``view`` by the split's parts.
+
+    A single-part "split" (the composite was already sound) returns the view
+    unchanged.
+    """
+    if result.part_count == 1:
+        return view
+    if not result.parts:
+        raise CorrectionError(f"empty split for composite {label!r}")
+    return view.split(label, result.parts)

@@ -1,0 +1,212 @@
+"""The strong local optimal corrector (Definition 2.6).
+
+A split is *strong local optimal* when no **subset** of its parts is
+combinable.  The paper's example (Figure 3) shows why this is harder than
+weak local optimality: four parts can form a sound "funnel" although no two
+of them merge soundly.
+
+The corrector runs in two phases:
+
+1. the weak fixpoint (cheap pair merging), then
+2. a **closure search**: for every seed pair of parts it computes the
+   minimal combinable superset by a forced-fix fixpoint.  Let ``C`` be the
+   current candidate set of parts and ``U`` its task union.
+
+   * ``C`` is first *path-closed* in the part quotient (any combinable set
+     must be — otherwise merging it creates a quotient cycle).
+   * If ``U`` is sound, ``C`` is combinable: merge and restart.
+   * Otherwise take the first offending pair ``(i, o)`` — ``i`` in
+     ``U.in``, ``o`` in ``U.out``, ``i`` not reaching ``o`` in the
+     specification.  Merging can never create specification paths, so *any*
+     combinable superset of ``C`` must either absorb **all** of ``i``'s
+     predecessors (possible only when ``i`` has no workflow-external input)
+     or absorb **all** of ``o``'s successors (only when ``o`` has no
+     external output).  When only one fix is possible it is forced; when
+     both are, the search branches (DFS, memoising failed candidate sets).
+
+   Every step strictly grows ``C``, so a branch dies within ``k`` steps.
+   Because every combinable superset of a candidate extends one of the two
+   fixes, the search is *complete*: when every seed fails, **no combinable
+   subset exists**, hence the returned split is strong local optimal by
+   construction.  Branching requires nested funnels and is rare; the
+   typical cost matches the paper's ``O(n^3)`` claim, and the verifier in
+   :mod:`repro.core.optimality` certifies optimality on randomized tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.core.split import CompositeContext, SplitResult
+from repro.core.weak import weak_split_masks
+
+
+class _PartLevel:
+    """Part-level reachability over the current split (rebuilt per merge)."""
+
+    def __init__(self, ctx: CompositeContext, parts: List[int]) -> None:
+        self.parts = parts
+        k = len(parts)
+        owner: Dict[int, int] = {}
+        for part_id, part in enumerate(parts):
+            rest = part
+            while rest:
+                low = rest & -rest
+                owner[low.bit_length() - 1] = part_id
+                rest ^= low
+        succ = [0] * k
+        for i in range(ctx.n):
+            targets = ctx.succs[i]
+            while targets:
+                low = targets & -targets
+                j = low.bit_length() - 1
+                if owner[i] != owner[j]:
+                    succ[owner[i]] |= 1 << owner[j]
+                targets ^= low
+        # strict descendants over parts, by repeated relaxation (k is small)
+        down = list(succ)
+        changed = True
+        while changed:
+            changed = False
+            for a in range(k):
+                mask = down[a]
+                extra = 0
+                rest = mask
+                while rest:
+                    low = rest & -rest
+                    extra |= down[low.bit_length() - 1]
+                    rest ^= low
+                if extra & ~mask:
+                    down[a] = mask | extra
+                    changed = True
+        up = [0] * k
+        for a in range(k):
+            rest = down[a]
+            while rest:
+                low = rest & -rest
+                up[low.bit_length() - 1] |= 1 << a
+                rest ^= low
+        self.down = down
+        self.up = up
+
+    def path_close(self, candidate: int) -> int:
+        """Add every part on a quotient path between two candidate parts."""
+        below = 0
+        above = 0
+        rest = candidate
+        while rest:
+            low = rest & -rest
+            part_id = low.bit_length() - 1
+            below |= self.down[part_id]
+            above |= self.up[part_id]
+            rest ^= low
+        return candidate | (below & above)
+
+    def parts_covering(self, task_mask: int) -> int:
+        """The set of part ids whose parts intersect ``task_mask``."""
+        found = 0
+        for part_id, part in enumerate(self.parts):
+            if part & task_mask:
+                found |= 1 << part_id
+        return found
+
+    def union_of(self, candidate: int) -> int:
+        union = 0
+        rest = candidate
+        while rest:
+            low = rest & -rest
+            union |= self.parts[low.bit_length() - 1]
+            rest ^= low
+        return union
+
+
+def closure_search(ctx: CompositeContext, level: _PartLevel,
+                   seed: int, min_parts: int,
+                   stats: Dict[str, int],
+                   failed: Set[int]) -> Optional[int]:
+    """The minimal-superset closure from DESIGN.md section 4.
+
+    Starting from the part-set ``seed`` (a bitmask over part ids), grow by
+    forced fixes — path-closing in the quotient and absorbing the parts
+    that remove an offending boundary node — branching when both sides of
+    an offence are fixable.  Returns a part-set of at least ``min_parts``
+    parts whose union is sound and path-closed, or ``None`` when no
+    superset of ``seed`` qualifies.  ``failed`` memoises dead candidate
+    sets across calls (sound for a fixed split).
+
+    The strong corrector seeds with pairs (``min_parts=2``,
+    Definition 2.4); the merge-based corrector of
+    :mod:`repro.core.merging` seeds with a single unsound composite
+    (``min_parts=1``).
+    """
+
+    def close(candidate: int) -> Optional[int]:
+        candidate = level.path_close(candidate)
+        if candidate in failed:
+            return None
+        union = level.union_of(candidate)
+        stats["checks"] += 1
+        offence = ctx.first_offence(union)
+        if offence is None:
+            if bin(candidate).count("1") >= min_parts:
+                return candidate
+            failed.add(candidate)
+            return None
+        i, o = offence
+        options: List[int] = []
+        if not ctx.ext_in[i]:
+            needed = level.parts_covering(ctx.preds[i] & ~union)
+            options.append(candidate | needed)
+        if not ctx.ext_out[o]:
+            needed = level.parts_covering(ctx.succs[o] & ~union)
+            options.append(candidate | needed)
+        if len(options) == 2:
+            stats["branches"] += 1
+        for option in options:
+            result = close(option)
+            if result is not None:
+                return result
+        failed.add(candidate)
+        return None
+
+    return close(seed)
+
+
+def _find_combinable(ctx: CompositeContext, level: _PartLevel,
+                     stats: Dict[str, int]) -> Optional[int]:
+    """A combinable part-set (bitmask over part ids), or ``None``."""
+    k = len(level.parts)
+    failed: Set[int] = set()
+    for a in range(k):
+        for b in range(a + 1, k):
+            result = closure_search(ctx, level, (1 << a) | (1 << b),
+                                    2, stats, failed)
+            if result is not None:
+                return result
+    return None
+
+
+def strong_split(ctx: CompositeContext) -> SplitResult:
+    """Split the composite into a strong-local-optimal set of sound parts."""
+    started = time.perf_counter()
+    parts = weak_split_masks(ctx)
+    stats = {"checks": 0, "branches": 0, "subset_merges": 0}
+    while len(parts) > 1:
+        level = _PartLevel(ctx, parts)
+        found = _find_combinable(ctx, level, stats)
+        if found is None:
+            break
+        union = level.union_of(found)
+        keep = [part for part_id, part in enumerate(parts)
+                if not (found >> part_id) & 1]
+        parts = [union] + keep
+        stats["subset_merges"] += 1
+    return SplitResult(
+        algorithm="strong",
+        parts=[ctx.tasks_of(part) for part in parts],
+        checks=stats["checks"],
+        branches=stats["branches"],
+        elapsed_seconds=time.perf_counter() - started,
+        notes={"subset_merges": stats["subset_merges"]},
+    )

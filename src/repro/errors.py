@@ -1,0 +1,89 @@
+"""Exceptions shared by every subsystem of the WOLVES reproduction.
+
+Each layer raises the most specific subclass so that callers can catch
+either a precise failure (``CycleError``) or the whole family
+(``ReproError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (unknown node, duplicate edge...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """An operation referenced a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """An operation referenced an edge that is not in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge {source!r} -> {target!r} is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError):
+    """A node was added twice."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is already in the graph")
+        self.node = node
+
+
+class CycleError(GraphError):
+    """The graph (or a quotient graph) contains a directed cycle.
+
+    ``cycle`` holds one witness cycle as a list of nodes when available.
+    """
+
+    def __init__(self, message: str = "graph contains a cycle",
+                 cycle: "list | None" = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class WorkflowError(ReproError):
+    """A problem with a workflow specification."""
+
+
+class ViewError(ReproError):
+    """A problem with a workflow view (bad partition, unknown composite...)."""
+
+
+class NotAPartitionError(ViewError):
+    """The composite tasks do not partition the atomic tasks."""
+
+
+class IllFormedViewError(ViewError):
+    """The view's quotient graph is not a DAG."""
+
+
+class UnsoundViewError(ReproError):
+    """Raised by strict APIs when a view fails the soundness check."""
+
+
+class CorrectionError(ReproError):
+    """A corrector could not produce a valid split."""
+
+
+class SerializationError(ReproError):
+    """A document could not be parsed or written (JSON / MOML)."""
+
+
+class ProvenanceError(ReproError):
+    """A problem in the provenance subsystem (unknown artifact, no run...)."""
+
+
+class EstimatorError(ReproError):
+    """The estimator has no history group for the requested prediction."""

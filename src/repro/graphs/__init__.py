@@ -1,0 +1,44 @@
+"""Directed-acyclic-graph substrate used by the whole WOLVES reproduction.
+
+The workflow specification, the workflow view quotient and the provenance
+graph are all directed graphs; this package provides the shared machinery:
+
+* :class:`~repro.graphs.dag.Digraph` — a small, explicit directed graph.
+* :mod:`~repro.graphs.topo` — topological sorts, layering, cycle finding.
+* :mod:`~repro.graphs.reachability` — bitset transitive closure and the
+  :class:`~repro.graphs.reachability.ReachabilityIndex` used by every
+  soundness check.
+* :mod:`~repro.graphs.convexity` — convex sets and interval closures.
+* :mod:`~repro.graphs.generators` — random DAGs (layered, series-parallel,
+  scientific-workflow motifs) for the synthetic repository.
+* :mod:`~repro.graphs.dot` — Graphviz DOT export for the displayer.
+"""
+
+from repro.graphs.dag import Digraph
+from repro.graphs.topo import (
+    topological_sort,
+    is_acyclic,
+    find_cycle,
+    layers,
+    longest_path_length,
+)
+from repro.graphs.reachability import ReachabilityIndex, transitive_closure
+from repro.graphs.intervals import IntervalIndex
+from repro.graphs.chains import ChainIndex
+from repro.graphs.convexity import is_convex, convex_closure, between
+
+__all__ = [
+    "Digraph",
+    "topological_sort",
+    "is_acyclic",
+    "find_cycle",
+    "layers",
+    "longest_path_length",
+    "ReachabilityIndex",
+    "IntervalIndex",
+    "ChainIndex",
+    "transitive_closure",
+    "is_convex",
+    "convex_closure",
+    "between",
+]

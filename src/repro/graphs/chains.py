@@ -1,0 +1,100 @@
+"""Chain-decomposition reachability index.
+
+A classic alternative to bitset closures and interval labels: partition the
+DAG into few chains (a greedy path cover), store per node, for every chain,
+the first node of that chain it reaches.  Then ``u`` reaches ``v`` iff
+``u``'s entry point into ``v``'s chain is at or before ``v``.
+
+Queries are O(1) after an ``O(chains * E)`` build, and memory is
+``O(V * chains)`` — the sweet spot for the long, thin DAGs that staged
+scientific workflows produce (few chains regardless of size).  The test
+suite cross-checks it against the bitset closure on random DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.dag import Digraph, Node
+from repro.graphs.topo import topological_sort
+
+
+class ChainIndex:
+    """Exact O(1)-query reachability via a greedy chain decomposition."""
+
+    def __init__(self, graph: Digraph) -> None:
+        self._order = topological_sort(graph)
+        self._position = {node: i for i, node in enumerate(self._order)}
+        self._chain_of: Dict[Node, int] = {}
+        self._rank: Dict[Node, int] = {}
+        self._chains: List[List[Node]] = []
+        self._build_chains(graph)
+        self._build_reach(graph)
+
+    def _build_chains(self, graph: Digraph) -> None:
+        """Greedy path cover: extend each chain with the first unassigned
+        successor, scanning nodes in topological order."""
+        assigned = set()
+        for node in self._order:
+            if node in assigned:
+                continue
+            chain: List[Node] = []
+            cursor: Optional[Node] = node
+            while cursor is not None:
+                chain.append(cursor)
+                assigned.add(cursor)
+                cursor = next(
+                    (succ for succ in graph.successors(cursor)
+                     if succ not in assigned), None)
+            chain_id = len(self._chains)
+            self._chains.append(chain)
+            for rank, member in enumerate(chain):
+                self._chain_of[member] = chain_id
+                self._rank[member] = rank
+
+    def _build_reach(self, graph: Digraph) -> None:
+        """``reach[node][chain]`` = smallest rank in ``chain`` reachable
+        from ``node`` (reflexively), or None."""
+        k = len(self._chains)
+        infinity = float("inf")
+        reach: Dict[Node, List[float]] = {
+            node: [infinity] * k for node in self._order}
+        for node in reversed(self._order):
+            row = reach[node]
+            row[self._chain_of[node]] = min(
+                row[self._chain_of[node]], self._rank[node])
+            for succ in graph.successors(node):
+                succ_row = reach[succ]
+                for chain_id in range(k):
+                    if succ_row[chain_id] < row[chain_id]:
+                        row[chain_id] = succ_row[chain_id]
+        self._reach = reach
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def chain_count(self) -> int:
+        return len(self._chains)
+
+    def chains(self) -> List[List[Node]]:
+        return [list(chain) for chain in self._chains]
+
+    def reaches_or_equal(self, source: Node, target: Node) -> bool:
+        """Reflexive reachability in O(1)."""
+        if source not in self._reach:
+            raise NodeNotFoundError(source)
+        if target not in self._reach:
+            raise NodeNotFoundError(target)
+        chain_id = self._chain_of[target]
+        return self._reach[source][chain_id] <= self._rank[target]
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        """Strict reachability (path of length >= 1) in O(1)."""
+        if source == target:
+            # a DAG has no cycles, so strict self-reachability is false;
+            # still validate the node exists
+            if source not in self._reach:
+                raise NodeNotFoundError(source)
+            return False
+        return self.reaches_or_equal(source, target)

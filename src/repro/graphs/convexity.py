@@ -1,0 +1,77 @@
+"""Convex sets in a DAG.
+
+A set ``S`` is *convex* when every path between two members of ``S`` stays
+inside ``S``.  Every composite task of a well-formed view is convex (a path
+leaving and re-entering a composite would be a cycle in the quotient), which
+is what lets the correctors treat each composite as a self-contained
+sub-problem.
+
+The *between* set of ``S`` — nodes lying on some path between two members —
+is computable with two bitset unions, and one application already yields the
+convex closure (descendant/ancestor unions of the enlarged set do not grow,
+because a node between ``u`` and ``v`` only has descendants of ``u`` as
+descendants and ancestors of ``v`` as ancestors).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.graphs.dag import Digraph, Node
+from repro.graphs.reachability import ReachabilityIndex
+
+
+def between(index: ReachabilityIndex, nodes: Iterable[Node]) -> List[Node]:
+    """Nodes strictly between two members of ``nodes`` (members excluded).
+
+    ``x`` is between when some member reaches ``x`` and ``x`` reaches some
+    member.
+    """
+    members = list(nodes)
+    member_mask = index.mask_of(members)
+    below = index.descendants_mask_of_set(members)
+    above = index.ancestors_mask_of_set(members)
+    return index.nodes_of(below & above & ~member_mask)
+
+
+def is_convex(index: ReachabilityIndex, nodes: Iterable[Node]) -> bool:
+    """True when every path between two members stays in the set."""
+    return not between(index, nodes)
+
+
+def convex_closure(index: ReachabilityIndex,
+                   nodes: Iterable[Node]) -> List[Node]:
+    """The smallest convex superset, in topological order."""
+    members = list(nodes)
+    member_mask = index.mask_of(members)
+    below = index.descendants_mask_of_set(members)
+    above = index.ancestors_mask_of_set(members)
+    return index.nodes_of(member_mask | (below & above))
+
+
+def convex_sets_up_to(graph: Digraph, max_size: int) -> List[Set[Node]]:
+    """Enumerate every non-empty convex set with at most ``max_size`` nodes.
+
+    Exponential in general; used only by tests and the optimal corrector's
+    yardstick on small composites.
+    """
+    index = ReachabilityIndex(graph)
+    nodes = index.order
+    found: List[Set[Node]] = []
+    seen: Set[frozenset] = set()
+
+    def grow(current: frozenset) -> None:
+        if current in seen:
+            return
+        seen.add(current)
+        if is_convex(index, current):
+            found.append(set(current))
+        if len(current) >= max_size:
+            return
+        for node in nodes:
+            if node not in current:
+                grow(current | {node})
+
+    for node in nodes:
+        grow(frozenset([node]))
+    return found

@@ -1,0 +1,85 @@
+"""Graphviz DOT export.
+
+The WOLVES GUI renders the specification, the view and the correction result
+side by side; this module is the headless equivalent used by the Displayer
+module (:mod:`repro.system.displayer`).  It produces plain DOT text so the
+output can be piped to ``dot -Tpng`` when Graphviz is available, and is also
+human-readable on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.graphs.dag import Digraph, Node
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(graph: Digraph, name: str = "G",
+           node_label: Optional[Callable[[Node], str]] = None,
+           node_attrs: Optional[Mapping[Node, Mapping[str, str]]] = None,
+           rankdir: str = "TB") -> str:
+    """Render a :class:`Digraph` as DOT text.
+
+    ``node_label`` maps nodes to display labels; ``node_attrs`` adds extra
+    per-node attributes (e.g. ``{"color": "red"}`` for unsound composites,
+    matching the GUI's highlighting).
+    """
+    lines = [f"digraph {_quote(name)} {{", f"  rankdir={rankdir};"]
+    for node in graph.nodes():
+        attrs: Dict[str, str] = {}
+        if node_label is not None:
+            attrs["label"] = node_label(node)
+        if node_attrs is not None and node in node_attrs:
+            attrs.update(node_attrs[node])
+        if attrs:
+            rendered = ", ".join(f"{key}={_quote(value)}"
+                                 for key, value in attrs.items())
+            lines.append(f"  {_quote(node)} [{rendered}];")
+        else:
+            lines.append(f"  {_quote(node)};")
+    for source, target in graph.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def clustered_dot(graph: Digraph, clusters: Mapping[str, Iterable[Node]],
+                  name: str = "G",
+                  node_label: Optional[Callable[[Node], str]] = None,
+                  cluster_colors: Optional[Mapping[str, str]] = None) -> str:
+    """DOT text with one subgraph cluster per composite task.
+
+    This reproduces the dotted boxes of the paper's Figure 1: the atomic
+    tasks of each composite are drawn inside a labelled cluster.
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;"]
+    clustered_nodes = set()
+    for i, (label, members) in enumerate(clusters.items()):
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f"    label={_quote(label)};")
+        if cluster_colors is not None and label in cluster_colors:
+            lines.append(f"    color={_quote(cluster_colors[label])};")
+        for node in members:
+            clustered_nodes.add(node)
+            if node_label is not None:
+                lines.append(
+                    f"    {_quote(node)} [label={_quote(node_label(node))}];")
+            else:
+                lines.append(f"    {_quote(node)};")
+        lines.append("  }")
+    for node in graph.nodes():
+        if node not in clustered_nodes:
+            if node_label is not None:
+                lines.append(
+                    f"  {_quote(node)} [label={_quote(node_label(node))}];")
+            else:
+                lines.append(f"  {_quote(node)};")
+    for source, target in graph.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

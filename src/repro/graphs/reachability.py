@@ -1,0 +1,163 @@
+"""Bitset reachability: the workhorse of every soundness check.
+
+The index stores, per node, the set of strict descendants and strict
+ancestors as Python integers used as bitsets.  On an acyclic graph the
+closure is a single pass in reverse topological order, so building the index
+is ``O(V * E / wordsize)`` and every subsequent query is one shift and one
+mask — fast enough that the validator and the three correctors all share one
+index per workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import NodeNotFoundError
+from repro.graphs.dag import Digraph, Node
+from repro.graphs.topo import topological_sort
+
+
+class ReachabilityIndex:
+    """Strict-reachability index over an acyclic :class:`Digraph`.
+
+    ``reaches(u, v)`` is True iff there is a directed path of length >= 1
+    from ``u`` to ``v``.  The reflexive variant used by the soundness
+    definitions is ``reaches_or_equal``.
+    """
+
+    def __init__(self, graph: Digraph) -> None:
+        self._order: List[Node] = topological_sort(graph)
+        self._index: Dict[Node, int] = {n: i for i, n in enumerate(self._order)}
+        n = len(self._order)
+        desc = [0] * n
+        for node in reversed(self._order):
+            i = self._index[node]
+            mask = 0
+            for succ in graph.successors(node):
+                j = self._index[succ]
+                mask |= (1 << j) | desc[j]
+            desc[i] = mask
+        anc = [0] * n
+        for i in range(n):
+            mask = desc[i]
+            bit = 1 << i
+            j = 0
+            while mask:
+                if mask & 1:
+                    anc[j] |= bit
+                mask >>= 1
+                j += 1
+        self._desc = desc
+        self._anc = anc
+
+    # -- node-level queries --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def order(self) -> List[Node]:
+        """The topological order the index was built from."""
+        return list(self._order)
+
+    def index_of(self, node: Node) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def reaches(self, source: Node, target: Node) -> bool:
+        """True iff a path of length >= 1 runs ``source -> target``."""
+        return bool(self._desc[self.index_of(source)]
+                    & (1 << self.index_of(target)))
+
+    def reaches_or_equal(self, source: Node, target: Node) -> bool:
+        """Reflexive reachability (the form soundness checks need)."""
+        return source == target or self.reaches(source, target)
+
+    def descendants(self, node: Node) -> List[Node]:
+        return self.nodes_of(self._desc[self.index_of(node)])
+
+    def ancestors(self, node: Node) -> List[Node]:
+        return self.nodes_of(self._anc[self.index_of(node)])
+
+    # -- bitset-level queries --------------------------------------------------
+
+    def descendants_mask(self, node: Node) -> int:
+        return self._desc[self.index_of(node)]
+
+    def ancestors_mask(self, node: Node) -> int:
+        return self._anc[self.index_of(node)]
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        mask = 0
+        for node in nodes:
+            mask |= 1 << self.index_of(node)
+        return mask
+
+    def nodes_of(self, mask: int) -> List[Node]:
+        """Decode a bitset into nodes, in topological order."""
+        found: List[Node] = []
+        i = 0
+        while mask:
+            if mask & 1:
+                found.append(self._order[i])
+            mask >>= 1
+            i += 1
+        return found
+
+    def descendants_mask_of_set(self, nodes: Iterable[Node]) -> int:
+        """Union of strict-descendant masks over ``nodes``."""
+        mask = 0
+        for node in nodes:
+            mask |= self._desc[self.index_of(node)]
+        return mask
+
+    def ancestors_mask_of_set(self, nodes: Iterable[Node]) -> int:
+        """Union of strict-ancestor masks over ``nodes``."""
+        mask = 0
+        for node in nodes:
+            mask |= self._anc[self.index_of(node)]
+        return mask
+
+    def all_pairs(self) -> Dict[Node, List[Node]]:
+        """Materialise the closure as ``{node: descendants}`` (for tests)."""
+        return {node: self.descendants(node) for node in self._order}
+
+
+def transitive_closure(graph: Digraph) -> Digraph:
+    """The closure graph: edge ``u -> v`` iff a path ``u -> v`` exists."""
+    index = ReachabilityIndex(graph)
+    closure = Digraph()
+    for node in graph.nodes():
+        closure.add_node(node)
+    for node in graph.nodes():
+        for target in index.descendants(node):
+            closure.add_edge(node, target)
+    return closure
+
+
+def reachable_pairs(graph: Digraph) -> List[tuple]:
+    """Every ordered pair ``(u, v)`` with a path ``u -> v`` (length >= 1)."""
+    index = ReachabilityIndex(graph)
+    return [(u, v) for u in graph.nodes() for v in index.descendants(u)]
+
+
+def restrict_index(index: ReachabilityIndex,
+                   nodes: Sequence[Node]) -> Dict[Node, int]:
+    """Descendant masks restricted to ``nodes`` (re-numbered 0..len-1).
+
+    Used by the correctors, which work inside a single composite task:
+    bit ``j`` of ``result[nodes[i]]`` is set iff ``nodes[i]`` reaches
+    ``nodes[j]`` in the full graph.
+    """
+    local = {node: i for i, node in enumerate(nodes)}
+    result: Dict[Node, int] = {}
+    for node in nodes:
+        mask = index.descendants_mask(node)
+        out = 0
+        for other, j in local.items():
+            if mask & (1 << index.index_of(other)):
+                out |= 1 << j
+        result[node] = out
+    return result

@@ -1,0 +1,52 @@
+"""Provenance: the reason views must be sound.
+
+This package simulates workflow execution and reproduces the paper's
+motivation end to end:
+
+* :mod:`~repro.provenance.model` — an OPM-style provenance graph of
+  artifacts and process invocations;
+* :mod:`~repro.provenance.execution` — a deterministic simulated executor
+  that runs a :class:`~repro.workflow.spec.WorkflowSpec` and records
+  provenance;
+* :mod:`~repro.provenance.queries` — lineage (transitive-closure) queries
+  over the provenance graph;
+* :mod:`~repro.provenance.viewlevel` — view-level provenance analysis and
+  its correctness metrics: a sound view answers lineage queries exactly;
+  an unsound view produces the spurious dependencies of Figure 1.
+"""
+
+from repro.provenance.model import (
+    Artifact,
+    Invocation,
+    ProvenanceGraph,
+)
+from repro.provenance.execution import execute, WorkflowRun
+from repro.provenance.queries import (
+    lineage_artifacts,
+    lineage_tasks,
+    downstream_tasks,
+)
+from repro.provenance.viewlevel import (
+    view_lineage,
+    lineage_correctness,
+    LineageComparison,
+)
+from repro.provenance.store import ProvenanceStore
+from repro.provenance.engine import IncrementalEngine, IncrementalResult
+
+__all__ = [
+    "Artifact",
+    "Invocation",
+    "ProvenanceGraph",
+    "execute",
+    "WorkflowRun",
+    "lineage_artifacts",
+    "lineage_tasks",
+    "downstream_tasks",
+    "view_lineage",
+    "lineage_correctness",
+    "LineageComparison",
+    "ProvenanceStore",
+    "IncrementalEngine",
+    "IncrementalResult",
+]

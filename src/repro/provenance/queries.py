@@ -1,0 +1,63 @@
+"""Lineage queries: transitive closures over provenance.
+
+"The provenance of a data item is the sequence of steps used to produce the
+data, together with the intermediate data and parameters used as input to
+those steps" — i.e. the ancestor set in the OPM graph.  These functions
+answer the task-level questions the demo walks through ("is the output of
+task 14 part of the provenance of the output of task 18?").
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.graphs.topo import ancestors_of, descendants_of
+from repro.provenance.execution import WorkflowRun
+from repro.workflow.task import TaskId
+
+
+def lineage_artifacts(run: WorkflowRun, artifact_id: str) -> List[str]:
+    """Every artifact in the provenance of ``artifact_id`` (itself excluded)."""
+    graph = run.provenance.to_digraph()
+    found = []
+    for kind, node_id in ancestors_of(graph, ("artifact", artifact_id)):
+        if kind == "artifact":
+            found.append(node_id)
+    return found
+
+
+def lineage_invocations(run: WorkflowRun, artifact_id: str) -> List[str]:
+    """Every invocation in the provenance of ``artifact_id``."""
+    graph = run.provenance.to_digraph()
+    found = []
+    for kind, node_id in ancestors_of(graph, ("artifact", artifact_id)):
+        if kind == "invocation":
+            found.append(node_id)
+    return found
+
+
+def lineage_tasks(run: WorkflowRun, task_id: TaskId) -> Set[TaskId]:
+    """Tasks whose output is in the provenance of ``task_id``'s output.
+
+    This is the ground-truth answer to the paper's provenance question; the
+    view-level answer (:mod:`repro.provenance.viewlevel`) is compared
+    against it.  The producing task itself is excluded.
+    """
+    artifact = run.output_artifact(task_id)
+    producing = {run.provenance.invocation(i).task_id
+                 for i in lineage_invocations(run, artifact.artifact_id)}
+    producing.discard(task_id)
+    return producing
+
+
+def downstream_tasks(run: WorkflowRun, task_id: TaskId) -> Set[TaskId]:
+    """Tasks whose output depends on ``task_id``'s output (impact set)."""
+    artifact = run.output_artifact(task_id)
+    graph = run.provenance.to_digraph()
+    found: Set[TaskId] = set()
+    for kind, node_id in descendants_of(
+            graph, ("artifact", artifact.artifact_id)):
+        if kind == "invocation":
+            found.add(run.provenance.invocation(node_id).task_id)
+    found.discard(task_id)
+    return found

@@ -1,0 +1,195 @@
+"""A multi-run provenance store.
+
+Workflow systems accumulate provenance over many executions; analyses span
+runs ("which runs consumed the bad reference database?").  This module
+stores :class:`~repro.provenance.execution.WorkflowRun` results, indexes
+them by task and by artifact payload, and answers cross-run queries.  An
+OPM-flavoured JSON export/import keeps stores portable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import ProvenanceError
+from repro.provenance.execution import WorkflowRun
+from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
+from repro.provenance.queries import lineage_tasks
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+
+class ProvenanceStore:
+    """Append-only collection of runs with cross-run queries."""
+
+    def __init__(self, spec: WorkflowSpec) -> None:
+        self.spec = spec
+        self._runs: Dict[str, WorkflowRun] = {}
+        # payload -> {(run_id, task_id)}: the content index
+        self._by_payload: Dict[Any, Set[tuple]] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def add_run(self, run: WorkflowRun) -> None:
+        if run.run_id in self._runs:
+            raise ProvenanceError(f"run {run.run_id!r} already stored")
+        if set(run.spec.task_ids()) != set(self.spec.task_ids()):
+            raise ProvenanceError(
+                "run belongs to a different workflow than the store's")
+        self._runs[run.run_id] = run
+        for task_id in run.outputs:
+            payload = run.output_artifact(task_id).payload
+            self._by_payload.setdefault(payload, set()).add(
+                (run.run_id, task_id))
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def run(self, run_id: str) -> WorkflowRun:
+        try:
+            return self._runs[run_id]
+        except KeyError:
+            raise ProvenanceError(f"unknown run {run_id!r}") from None
+
+    def run_ids(self) -> List[str]:
+        return list(self._runs)
+
+    # -- cross-run queries ------------------------------------------------------
+
+    def runs_producing(self, payload: Any) -> List[tuple]:
+        """``(run_id, task_id)`` pairs whose output had this payload."""
+        return sorted(self._by_payload.get(payload, ()))
+
+    def runs_depending_on_output_of(self, run_id: str,
+                                    task_id: TaskId) -> List[str]:
+        """Runs whose final outputs transitively consumed the *same data*
+        that ``task_id`` produced in ``run_id``.
+
+        Two runs share data when the payloads coincide (the executor's
+        content hashing makes payload equality mean value equality).
+        """
+        payload = self.run(run_id).output_artifact(task_id).payload
+        found = []
+        for other_id, other in self._runs.items():
+            if (other_id, task_id) not in self._by_payload.get(payload, ()):
+                continue
+            exit_lineages: Set[TaskId] = set()
+            for exit_task in other.spec.exit_tasks():
+                exit_lineages |= lineage_tasks(other, exit_task)
+                exit_lineages.add(exit_task)
+            if task_id in exit_lineages:
+                found.append(other_id)
+        return found
+
+    def divergence(self, run_a: str, run_b: str) -> List[TaskId]:
+        """Tasks whose outputs differ between two runs, in topo order."""
+        a = self.run(run_a)
+        b = self.run(run_b)
+        return [task_id for task_id in self.spec.topological_order()
+                if a.output_artifact(task_id).payload
+                != b.output_artifact(task_id).payload]
+
+    def blame(self, run_a: str, run_b: str) -> List[TaskId]:
+        """The *root causes* of divergence: differing tasks none of whose
+        differing ancestors explain them (minimal elements of
+        :meth:`divergence` under the dependency order)."""
+        diverged = set(self.divergence(run_a, run_b))
+        index = self.spec.reachability()
+        return [task for task in self.spec.topological_order()
+                if task in diverged
+                and not any(other in diverged
+                            for other in index.ancestors(task))]
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        """OPM-flavoured JSON: invocations with used, artifacts with
+        wasGeneratedBy, grouped per run."""
+        runs = []
+        for run in self._runs.values():
+            graph = run.provenance
+            runs.append({
+                "run_id": run.run_id,
+                "invocations": [
+                    {
+                        "id": inv.invocation_id,
+                        "task": _scalar(inv.task_id),
+                        "params": dict(inv.params),
+                        "used": graph.used(inv.invocation_id),
+                    }
+                    for inv in graph.invocations()
+                ],
+                "artifacts": [
+                    {
+                        "id": art.artifact_id,
+                        "wasGeneratedBy": art.producer,
+                        "payload": art.payload,
+                    }
+                    for art in graph.artifacts()
+                ],
+                "outputs": {str(k): v for k, v in run.outputs.items()},
+            })
+        return json.dumps({"format": "wolves-provenance", "version": 1,
+                           "workflow": self.spec.name, "runs": runs},
+                          indent=2)
+
+    @classmethod
+    def from_json(cls, text: str, spec: WorkflowSpec) -> "ProvenanceStore":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProvenanceError(f"invalid JSON: {exc}") from exc
+        if document.get("format") != "wolves-provenance":
+            raise ProvenanceError("not a wolves-provenance document")
+        store = cls(spec)
+        task_by_str = {str(t): t for t in spec.task_ids()}
+        for entry in document.get("runs", []):
+            graph = ProvenanceGraph()
+            # interleave: an invocation needs its used artifacts recorded,
+            # an artifact needs its producing invocation recorded
+            pending_invocations = list(entry["invocations"])
+            pending_artifacts = list(entry["artifacts"])
+            recorded_artifacts: Set[str] = set()
+            recorded_invocations: Set[str] = set()
+            progress = True
+            while progress and (pending_invocations or pending_artifacts):
+                progress = False
+                for inv in list(pending_invocations):
+                    if all(a in recorded_artifacts
+                           for a in inv.get("used", ())):
+                        graph.record_invocation(
+                            Invocation(
+                                inv["id"],
+                                task_id=task_by_str.get(str(inv["task"]),
+                                                        inv["task"]),
+                                params=inv.get("params", {})),
+                            used=inv.get("used", ()))
+                        recorded_invocations.add(inv["id"])
+                        pending_invocations.remove(inv)
+                        progress = True
+                for art in list(pending_artifacts):
+                    if art["wasGeneratedBy"] in recorded_invocations:
+                        graph.record_artifact(
+                            Artifact(art["id"],
+                                     producer=art["wasGeneratedBy"],
+                                     payload=art.get("payload")))
+                        recorded_artifacts.add(art["id"])
+                        pending_artifacts.remove(art)
+                        progress = True
+            if pending_invocations or pending_artifacts:
+                raise ProvenanceError(
+                    "provenance document has dangling used/wasGeneratedBy "
+                    "references")
+            outputs = {task_by_str.get(k, k): v
+                       for k, v in entry["outputs"].items()}
+            store.add_run(WorkflowRun(spec=spec, provenance=graph,
+                                      outputs=outputs,
+                                      run_id=entry["run_id"]))
+        return store
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,146 @@
+"""View-level provenance analysis and its correctness.
+
+Analysts run lineage queries on the *view* because its transitive closure is
+much smaller than the workflow's.  The view-level answer to "what is the
+provenance of composite ``T``'s output" is the ancestor set of ``T`` in the
+quotient graph.
+
+For a **sound** view that answer is exact: a composite appears in the
+view-level lineage iff one of its tasks is a true ancestor — that is
+Definition 2.1 verbatim.  For an unsound view it is wrong, in the way the
+paper's Figure 1 walk-through shows: at the view level composites 13, 14,
+15 and 16 all appear in the provenance of composite 18's output, yet task 3
+(inside 14) does not reach task 8 (inside 18) in the specification.
+
+Correctness is therefore measured at the granularity the view actually
+offers — composite membership:
+
+* the *view answer* for task ``t`` is the set of composites on view paths
+  into ``t``'s composite;
+* the *true answer* is the set of composites containing at least one true
+  ancestor of ``t``'s composite;
+* precision/recall compare the two.  ``precision == recall == 1`` for every
+  query iff the relevant part of the view is sound, and the property tests
+  assert the view-wide form of that equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.views.wellformed import assert_well_formed
+from repro.workflow.task import TaskId
+
+
+def view_lineage(view: WorkflowView, label: CompositeLabel
+                 ) -> List[CompositeLabel]:
+    """Composites the view claims are in the provenance of ``label``."""
+    assert_well_formed(view)
+    return view.view_reachability().ancestors(label)
+
+
+def true_composite_lineage(view: WorkflowView, label: CompositeLabel
+                           ) -> List[CompositeLabel]:
+    """Composites truly in the provenance of ``label``.
+
+    A composite ``S`` belongs iff some task of ``S`` reaches some task of
+    ``label`` in the specification (the right-hand side of Definition 2.1).
+    """
+    index = view.spec.reachability()
+    targets = view.members(label)
+    found = []
+    for other in view.composite_labels():
+        if other == label:
+            continue
+        if any(index.reaches(source, target)
+               for source in view.members(other) for target in targets):
+            found.append(other)
+    return found
+
+
+def view_implied_task_lineage(view: WorkflowView, task_id: TaskId
+                              ) -> Set[TaskId]:
+    """Atomic tasks an analyst would read off the view as provenance.
+
+    Expands the view-level lineage of ``task_id``'s composite back to task
+    ids.  Note this over-approximates even under a sound view (a composite
+    is reported whole); it exists for the Figure 1 narrative — task 3 shows
+    up in the provenance of task 8 — while the correctness *metrics* below
+    compare at composite granularity.
+    """
+    assert_well_formed(view)
+    home = view.composite_of(task_id)
+    tasks: Set[TaskId] = set()
+    for label in view_lineage(view, home):
+        tasks.update(view.members(label))
+    return tasks
+
+
+def true_task_lineage(view: WorkflowView, task_id: TaskId) -> Set[TaskId]:
+    """Specification-level provenance of ``task_id`` (ancestor tasks)."""
+    index = view.spec.reachability()
+    return set(index.ancestors(task_id))
+
+
+@dataclass(frozen=True)
+class LineageComparison:
+    """View answer vs true answer for one task's provenance query."""
+
+    task_id: TaskId
+    home: CompositeLabel
+    true_composites: frozenset
+    view_composites: frozenset
+
+    @property
+    def spurious(self) -> frozenset:
+        """Composites wrongly reported as provenance (Figure 1's error)."""
+        return self.view_composites - self.true_composites
+
+    @property
+    def missed(self) -> frozenset:
+        """True provenance composites the view failed to report."""
+        return self.true_composites - self.view_composites
+
+    @property
+    def precision(self) -> float:
+        if not self.view_composites:
+            return 1.0
+        return len(self.view_composites & self.true_composites) / len(
+            self.view_composites)
+
+    @property
+    def recall(self) -> float:
+        if not self.true_composites:
+            return 1.0
+        return len(self.view_composites & self.true_composites) / len(
+            self.true_composites)
+
+    @property
+    def exact(self) -> bool:
+        return self.view_composites == self.true_composites
+
+
+def compare_lineage(view: WorkflowView, task_id: TaskId
+                    ) -> LineageComparison:
+    """Compare the view's lineage answer for ``task_id`` with the truth."""
+    home = view.composite_of(task_id)
+    return LineageComparison(
+        task_id=task_id,
+        home=home,
+        true_composites=frozenset(true_composite_lineage(view, home)),
+        view_composites=frozenset(view_lineage(view, home)),
+    )
+
+
+def lineage_correctness(view: WorkflowView
+                        ) -> Tuple[float, float, List[LineageComparison]]:
+    """Average precision/recall of view-level lineage over every task."""
+    comparisons = [compare_lineage(view, task_id)
+                   for task_id in view.spec.task_ids()]
+    if not comparisons:
+        return 1.0, 1.0, []
+    precision = sum(c.precision for c in comparisons) / len(comparisons)
+    recall = sum(c.recall for c in comparisons) / len(comparisons)
+    return precision, recall, comparisons

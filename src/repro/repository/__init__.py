@@ -1,0 +1,27 @@
+"""Synthetic workflow repository.
+
+The paper evaluates on views from the Kepler and myExperiment repositories
+(hand-defined by experts) and on views built automatically by the tool of
+Biton et al.  Neither source is available offline, so this package generates
+statistically comparable corpora: scientific-workflow-shaped specifications
+(:mod:`repro.graphs.generators`) paired with expert-style and automatic
+views, with controlled unsoundness (see DESIGN.md, substitutions table).
+"""
+
+from repro.repository.synthetic import (
+    SyntheticWorkflow,
+    expert_view,
+    automatic_view,
+    synthetic_workflow,
+)
+from repro.repository.corpus import Corpus, CorpusEntry, build_corpus
+
+__all__ = [
+    "SyntheticWorkflow",
+    "expert_view",
+    "automatic_view",
+    "synthetic_workflow",
+    "Corpus",
+    "CorpusEntry",
+    "build_corpus",
+]

@@ -1,0 +1,106 @@
+"""Reproducible corpora of (workflow, view) pairs.
+
+A :class:`Corpus` is the stand-in for "the workflow repository" of the
+paper's survey: a seeded collection of synthetic workflows, each carrying an
+expert view and an automatic view.  Benchmarks iterate a corpus and report
+per-family statistics (how many views are unsound, how correction behaves),
+which reproduces the Section 3.1 experimental setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.repository.synthetic import (
+    SHAPES,
+    automatic_view,
+    expert_view,
+    synthetic_workflow,
+)
+from repro.views.view import WorkflowView
+from repro.workflow.spec import WorkflowSpec
+
+
+@dataclass
+class CorpusEntry:
+    """One repository item: a workflow and its two view families."""
+
+    spec: WorkflowSpec
+    shape: str
+    seed: int
+    views: Dict[str, WorkflowView] = field(default_factory=dict)
+
+    def view(self, family: str) -> WorkflowView:
+        try:
+            return self.views[family]
+        except KeyError:
+            known = ", ".join(sorted(self.views))
+            raise KeyError(
+                f"no {family!r} view; families: {known}") from None
+
+
+@dataclass
+class Corpus:
+    """A seeded collection of corpus entries."""
+
+    entries: List[CorpusEntry]
+    seed: int
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def unsoundness_census(self) -> Dict[str, Dict[str, int]]:
+        """Per view family: total views and how many are unsound.
+
+        This is the quantitative form of the paper's repository survey
+        ("our survey of workflow designs in a well-curated workflow
+        repository revealed unsound views").
+        """
+        from repro.core.soundness import is_sound_view
+
+        census: Dict[str, Dict[str, int]] = {}
+        for entry in self.entries:
+            for family, view in entry.views.items():
+                stats = census.setdefault(family,
+                                          {"views": 0, "unsound": 0})
+                stats["views"] += 1
+                if not is_sound_view(view):
+                    stats["unsound"] += 1
+        return census
+
+
+def build_corpus(seed: int = 2009, count: int = 20,
+                 min_size: int = 10, max_size: int = 40,
+                 shapes: Optional[List[str]] = None,
+                 noise_moves: int = 2) -> Corpus:
+    """Build a corpus of ``count`` workflows with both view families.
+
+    Sizes are drawn uniformly from ``[min_size, max_size]``; shapes cycle
+    through ``shapes`` (default: all generator families).  Everything is
+    derived from ``seed``, so corpora are exactly reproducible.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if min_size < 4 or max_size < min_size:
+        raise ValueError("need 4 <= min_size <= max_size")
+    shape_cycle = list(shapes) if shapes else list(SHAPES)
+    rng = random.Random(seed)
+    entries: List[CorpusEntry] = []
+    for i in range(count):
+        size = rng.randint(min_size, max_size)
+        shape = shape_cycle[i % len(shape_cycle)]
+        workflow = synthetic_workflow(rng.randrange(2 ** 31), size,
+                                      shape=shape)
+        views = {
+            "expert": expert_view(rng, workflow.spec,
+                                  noise_moves=noise_moves),
+            "automatic": automatic_view(rng, workflow.spec),
+        }
+        entries.append(CorpusEntry(spec=workflow.spec, shape=shape,
+                                   seed=workflow.seed, views=views))
+    return Corpus(entries=entries, seed=seed)

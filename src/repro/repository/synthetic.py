@@ -1,0 +1,116 @@
+"""Synthetic workflows and views mimicking public repository content.
+
+Workflows are generated with the scientific-workflow-shaped generators and
+tagged with realistic task kinds; views come in the paper's two families:
+
+* :func:`expert_view` — a structural grouping a domain expert would draw
+  (stage-based), optionally perturbed with hand-edit noise (the mechanism
+  that introduced unsoundness into the surveyed repository views);
+* :func:`automatic_view` — the Biton-style user view around a random set of
+  relevant tasks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graphs.generators import (
+    layered_dag,
+    random_dag,
+    workflow_motif_dag,
+)
+from repro.views.builders import perturb_view, view_from_layers
+from repro.views.userviews import user_view
+from repro.views.view import WorkflowView
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import Task
+
+TASK_KINDS = ("query", "transform", "curate", "align", "format", "build",
+              "render")
+
+SHAPES = ("motif", "layered", "random")
+
+
+@dataclass
+class SyntheticWorkflow:
+    """A generated specification plus the seed that produced it."""
+
+    spec: WorkflowSpec
+    shape: str
+    seed: int
+
+
+def synthetic_workflow(seed: int, size: int,
+                       shape: str = "motif") -> SyntheticWorkflow:
+    """Generate one workflow of about ``size`` tasks.
+
+    ``shape`` selects the generator family; task kinds cycle through
+    :data:`TASK_KINDS` with a seeded shuffle so kind-based views vary.
+    """
+    rng = random.Random(seed)
+    if shape == "motif":
+        graph = workflow_motif_dag(rng, size)
+    elif shape == "layered":
+        width = max(2, size // 5)
+        sizes = []
+        remaining = size
+        while remaining > 0:
+            stage = min(remaining, rng.randint(1, width))
+            sizes.append(stage)
+            remaining -= stage
+        graph = layered_dag(rng, len(sizes), width, stage_sizes=sizes)
+    elif shape == "random":
+        graph = random_dag(rng, size, min(0.9, 3.0 / max(size - 1, 1)))
+    else:
+        raise ValueError(f"unknown shape {shape!r}; choose from {SHAPES}")
+    spec = WorkflowSpec(f"synthetic-{shape}-{seed}")
+    kinds = list(TASK_KINDS)
+    rng.shuffle(kinds)
+    for i, node in enumerate(graph.nodes()):
+        spec.add_task(Task(node, name=f"task-{node}",
+                           kind=kinds[i % len(kinds)]))
+    for source, target in graph.edges():
+        spec.add_dependency(source, target)
+    return SyntheticWorkflow(spec=spec, shape=shape, seed=seed)
+
+
+def expert_view(rng: random.Random, spec: WorkflowSpec,
+                noise_moves: int = 2,
+                layers_per_composite: Optional[int] = None) -> WorkflowView:
+    """A stage-based expert view with hand-edit noise.
+
+    The base view groups pipeline stages (always well-formed); ``noise_moves``
+    random well-formedness-preserving task moves model the repository edits
+    that produce unsound views in the wild.
+    """
+    if layers_per_composite is None:
+        layers_per_composite = rng.choice([1, 2, 3])
+    base = view_from_layers(spec, layers_per_composite=layers_per_composite,
+                            name="expert")
+    if noise_moves <= 0:
+        return base
+    return perturb_view(rng, base, moves=noise_moves, name="expert")
+
+
+def automatic_view(rng: random.Random, spec: WorkflowSpec,
+                   relevant_count: Optional[int] = None,
+                   strategy: str = "interval") -> WorkflowView:
+    """A Biton-style automatic user view around random relevant tasks."""
+    ids = spec.task_ids()
+    if relevant_count is None:
+        relevant_count = max(2, len(ids) // 4)
+    relevant_count = min(relevant_count, len(ids))
+    relevant = rng.sample(ids, relevant_count)
+    return user_view(spec, relevant, strategy=strategy,
+                     name=f"automatic-{strategy}")
+
+
+def unsound_composite_contexts(view: WorkflowView) -> List:
+    """Correction problems for every unsound composite of ``view``."""
+    from repro.core.soundness import unsound_composites
+    from repro.core.split import CompositeContext
+
+    return [CompositeContext.from_view(view, label)
+            for label in unsound_composites(view)]

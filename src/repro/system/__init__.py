@@ -1,0 +1,31 @@
+"""The WOLVES system layer: the Figure 2 architecture, headless.
+
+Each module of the paper's architecture diagram maps to one module here:
+
+* *Import and Understand Workflow and View* →
+  :mod:`~repro.system.importer` (MOML/JSON loading) and
+  :mod:`~repro.system.displayer` (ASCII/DOT rendering);
+* *Workflow View Validator* → :mod:`~repro.system.validator`;
+* *Workflow View Corrector* → :mod:`~repro.system.corrector` (with the
+  per-approach time/quality estimates of Section 3.2);
+* *Workflow View Feedback* → :mod:`~repro.system.feedback`;
+* the iterate-until-satisfied loop → :class:`~repro.system.session.WolvesSession`;
+* the GUI → the ``wolves`` CLI (:mod:`~repro.system.cli`).
+"""
+
+from repro.system.session import WolvesSession
+from repro.system.importer import load_workflow, load_view
+from repro.system.displayer import (
+    render_spec,
+    render_view,
+    render_validation,
+)
+
+__all__ = [
+    "WolvesSession",
+    "load_workflow",
+    "load_view",
+    "render_spec",
+    "render_view",
+    "render_validation",
+]

@@ -1,0 +1,263 @@
+"""The ``wolves`` command line — the demo GUI, headless.
+
+Subcommands mirror the GUI actions:
+
+* ``wolves validate SPEC [--view VIEW]`` — the Validator panel;
+* ``wolves correct SPEC --view VIEW [--criterion strong]`` — *Correct
+  View*, printing the correction result and (optionally) writing the
+  corrected view;
+* ``wolves show SPEC [--view VIEW] [--dot]`` — the Displayer panels;
+* ``wolves catalog [NAME]`` — list or export the canned workflows;
+* ``wolves demo`` — the full Figure 1 walk-through (validate, explain the
+  wrong provenance, correct, re-validate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import spurious_dependencies, validate_view
+from repro.errors import ReproError
+from repro.system.displayer import (
+    render_spec,
+    render_view,
+    spec_to_dot,
+    view_to_dot,
+)
+from repro.system.importer import load_view, load_workflow
+from repro.views.view import WorkflowView
+from repro.workflow import catalog
+from repro.workflow.jsonio import spec_to_json, view_to_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wolves",
+        description="Detect and resolve unsound workflow views "
+                    "(WOLVES, VLDB 2009).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate_cmd = commands.add_parser(
+        "validate", help="check a view's soundness")
+    validate_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
+    validate_cmd.add_argument("--view", help="view file (JSON)")
+
+    correct_cmd = commands.add_parser(
+        "correct", help="correct an unsound view")
+    correct_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
+    correct_cmd.add_argument("--view", help="view file (JSON)")
+    correct_cmd.add_argument("--criterion", default="strong",
+                             choices=["weak", "strong", "optimal"])
+    correct_cmd.add_argument("--out", help="write the corrected view here")
+
+    show_cmd = commands.add_parser("show", help="render workflow and view")
+    show_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
+    show_cmd.add_argument("--view", help="view file (JSON)")
+    show_cmd.add_argument("--dot", action="store_true",
+                          help="emit Graphviz DOT instead of text")
+
+    catalog_cmd = commands.add_parser(
+        "catalog", help="list or export canned workflows")
+    catalog_cmd.add_argument("name", nargs="?",
+                             help="workflow to export as JSON")
+
+    commands.add_parser("demo", help="run the Figure 1 walk-through")
+
+    suggest_cmd = commands.add_parser(
+        "suggest", help="propose a sound view for a workflow")
+    suggest_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
+    suggest_cmd.add_argument("--relevant", nargs="*", default=None,
+                             help="relevant task ids for a user view")
+    suggest_cmd.add_argument("--out", help="write the suggested view here")
+
+    audit_cmd = commands.add_parser(
+        "audit", help="survey a synthetic repository for unsound views")
+    audit_cmd.add_argument("--seed", type=int, default=2009)
+    audit_cmd.add_argument("--count", type=int, default=12)
+
+    lineage_cmd = commands.add_parser(
+        "lineage", help="execute a workflow and query task provenance")
+    lineage_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
+    lineage_cmd.add_argument("task", help="task id to query")
+    lineage_cmd.add_argument("--view", help="also answer at the view level")
+    return parser
+
+
+def _load(spec_path: str,
+          view_path: Optional[str]) -> tuple:
+    spec, embedded_view = load_workflow(spec_path)
+    view = embedded_view
+    if view_path is not None:
+        view = load_view(view_path, spec)
+    return spec, view
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    spec, view = _load(args.spec, args.view)
+    if view is None:
+        print(f"workflow {spec.name!r} loaded ({len(spec)} tasks); "
+              f"no view given, nothing to validate")
+        return 0
+    report = validate_view(view)
+    print(report.summary())
+    return 0 if report.sound else 1
+
+
+def cmd_correct(args: argparse.Namespace) -> int:
+    spec, view = _load(args.spec, args.view)
+    if view is None:
+        print("correct needs a view (--view or an embedded MOML grouping)",
+              file=sys.stderr)
+        return 2
+    criterion = Criterion.parse(args.criterion)
+    report = correct_view(view, criterion)
+    print(report.summary())
+    print(render_view(report.corrected))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(view_to_json(report.corrected))
+        print(f"corrected view written to {args.out}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    spec, view = _load(args.spec, args.view)
+    if args.dot:
+        print(view_to_dot(view) if view is not None else spec_to_dot(spec))
+        return 0
+    print(render_spec(spec))
+    if view is not None:
+        print(render_view(view))
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.name is None:
+        for name in sorted(catalog.ALL_WORKFLOWS):
+            spec = catalog.load(name)
+            print(f"{name:>20}: {len(spec)} tasks, "
+                  f"{spec.graph.edge_count()} dependencies")
+        return 0
+    print(spec_to_json(catalog.load(args.name)))
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    view = catalog.phylogenomics_view()
+    print(render_spec(view.spec))
+    print()
+    print(render_view(view))
+    print()
+    report = validate_view(view)
+    print(report.summary())
+    for source, target in spurious_dependencies(view):
+        print(f"wrong provenance: the view claims "
+              f"{view.display_name(source)!r} ({source}) is in the "
+              f"provenance of {view.display_name(target)!r} ({target}) — "
+              f"the workflow has no such path")
+    print()
+    corrected = correct_view(view, Criterion.STRONG)
+    print(corrected.summary())
+    print(render_view(corrected.corrected))
+    return 0
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    from repro.views.suggest import suggest_sound_view, suggest_user_view
+
+    spec, _ = _load(args.spec, None)
+    if args.relevant:
+        known = {str(t): t for t in spec.task_ids()}
+        try:
+            relevant = [known[token] for token in args.relevant]
+        except KeyError as exc:
+            print(f"error: unknown task {exc.args[0]!r}", file=sys.stderr)
+            return 2
+        view = suggest_user_view(spec, relevant)
+    else:
+        view = suggest_sound_view(spec)
+    print(render_view(view))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(view_to_json(view))
+        print(f"suggested view written to {args.out}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.repository.corpus import build_corpus
+
+    corpus = build_corpus(seed=args.seed, count=args.count, noise_moves=3)
+    census = corpus.unsoundness_census()
+    print(f"repository audit (seed={args.seed}, {len(corpus)} workflows):")
+    for family, stats in census.items():
+        rate = stats["unsound"] / stats["views"]
+        print(f"  {family:>10}: {stats['unsound']}/{stats['views']} "
+              f"views unsound ({rate:.0%})")
+    for entry in corpus:
+        for family, view in entry.views.items():
+            report = validate_view(view)
+            if not report.sound:
+                print(f"  {entry.spec.name} [{family}]: "
+                      f"{report.summary()}")
+    return 0
+
+
+def cmd_lineage(args: argparse.Namespace) -> int:
+    from repro.provenance.execution import execute
+    from repro.provenance.queries import downstream_tasks, lineage_tasks
+    from repro.provenance.viewlevel import compare_lineage
+
+    spec, view = _load(args.spec, args.view)
+    known = {str(t): t for t in spec.task_ids()}
+    task = known.get(args.task)
+    if task is None:
+        print(f"error: unknown task {args.task!r}", file=sys.stderr)
+        return 2
+    run = execute(spec, run_id="cli")
+    upstream = sorted(lineage_tasks(run, task), key=str)
+    downstream = sorted(downstream_tasks(run, task), key=str)
+    print(f"provenance of task {task} ({spec.task(task).label}):")
+    print(f"  upstream tasks:   {upstream if upstream else '(none)'}")
+    print(f"  downstream tasks: {downstream if downstream else '(none)'}")
+    if view is not None:
+        comparison = compare_lineage(view, task)
+        print(f"  view-level answer: "
+              f"{sorted(comparison.view_composites, key=str)}")
+        if comparison.spurious:
+            print(f"  WARNING: spurious composites "
+                  f"{sorted(comparison.spurious, key=str)} — the view is "
+                  f"unsound around this query")
+    return 0
+
+
+_HANDLERS = {
+    "validate": cmd_validate,
+    "correct": cmd_correct,
+    "show": cmd_show,
+    "catalog": cmd_catalog,
+    "demo": cmd_demo,
+    "suggest": cmd_suggest,
+    "audit": cmd_audit,
+    "lineage": cmd_lineage,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

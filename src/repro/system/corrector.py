@@ -1,0 +1,91 @@
+"""The Workflow View Corrector module.
+
+System-level correction: the user picks a criterion (weak / strong /
+optimal), optionally for a single composite (*Split Task*) or the whole view
+(*Correct View*), and — per Section 3.2 — sees estimated time and quality
+for each approach before committing, computed from the session's correction
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.corrector import (
+    CorrectionReport,
+    Criterion,
+    correct_view,
+    split_composite,
+)
+from repro.core.estimator import Estimate, Estimator
+from repro.core.metrics import quality
+from repro.core.optimal import optimal_split
+from repro.core.soundness import unsound_composites
+from repro.core.split import CompositeContext, SplitResult, apply_split
+from repro.errors import CorrectionError
+from repro.views.view import CompositeLabel, WorkflowView
+
+ESTIMATE_OPTIMAL_LIMIT = 14
+
+
+@dataclass
+class CorrectorModule:
+    """Stateful corrector with correction history for estimates."""
+
+    estimator: Estimator
+    record_quality: bool = True
+
+    def __init__(self, estimator: Optional[Estimator] = None,
+                 record_quality: bool = True) -> None:
+        self.estimator = estimator if estimator is not None else Estimator()
+        self.record_quality = record_quality
+
+    # -- estimates (Section 3.2) ---------------------------------------------
+
+    def estimates(self, view: WorkflowView,
+                  label: CompositeLabel) -> Dict[str, Estimate]:
+        """Per-approach predicted time/quality for splitting ``label``."""
+        ctx = CompositeContext.from_view(view, label)
+        return self.estimator.estimates_for(ctx)
+
+    # -- correction ------------------------------------------------------------
+
+    def split_task(self, view: WorkflowView, label: CompositeLabel,
+                   criterion: Criterion) -> SplitResult:
+        """GUI *Split Task*: correct one composite, record history."""
+        ctx = CompositeContext.from_view(view, label)
+        result = split_composite(view, label, criterion)
+        self._record(ctx, result)
+        return result
+
+    def correct_view(self, view: WorkflowView,
+                     criterion: Criterion) -> CorrectionReport:
+        """GUI *Correct View*: correct every unsound composite."""
+        targets = unsound_composites(view)
+        contexts = {label: CompositeContext.from_view(view, label)
+                    for label in targets}
+        report = correct_view(view, criterion)
+        for label, result in report.splits.items():
+            self._record(contexts[label], result)
+        return report
+
+    def apply(self, view: WorkflowView, label: CompositeLabel,
+              result: SplitResult) -> WorkflowView:
+        """Apply a previously computed split to the view."""
+        return apply_split(view, label, result)
+
+    def _record(self, ctx: CompositeContext, result: SplitResult) -> None:
+        measured_quality: Optional[float] = None
+        if self.record_quality and result.algorithm == "optimal":
+            measured_quality = 1.0
+        elif self.record_quality and ctx.n <= ESTIMATE_OPTIMAL_LIMIT:
+            try:
+                optimum = optimal_split(ctx)
+                measured_quality = quality(result.part_count,
+                                           optimum.part_count)
+            except CorrectionError:
+                measured_quality = None
+        self.estimator.record(ctx, result.algorithm,
+                              result.elapsed_seconds, result.part_count,
+                              quality=measured_quality)

@@ -1,0 +1,145 @@
+"""The Workflow View Displayer module, headless.
+
+The GUI draws three panels (specification, view, correction result); this
+module renders the same content as text for terminals and as DOT for
+Graphviz.  Composite colouring follows the GUI conventions: unsound red,
+sound green, expanded grey.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.soundness import validate_view
+from repro.graphs.dot import clustered_dot, to_dot
+from repro.graphs.topo import layers
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.workflow.spec import WorkflowSpec
+
+
+def render_spec(spec: WorkflowSpec) -> str:
+    """ASCII rendering of a specification, one pipeline stage per line."""
+    lines = [f"workflow {spec.name!r} "
+             f"({len(spec)} tasks, {spec.graph.edge_count()} dependencies)"]
+    for depth, layer in enumerate(layers(spec.graph)):
+        rendered = ", ".join(
+            f"{task_id}:{spec.task(task_id).label}" for task_id in layer)
+        lines.append(f"  stage {depth}: {rendered}")
+    return "\n".join(lines)
+
+
+def render_view(view: WorkflowView,
+                expanded: Optional[CompositeLabel] = None) -> str:
+    """ASCII rendering of a view with validation colouring.
+
+    ``expanded`` imitates the GUI's *Show Task* double-click: that
+    composite's atomic membership is listed inline (grey in the GUI).
+    """
+    report = validate_view(view)
+    lines = [f"view {view.name!r} ({len(view)} composite tasks)"]
+    for label in view.composite_labels():
+        if not report.well_formed:
+            marker = "?"
+        elif label in report.witnesses:
+            marker = "UNSOUND"
+        else:
+            marker = "sound"
+        members = view.members(label)
+        if label == expanded:
+            detail = " = {" + ", ".join(
+                f"{m}:{view.spec.task(m).label}" for m in members) + "}"
+        else:
+            detail = f" ({len(members)} tasks)"
+        lines.append(f"  [{marker:>7}] {view.display_name(label)}{detail}")
+    edges = ", ".join(f"{a}->{b}" for a, b in view.quotient.edges())
+    lines.append(f"  edges: {edges if edges else '(none)'}")
+    if not report.sound:
+        lines.append("  " + report.summary())
+    return "\n".join(lines)
+
+
+def show_dependency(view: WorkflowView,
+                    label: CompositeLabel) -> str:
+    """The GUI's *Show Dependency*: relationships of the selected composite.
+
+    "Clicking Show Dependency returns to users the dependency relationship
+    between the other tasks and the selected one."  Every other composite
+    is classified as upstream (its data feeds the selection), downstream
+    (depends on the selection), or independent — *according to the view*;
+    on an unsound view these relationships are exactly what misleads the
+    analyst, so the validator's verdict is appended.
+    """
+    if label not in view:
+        from repro.errors import ViewError
+
+        raise ViewError(f"unknown composite {label!r}")
+    index = view.view_reachability()
+    upstream = [other for other in view.composite_labels()
+                if index.reaches(other, label)]
+    downstream = [other for other in view.composite_labels()
+                  if index.reaches(label, other)]
+    independent = [other for other in view.composite_labels()
+                   if other != label
+                   and other not in upstream and other not in downstream]
+
+    def names(labels):
+        if not labels:
+            return "(none)"
+        return ", ".join(f"{l}:{view.display_name(l)}" for l in labels)
+
+    lines = [
+        f"dependencies of composite {label} "
+        f"({view.display_name(label)}):",
+        f"  upstream:    {names(upstream)}",
+        f"  downstream:  {names(downstream)}",
+        f"  independent: {names(independent)}",
+    ]
+    report = validate_view(view)
+    if not report.sound:
+        lines.append(f"  warning: {report.summary()} — these "
+                     f"relationships may be wrong")
+    return "\n".join(lines)
+
+
+def render_validation(view: WorkflowView) -> str:
+    """The Validator panel: verdict plus witnesses."""
+    return validate_view(view).summary()
+
+
+def spec_to_dot(spec: WorkflowSpec) -> str:
+    """DOT text of a specification."""
+    return to_dot(spec.graph, name=spec.name,
+                  node_label=lambda t: spec.task(t).label)
+
+
+def view_to_dot(view: WorkflowView) -> str:
+    """DOT text of a view: clusters are composites, coloured by soundness.
+
+    Reproduces the paper's Figure 1(b) presentation — dotted boxes around
+    atomic tasks — with the GUI's red/green colouring.
+    """
+    report = validate_view(view)
+    colors: Dict[str, str] = {}
+    clusters: Dict[str, List] = {}
+    for label in view.composite_labels():
+        display = f"{view.display_name(label)}"
+        clusters[display] = view.members(label)
+        if report.well_formed:
+            colors[display] = ("red" if label in report.witnesses
+                               else "green")
+    return clustered_dot(view.spec.graph, clusters, name=view.name,
+                         node_label=lambda t: view.spec.task(t).label,
+                         cluster_colors=colors)
+
+
+def quotient_to_dot(view: WorkflowView) -> str:
+    """DOT text of the view graph itself (composites as plain nodes)."""
+    report = validate_view(view)
+    attrs = {}
+    if report.well_formed:
+        for label in view.composite_labels():
+            attrs[label] = {
+                "color": "red" if label in report.witnesses else "green"}
+    return to_dot(view.quotient, name=f"{view.name}-quotient",
+                  node_label=lambda label: view.display_name(label),
+                  node_attrs=attrs)

@@ -1,0 +1,102 @@
+"""The Workflow View Feedback module.
+
+"After the correction is finished, if the user is not satisfied with the
+refined view, she can modify the view ... select multiple tasks ... and
+choose *Create Composite Task* to merge the selected tasks.  The result ...
+will be sent back to the Workflow View Validator Module for validation."
+
+The module therefore offers exactly two moves — merge composites, or move
+the grouping around a chosen composite — and always re-validates, returning
+the new report alongside the new view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.combinable import composites_combinable
+from repro.core.soundness import ValidationReport, validate_view
+from repro.errors import ViewError
+from repro.views.view import CompositeLabel, WorkflowView
+
+
+@dataclass(frozen=True)
+class FeedbackOutcome:
+    """A feedback edit plus the re-validation the loop mandates."""
+
+    view: WorkflowView
+    report: ValidationReport
+    warning: Optional[str] = None
+
+    @property
+    def sound(self) -> bool:
+        return self.report.sound
+
+
+def create_composite_task(view: WorkflowView,
+                          labels: Iterable[CompositeLabel],
+                          new_label: Optional[CompositeLabel] = None
+                          ) -> FeedbackOutcome:
+    """Merge the selected composites and re-validate.
+
+    A warning is attached when the merge is known not combinable (the
+    resulting composite will be unsound or the view ill-formed); the merge
+    is still performed — the user is in charge — unless it would break the
+    partition itself.
+    """
+    merge_labels = list(labels)
+    warning = None
+    if not composites_combinable(view, merge_labels):
+        warning = ("merging " + ", ".join(str(l) for l in merge_labels)
+                   + " does not yield a sound composite")
+    merged = view.merge(merge_labels, new_label=new_label)
+    return FeedbackOutcome(view=merged, report=validate_view(merged),
+                           warning=warning)
+
+
+def move_task(view: WorkflowView, task_id, target_label: CompositeLabel
+              ) -> FeedbackOutcome:
+    """Move one task into another composite and re-validate."""
+    source_label = view.composite_of(task_id)
+    if source_label == target_label:
+        raise ViewError(f"task {task_id!r} is already in {target_label!r}")
+    groups = view.groups()
+    if len(groups[source_label]) == 1:
+        # the donor composite disappears
+        del groups[source_label]
+    else:
+        groups[source_label] = [t for t in groups[source_label]
+                                if t != task_id]
+    if target_label not in groups:
+        raise ViewError(f"unknown composite {target_label!r}")
+    groups[target_label] = groups[target_label] + [task_id]
+    moved = WorkflowView(view.spec, groups, name=view.name)
+    return FeedbackOutcome(view=moved, report=validate_view(moved))
+
+
+def iterate_until_sound(view: WorkflowView,
+                        edits: Iterable[Tuple[str, tuple]]
+                        ) -> List[FeedbackOutcome]:
+    """Apply a scripted sequence of feedback edits, validating each.
+
+    ``edits`` holds ``("merge", (labels, new_label))`` or
+    ``("move", (task_id, target_label))`` steps — the headless equivalent of
+    the user clicking through the Feedback loop.  Returns the outcome of
+    every step; the caller decides whether the final view satisfies them.
+    """
+    outcomes: List[FeedbackOutcome] = []
+    current = view
+    for kind, args in edits:
+        if kind == "merge":
+            labels, new_label = args
+            outcome = create_composite_task(current, labels,
+                                            new_label=new_label)
+        elif kind == "move":
+            task_id, target = args
+            outcome = move_task(current, task_id, target)
+        else:
+            raise ViewError(f"unknown feedback edit {kind!r}")
+        outcomes.append(outcome)
+        current = outcome.view
+    return outcomes

@@ -1,0 +1,62 @@
+"""The Import module: load workflows and views from disk.
+
+"A user may load into the system a workflow specification and a pre-defined
+workflow view defined in Modeling Markup Language (MOML)"; JSON documents
+(this library's native format) load through the same entry points.  Formats
+are detected from content, not extension, so piped input works too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.views.view import WorkflowView
+from repro.workflow.jsonio import spec_from_json, view_from_json
+from repro.workflow.moml import spec_from_moml
+from repro.workflow.spec import WorkflowSpec
+
+
+def detect_format(text: str) -> str:
+    """``"moml"`` for XML content, ``"json"`` for JSON content."""
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        return "moml"
+    if stripped.startswith("{"):
+        return "json"
+    raise SerializationError(
+        "cannot detect document format (expected XML or JSON)")
+
+
+def load_workflow_text(text: str
+                       ) -> Tuple[WorkflowSpec, Optional[WorkflowView]]:
+    """Parse workflow text; MOML may carry an embedded view grouping."""
+    if detect_format(text) == "moml":
+        spec, grouping = spec_from_moml(text)
+        view = (WorkflowView(spec, grouping, name=f"{spec.name}-view")
+                if grouping else None)
+        return spec, view
+    return spec_from_json(text), None
+
+
+def load_workflow(path: str) -> Tuple[WorkflowSpec, Optional[WorkflowView]]:
+    """Load a workflow file (MOML or JSON)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return load_workflow_text(text)
+    except SerializationError as exc:
+        raise SerializationError(
+            f"{os.path.basename(path)}: {exc}") from exc
+
+
+def load_view(path: str, spec: WorkflowSpec) -> WorkflowView:
+    """Load a JSON view document against an already-loaded spec."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return view_from_json(text, spec)
+    except SerializationError as exc:
+        raise SerializationError(
+            f"{os.path.basename(path)}: {exc}") from exc

@@ -1,0 +1,85 @@
+"""Audit report generation.
+
+Consolidates validator verdicts, view statistics and correction previews
+into one text report per view — what a repository maintainer reads after
+running ``wolves audit``.  Pure presentation over the analysis modules; all
+numbers come from :mod:`repro.views.stats`, :mod:`repro.core.soundness`
+and :mod:`repro.core.corrector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import validate_view
+from repro.views.stats import rank_repair_candidates, view_stats
+from repro.views.view import WorkflowView
+
+
+@dataclass
+class AuditFinding:
+    """The audit record for one view."""
+
+    view_name: str
+    sound: bool
+    composites: int
+    compression: float
+    worst_margin: float
+    repair_order: List
+    correction_preview: Optional[str]
+
+    def lines(self) -> List[str]:
+        verdict = "sound" if self.sound else "UNSOUND"
+        found = [
+            f"{self.view_name}: {verdict} "
+            f"({self.composites} composites, "
+            f"{self.compression:.2f}x compression)",
+        ]
+        if not self.sound:
+            found.append(
+                f"  worst soundness margin: {self.worst_margin:.2f}")
+            found.append(
+                "  repair order: "
+                + ", ".join(str(label) for label in self.repair_order))
+            if self.correction_preview:
+                found.append(f"  suggested fix: {self.correction_preview}")
+        return found
+
+
+def audit_view(view: WorkflowView,
+               criterion: Criterion = Criterion.STRONG,
+               preview_correction: bool = True) -> AuditFinding:
+    """Produce the audit record for one (well-formed) view."""
+    report = validate_view(view)
+    stats = view_stats(view)
+    preview = None
+    if not report.sound and report.well_formed and preview_correction:
+        corrected = correct_view(view, criterion)
+        preview = (f"{criterion.value} correction adds "
+                   f"{corrected.parts_added} composite(s) "
+                   f"({len(corrected.corrected)} total)")
+    return AuditFinding(
+        view_name=view.name,
+        sound=report.sound,
+        composites=len(view),
+        compression=stats.compression,
+        worst_margin=stats.min_margin,
+        repair_order=rank_repair_candidates(view),
+        correction_preview=preview,
+    )
+
+
+def audit_report(views: List[WorkflowView],
+                 criterion: Criterion = Criterion.STRONG) -> str:
+    """A full multi-view audit as readable text."""
+    findings = [audit_view(view, criterion) for view in views]
+    unsound = sum(1 for finding in findings if not finding.sound)
+    lines = [
+        f"audited {len(findings)} view(s): {unsound} unsound",
+        "",
+    ]
+    for finding in findings:
+        lines.extend(finding.lines())
+    return "\n".join(lines)

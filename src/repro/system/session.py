@@ -1,0 +1,128 @@
+"""The WOLVES session: the Figure 2 control loop.
+
+A :class:`WolvesSession` owns a specification, a current view, the
+validator/corrector/feedback modules, and the iteration history.  The usage
+pattern is the demo's outline::
+
+    session = WolvesSession(spec, view)
+    session.validate()                       # red/green report
+    session.correct(Criterion.STRONG)        # resolve unsound composites
+    session.create_composite_task(["A", "B"])  # user feedback, re-validated
+    session.view                             # the current (possibly sound) view
+
+Every step is recorded so examples and tests can replay the interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.corrector import CorrectionReport, Criterion
+from repro.core.estimator import Estimate, Estimator
+from repro.core.soundness import ValidationReport, validate_view
+from repro.core.split import SplitResult
+from repro.errors import ViewError
+from repro.system.corrector import CorrectorModule
+from repro.system.feedback import (
+    FeedbackOutcome,
+    create_composite_task,
+    move_task,
+)
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.workflow.spec import WorkflowSpec
+
+
+@dataclass
+class SessionEvent:
+    """One step of the session history."""
+
+    kind: str
+    detail: str
+    sound_after: bool
+
+
+@dataclass
+class WolvesSession:
+    """Interactive state machine over one workflow and its view."""
+
+    spec: WorkflowSpec
+    view: WorkflowView
+    corrector: CorrectorModule = field(default_factory=CorrectorModule)
+    history: List[SessionEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.view.spec is not self.spec:
+            raise ViewError("view does not belong to this session's spec")
+
+    # -- validator --------------------------------------------------------
+
+    def validate(self) -> ValidationReport:
+        report = validate_view(self.view)
+        self._log("validate", report.summary(), report.sound)
+        return report
+
+    @property
+    def is_sound(self) -> bool:
+        return validate_view(self.view).sound
+
+    # -- corrector --------------------------------------------------------
+
+    def estimates(self, label: CompositeLabel) -> Dict[str, Estimate]:
+        """Section 3.2's per-approach predictions for one composite."""
+        return self.corrector.estimates(self.view, label)
+
+    def correct(self, criterion: Criterion = Criterion.STRONG
+                ) -> CorrectionReport:
+        """Correct the whole view (GUI: right-click, *Correct View*)."""
+        report = self.corrector.correct_view(self.view, criterion)
+        self.view = report.corrected
+        self._log("correct", report.summary(), self.is_sound)
+        return report
+
+    def split_task(self, label: CompositeLabel,
+                   criterion: Criterion = Criterion.STRONG) -> SplitResult:
+        """Correct a single composite (GUI: *Split Task*)."""
+        result = self.corrector.split_task(self.view, label, criterion)
+        self.view = self.corrector.apply(self.view, label, result)
+        self._log("split",
+                  f"{label} -> {result.part_count} parts "
+                  f"({result.algorithm})", self.is_sound)
+        return result
+
+    # -- feedback ----------------------------------------------------------
+
+    def create_composite_task(self, labels: Iterable[CompositeLabel],
+                              new_label: Optional[CompositeLabel] = None
+                              ) -> FeedbackOutcome:
+        """Merge composites (GUI: *Create Composite Task*), re-validated."""
+        outcome = create_composite_task(self.view, labels,
+                                        new_label=new_label)
+        self.view = outcome.view
+        detail = outcome.report.summary()
+        if outcome.warning:
+            detail += f" (warning: {outcome.warning})"
+        self._log("merge", detail, outcome.sound)
+        return outcome
+
+    def move_task(self, task_id, target_label: CompositeLabel
+                  ) -> FeedbackOutcome:
+        outcome = move_task(self.view, task_id, target_label)
+        self.view = outcome.view
+        self._log("move", outcome.report.summary(), outcome.sound)
+        return outcome
+
+    # -- history ------------------------------------------------------------
+
+    def transcript(self) -> str:
+        """The session as readable text (used by the interactive example)."""
+        lines = [f"session on workflow {self.spec.name!r}"]
+        for i, event in enumerate(self.history, start=1):
+            status = "sound" if event.sound_after else "unsound"
+            lines.append(f"  {i}. [{event.kind}] {event.detail} "
+                         f"-> view {status}")
+        return "\n".join(lines)
+
+    def _log(self, kind: str, detail: str, sound_after: bool) -> None:
+        self.history.append(SessionEvent(kind=kind, detail=detail,
+                                         sound_after=sound_after))

@@ -1,0 +1,47 @@
+"""The Workflow View Validator module.
+
+A thin system-level wrapper over :mod:`repro.core.soundness` adding the
+GUI's presentation concerns: unsound composites are highlighted (the GUI
+shows them red) and the report carries display names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.soundness import ValidationReport, validate_view
+from repro.views.view import CompositeLabel, WorkflowView
+
+
+@dataclass
+class HighlightedReport:
+    """A validation report plus per-composite display colouring."""
+
+    report: ValidationReport
+    colors: Dict[CompositeLabel, str]
+
+    @property
+    def sound(self) -> bool:
+        return self.report.sound
+
+    def lines(self) -> List[str]:
+        """Human-readable per-composite verdicts."""
+        rendered = [self.report.summary()]
+        for label, color in self.colors.items():
+            if color == "red":
+                witness = self.report.witnesses[label]
+                rendered.append(
+                    f"  [red] {label}: no path {witness[0]!r} -> "
+                    f"{witness[1]!r}")
+        return rendered
+
+
+def validate(view: WorkflowView) -> HighlightedReport:
+    """Validate and colour: unsound composites red, sound ones green."""
+    report = validate_view(view)
+    colors = {
+        label: ("red" if label in report.witnesses else "green")
+        for label in view.composite_labels()
+    }
+    return HighlightedReport(report=report, colors=colors)

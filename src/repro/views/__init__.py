@@ -1,0 +1,59 @@
+"""Workflow views: partitions of a workflow into composite tasks.
+
+A :class:`~repro.views.view.WorkflowView` abstracts groups of atomic tasks
+into composite tasks and keeps every inter-composite edge (the quotient
+graph).  The package also provides well-formedness checks, structural view
+builders, the automatic user-view construction of Biton et al. (ICDE'08)
+that the paper cites as a producer of unsound views, and view diff metrics
+used to quantify "minimal change" corrections.
+"""
+
+from repro.views.view import WorkflowView
+from repro.views.wellformed import (
+    is_well_formed,
+    assert_well_formed,
+    quotient_cycle,
+)
+from repro.views.builders import (
+    singleton_view,
+    whole_view,
+    view_from_layers,
+    view_by_kind,
+    random_convex_view,
+    perturb_view,
+)
+from repro.views.userviews import user_view
+from repro.views.suggest import suggest_sound_view, suggest_user_view
+from repro.views.editor import ViewEditor, EditReport
+from repro.views.hierarchy import ViewHierarchy
+from repro.views.stats import view_stats, composite_stats, rank_repair_candidates
+from repro.views.lattice import refines, meet, join
+from repro.views.diff import partition_distance, composites_changed, view_delta
+
+__all__ = [
+    "WorkflowView",
+    "is_well_formed",
+    "assert_well_formed",
+    "quotient_cycle",
+    "singleton_view",
+    "whole_view",
+    "view_from_layers",
+    "view_by_kind",
+    "random_convex_view",
+    "perturb_view",
+    "user_view",
+    "suggest_sound_view",
+    "suggest_user_view",
+    "ViewEditor",
+    "EditReport",
+    "ViewHierarchy",
+    "view_stats",
+    "composite_stats",
+    "rank_repair_candidates",
+    "refines",
+    "meet",
+    "join",
+    "partition_distance",
+    "composites_changed",
+    "view_delta",
+]

@@ -1,0 +1,231 @@
+"""Incremental view construction with live soundness feedback.
+
+The demo offers two workflows: correcting a finished view, or "making
+suggestions while users are creating a view".  This module implements the
+second: a :class:`ViewEditor` holds a partition under construction and
+revalidates *incrementally* after every edit — only the composites whose
+boundary could have changed are rechecked, so feedback stays interactive on
+large workflows.
+
+Edits mirror the GUI gestures:
+
+* :meth:`ViewEditor.group` — select tasks and *Create Composite Task*;
+* :meth:`ViewEditor.ungroup` — dissolve a composite back to singletons;
+* :meth:`ViewEditor.move` — drag one task into another composite.
+
+After each edit the editor reports the soundness status of every touched
+composite plus whether the quotient stayed acyclic, and it can *veto* edits
+(``strict=True``) that would make the view unsound or ill-formed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ViewError
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+
+@dataclass(frozen=True)
+class EditReport:
+    """Feedback after one edit."""
+
+    edit: str
+    touched: Tuple[CompositeLabel, ...]
+    newly_unsound: Tuple[CompositeLabel, ...]
+    newly_sound: Tuple[CompositeLabel, ...]
+    well_formed: bool
+    vetoed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.well_formed and not self.newly_unsound
+
+
+class ViewEditor:
+    """A partition under construction, validated incrementally."""
+
+    def __init__(self, spec: WorkflowSpec, strict: bool = False) -> None:
+        self.spec = spec
+        self.strict = strict
+        self._owner: Dict[TaskId, CompositeLabel] = {}
+        self._members: Dict[CompositeLabel, List[TaskId]] = {}
+        self._unsound: Set[CompositeLabel] = set()
+        self._counter = 0
+        for task_id in spec.task_ids():
+            label = self._fresh_label()
+            self._owner[task_id] = label
+            self._members[label] = [task_id]
+
+    def _fresh_label(self) -> str:
+        self._counter += 1
+        return f"g{self._counter}"
+
+    # -- queries -----------------------------------------------------------
+
+    def composite_of(self, task_id: TaskId) -> CompositeLabel:
+        try:
+            return self._owner[task_id]
+        except KeyError:
+            raise ViewError(f"unknown task {task_id!r}") from None
+
+    def members(self, label: CompositeLabel) -> List[TaskId]:
+        try:
+            return list(self._members[label])
+        except KeyError:
+            raise ViewError(f"unknown composite {label!r}") from None
+
+    def unsound_composites(self) -> List[CompositeLabel]:
+        return sorted(self._unsound, key=str)
+
+    @property
+    def is_sound(self) -> bool:
+        return not self._unsound and self.to_view().is_well_formed()
+
+    def to_view(self, name: str = "edited") -> WorkflowView:
+        """Materialise the current partition as an immutable view."""
+        return WorkflowView(self.spec, self._members, name=name)
+
+    # -- incremental soundness machinery -----------------------------------
+
+    def _composite_sound(self, label: CompositeLabel) -> bool:
+        members = set(self._members[label])
+        index = self.spec.reachability()
+        outs = [t for t in members
+                if any(s not in members for s in self.spec.successors(t))]
+        if not outs:
+            return True
+        ins = [t for t in members
+               if any(p not in members for p in self.spec.predecessors(t))]
+        out_mask = index.mask_of(outs)
+        for t_in in ins:
+            reach = index.descendants_mask(t_in) | (
+                1 << index.index_of(t_in))
+            if out_mask & ~reach:
+                return False
+        return True
+
+    def _neighbours_of(self, labels: Iterable[CompositeLabel]
+                       ) -> Set[CompositeLabel]:
+        """Composites adjacent to any of ``labels`` (boundaries can shift)."""
+        found: Set[CompositeLabel] = set()
+        for label in labels:
+            for task in self._members.get(label, ()):
+                for other in (self.spec.predecessors(task)
+                              + self.spec.successors(task)):
+                    found.add(self._owner[other])
+        return found
+
+    def _revalidate(self, edit: str,
+                    touched: Iterable[CompositeLabel]) -> EditReport:
+        touched_set = {label for label in touched
+                       if label in self._members}
+        # a move changes in/out sets of the touched composites only; their
+        # neighbours keep their boundaries (membership of OTHER composites
+        # is unchanged), so only touched composites need rechecking —
+        # but a task arriving next to a neighbour can change that
+        # neighbour's in/out sets, so include direct neighbours too.
+        to_check = touched_set | self._neighbours_of(touched_set)
+        newly_unsound = []
+        newly_sound = []
+        for label in to_check:
+            sound = self._composite_sound(label)
+            was_unsound = label in self._unsound
+            if sound and was_unsound:
+                self._unsound.discard(label)
+                newly_sound.append(label)
+            elif not sound and not was_unsound:
+                self._unsound.add(label)
+                newly_unsound.append(label)
+        self._unsound &= set(self._members)
+        well_formed = self.to_view().is_well_formed()
+        return EditReport(edit=edit,
+                          touched=tuple(sorted(touched_set, key=str)),
+                          newly_unsound=tuple(sorted(newly_unsound,
+                                                     key=str)),
+                          newly_sound=tuple(sorted(newly_sound, key=str)),
+                          well_formed=well_formed)
+
+    # -- edits -------------------------------------------------------------
+
+    def group(self, task_ids: Iterable[TaskId],
+              label: Optional[CompositeLabel] = None) -> EditReport:
+        """Merge the composites containing ``task_ids`` into one."""
+        tasks = list(task_ids)
+        if len(tasks) < 1:
+            raise ViewError("group needs at least one task")
+        snapshot = self._snapshot()
+        merging = {self.composite_of(t) for t in tasks}
+        new_label = label if label is not None else self._fresh_label()
+        if new_label in self._members and new_label not in merging:
+            raise ViewError(f"label {new_label!r} already in use")
+        merged: List[TaskId] = []
+        for old in merging:
+            merged.extend(self._members.pop(old))
+            self._unsound.discard(old)
+        self._members[new_label] = merged
+        for task in merged:
+            self._owner[task] = new_label
+        report = self._revalidate(f"group -> {new_label}", [new_label])
+        return self._maybe_veto(report, snapshot)
+
+    def ungroup(self, label: CompositeLabel) -> EditReport:
+        """Dissolve a composite back into singleton composites."""
+        members = self.members(label)
+        snapshot = self._snapshot()
+        del self._members[label]
+        self._unsound.discard(label)
+        fresh = []
+        for task in members:
+            new_label = self._fresh_label()
+            self._members[new_label] = [task]
+            self._owner[task] = new_label
+            fresh.append(new_label)
+        report = self._revalidate(f"ungroup {label}", fresh)
+        return self._maybe_veto(report, snapshot)
+
+    def move(self, task_id: TaskId,
+             target: CompositeLabel) -> EditReport:
+        """Move one task into the composite ``target``."""
+        source = self.composite_of(task_id)
+        if target not in self._members:
+            raise ViewError(f"unknown composite {target!r}")
+        if source == target:
+            raise ViewError(f"task {task_id!r} is already in {target!r}")
+        snapshot = self._snapshot()
+        self._members[source] = [t for t in self._members[source]
+                                 if t != task_id]
+        if not self._members[source]:
+            del self._members[source]
+            self._unsound.discard(source)
+        self._members[target].append(task_id)
+        self._owner[task_id] = target
+        report = self._revalidate(f"move {task_id} -> {target}",
+                                  [source, target])
+        return self._maybe_veto(report, snapshot)
+
+    # -- strict mode --------------------------------------------------------
+
+    def _snapshot(self):
+        return ({t: l for t, l in self._owner.items()},
+                {l: list(m) for l, m in self._members.items()},
+                set(self._unsound), self._counter)
+
+    def _restore(self, snapshot) -> None:
+        owner, members, unsound, counter = snapshot
+        self._owner = owner
+        self._members = members
+        self._unsound = unsound
+        self._counter = counter
+
+    def _maybe_veto(self, report: EditReport, snapshot) -> EditReport:
+        if self.strict and not report.ok:
+            self._restore(snapshot)
+            return EditReport(edit=report.edit, touched=report.touched,
+                              newly_unsound=report.newly_unsound,
+                              newly_sound=report.newly_sound,
+                              well_formed=report.well_formed, vetoed=True)
+        return report

@@ -1,0 +1,116 @@
+"""Partition-lattice operations on views.
+
+Views over one workflow form a lattice under refinement: ``A`` refines
+``B`` when every composite of ``A`` is contained in a composite of ``B``.
+The lattice structure gives audits a precise vocabulary:
+
+* every corrector output *refines* its input (splitting never regroups);
+* the *meet* (coarsest common refinement) of two candidate views is the
+  natural way to reconcile corrections proposed by different criteria;
+* the *join* (finest common coarsening) exists too, computed via the
+  union-find closure of overlapping composites.
+
+Soundness facts pinned by the tests: refinement preserves well-formedness
+downward only (a refinement of a well-formed view can be ill-formed only if
+the original was; topological-interval refinements never are), and the meet
+of two *sound* views need not be sound — which is why WOLVES corrects by
+splitting unsound composites directly instead of intersecting candidate
+views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.errors import ViewError
+from repro.views.view import WorkflowView
+from repro.workflow.task import TaskId
+
+
+def _blocks(view: WorkflowView) -> List[FrozenSet[TaskId]]:
+    return [frozenset(view.members(label))
+            for label in view.composite_labels()]
+
+
+def _require_same_spec(a: WorkflowView, b: WorkflowView) -> None:
+    if set(a.spec.task_ids()) != set(b.spec.task_ids()):
+        raise ViewError("lattice operations need views over one workflow")
+
+
+def refines(finer: WorkflowView, coarser: WorkflowView) -> bool:
+    """True when every composite of ``finer`` sits inside one of ``coarser``."""
+    _require_same_spec(finer, coarser)
+    owner = {}
+    for label in coarser.composite_labels():
+        for task in coarser.members(label):
+            owner[task] = label
+    for label in finer.composite_labels():
+        members = finer.members(label)
+        homes = {owner[task] for task in members}
+        if len(homes) != 1:
+            return False
+    return True
+
+
+def meet(a: WorkflowView, b: WorkflowView,
+         name: str = "meet") -> WorkflowView:
+    """The coarsest common refinement: blockwise intersections.
+
+    Each composite of the result is a non-empty intersection of one
+    composite of ``a`` with one of ``b``; labels are ``"{la}&{lb}"``.
+    """
+    _require_same_spec(a, b)
+    groups: Dict[str, List[TaskId]] = {}
+    b_owner = {}
+    for label in b.composite_labels():
+        for task in b.members(label):
+            b_owner[task] = label
+    for la in a.composite_labels():
+        for task in a.members(la):
+            key = f"{la}&{b_owner[task]}"
+            groups.setdefault(key, []).append(task)
+    return WorkflowView(a.spec, groups, name=name)
+
+
+def join(a: WorkflowView, b: WorkflowView,
+         name: str = "join") -> WorkflowView:
+    """The finest common coarsening: transitive closure of overlaps.
+
+    Two tasks end up together iff they are connected through a chain of
+    composites of ``a`` and ``b`` that pairwise overlap (union-find over
+    blocks).
+    """
+    _require_same_spec(a, b)
+    parent: Dict[TaskId, TaskId] = {t: t for t in a.spec.task_ids()}
+
+    def find(task: TaskId) -> TaskId:
+        while parent[task] != task:
+            parent[task] = parent[parent[task]]
+            task = parent[task]
+        return task
+
+    def union(x: TaskId, y: TaskId) -> None:
+        root_x, root_y = find(x), find(y)
+        if root_x != root_y:
+            parent[root_x] = root_y
+
+    for view in (a, b):
+        for label in view.composite_labels():
+            members = view.members(label)
+            for first, second in zip(members, members[1:]):
+                union(first, second)
+    groups: Dict[TaskId, List[TaskId]] = {}
+    for task in a.spec.task_ids():
+        groups.setdefault(find(task), []).append(task)
+    named = {f"j{i}": members
+             for i, members in enumerate(groups.values())}
+    return WorkflowView(a.spec, named, name=name)
+
+
+def is_lattice_consistent(a: WorkflowView, b: WorkflowView) -> bool:
+    """Sanity predicate used by property tests: meet refines both inputs
+    and both inputs refine the join."""
+    low = meet(a, b)
+    high = join(a, b)
+    return (refines(low, a) and refines(low, b)
+            and refines(a, high) and refines(b, high))

@@ -1,0 +1,119 @@
+"""View quality statistics.
+
+Beyond the binary sound/unsound verdict, audits want to know *how good* a
+view is: how much it compresses the workflow, how heavy the composite
+boundaries are, and — for unsound composites — how far from sound they are.
+These measures power the repository audit reports and give the estimator's
+"substructure" grouping a quantitative footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.views.view import CompositeLabel, WorkflowView
+
+
+@dataclass(frozen=True)
+class CompositeStats:
+    """Shape and soundness-margin measures for one composite."""
+
+    label: CompositeLabel
+    size: int
+    in_size: int
+    out_size: int
+    connected_pairs: int
+    required_pairs: int
+
+    @property
+    def soundness_margin(self) -> float:
+        """Fraction of required ``in -> out`` pairs that are connected.
+
+        1.0 means sound (Definition 2.3); lower values mean more broken
+        promises — composite 16 of Figure 1 scores 0.5 (its reflexive pairs
+        hold, both cross pairs are broken).
+        """
+        if self.required_pairs == 0:
+            return 1.0
+        return self.connected_pairs / self.required_pairs
+
+    @property
+    def is_sound(self) -> bool:
+        return self.connected_pairs == self.required_pairs
+
+
+def composite_stats(view: WorkflowView,
+                    label: CompositeLabel) -> CompositeStats:
+    """Compute :class:`CompositeStats` for one composite."""
+    index = view.spec.reachability()
+    ins = view.in_set(label)
+    outs = view.out_set(label)
+    required = len(ins) * len(outs)
+    connected = sum(
+        1 for t_in in ins for t_out in outs
+        if index.reaches_or_equal(t_in, t_out))
+    return CompositeStats(label=label, size=len(view.members(label)),
+                          in_size=len(ins), out_size=len(outs),
+                          connected_pairs=connected,
+                          required_pairs=required)
+
+
+@dataclass(frozen=True)
+class ViewStats:
+    """Aggregate view measures for audit reports."""
+
+    name: str
+    tasks: int
+    composites: int
+    compression: float
+    unsound_composites: int
+    min_margin: float
+    mean_margin: float
+    largest_composite: int
+    per_composite: Dict[CompositeLabel, CompositeStats]
+
+    @property
+    def is_sound(self) -> bool:
+        return self.unsound_composites == 0 and self.min_margin == 1.0
+
+    def summary(self) -> str:
+        verdict = "sound" if self.is_sound else (
+            f"{self.unsound_composites} unsound composite(s), "
+            f"worst margin {self.min_margin:.2f}")
+        return (f"view {self.name!r}: {self.composites} composites over "
+                f"{self.tasks} tasks ({self.compression:.2f}x), {verdict}")
+
+
+def view_stats(view: WorkflowView) -> ViewStats:
+    """Aggregate statistics over every composite of a well-formed view."""
+    per_composite = {label: composite_stats(view, label)
+                     for label in view.composite_labels()}
+    margins = [stats.soundness_margin
+               for stats in per_composite.values()]
+    return ViewStats(
+        name=view.name,
+        tasks=len(view.spec),
+        composites=len(view),
+        compression=view.compression_ratio(),
+        unsound_composites=sum(
+            1 for stats in per_composite.values() if not stats.is_sound),
+        min_margin=min(margins) if margins else 1.0,
+        mean_margin=(sum(margins) / len(margins)) if margins else 1.0,
+        largest_composite=max(
+            (stats.size for stats in per_composite.values()), default=0),
+        per_composite=per_composite,
+    )
+
+
+def rank_repair_candidates(view: WorkflowView) -> List[CompositeLabel]:
+    """Unsound composites ordered most-broken-first.
+
+    Sort key: ascending soundness margin, then descending size — the
+    composites whose correction most improves the view come first, which
+    is the order the Corrector module presents them in.
+    """
+    stats = view_stats(view).per_composite
+    broken = [entry for entry in stats.values() if not entry.is_sound]
+    broken.sort(key=lambda entry: (entry.soundness_margin, -entry.size))
+    return [entry.label for entry in broken]

@@ -1,0 +1,59 @@
+"""Sound-by-construction view suggestion.
+
+The demo's first mode of operation is proactive: "Soundness diagnosis and
+correction can be done ... by making suggestions while users are creating a
+view".  This module goes one step further and *proposes* whole views that
+are sound by construction:
+
+* :func:`suggest_sound_view` — the coarsest view the strong merger can
+  reach from singletons: a strong-local-optimal sound partition of the
+  entire workflow (no subset of its composites can be merged soundly), i.e.
+  the best compression available without giving up provenance correctness;
+* :func:`suggest_user_view` — a Biton-style automatic view around the
+  user's relevant tasks, immediately corrected, so the familiar
+  one-composite-per-relevant-task shape arrives sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.views.userviews import user_view
+from repro.views.view import WorkflowView
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+
+def suggest_sound_view(spec: WorkflowSpec,
+                       name: str = "suggested") -> WorkflowView:
+    """The coarsest strong-local-optimal sound view of ``spec``.
+
+    Treats the whole workflow as one composite whose boundary is the
+    workflow boundary, and lets the strong corrector partition it; the
+    result is a sound view in which no subset of composites is combinable,
+    so no sound view refines into fewer composites by merging alone.
+    """
+    ctx = CompositeContext.standalone(spec)
+    result = strong_split(ctx)
+    groups = {f"s{i}": part for i, part in enumerate(result.parts)}
+    view = WorkflowView(spec, groups, name=name)
+    return view
+
+
+def suggest_user_view(spec: WorkflowSpec, relevant: Iterable[TaskId],
+                      strategy: str = "interval",
+                      criterion: Criterion = Criterion.STRONG,
+                      name: Optional[str] = None) -> WorkflowView:
+    """A sound automatic user view around ``relevant`` tasks.
+
+    Builds the Biton-style view (which does not guarantee soundness) and
+    corrects it, preserving the at-most-one-relevant-task-per-composite
+    property — splitting only ever refines composites.
+    """
+    draft = user_view(spec, relevant, strategy=strategy)
+    corrected = correct_view(draft, criterion).corrected
+    return corrected.relabeled(
+        name if name is not None else f"sound-user-view-{strategy}")

@@ -1,0 +1,131 @@
+"""Automatic user views in the style of Biton et al. (ICDE 2008).
+
+The paper evaluates WOLVES on views "automatically constructed by [2]":
+*Querying and managing provenance through user views in scientific
+workflows*.  In that model the user marks a subset of tasks as *relevant*;
+the system builds a view in which every composite contains at most one
+relevant task and the irrelevant tasks are absorbed around them.
+
+The original tool does not guarantee soundness (that observation motivates
+WOLVES), so this reimplementation reproduces the *construction idea*, not a
+soundness guarantee.  Two strategies are provided:
+
+* ``"interval"`` — composites are intervals of a topological order, one per
+  relevant task.  Always well-formed; often unsound when parallel branches
+  fall into one interval.
+* ``"affinity"`` — irrelevant tasks join the composite of their nearest
+  relevant ancestor (falling back to the nearest relevant descendant, then
+  to a catch-all composite).  Closer to the published heuristic; a repair
+  pass demotes tasks to the catch-all until the quotient is acyclic, so the
+  result is always well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ViewError
+from repro.graphs.topo import topological_sort
+from repro.views.view import WorkflowView
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+
+def user_view(spec: WorkflowSpec, relevant: Iterable[TaskId],
+              strategy: str = "interval",
+              name: Optional[str] = None) -> WorkflowView:
+    """Build an automatic view around the user's ``relevant`` tasks."""
+    relevant_list = list(relevant)
+    if not relevant_list:
+        raise ViewError("at least one relevant task is required")
+    for task in relevant_list:
+        if task not in spec:
+            raise ViewError(f"relevant task {task!r} is not in the workflow")
+    if len(set(relevant_list)) != len(relevant_list):
+        raise ViewError("relevant tasks must be distinct")
+    if strategy == "interval":
+        view = _interval_view(spec, relevant_list)
+    elif strategy == "affinity":
+        view = _affinity_view(spec, relevant_list)
+    else:
+        raise ViewError(f"unknown strategy {strategy!r}")
+    return view.relabeled(name if name is not None
+                          else f"user-view-{strategy}")
+
+
+def _interval_view(spec: WorkflowSpec,
+                   relevant: List[TaskId]) -> WorkflowView:
+    """One composite per relevant task, cut as topological intervals."""
+    order = topological_sort(spec.graph)
+    position = {task: i for i, task in enumerate(order)}
+    anchors = sorted(relevant, key=position.__getitem__)
+    # Each interval starts at its anchor's position; tasks before the first
+    # anchor join the first composite.
+    starts = [position[anchor] for anchor in anchors]
+    groups: Dict[str, List[TaskId]] = {}
+    bounds = [0] + starts[1:] + [len(order)]
+    for anchor, lo, hi in zip(anchors, bounds[:-1], bounds[1:]):
+        groups[f"around-{anchor}"] = order[lo:hi]
+    return WorkflowView(spec, groups)
+
+
+def _affinity_view(spec: WorkflowSpec,
+                   relevant: List[TaskId]) -> WorkflowView:
+    """Absorb each task into its nearest relevant ancestor's composite."""
+    index = spec.reachability()
+    order = topological_sort(spec.graph)
+    position = {task: i for i, task in enumerate(order)}
+    relevant_set = set(relevant)
+    assignment: Dict[TaskId, TaskId] = {}
+    catch_all: List[TaskId] = []
+    for task in order:
+        if task in relevant_set:
+            assignment[task] = task
+            continue
+        ancestors = [r for r in relevant if index.reaches(r, task)]
+        if ancestors:
+            # nearest = the one latest in topological order
+            assignment[task] = max(ancestors, key=position.__getitem__)
+            continue
+        descendants = [r for r in relevant if index.reaches(task, r)]
+        if descendants:
+            assignment[task] = min(descendants, key=position.__getitem__)
+        else:
+            catch_all.append(task)
+
+    def build(current: Dict[TaskId, TaskId],
+              spare: List[TaskId]) -> WorkflowView:
+        groups: Dict[str, List[TaskId]] = {}
+        for task in order:
+            if task in current:
+                groups.setdefault(f"around-{current[task]}", []).append(task)
+        # Spare tasks become singleton composites: demoting a task can then
+        # only remove quotient edges, so the repair loop always terminates
+        # with a well-formed view.
+        for task in spare:
+            groups[f"solo-{task}"] = [task]
+        return WorkflowView(spec, groups)
+
+    view = build(assignment, catch_all)
+    # Repair pass: demote tasks from cyclic composites to the catch-all
+    # until the quotient is acyclic.  Relevant tasks are never demoted.
+    guard = 0
+    while not view.is_well_formed() and guard < len(order):
+        guard += 1
+        from repro.views.wellformed import quotient_cycle
+
+        cycle = quotient_cycle(view)
+        demoted = False
+        for label in cycle or []:
+            members = view.members(label)
+            movable = [t for t in members if t not in relevant_set]
+            if movable and len(members) > 1:
+                victim = movable[-1]
+                del assignment[victim]
+                catch_all.append(victim)
+                demoted = True
+                break
+        if not demoted:
+            break
+        view = build(assignment, catch_all)
+    return view

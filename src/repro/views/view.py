@@ -1,0 +1,235 @@
+"""The workflow view model.
+
+A view is a partition of a workflow's atomic tasks into *composite tasks*;
+the view graph is the quotient of the specification under that partition,
+keeping every inter-composite edge (the construction described under the
+paper's Figure 1).  The constructor enforces the partition property but not
+acyclicity of the quotient — ill-formed views must be representable so that
+the validator can reject them with a witness (see
+:mod:`repro.views.wellformed`).
+
+Views are immutable: the editing operations (:meth:`WorkflowView.split`,
+:meth:`WorkflowView.merge`) return new views, which is what lets the
+Feedback module iterate safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+from repro.errors import NotAPartitionError, ViewError
+from repro.graphs.dag import Digraph
+from repro.graphs.reachability import ReachabilityIndex
+from repro.graphs.topo import is_acyclic
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+CompositeLabel = Hashable
+
+
+class WorkflowView:
+    """A partition view over a :class:`WorkflowSpec`."""
+
+    def __init__(self, spec: WorkflowSpec,
+                 groups: Mapping[CompositeLabel, Iterable[TaskId]],
+                 name: str = "view",
+                 labels: Optional[Mapping[CompositeLabel, str]] = None) -> None:
+        self.name = name
+        self._spec = spec
+        self._members: Dict[CompositeLabel, List[TaskId]] = {
+            label: list(members) for label, members in groups.items()
+        }
+        self._display: Dict[CompositeLabel, str] = dict(labels or {})
+        self._owner: Dict[TaskId, CompositeLabel] = {}
+        self._validate_partition()
+        self._quotient = spec.graph.quotient(
+            self._members.values(), labels=list(self._members))
+        self._view_index: Optional[ReachabilityIndex] = None
+
+    def _validate_partition(self) -> None:
+        for label, members in self._members.items():
+            if not members:
+                raise NotAPartitionError(
+                    f"composite {label!r} has no member tasks")
+            for member in members:
+                if member not in self._spec:
+                    raise NotAPartitionError(
+                        f"composite {label!r} references unknown task "
+                        f"{member!r}")
+                if member in self._owner:
+                    raise NotAPartitionError(
+                        f"task {member!r} appears in composites "
+                        f"{self._owner[member]!r} and {label!r}")
+                self._owner[member] = label
+        missing = [t for t in self._spec.task_ids() if t not in self._owner]
+        if missing:
+            raise NotAPartitionError(
+                f"tasks not covered by any composite: {missing!r}")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def spec(self) -> WorkflowSpec:
+        return self._spec
+
+    @property
+    def quotient(self) -> Digraph:
+        """The view graph: one node per composite, induced edges."""
+        return self._quotient
+
+    def composite_labels(self) -> List[CompositeLabel]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, label: CompositeLabel) -> bool:
+        return label in self._members
+
+    def members(self, label: CompositeLabel) -> List[TaskId]:
+        try:
+            return list(self._members[label])
+        except KeyError:
+            raise ViewError(f"unknown composite {label!r}") from None
+
+    def composite_of(self, task_id: TaskId) -> CompositeLabel:
+        try:
+            return self._owner[task_id]
+        except KeyError:
+            raise ViewError(f"unknown task {task_id!r}") from None
+
+    def display_name(self, label: CompositeLabel) -> str:
+        return self._display.get(label, str(label))
+
+    def groups(self) -> Dict[CompositeLabel, List[TaskId]]:
+        """A copy of the full partition (label -> members)."""
+        return {label: list(members)
+                for label, members in self._members.items()}
+
+    def is_singleton(self, label: CompositeLabel) -> bool:
+        return len(self.members(label)) == 1
+
+    # -- boundary sets (Definition 2.2) -------------------------------------
+
+    def in_set(self, label: CompositeLabel) -> List[TaskId]:
+        """``T.in``: member tasks receiving input from outside ``T``."""
+        members = set(self.members(label))
+        found = []
+        for task in self._members[label]:
+            if any(p not in members for p in self._spec.predecessors(task)):
+                found.append(task)
+        return found
+
+    def out_set(self, label: CompositeLabel) -> List[TaskId]:
+        """``T.out``: member tasks sending output outside ``T``."""
+        members = set(self.members(label))
+        found = []
+        for task in self._members[label]:
+            if any(s not in members for s in self._spec.successors(task)):
+                found.append(task)
+        return found
+
+    # -- view-level reachability --------------------------------------------
+
+    def is_well_formed(self) -> bool:
+        """True when the quotient graph is a DAG."""
+        return is_acyclic(self._quotient)
+
+    def view_reachability(self) -> ReachabilityIndex:
+        """Reachability over composites (requires a well-formed view)."""
+        if self._view_index is None:
+            self._view_index = ReachabilityIndex(self._quotient)
+        return self._view_index
+
+    def view_path_exists(self, source: CompositeLabel,
+                         target: CompositeLabel) -> bool:
+        """True iff the view claims a dependency ``source -> target``."""
+        return self.view_reachability().reaches(source, target)
+
+    # -- editing (returns new views) ------------------------------------------
+
+    def split(self, label: CompositeLabel,
+              parts: Iterable[Iterable[TaskId]],
+              part_labels: Optional[Iterable[CompositeLabel]] = None
+              ) -> "WorkflowView":
+        """Replace composite ``label`` by the given ``parts``.
+
+        ``parts`` must partition the composite's members; new composites are
+        labelled ``"{label}.1"``, ``"{label}.2"`` ... unless ``part_labels``
+        is given.  Single-part splits relabel in place.
+        """
+        old_members = set(self.members(label))
+        parts = [list(p) for p in parts]
+        covered = [t for part in parts for t in part]
+        if set(covered) != old_members or len(covered) != len(old_members):
+            raise ViewError(
+                f"parts do not partition composite {label!r}")
+        if part_labels is None:
+            names = [f"{label}.{i + 1}" for i in range(len(parts))]
+        else:
+            names = list(part_labels)
+            if len(names) != len(parts):
+                raise ViewError("part_labels and parts differ in length")
+        groups = {}
+        for existing, members in self._members.items():
+            if existing == label:
+                for part_name, part in zip(names, parts):
+                    if part_name in self._members and part_name != label:
+                        raise ViewError(
+                            f"new label {part_name!r} collides with an "
+                            f"existing composite")
+                    groups[part_name] = part
+            else:
+                groups[existing] = members
+        return WorkflowView(self._spec, groups, name=self.name,
+                            labels=self._display)
+
+    def merge(self, merge_labels: Iterable[CompositeLabel],
+              new_label: Optional[CompositeLabel] = None) -> "WorkflowView":
+        """Merge several composites into one (the Feedback module's move)."""
+        merging = list(merge_labels)
+        if len(merging) < 2:
+            raise ViewError("merge needs at least two composites")
+        for label in merging:
+            if label not in self._members:
+                raise ViewError(f"unknown composite {label!r}")
+        if new_label is None:
+            new_label = "+".join(str(label) for label in merging)
+        merged: List[TaskId] = []
+        for label in merging:
+            merged.extend(self._members[label])
+        groups = {}
+        inserted = False
+        merging_set = set(merging)
+        for existing, members in self._members.items():
+            if existing in merging_set:
+                if not inserted:
+                    groups[new_label] = merged
+                    inserted = True
+            else:
+                groups[existing] = members
+        return WorkflowView(self._spec, groups, name=self.name,
+                            labels=self._display)
+
+    def relabeled(self, name: str) -> "WorkflowView":
+        return WorkflowView(self._spec, self._members, name=name,
+                            labels=self._display)
+
+    # -- misc ----------------------------------------------------------------
+
+    def compression_ratio(self) -> float:
+        """Atomic tasks per composite (the view's size reduction)."""
+        return len(self._spec) / len(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkflowView):
+            return NotImplemented
+        mine = {frozenset(m) for m in self._members.values()}
+        theirs = {frozenset(m) for m in other._members.values()}
+        same_tasks = (set(self._spec.task_ids())
+                      == set(other._spec.task_ids()))
+        return same_tasks and mine == theirs
+
+    def __repr__(self) -> str:
+        return (f"WorkflowView({self.name!r}, composites={len(self)}, "
+                f"tasks={len(self._spec)})")

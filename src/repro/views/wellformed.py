@@ -1,0 +1,54 @@
+"""Well-formedness of views.
+
+A view is *well-formed* when its quotient graph is a DAG.  The soundness
+machinery (and view-level provenance) only makes sense on well-formed views:
+with a cyclic quotient "path in the view" degenerates (everything on the
+cycle reaches everything else), so the validator rejects such views before
+soundness is even considered.
+
+Quotient acyclicity also implies every composite is *convex* in the
+specification — a path that left a composite and re-entered it would be a
+quotient cycle — but convexity alone is not sufficient (two composites can
+form a 2-cycle through single edges with no specification path between the
+offending tasks), which is why the check runs on the quotient graph itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import IllFormedViewError
+from repro.graphs.convexity import is_convex
+from repro.graphs.topo import find_cycle, is_acyclic
+from repro.views.view import CompositeLabel, WorkflowView
+
+
+def is_well_formed(view: WorkflowView) -> bool:
+    """True when the view's quotient graph is a DAG."""
+    return is_acyclic(view.quotient)
+
+
+def quotient_cycle(view: WorkflowView) -> Optional[List[CompositeLabel]]:
+    """A witness cycle of composites, or ``None`` for well-formed views."""
+    return find_cycle(view.quotient)
+
+
+def assert_well_formed(view: WorkflowView) -> None:
+    """Raise :class:`IllFormedViewError` with a witness on a cyclic view."""
+    cycle = quotient_cycle(view)
+    if cycle is not None:
+        rendered = " -> ".join(str(label) for label in cycle)
+        raise IllFormedViewError(
+            f"view {view.name!r} has a cyclic quotient: {rendered}")
+
+
+def non_convex_composites(view: WorkflowView) -> List[CompositeLabel]:
+    """Composites that are not convex in the specification.
+
+    Non-empty output implies the view is ill-formed; the converse does not
+    hold (see module docstring), so this is a diagnostic refinement, not a
+    replacement for :func:`is_well_formed`.
+    """
+    index = view.spec.reachability()
+    return [label for label in view.composite_labels()
+            if not is_convex(index, view.members(label))]

@@ -1,0 +1,27 @@
+"""Workflow specifications: DAGs of atomic tasks with data dependencies.
+
+A :class:`~repro.workflow.spec.WorkflowSpec` is the paper's *workflow
+specification*: tasks are nodes, edges are data dependencies, and the graph
+is the provenance graph of the final output (Figure 1a).  The package also
+provides a fluent :class:`~repro.workflow.builder.WorkflowBuilder`, JSON and
+MOML serialization (the demo imports MOML workflows), and a catalog of
+canned workflows including the Figure 1 phylogenomics analysis.
+"""
+
+from repro.workflow.task import Task
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.jsonio import spec_to_json, spec_from_json
+from repro.workflow.moml import spec_to_moml, spec_from_moml
+from repro.workflow import catalog
+
+__all__ = [
+    "Task",
+    "WorkflowSpec",
+    "WorkflowBuilder",
+    "spec_to_json",
+    "spec_from_json",
+    "spec_to_moml",
+    "spec_from_moml",
+    "catalog",
+]

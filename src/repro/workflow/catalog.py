@@ -1,0 +1,268 @@
+"""Canned workflows reproducing the paper's running examples.
+
+* :func:`phylogenomics` / :func:`phylogenomics_view` — the Figure 1
+  workflow (*Phylogenomic inference of protein biological functions*) and
+  its unsound view.  The composite membership is reconstructed from the
+  paper's prose: composite (16) contains tasks 4 and 7 and is unsound
+  because no path runs 4 -> 7; composite (14) contains task 3; composite
+  (18) contains task 8; composite (19) "Build Phylo Tree" has four atomic
+  tasks; and the view shows a spurious dependency of (18) on (14).
+* :func:`figure3_spec` / :func:`figure3_view` — a 12-task unsound composite
+  exhibiting exactly the Figure 3 behaviour: the weak local optimal
+  corrector stops at 8 composite tasks while the strong one reaches 5,
+  because a four-part "funnel" is combinable although none of its pairs is.
+* a few further domain workflows used by the examples and the synthetic
+  repository tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.spec import WorkflowSpec
+
+# ---------------------------------------------------------------------------
+# Figure 1: phylogenomic inference of protein biological functions
+# ---------------------------------------------------------------------------
+
+PHYLO_TASKS: List[Tuple[int, str, str]] = [
+    (1, "Select entries from GenBank", "query"),
+    (2, "Split entries", "transform"),
+    (3, "Extract annotations", "transform"),
+    (4, "Curate annotations", "curate"),
+    (5, "Format annotations", "format"),
+    (6, "Extract sequences", "transform"),
+    (7, "Create alignment", "align"),
+    (8, "Format alignment", "format"),
+    (9, "Check additional annotations", "query"),
+    (10, "Process additional annotations", "transform"),
+    (11, "Build phylogenomic tree", "build"),
+    (12, "Display tree", "render"),
+]
+
+PHYLO_EDGES: List[Tuple[int, int]] = [
+    (1, 2),
+    (2, 3), (2, 6),
+    (3, 4), (4, 5), (5, 11),
+    (6, 7), (7, 8), (8, 11),
+    (9, 10), (10, 11),
+    (11, 12),
+]
+
+# Composite membership of the Figure 1(b) view.  Composite ids follow the
+# paper's numbering (13-19); (19) is "Build Phylo Tree" with four atomic
+# tasks, and (16) = {4, 7} is the unsound composite called out in the text.
+PHYLO_VIEW_GROUPS: Dict[int, List[int]] = {
+    13: [1, 2],
+    14: [3],
+    15: [6],
+    16: [4, 7],
+    17: [5],
+    18: [8],
+    19: [9, 10, 11, 12],
+}
+
+PHYLO_VIEW_NAMES: Dict[int, str] = {
+    13: "Select & Split",
+    14: "Extract Annotations",
+    15: "Extract Sequences",
+    16: "Curate & Align",
+    17: "Format Annotations",
+    18: "Format Alignment",
+    19: "Build Phylo Tree",
+}
+
+
+def phylogenomics() -> WorkflowSpec:
+    """The Figure 1(a) workflow specification (12 atomic tasks)."""
+    builder = WorkflowBuilder("phylogenomics")
+    for task_id, name, kind in PHYLO_TASKS:
+        builder.task(task_id, name=name, kind=kind)
+    builder.edges(PHYLO_EDGES)
+    return builder.build()
+
+
+def phylogenomics_view():
+    """The Figure 1(b) view: unsound because composite 16 fails on 4 -> 7."""
+    from repro.views.view import WorkflowView
+
+    return WorkflowView(phylogenomics(), PHYLO_VIEW_GROUPS,
+                        name="phylogenomics-view",
+                        labels=PHYLO_VIEW_NAMES)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: canonical unsound composite task (weak -> 8 parts, strong -> 5)
+# ---------------------------------------------------------------------------
+#
+# Internal structure of the composite T = {a..m} (letters follow the paper's
+# figure, which has no "l"):
+#
+#   * funnel block: a -> c, b -> d feed the complete funnel
+#     {c, d} -> {f, g}.  No pair of the weak parts {a,c}, {b,d}, {f}, {g}
+#     is combinable, but their union {a,b,c,d,f,g} is sound — the weak/strong
+#     separation of Figure 3.
+#   * broken funnel: h -> k, i -> k, i -> m (the h -> m edge is missing), so
+#     weak and strong both stop at {h,k}, {i,m}.
+#   * two independent pass-through tasks e and j that stay singletons.
+#
+# "src" and "dst" are the external neighbours giving T its boundary.
+
+FIG3_MEMBERS: List[str] = ["a", "b", "c", "d", "e", "f",
+                           "g", "h", "i", "j", "k", "m"]
+
+FIG3_INTERNAL_EDGES: List[Tuple[str, str]] = [
+    ("a", "c"), ("b", "d"),
+    ("c", "f"), ("c", "g"), ("d", "f"), ("d", "g"),
+    ("h", "k"), ("i", "k"), ("i", "m"),
+]
+
+FIG3_WEAK_PARTS = 8
+FIG3_STRONG_PARTS = 5
+FIG3_OPTIMAL_PARTS = 5
+
+
+def figure3_spec() -> WorkflowSpec:
+    """The Figure 3 composite embedded in a minimal workflow."""
+    builder = WorkflowBuilder("figure3")
+    builder.task("src", name="Upstream")
+    for member in FIG3_MEMBERS:
+        builder.task(member)
+    builder.task("dst", name="Downstream")
+    for member in ["a", "b", "e", "h", "i", "j"]:
+        builder.edge("src", member)
+    builder.edges(FIG3_INTERNAL_EDGES)
+    for member in ["e", "f", "g", "j", "k", "m"]:
+        builder.edge(member, "dst")
+    return builder.build()
+
+
+def figure3_view():
+    """The Figure 3(a) view: one unsound composite T covering a..m."""
+    from repro.views.view import WorkflowView
+
+    return WorkflowView(figure3_spec(),
+                        {"S": ["src"], "T": list(FIG3_MEMBERS), "D": ["dst"]},
+                        name="figure3-view")
+
+
+# ---------------------------------------------------------------------------
+# Additional domain workflows for the examples and the repository tests
+# ---------------------------------------------------------------------------
+
+
+def climate_pipeline() -> WorkflowSpec:
+    """A climate-model post-processing pipeline (intro motivation)."""
+    builder = WorkflowBuilder("climate")
+    stages = [
+        (1, "Fetch model output", "query"),
+        (2, "Regrid", "transform"),
+        (3, "Extract temperature", "transform"),
+        (4, "Extract precipitation", "transform"),
+        (5, "Bias-correct temperature", "curate"),
+        (6, "Bias-correct precipitation", "curate"),
+        (7, "Compute anomalies", "build"),
+        (8, "Fetch station data", "query"),
+        (9, "Quality-control stations", "curate"),
+        (10, "Validate against stations", "build"),
+        (11, "Render maps", "render"),
+    ]
+    for task_id, name, kind in stages:
+        builder.task(task_id, name=name, kind=kind)
+    builder.edges([(1, 2), (2, 3), (2, 4), (3, 5), (4, 6), (5, 7), (6, 7),
+                   (8, 9), (7, 10), (9, 10), (10, 11)])
+    return builder.build()
+
+
+def genome_annotation() -> WorkflowSpec:
+    """A genome annotation workflow with two parallel evidence tracks."""
+    builder = WorkflowBuilder("genome-annotation")
+    stages = [
+        (1, "Load assembly", "query"),
+        (2, "Mask repeats", "transform"),
+        (3, "Ab initio gene calls", "build"),
+        (4, "Align ESTs", "align"),
+        (5, "Align proteins", "align"),
+        (6, "Combine evidence", "build"),
+        (7, "Filter models", "curate"),
+        (8, "Assign function", "build"),
+        (9, "Export GFF", "render"),
+    ]
+    for task_id, name, kind in stages:
+        builder.task(task_id, name=name, kind=kind)
+    builder.edges([(1, 2), (2, 3), (2, 4), (2, 5), (3, 6), (4, 6), (5, 6),
+                   (6, 7), (7, 8), (8, 9)])
+    return builder.build()
+
+
+def order_processing() -> WorkflowSpec:
+    """A business workflow: order intake through fulfilment."""
+    builder = WorkflowBuilder("order-processing")
+    stages = [
+        (1, "Receive order", "query"),
+        (2, "Validate order", "curate"),
+        (3, "Check inventory", "query"),
+        (4, "Authorize payment", "build"),
+        (5, "Reserve stock", "transform"),
+        (6, "Schedule shipment", "build"),
+        (7, "Notify customer", "render"),
+        (8, "Update ledger", "transform"),
+    ]
+    for task_id, name, kind in stages:
+        builder.task(task_id, name=name, kind=kind)
+    builder.edges([(1, 2), (2, 3), (2, 4), (3, 5), (4, 5), (5, 6), (6, 7),
+                   (4, 8), (6, 8)])
+    return builder.build()
+
+
+def climate_view():
+    """An expert view of the climate pipeline — unsound twice over.
+
+    The designer grouped the two extraction steps (3, 4) and the two
+    bias-correction steps (5, 6); each pair belongs to parallel variable
+    tracks with no path between its members, the same failure mode as
+    Figure 1's composite 16.
+    """
+    from repro.views.view import WorkflowView
+
+    return WorkflowView(climate_pipeline(), {
+        "ingest": [1, 2],
+        "extract": [3, 4],
+        "bias-correct": [5, 6],
+        "stations": [8, 9],
+        "analyze": [7, 10],
+        "render": [11],
+    }, name="climate-view")
+
+
+def order_processing_view():
+    """An expert view of the order workflow — sound as drawn."""
+    from repro.views.view import WorkflowView
+
+    return WorkflowView(order_processing(), {
+        "intake": [1, 2],
+        "checks": [3],
+        "payment": [4],
+        "fulfil": [5, 6],
+        "wrapup": [7, 8],
+    }, name="order-view")
+
+
+ALL_WORKFLOWS = {
+    "phylogenomics": phylogenomics,
+    "figure3": figure3_spec,
+    "climate": climate_pipeline,
+    "genome-annotation": genome_annotation,
+    "order-processing": order_processing,
+}
+
+
+def load(name: str) -> WorkflowSpec:
+    """Load a canned workflow by name (see :data:`ALL_WORKFLOWS`)."""
+    try:
+        factory = ALL_WORKFLOWS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKFLOWS))
+        raise KeyError(f"unknown workflow {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,154 @@
+"""Workflow specifications.
+
+A :class:`WorkflowSpec` owns a set of :class:`~repro.workflow.task.Task`
+objects and a dependency DAG over their ids.  It is the paper's *workflow
+specification* (Figure 1a): an edge ``u -> v`` means the output of task
+``u`` is an input of task ``v``, so the graph is also the provenance graph
+of the workflow's final outputs.
+
+The spec caches its :class:`~repro.graphs.reachability.ReachabilityIndex`;
+the cache is invalidated on every mutation, so validators and correctors can
+call :meth:`WorkflowSpec.reachability` freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import CycleError, WorkflowError
+from repro.graphs.dag import Digraph
+from repro.graphs.reachability import ReachabilityIndex
+from repro.graphs.topo import is_acyclic, topological_sort
+from repro.workflow.task import Task, TaskId
+
+
+class WorkflowSpec:
+    """A DAG of atomic tasks with data-dependency edges."""
+
+    def __init__(self, name: str = "workflow",
+                 tasks: Iterable[Task] = (),
+                 dependencies: Iterable[Tuple[TaskId, TaskId]] = ()) -> None:
+        self.name = name
+        self._tasks: Dict[TaskId, Task] = {}
+        self._graph = Digraph()
+        self._index: Optional[ReachabilityIndex] = None
+        for task in tasks:
+            self.add_task(task)
+        for source, target in dependencies:
+            self.add_dependency(source, target)
+
+    # -- construction ------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Register ``task``; re-adding an id replaces the task object."""
+        self._tasks[task.task_id] = task
+        self._graph.add_node(task.task_id)
+        self._invalidate()
+        return task
+
+    def add_dependency(self, source: TaskId, target: TaskId) -> None:
+        """Record that ``target`` consumes the output of ``source``."""
+        if source not in self._tasks:
+            raise WorkflowError(f"unknown task {source!r}")
+        if target not in self._tasks:
+            raise WorkflowError(f"unknown task {target!r}")
+        if source == target:
+            raise WorkflowError(f"self dependency on task {source!r}")
+        self._graph.add_edge(source, target)
+        if not is_acyclic(self._graph):
+            self._graph.remove_edge(source, target)
+            raise CycleError(
+                f"dependency {source!r} -> {target!r} would create a cycle")
+        self._invalidate()
+
+    def remove_dependency(self, source: TaskId, target: TaskId) -> None:
+        self._graph.remove_edge(source, target)
+        self._invalidate()
+
+    def remove_task(self, task_id: TaskId) -> None:
+        if task_id not in self._tasks:
+            raise WorkflowError(f"unknown task {task_id!r}")
+        self._graph.remove_node(task_id)
+        del self._tasks[task_id]
+        self._invalidate()
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, task_id: TaskId) -> bool:
+        return task_id in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def task(self, task_id: TaskId) -> Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise WorkflowError(f"unknown task {task_id!r}") from None
+
+    def tasks(self) -> List[Task]:
+        return list(self._tasks.values())
+
+    def task_ids(self) -> List[TaskId]:
+        return list(self._tasks)
+
+    def dependencies(self) -> List[Tuple[TaskId, TaskId]]:
+        return self._graph.edges()
+
+    def predecessors(self, task_id: TaskId) -> List[TaskId]:
+        return self._graph.predecessors(task_id)
+
+    def successors(self, task_id: TaskId) -> List[TaskId]:
+        return self._graph.successors(task_id)
+
+    def entry_tasks(self) -> List[TaskId]:
+        """Tasks with no data inputs (the workflow's sources)."""
+        return self._graph.sources()
+
+    def exit_tasks(self) -> List[TaskId]:
+        """Tasks whose output is a final workflow output."""
+        return self._graph.sinks()
+
+    def topological_order(self) -> List[TaskId]:
+        return topological_sort(self._graph)
+
+    @property
+    def graph(self) -> Digraph:
+        """The dependency DAG (a live reference; mutate via the spec)."""
+        return self._graph
+
+    def reachability(self) -> ReachabilityIndex:
+        """The cached reachability index over task ids."""
+        if self._index is None:
+            self._index = ReachabilityIndex(self._graph)
+        return self._index
+
+    def depends_on(self, downstream: TaskId, upstream: TaskId) -> bool:
+        """True iff ``downstream`` transitively consumes ``upstream``."""
+        return self.reachability().reaches(upstream, downstream)
+
+    # -- misc ----------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "WorkflowSpec":
+        clone = WorkflowSpec(name if name is not None else self.name)
+        for task in self.tasks():
+            clone.add_task(task)
+        for source, target in self.dependencies():
+            clone.add_dependency(source, target)
+        return clone
+
+    def validate(self) -> None:
+        """Raise :class:`WorkflowError`/:class:`CycleError` on a bad spec."""
+        if not is_acyclic(self._graph):
+            raise CycleError("workflow dependency graph is cyclic")
+        for source, target in self._graph.edges():
+            if source not in self._tasks or target not in self._tasks:
+                raise WorkflowError(
+                    f"dangling dependency {source!r} -> {target!r}")
+
+    def __repr__(self) -> str:
+        return (f"WorkflowSpec({self.name!r}, tasks={len(self)}, "
+                f"dependencies={self._graph.edge_count()})")
+
+    def _invalidate(self) -> None:
+        self._index = None

@@ -1,0 +1,54 @@
+"""Atomic tasks.
+
+A task is the unit of computation of a workflow specification.  Tasks are
+immutable value objects: mutating a workflow means building a new task and
+re-adding it, which keeps specs safe to share between views, correctors and
+provenance runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Mapping
+
+TaskId = Hashable
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic task of a workflow specification.
+
+    ``task_id`` is any hashable identifier (the paper numbers tasks 1..12);
+    ``name`` is the human label shown by the displayer; ``kind`` is a free
+    classification such as ``"query"`` or ``"align"`` used by the synthetic
+    repository; ``params`` carries the task's configuration and is recorded
+    in provenance.
+    """
+
+    task_id: TaskId
+    name: str = ""
+    kind: str = "atomic"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.task_id is None:
+            raise ValueError("task_id must not be None")
+        # Freeze params into a plain dict so equality and repr behave.
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def label(self) -> str:
+        """Display label: the name when set, else the id."""
+        return self.name if self.name else str(self.task_id)
+
+    def with_params(self, **params: Any) -> "Task":
+        """A copy of this task with ``params`` merged in."""
+        merged: Dict[str, Any] = dict(self.params)
+        merged.update(params)
+        return replace(self, params=merged)
+
+    def renamed(self, name: str) -> "Task":
+        return replace(self, name=name)
+
+    def __hash__(self) -> int:
+        return hash(self.task_id)

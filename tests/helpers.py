@@ -1,0 +1,78 @@
+"""Shared test fixtures and generators.
+
+Centralises the random-instance machinery so unit, property and integration
+tests build composite-correction problems the same way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.core.split import CompositeContext
+from repro.graphs.dag import Digraph
+from repro.graphs.generators import random_dag
+from repro.views.view import WorkflowView
+from repro.workflow.builder import spec_from_edges
+from repro.workflow.spec import WorkflowSpec
+
+
+def diamond_spec() -> WorkflowSpec:
+    """1 -> {2, 3} -> 4: the smallest spec with parallel branches."""
+    return spec_from_edges("diamond", [(1, 2), (1, 3), (2, 4), (3, 4)])
+
+
+def chain_spec(n: int = 5) -> WorkflowSpec:
+    """A straight pipeline 1 -> 2 -> ... -> n."""
+    return spec_from_edges("chain", [(i, i + 1) for i in range(1, n)])
+
+
+def two_track_spec() -> WorkflowSpec:
+    """Two independent chains merging at a sink — a minimal unsound setup.
+
+    1 -> 2 -> 5 and 3 -> 4 -> 5: grouping {2, 3} (one task from each track)
+    is the classic unsound composite.
+    """
+    return spec_from_edges("two-track",
+                           [(1, 2), (2, 5), (3, 4), (4, 5)])
+
+
+def unsound_two_track_view() -> WorkflowView:
+    spec = two_track_spec()
+    return WorkflowView(spec, {"A": [1], "B": [2, 3], "C": [4], "D": [5]},
+                        name="two-track-view")
+
+
+def random_context(rng: random.Random, max_nodes: int = 9,
+                   ext_prob: float = 0.4) -> CompositeContext:
+    """A random correction problem (mirrors the corrector stress tests).
+
+    Sources are always externally fed and sinks externally consumed, as in
+    any composite cut out of a larger workflow.
+    """
+    n = rng.randint(2, max_nodes)
+    graph = random_dag(rng, n, rng.uniform(0.1, 0.7))
+    nodes = graph.nodes()
+    ext_in = {v: rng.random() < ext_prob or not graph.predecessors(v)
+              for v in nodes}
+    ext_out = {v: rng.random() < ext_prob or not graph.successors(v)
+               for v in nodes}
+    return CompositeContext(nodes, graph.edges(), ext_in, ext_out)
+
+
+def random_spec_and_view(rng: random.Random, max_nodes: int = 14
+                         ) -> Tuple[WorkflowSpec, WorkflowView]:
+    """A random workflow plus a random well-formed (topo-interval) view."""
+    from repro.views.builders import random_convex_view
+
+    n = rng.randint(3, max_nodes)
+    graph = random_dag(rng, n, rng.uniform(0.15, 0.6))
+    spec = spec_from_edges(f"random-{n}", graph.edges(),
+                           extra_tasks=graph.nodes())
+    k = rng.randint(1, max(1, n // 2))
+    view = random_convex_view(rng, spec, k)
+    return spec, view
+
+
+def graph_from_edges(edges) -> Digraph:
+    return Digraph(edges)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.workflow.builder."""
+
+import pytest
+
+from repro.errors import CycleError, WorkflowError
+from repro.workflow.builder import WorkflowBuilder, spec_from_edges
+
+
+class TestWorkflowBuilder:
+    def test_fluent_chain(self):
+        spec = (WorkflowBuilder("wf")
+                .task(1, "a").task(2, "b").task(3, "c")
+                .chain(1, 2, 3)
+                .build())
+        assert spec.dependencies() == [(1, 2), (2, 3)]
+
+    def test_fan_out_and_in(self):
+        spec = (WorkflowBuilder()
+                .tasks([1, 2, 3, 4])
+                .fan_out(1, [2, 3])
+                .fan_in([2, 3], 4)
+                .build())
+        assert set(spec.successors(1)) == {2, 3}
+        assert set(spec.predecessors(4)) == {2, 3}
+
+    def test_task_params_stored(self):
+        spec = (WorkflowBuilder()
+                .task(1, "query", kind="query", db="GenBank")
+                .build())
+        assert spec.task(1).params == {"db": "GenBank"}
+        assert spec.task(1).kind == "query"
+
+    def test_duplicate_task_rejected(self):
+        builder = WorkflowBuilder().task(1)
+        with pytest.raises(WorkflowError):
+            builder.task(1)
+
+    def test_edge_to_unknown_task(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder().task(1).edge(1, 2)
+
+    def test_cycle_rejected(self):
+        builder = WorkflowBuilder().tasks([1, 2]).edge(1, 2)
+        with pytest.raises(CycleError):
+            builder.edge(2, 1)
+
+    def test_builder_closes_after_build(self):
+        builder = WorkflowBuilder().task(1)
+        builder.build()
+        with pytest.raises(WorkflowError):
+            builder.task(2)
+        with pytest.raises(WorkflowError):
+            builder.build()
+
+    def test_edges_bulk(self):
+        spec = (WorkflowBuilder()
+                .tasks("abc")
+                .edges([("a", "b"), ("b", "c")])
+                .build())
+        assert spec.depends_on("c", "a")
+
+
+class TestSpecFromEdges:
+    def test_tasks_created_on_demand(self):
+        spec = spec_from_edges("wf", [(1, 2), (2, 3)])
+        assert len(spec) == 3
+        assert spec.task(2).task_id == 2
+
+    def test_extra_isolated_tasks(self):
+        spec = spec_from_edges("wf", [(1, 2)], extra_tasks=[99])
+        assert 99 in spec
+        assert spec.predecessors(99) == []
+
+    def test_name(self):
+        assert spec_from_edges("named", []).name == "named"

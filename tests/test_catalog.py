@@ -1,0 +1,100 @@
+"""Unit tests for repro.workflow.catalog: the paper's running examples."""
+
+import pytest
+
+from repro.core.soundness import (
+    is_sound_view,
+    soundness_witness,
+    spurious_dependencies,
+    unsound_composites,
+)
+from repro.workflow import catalog
+
+
+class TestPhylogenomics:
+    def test_twelve_tasks(self):
+        spec = catalog.phylogenomics()
+        assert len(spec) == 12
+        assert spec.exit_tasks() == [12]
+
+    def test_key_paths_of_figure_1(self):
+        spec = catalog.phylogenomics()
+        # the tree is built from both the annotation and sequence tracks
+        assert spec.depends_on(11, 1)
+        assert spec.depends_on(11, 9)
+        # the crucial NON-path of the paper: 3 does not reach 8
+        assert not spec.depends_on(8, 3)
+        # and 4 does not reach 7 (composite 16's unsoundness witness)
+        assert not spec.depends_on(7, 4)
+
+    def test_view_is_a_partition_of_all_tasks(self):
+        view = catalog.phylogenomics_view()
+        members = [m for label in view.composite_labels()
+                   for m in view.members(label)]
+        assert sorted(members) == list(range(1, 13))
+
+    def test_view_unsound_exactly_at_16(self):
+        view = catalog.phylogenomics_view()
+        assert unsound_composites(view) == [16]
+        assert soundness_witness(view, 16) == (4, 7)
+
+    def test_build_phylo_tree_has_four_tasks(self):
+        view = catalog.phylogenomics_view()
+        assert len(view.members(19)) == 4
+        assert view.display_name(19) == "Build Phylo Tree"
+
+    def test_spurious_14_to_18(self):
+        # the wrong provenance of the paper's introduction
+        assert (14, 18) in spurious_dependencies(catalog.phylogenomics_view())
+
+
+class TestFigure3:
+    def test_composite_membership(self):
+        view = catalog.figure3_view()
+        assert sorted(view.members("T")) == sorted(catalog.FIG3_MEMBERS)
+        assert len(view.members("T")) == 12
+
+    def test_view_well_formed_but_unsound(self):
+        view = catalog.figure3_view()
+        assert view.is_well_formed()
+        assert unsound_composites(view) == ["T"]
+
+    def test_expected_part_counts_documented(self):
+        assert catalog.FIG3_WEAK_PARTS == 8
+        assert catalog.FIG3_STRONG_PARTS == 5
+
+
+class TestDomainViews:
+    def test_climate_view_unsound_twice(self):
+        view = catalog.climate_view()
+        assert unsound_composites(view) == ["extract", "bias-correct"]
+        assert soundness_witness(view, "bias-correct") == (5, 6)
+
+    def test_order_view_sound(self):
+        assert is_sound_view(catalog.order_processing_view())
+
+    def test_climate_view_correctable(self):
+        from repro.core.corrector import Criterion, correct_view
+
+        report = correct_view(catalog.climate_view(), Criterion.STRONG)
+        assert is_sound_view(report.corrected)
+        assert report.parts_added == 2
+
+
+class TestOtherWorkflows:
+    @pytest.mark.parametrize("name", sorted(catalog.ALL_WORKFLOWS))
+    def test_loadable_and_valid(self, name):
+        spec = catalog.load(name)
+        spec.validate()
+        assert len(spec) >= 8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            catalog.load("does-not-exist")
+
+    def test_all_sound_when_viewed_as_singletons(self):
+        from repro.views.builders import singleton_view
+
+        for name in catalog.ALL_WORKFLOWS:
+            view = singleton_view(catalog.load(name))
+            assert is_sound_view(view)

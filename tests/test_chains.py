@@ -1,0 +1,87 @@
+"""Unit tests for the chain-decomposition reachability index."""
+
+import random
+
+import pytest
+
+from repro.errors import CycleError, NodeNotFoundError
+from repro.graphs.chains import ChainIndex
+from repro.graphs.generators import layered_dag, random_dag
+from repro.graphs.reachability import ReachabilityIndex
+from tests.helpers import graph_from_edges
+
+
+class TestCorrectness:
+    def test_chain_graph_is_one_chain(self):
+        index = ChainIndex(graph_from_edges([(1, 2), (2, 3), (3, 4)]))
+        assert index.chain_count == 1
+        assert index.reaches(1, 4)
+        assert not index.reaches(4, 1)
+
+    def test_diamond(self):
+        index = ChainIndex(
+            graph_from_edges([(1, 2), (1, 3), (2, 4), (3, 4)]))
+        assert index.reaches(1, 4)
+        assert not index.reaches(2, 3)
+        assert not index.reaches(3, 2)
+
+    def test_reflexive_variant(self):
+        index = ChainIndex(graph_from_edges([(1, 2)]))
+        assert index.reaches_or_equal(1, 1)
+        assert not index.reaches(1, 1)
+
+    def test_agrees_with_bitset_closure_on_random_dags(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            g = random_dag(rng, rng.randint(2, 25), rng.uniform(0.05, 0.5))
+            exact = ReachabilityIndex(g)
+            chains = ChainIndex(g)
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert chains.reaches(u, v) == exact.reaches(u, v)
+
+    def test_agrees_on_layered_graphs(self):
+        rng = random.Random(14)
+        g = layered_dag(rng, 8, 5)
+        exact = ReachabilityIndex(g)
+        chains = ChainIndex(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert chains.reaches(u, v) == exact.reaches(u, v)
+
+
+class TestDecomposition:
+    def test_chains_partition_the_nodes(self):
+        rng = random.Random(15)
+        g = random_dag(rng, 20, 0.2)
+        index = ChainIndex(g)
+        members = [node for chain in index.chains() for node in chain]
+        assert sorted(members) == sorted(g.nodes())
+
+    def test_chains_follow_edges(self):
+        rng = random.Random(16)
+        g = random_dag(rng, 20, 0.3)
+        index = ChainIndex(g)
+        for chain in index.chains():
+            for a, b in zip(chain, chain[1:]):
+                assert g.has_edge(a, b)
+
+    def test_antichain_needs_one_chain_each(self):
+        g = graph_from_edges([])
+        for node in range(5):
+            g.add_node(node)
+        index = ChainIndex(g)
+        assert index.chain_count == 5
+
+
+class TestValidation:
+    def test_rejects_cycles(self):
+        with pytest.raises(CycleError):
+            ChainIndex(graph_from_edges([(1, 2), (2, 1)]))
+
+    def test_unknown_nodes(self):
+        index = ChainIndex(graph_from_edges([(1, 2)]))
+        with pytest.raises(NodeNotFoundError):
+            index.reaches(1, "ghost")
+        with pytest.raises(NodeNotFoundError):
+            index.reaches("ghost", "ghost")

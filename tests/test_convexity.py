@@ -1,0 +1,87 @@
+"""Unit tests for repro.graphs.convexity."""
+
+import random
+
+from repro.graphs.convexity import (
+    between,
+    convex_closure,
+    convex_sets_up_to,
+    is_convex,
+)
+from repro.graphs.generators import random_dag
+from repro.graphs.reachability import ReachabilityIndex
+from tests.helpers import graph_from_edges
+
+
+def index_of(edges):
+    return ReachabilityIndex(graph_from_edges(edges))
+
+
+class TestBetween:
+    def test_chain_gap(self):
+        index = index_of([(1, 2), (2, 3)])
+        assert between(index, [1, 3]) == [2]
+
+    def test_no_gap(self):
+        index = index_of([(1, 2), (2, 3)])
+        assert between(index, [1, 2]) == []
+
+    def test_parallel_branches_both_between(self):
+        index = index_of([(1, 2), (1, 3), (2, 4), (3, 4)])
+        assert set(between(index, [1, 4])) == {2, 3}
+
+    def test_unrelated_nodes(self):
+        index = index_of([(1, 2), (3, 4)])
+        assert between(index, [1, 3]) == []
+
+
+class TestIsConvex:
+    def test_contiguous_chain_is_convex(self):
+        index = index_of([(1, 2), (2, 3), (3, 4)])
+        assert is_convex(index, [2, 3])
+
+    def test_gap_is_not_convex(self):
+        index = index_of([(1, 2), (2, 3)])
+        assert not is_convex(index, [1, 3])
+
+    def test_singletons_convex(self):
+        index = index_of([(1, 2)])
+        assert is_convex(index, [1])
+        assert is_convex(index, [2])
+
+    def test_antichain_is_convex(self):
+        index = index_of([(1, 2), (1, 3)])
+        assert is_convex(index, [2, 3])
+
+
+class TestConvexClosure:
+    def test_closure_fills_gap(self):
+        index = index_of([(1, 2), (2, 3)])
+        assert convex_closure(index, [1, 3]) == [1, 2, 3]
+
+    def test_closure_of_convex_set_is_identity(self):
+        index = index_of([(1, 2), (2, 3)])
+        assert set(convex_closure(index, [1, 2])) == {1, 2}
+
+    def test_closure_is_idempotent_on_random_dags(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            g = random_dag(rng, rng.randint(2, 14), rng.uniform(0.1, 0.5))
+            index = ReachabilityIndex(g)
+            sample = rng.sample(g.nodes(), rng.randint(1, len(g)))
+            once = convex_closure(index, sample)
+            twice = convex_closure(index, once)
+            assert set(once) == set(twice)
+            assert is_convex(index, once)
+
+
+class TestEnumeration:
+    def test_small_enumeration(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        found = convex_sets_up_to(g, 3)
+        as_sets = {frozenset(s) for s in found}
+        assert frozenset([1, 3]) not in as_sets
+        assert frozenset([1, 2]) in as_sets
+        assert frozenset([1, 2, 3]) in as_sets
+        for s in as_sets:
+            assert 1 <= len(s) <= 3

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.corrector (view-level correction)."""
+
+import random
+
+import pytest
+
+from repro.core.corrector import (
+    Criterion,
+    correct_view,
+    split_composite,
+)
+from repro.core.soundness import is_sound_view, unsound_composites
+from repro.errors import CorrectionError, IllFormedViewError
+from repro.views.diff import view_delta
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import figure3_view, phylogenomics_view
+from tests.helpers import (
+    diamond_spec,
+    random_spec_and_view,
+    two_track_spec,
+    unsound_two_track_view,
+)
+
+
+class TestCriterion:
+    def test_parse(self):
+        assert Criterion.parse("weak") is Criterion.WEAK
+        assert Criterion.parse("STRONG") is Criterion.STRONG
+        assert Criterion.parse("Optimal") is Criterion.OPTIMAL
+
+    def test_parse_unknown(self):
+        with pytest.raises(CorrectionError):
+            Criterion.parse("best-effort")
+
+
+class TestSplitComposite:
+    def test_each_criterion_on_figure3(self):
+        view = figure3_view()
+        weak = split_composite(view, "T", Criterion.WEAK)
+        strong = split_composite(view, "T", Criterion.STRONG)
+        optimal = split_composite(view, "T", Criterion.OPTIMAL)
+        assert weak.part_count == 8
+        assert strong.part_count == 5
+        assert optimal.part_count == 5
+
+
+class TestCorrectView:
+    def test_phylogenomics_corrected(self):
+        view = phylogenomics_view()
+        report = correct_view(view, Criterion.STRONG)
+        assert is_sound_view(report.corrected)
+        assert report.corrected_composites == [16]
+        assert report.parts_added == 1
+        assert len(report.corrected) == 8
+
+    def test_sound_view_untouched(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"head": [1], "rest": [2, 3, 4]})
+        report = correct_view(view)
+        assert report.splits == {}
+        assert report.corrected is view
+        assert "already sound" in report.summary()
+
+    def test_minimal_change(self):
+        # only the unsound composite is touched
+        view = phylogenomics_view()
+        report = correct_view(view, Criterion.STRONG)
+        delta = view_delta(view, report.corrected)
+        assert delta.changed == 1
+
+    def test_ill_formed_rejected(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]})
+        with pytest.raises(IllFormedViewError):
+            correct_view(view)
+
+    def test_selected_labels_only(self):
+        view = unsound_two_track_view()
+        report = correct_view(view, Criterion.WEAK, labels=["B"])
+        assert set(report.splits) == {"B"}
+        assert is_sound_view(report.corrected)
+
+    def test_summary_mentions_criterion(self):
+        report = correct_view(phylogenomics_view(), Criterion.WEAK)
+        assert "weak" in report.summary()
+
+    @pytest.mark.parametrize("criterion", list(Criterion))
+    def test_random_views_end_sound(self, criterion):
+        rng = random.Random(hash(criterion.value) % 1000)
+        corrected_count = 0
+        for _ in range(25):
+            _, view = random_spec_and_view(rng, max_nodes=12)
+            report = correct_view(view, criterion)
+            assert is_sound_view(report.corrected)
+            corrected_count += len(report.splits)
+        # the generator must actually exercise correction
+        assert corrected_count > 0
+
+    def test_correction_is_pure_refinement(self):
+        # every corrected composite's parts partition the original members
+        view = figure3_view()
+        report = correct_view(view, Criterion.STRONG)
+        original = set(view.members("T"))
+        split_members = set()
+        for label in report.corrected.composite_labels():
+            members = set(report.corrected.members(label))
+            if members & original:
+                assert members <= original
+                split_members |= members
+        assert split_members == original
+
+    def test_unsound_composites_empty_after_correction(self):
+        view = unsound_two_track_view()
+        report = correct_view(view, Criterion.STRONG)
+        assert unsound_composites(report.corrected) == []

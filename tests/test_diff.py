@@ -1,0 +1,82 @@
+"""Unit tests for repro.views.diff."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.views.diff import (
+    composites_changed,
+    partition_distance,
+    view_delta,
+)
+from repro.views.view import WorkflowView
+from tests.helpers import diamond_spec
+from repro.workflow.builder import spec_from_edges
+
+
+def make_views():
+    spec = diamond_spec()
+    before = WorkflowView(spec, {"a": [1], "b": [2, 3], "c": [4]})
+    after = WorkflowView(spec, {"a": [1], "b1": [2], "b2": [3], "c": [4]})
+    return before, after
+
+
+class TestCompositesChanged:
+    def test_split_touches_one(self):
+        before, after = make_views()
+        assert composites_changed(before, after) == 1
+
+    def test_identity(self):
+        before, _ = make_views()
+        assert composites_changed(before, before) == 0
+
+    def test_relabel_does_not_count(self):
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        b = WorkflowView(spec, {"p": [1, 2], "q": [3, 4]})
+        assert composites_changed(a, b) == 0
+
+
+class TestPartitionDistance:
+    def test_zero_for_equal(self):
+        before, _ = make_views()
+        assert partition_distance(before, before) == 0
+
+    def test_split_costs_one_move(self):
+        before, after = make_views()
+        # moving task 3 out of {2,3} turns one partition into the other
+        assert partition_distance(before, after) == 1
+
+    def test_symmetric(self):
+        before, after = make_views()
+        assert (partition_distance(before, after)
+                == partition_distance(after, before))
+
+    def test_full_regrouping(self):
+        spec = spec_from_edges("wf", [(1, 2), (3, 4)])
+        a = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        b = WorkflowView(spec, {"x": [1, 3], "y": [2, 4]})
+        assert partition_distance(a, b) == 2
+
+    def test_requires_same_tasks(self):
+        a = WorkflowView(diamond_spec(), {"all": [1, 2, 3, 4]})
+        other_spec = spec_from_edges("other", [(10, 20)])
+        b = WorkflowView(other_spec, {"all": [10, 20]})
+        with pytest.raises(ViewError):
+            partition_distance(a, b)
+
+
+class TestViewDelta:
+    def test_delta_fields(self):
+        before, after = make_views()
+        delta = view_delta(before, after)
+        assert delta.composites_before == 3
+        assert delta.composites_after == 4
+        assert delta.changed == 1
+        assert delta.moves == 1
+        assert delta.growth == 1
+
+    def test_delta_of_identity(self):
+        before, _ = make_views()
+        delta = view_delta(before, before)
+        assert delta.growth == 0
+        assert delta.moves == 0

@@ -1,0 +1,87 @@
+"""Unit tests for repro.system.displayer."""
+
+from repro.system.displayer import (
+    quotient_to_dot,
+    render_spec,
+    render_validation,
+    render_view,
+    spec_to_dot,
+    view_to_dot,
+)
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+
+
+class TestTextRendering:
+    def test_render_spec_lists_stages(self):
+        text = render_spec(phylogenomics())
+        assert "workflow 'phylogenomics'" in text
+        assert "stage 0" in text
+        assert "Select entries from GenBank" in text
+
+    def test_render_view_marks_unsound(self):
+        text = render_view(phylogenomics_view())
+        assert "[UNSOUND]" in text
+        assert "Curate & Align" in text
+        assert "no path" in text
+
+    def test_render_view_expanded_composite(self):
+        text = render_view(phylogenomics_view(), expanded=19)
+        assert "11:Build phylogenomic tree" in text
+
+    def test_render_validation(self):
+        assert "unsound" in render_validation(phylogenomics_view())
+
+
+class TestShowDependency:
+    def test_classifies_composites(self):
+        from repro.system.displayer import show_dependency
+
+        text = show_dependency(phylogenomics_view(), 16)
+        assert "upstream" in text
+        # 13, 14, 15 are upstream of 16 in the view
+        assert "13:" in text.split("downstream")[0]
+        # 19 is downstream
+        assert "19:" in text.split("downstream")[1]
+
+    def test_warns_on_unsound_view(self):
+        from repro.system.displayer import show_dependency
+
+        text = show_dependency(phylogenomics_view(), 18)
+        assert "warning" in text
+        assert "may be wrong" in text
+
+    def test_unknown_composite(self):
+        import pytest
+
+        from repro.errors import ViewError
+        from repro.system.displayer import show_dependency
+
+        with pytest.raises(ViewError):
+            show_dependency(phylogenomics_view(), "ghost")
+
+    def test_independent_listed(self):
+        from repro.core.corrector import Criterion, correct_view
+        from repro.system.displayer import show_dependency
+
+        sound = correct_view(phylogenomics_view(), Criterion.STRONG)
+        text = show_dependency(sound.corrected, "16.1")
+        assert "independent" in text
+        assert "warning" not in text
+
+
+class TestDotRendering:
+    def test_spec_dot(self):
+        text = spec_to_dot(phylogenomics())
+        assert "digraph" in text
+        assert '"1" -> "2";' in text
+
+    def test_view_dot_clusters_and_colors(self):
+        text = view_to_dot(phylogenomics_view())
+        assert "subgraph cluster_" in text
+        assert 'color="red"' in text
+        assert 'color="green"' in text
+
+    def test_quotient_dot(self):
+        text = quotient_to_dot(phylogenomics_view())
+        assert '"16"' in text
+        assert 'color="red"' in text

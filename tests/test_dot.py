@@ -1,0 +1,53 @@
+"""Unit tests for repro.graphs.dot."""
+
+from repro.graphs.dot import clustered_dot, to_dot
+from tests.helpers import graph_from_edges
+
+
+class TestToDot:
+    def test_contains_nodes_and_edges(self):
+        text = to_dot(graph_from_edges([("a", "b")]))
+        assert 'digraph "G"' in text
+        assert '"a" -> "b";' in text
+
+    def test_labels_applied(self):
+        text = to_dot(graph_from_edges([(1, 2)]),
+                      node_label=lambda n: f"task {n}")
+        assert 'label="task 1"' in text
+
+    def test_node_attrs(self):
+        text = to_dot(graph_from_edges([(1, 2)]),
+                      node_attrs={1: {"color": "red"}})
+        assert 'color="red"' in text
+
+    def test_quoting_of_special_characters(self):
+        g = graph_from_edges([('say "hi"', "b")])
+        text = to_dot(g)
+        assert '\\"hi\\"' in text
+
+    def test_rankdir(self):
+        text = to_dot(graph_from_edges([(1, 2)]), rankdir="LR")
+        assert "rankdir=LR;" in text
+
+    def test_ends_with_newline(self):
+        assert to_dot(graph_from_edges([(1, 2)])).endswith("}\n")
+
+
+class TestClusteredDot:
+    def test_clusters_rendered(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        text = clustered_dot(g, {"stage A": [1, 2], "stage B": [3]})
+        assert "subgraph cluster_0" in text
+        assert 'label="stage A";' in text
+        assert '"2" -> "3";' in text
+
+    def test_cluster_colors(self):
+        g = graph_from_edges([(1, 2)])
+        text = clustered_dot(g, {"bad": [1, 2]},
+                             cluster_colors={"bad": "red"})
+        assert 'color="red";' in text
+
+    def test_unclustered_nodes_still_emitted(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        text = clustered_dot(g, {"only": [1]})
+        assert '"3";' in text or '"3" [' in text

@@ -1,0 +1,110 @@
+"""Unit tests for the incremental re-execution engine."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.engine import IncrementalEngine
+from repro.provenance.execution import execute
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import diamond_spec
+
+
+class TestBaseline:
+    def test_needs_full_run_first(self):
+        engine = IncrementalEngine(diamond_spec())
+        with pytest.raises(ProvenanceError):
+            engine.latest
+        with pytest.raises(ProvenanceError):
+            engine.apply_change(overrides={2: {"x": 1}})
+
+    def test_full_run_matches_execute(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        run = engine.run_full(inputs={1: "seed"})
+        reference = execute(spec, inputs={1: "seed"})
+        for task in spec.task_ids():
+            assert (run.output_artifact(task).payload
+                    == reference.output_artifact(task).payload)
+
+
+class TestIncrementalEquivalence:
+    def test_override_change_equivalent_to_full_rerun(self):
+        spec = phylogenomics()
+        engine = IncrementalEngine(spec)
+        engine.run_full()
+        result = engine.apply_change(overrides={7: {"gap": -2}})
+        reference = execute(spec, overrides={7: {"gap": -2}})
+        for task in spec.task_ids():
+            assert (result.run.output_artifact(task).payload
+                    == reference.output_artifact(task).payload)
+
+    def test_input_change_equivalent(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        engine.run_full(inputs={1: "v1"})
+        result = engine.apply_change(inputs={1: "v2"})
+        reference = execute(spec, inputs={1: "v2"})
+        for task in spec.task_ids():
+            assert (result.run.output_artifact(task).payload
+                    == reference.output_artifact(task).payload)
+
+    def test_chained_changes_accumulate(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        engine.run_full()
+        engine.apply_change(overrides={2: {"a": 1}})
+        result = engine.apply_change(overrides={3: {"b": 2}})
+        reference = execute(spec, overrides={2: {"a": 1}, 3: {"b": 2}})
+        for task in spec.task_ids():
+            assert (result.run.output_artifact(task).payload
+                    == reference.output_artifact(task).payload)
+
+
+class TestMinimality:
+    def test_only_downstream_cone_reexecuted(self):
+        spec = phylogenomics()
+        engine = IncrementalEngine(spec)
+        engine.run_full()
+        result = engine.apply_change(overrides={7: {"gap": -2}})
+        expected = {7} | set(spec.reachability().descendants(7))
+        assert set(result.reexecuted) == expected
+        assert set(result.reused) == set(spec.task_ids()) - expected
+        assert result.savings == pytest.approx(
+            (12 - len(expected)) / 12)
+
+    def test_noop_change_reexecutes_nothing(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        engine.run_full(inputs={1: "v"})
+        result = engine.apply_change(inputs={1: "v"})
+        assert result.reexecuted == []
+        assert result.savings == 1.0
+
+    def test_entry_change_reexecutes_everything(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        engine.run_full()
+        result = engine.apply_change(inputs={1: "fresh"})
+        assert set(result.reexecuted) == set(spec.task_ids())
+
+    def test_unknown_task_rejected(self):
+        engine = IncrementalEngine(diamond_spec())
+        engine.run_full()
+        with pytest.raises(ProvenanceError):
+            engine.apply_change(overrides={99: {"x": 1}})
+        with pytest.raises(ProvenanceError):
+            engine.apply_change(inputs={99: "v"})
+
+
+class TestProvenanceOfIncrementalRuns:
+    def test_incremental_run_has_full_provenance(self):
+        spec = diamond_spec()
+        engine = IncrementalEngine(spec)
+        engine.run_full()
+        result = engine.apply_change(overrides={2: {"t": 1}})
+        # even reused tasks have invocations and artifacts in the new run
+        assert len(result.run.provenance.invocations()) == len(spec)
+        assert len(result.run.provenance.artifacts()) == len(spec)
+        from repro.provenance.queries import lineage_tasks
+
+        assert lineage_tasks(result.run, 4) == {1, 2, 3}

@@ -1,0 +1,59 @@
+"""Tests for the exception taxonomy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        errors.GraphError,
+        errors.NodeNotFoundError,
+        errors.EdgeNotFoundError,
+        errors.DuplicateNodeError,
+        errors.CycleError,
+        errors.WorkflowError,
+        errors.ViewError,
+        errors.NotAPartitionError,
+        errors.IllFormedViewError,
+        errors.UnsoundViewError,
+        errors.CorrectionError,
+        errors.SerializationError,
+        errors.ProvenanceError,
+        errors.EstimatorError,
+    ])
+    def test_all_inherit_repro_error(self, exc_class):
+        assert issubclass(exc_class, errors.ReproError)
+
+    def test_graph_errors_grouped(self):
+        for exc_class in (errors.NodeNotFoundError,
+                          errors.EdgeNotFoundError,
+                          errors.DuplicateNodeError,
+                          errors.CycleError):
+            assert issubclass(exc_class, errors.GraphError)
+
+    def test_view_errors_grouped(self):
+        for exc_class in (errors.NotAPartitionError,
+                          errors.IllFormedViewError):
+            assert issubclass(exc_class, errors.ViewError)
+
+
+class TestPayloads:
+    def test_node_not_found_carries_node(self):
+        exc = errors.NodeNotFoundError("x")
+        assert exc.node == "x"
+        assert "x" in str(exc)
+
+    def test_edge_not_found_carries_endpoints(self):
+        exc = errors.EdgeNotFoundError(1, 2)
+        assert (exc.source, exc.target) == (1, 2)
+
+    def test_cycle_error_carries_witness(self):
+        exc = errors.CycleError(cycle=[1, 2, 1])
+        assert exc.cycle == [1, 2, 1]
+        assert errors.CycleError().cycle is None
+
+    def test_catch_family(self):
+        # one except clause is enough to catch any library failure
+        with pytest.raises(errors.ReproError):
+            raise errors.EstimatorError("no history")

@@ -1,0 +1,104 @@
+"""Unit tests for the Section 3.2 time/quality estimator."""
+
+import pytest
+
+from repro.core.estimator import (
+    Estimator,
+    GroupKey,
+    density_bucket,
+    size_bucket,
+)
+from repro.core.split import CompositeContext
+from repro.errors import EstimatorError
+from repro.workflow.catalog import figure3_view
+
+
+def fig3_ctx():
+    return CompositeContext.from_view(figure3_view(), "T")
+
+
+def pipeline_ctx(n=4):
+    return CompositeContext(
+        list(range(n)), [(i, i + 1) for i in range(n - 1)],
+        ext_in={0: True}, ext_out={n - 1: True})
+
+
+class TestBuckets:
+    def test_size_buckets(self):
+        assert size_bucket(3) == 4
+        assert size_bucket(4) == 4
+        assert size_bucket(5) == 8
+        assert size_bucket(1000) == 128
+
+    def test_density_buckets(self):
+        assert density_bucket(0.05) == 0.1
+        assert density_bucket(0.3) == 0.5
+        assert density_bucket(0.99) == 1.0
+
+
+class TestGroupKey:
+    def test_pipeline_interface(self):
+        key = GroupKey.for_context(pipeline_ctx())
+        assert key.interface == "pipeline"
+
+    def test_funnel_interface(self):
+        key = GroupKey.for_context(fig3_ctx())
+        assert key.interface == "funnel"
+
+    def test_as_string(self):
+        key = GroupKey.for_context(pipeline_ctx())
+        assert "pipeline" in key.as_string()
+
+
+class TestEstimator:
+    def test_exact_group_match(self):
+        estimator = Estimator()
+        ctx = fig3_ctx()
+        estimator.record(ctx, "strong", 0.010, 5, quality=1.0)
+        estimator.record(ctx, "strong", 0.030, 5, quality=0.9)
+        estimate = estimator.estimate(ctx, "strong")
+        assert estimate.expected_seconds == pytest.approx(0.020)
+        assert estimate.expected_quality == pytest.approx(0.95)
+        assert estimate.samples == 2
+
+    def test_no_history_raises(self):
+        with pytest.raises(EstimatorError):
+            Estimator().estimate(fig3_ctx(), "strong")
+
+    def test_nearest_size_fallback_same_interface(self):
+        estimator = Estimator()
+        small = pipeline_ctx(3)
+        estimator.record(small, "weak", 0.001, 1)
+        large = pipeline_ctx(40)
+        estimate = estimator.estimate(large, "weak")
+        assert estimate.samples == 1
+
+    def test_algorithm_isolation(self):
+        estimator = Estimator()
+        ctx = fig3_ctx()
+        estimator.record(ctx, "weak", 0.001, 8)
+        with pytest.raises(EstimatorError):
+            estimator.estimate(ctx, "optimal")
+
+    def test_estimates_for_skips_missing(self):
+        estimator = Estimator()
+        ctx = fig3_ctx()
+        estimator.record(ctx, "weak", 0.001, 8)
+        found = estimator.estimates_for(ctx)
+        assert set(found) == {"weak"}
+
+    def test_json_roundtrip(self):
+        estimator = Estimator()
+        ctx = fig3_ctx()
+        estimator.record(ctx, "strong", 0.02, 5, quality=1.0)
+        restored = Estimator.from_json(estimator.to_json())
+        assert len(restored) == 1
+        estimate = restored.estimate(ctx, "strong")
+        assert estimate.expected_seconds == pytest.approx(0.02)
+
+    def test_quality_optional(self):
+        estimator = Estimator()
+        ctx = fig3_ctx()
+        estimator.record(ctx, "weak", 0.001, 8)
+        estimate = estimator.estimate(ctx, "weak")
+        assert estimate.expected_quality is None

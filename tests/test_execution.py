@@ -1,0 +1,58 @@
+"""Unit tests for repro.provenance.execution."""
+
+from repro.provenance.execution import execute
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import diamond_spec
+
+
+class TestExecute:
+    def test_every_task_runs_once(self):
+        run = execute(phylogenomics())
+        assert len(run.outputs) == 12
+        assert len(run.provenance.invocations()) == 12
+        assert len(run.provenance.artifacts()) == 12
+
+    def test_used_matches_dependencies(self):
+        spec = diamond_spec()
+        run = execute(spec)
+        used = run.provenance.used(f"{run.run_id}/4")
+        assert sorted(used) == sorted(
+            [run.outputs[2], run.outputs[3]])
+
+    def test_deterministic(self):
+        a = execute(diamond_spec())
+        b = execute(diamond_spec())
+        for task_id in a.outputs:
+            assert (a.output_artifact(task_id).payload
+                    == b.output_artifact(task_id).payload)
+
+    def test_inputs_change_downstream_payloads(self):
+        spec = diamond_spec()
+        base = execute(spec, inputs={1: "v1"})
+        changed = execute(spec, inputs={1: "v2"})
+        for task_id in spec.task_ids():
+            assert (base.output_artifact(task_id).payload
+                    != changed.output_artifact(task_id).payload)
+
+    def test_override_affects_only_downstream(self):
+        spec = diamond_spec()
+        base = execute(spec)
+        tweaked = execute(spec, overrides={2: {"threshold": 0.9}})
+        # task 2 and its descendant 4 change; 1 and 3 do not
+        assert (base.output_artifact(2).payload
+                != tweaked.output_artifact(2).payload)
+        assert (base.output_artifact(4).payload
+                != tweaked.output_artifact(4).payload)
+        assert (base.output_artifact(1).payload
+                == tweaked.output_artifact(1).payload)
+        assert (base.output_artifact(3).payload
+                == tweaked.output_artifact(3).payload)
+
+    def test_final_outputs(self):
+        run = execute(phylogenomics())
+        finals = run.final_outputs()
+        assert list(finals) == [12]
+
+    def test_run_id_in_artifact_ids(self):
+        run = execute(diamond_spec(), run_id="exp-7")
+        assert run.output_artifact(1).artifact_id.startswith("exp-7/")

@@ -1,0 +1,128 @@
+"""Unit tests for the Theorem 2.2 hard-instance families."""
+
+import random
+
+import pytest
+
+from repro.core.hardness import (
+    bipartite_instance,
+    crown_instance,
+    funnel_chain_instance,
+    random_hard_instance,
+)
+from repro.core.optimal import optimal_split
+from repro.core.optimality import brute_force_optimal_parts
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+
+
+class TestBipartiteInstance:
+    def test_structure(self):
+        ctx = bipartite_instance([[1, 0], [0, 1]])
+        assert ctx.n == 4
+        assert ctx.graph.edge_count() == 2
+
+    def test_boundary_flags(self):
+        ctx = bipartite_instance([[1]])
+        i = ctx.local["i0"]
+        o = ctx.local["o0"]
+        assert ctx.ext_in[i] and not ctx.ext_out[i]
+        assert ctx.ext_out[o] and not ctx.ext_in[o]
+
+    def test_complete_relation_is_sound(self):
+        from repro.core.strong import strong_split
+
+        ctx = bipartite_instance([[1, 1], [1, 1]])
+        assert ctx.is_sound_part(ctx.full_mask)
+        # weak pair merging cannot rebuild the funnel (no sound pair
+        # exists), but the strong corrector's subset search can
+        assert weak_split(ctx).part_count == 4
+        assert strong_split(ctx).part_count == 1
+
+    def test_diagonal_relation_needs_two_parts(self):
+        ctx = bipartite_instance([[1, 0], [0, 1]])
+        assert optimal_split(ctx).part_count == 2
+
+    def test_rejects_bad_matrices(self):
+        with pytest.raises(ValueError):
+            bipartite_instance([])
+        with pytest.raises(ValueError):
+            bipartite_instance([[1, 0], [1]])
+
+
+class TestCrown:
+    def test_crown_unsound_as_whole(self):
+        ctx = crown_instance(3)
+        assert not ctx.is_sound_part(ctx.full_mask)
+
+    def test_crown_optimal_values(self):
+        # crown K_{k,k} minus a perfect matching: brute force is the oracle
+        for k in (2, 3):
+            ctx = crown_instance(k)
+            assert (optimal_split(ctx).part_count
+                    == brute_force_optimal_parts(ctx))
+
+    def test_crown_minimum_size(self):
+        with pytest.raises(ValueError):
+            crown_instance(1)
+
+
+class TestRandomHard:
+    def test_never_fully_dense(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            ctx = random_hard_instance(rng, 3, 3, density=1.0)
+            assert not ctx.is_sound_part(ctx.full_mask)
+
+    def test_correctors_finish(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            ctx = random_hard_instance(rng, rng.randint(2, 5),
+                                       rng.randint(2, 5))
+            weak = weak_split(ctx)
+            strong = strong_split(ctx)
+            assert strong.part_count <= weak.part_count
+
+    def test_argument_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_hard_instance(rng, 0, 3)
+        with pytest.raises(ValueError):
+            random_hard_instance(rng, 2, 2, density=2.0)
+
+
+class TestChainedFunnel:
+    def test_weak_vs_strong_gap_scales(self):
+        from repro.core.hardness import chained_funnel_instance
+        from repro.core.strong import strong_split
+
+        for k in (2, 3, 4):
+            ctx = chained_funnel_instance(k)
+            assert not ctx.is_sound_part(ctx.full_mask)
+            assert weak_split(ctx).part_count == 2 * k + 1
+            assert strong_split(ctx).part_count == 2
+
+    def test_optimal_agrees_with_strong(self):
+        from repro.core.hardness import chained_funnel_instance
+
+        ctx = chained_funnel_instance(2)
+        assert optimal_split(ctx).part_count == 2
+
+    def test_argument_validation(self):
+        from repro.core.hardness import chained_funnel_instance
+
+        with pytest.raises(ValueError):
+            chained_funnel_instance(1)
+
+
+class TestFunnelChain:
+    def test_structure(self):
+        ctx = funnel_chain_instance(2, 3)
+        assert ctx.n == 9
+        assert ctx.graph.edge_count() == 12
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            funnel_chain_instance(0, 3)
+        with pytest.raises(ValueError):
+            funnel_chain_instance(2, 1)

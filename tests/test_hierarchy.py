@@ -1,0 +1,126 @@
+"""Unit + property tests for view hierarchies (views of views)."""
+
+import random
+
+import pytest
+
+from repro.core.soundness import is_sound_view, unsound_composites
+from repro.errors import ViewError
+from repro.views.hierarchy import ViewHierarchy
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import PHYLO_VIEW_GROUPS, phylogenomics
+from tests.helpers import chain_spec, diamond_spec
+
+
+def phylo_hierarchy():
+    hierarchy = ViewHierarchy(phylogenomics())
+    hierarchy.add_level(PHYLO_VIEW_GROUPS, name="figure1b")
+    return hierarchy
+
+
+class TestConstruction:
+    def test_first_level_from_task_ids(self):
+        hierarchy = phylo_hierarchy()
+        assert len(hierarchy) == 1
+        assert len(hierarchy.level(0)) == 7
+
+    def test_second_level_from_composites(self):
+        hierarchy = phylo_hierarchy()
+        flattened = hierarchy.add_level({
+            "prep": [13, 14, 15],
+            "analyze": [16, 17, 18],
+            "deliver": [19],
+        })
+        assert len(flattened) == 3
+        assert sorted(flattened.members("deliver")) == [9, 10, 11, 12]
+        assert sorted(flattened.members("prep")) == [1, 2, 3, 6]
+
+    def test_level_must_cover_all_composites(self):
+        hierarchy = phylo_hierarchy()
+        with pytest.raises(ViewError):
+            hierarchy.add_level({"prep": [13, 14, 15]})
+
+    def test_level_must_not_duplicate(self):
+        hierarchy = phylo_hierarchy()
+        with pytest.raises(ViewError):
+            hierarchy.add_level({"a": [13, 14], "b": [14, 15, 16, 17, 18,
+                                                      19]})
+
+    def test_unknown_lower_composite(self):
+        hierarchy = phylo_hierarchy()
+        with pytest.raises(ViewError):
+            hierarchy.add_level({"a": [99], "b": [13, 14, 15, 16, 17, 18,
+                                                  19]})
+
+    def test_coarsen_keeps_singletons(self):
+        hierarchy = phylo_hierarchy()
+        flattened = hierarchy.coarsen({"tracks": [14, 15]})
+        assert len(flattened) == 6
+        assert sorted(flattened.members("tracks")) == [3, 6]
+
+    def test_coarsen_needs_base(self):
+        hierarchy = ViewHierarchy(phylogenomics())
+        with pytest.raises(ViewError):
+            hierarchy.coarsen({"x": []})
+
+    def test_level_index_errors(self):
+        with pytest.raises(ViewError):
+            phylo_hierarchy().level(5)
+
+
+class TestSoundnessComposition:
+    def test_unsound_base_level_detected(self):
+        hierarchy = phylo_hierarchy()
+        assert hierarchy.unsound_levels() == [0]
+        assert not hierarchy.is_sound()
+
+    def test_sound_tower_is_sound_at_every_level(self):
+        spec = chain_spec(8)
+        hierarchy = ViewHierarchy(spec)
+        hierarchy.add_level({"a": [1, 2], "b": [3, 4], "c": [5, 6],
+                             "d": [7, 8]})
+        hierarchy.add_level({"front": ["a", "b"], "back": ["c", "d"]})
+        hierarchy.add_level({"all": ["front", "back"]})
+        assert hierarchy.is_sound()
+
+    def test_local_validation_agrees_when_lower_levels_sound(self):
+        """Composition soundness: validating level i against level i-1's
+        quotient agrees with validating the flattened view, whenever the
+        lower levels are sound."""
+        rng = random.Random(42)
+        spec = phylogenomics()
+        for _ in range(20):
+            hierarchy = ViewHierarchy(spec)
+            # level 0: a random topo-interval view (well-formed)
+            from repro.views.builders import random_convex_view
+
+            base = random_convex_view(rng, spec, rng.randint(4, 10))
+            hierarchy.add_level(base.groups())
+            if unsound_composites(hierarchy.level(0)):
+                continue  # composition claim requires sound lower levels
+            # level 1: random contiguous merge of level-0 composites
+            labels = hierarchy.level(0).composite_labels()
+            cut = rng.randint(1, len(labels))
+            groups = {"L": labels[:cut], "R": labels[cut:]}
+            groups = {k: v for k, v in groups.items() if v}
+            hierarchy.add_level(groups)
+            local = hierarchy.validate_level_locally(1)
+            flat_sound = is_sound_view(hierarchy.level(1))
+            assert local.sound == flat_sound
+
+    def test_local_validation_finds_upper_level_problem(self):
+        spec = diamond_spec()
+        hierarchy = ViewHierarchy(spec)
+        hierarchy.add_level({"s": [1], "l": [2], "r": [3], "t": [4]})
+        # grouping the two parallel branches is unsound at level 1
+        hierarchy.add_level({"branches": ["l", "r"], "s2": ["s"],
+                             "t2": ["t"]})
+        report = hierarchy.validate_level_locally(1)
+        assert not report.sound
+        assert hierarchy.unsound_levels() == [1]
+
+    def test_level_quotient_spec(self):
+        hierarchy = phylo_hierarchy()
+        quotient_spec = hierarchy.level_quotient_spec(0)
+        assert len(quotient_spec) == 7
+        assert quotient_spec.depends_on(19, 13)

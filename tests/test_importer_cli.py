@@ -1,0 +1,169 @@
+"""Unit tests for the importer and the wolves CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.system.cli import main
+from repro.system.importer import (
+    detect_format,
+    load_view,
+    load_workflow,
+    load_workflow_text,
+)
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+from repro.workflow.jsonio import spec_to_json, view_to_json
+from repro.workflow.moml import spec_to_moml
+
+
+@pytest.fixture
+def workflow_files(tmp_path):
+    spec = phylogenomics()
+    view = phylogenomics_view()
+    spec_path = tmp_path / "wf.json"
+    view_path = tmp_path / "view.json"
+    moml_path = tmp_path / "wf.xml"
+    spec_path.write_text(spec_to_json(spec))
+    view_path.write_text(view_to_json(view))
+    moml_path.write_text(spec_to_moml(view.spec, view))
+    return spec_path, view_path, moml_path
+
+
+class TestImporter:
+    def test_detect_format(self):
+        assert detect_format("  <entity/>") == "moml"
+        assert detect_format('{"format": "x"}') == "json"
+        with pytest.raises(SerializationError):
+            detect_format("plain text")
+
+    def test_load_json_workflow(self, workflow_files):
+        spec_path, _, _ = workflow_files
+        spec, view = load_workflow(str(spec_path))
+        assert len(spec) == 12
+        assert view is None
+
+    def test_load_moml_with_embedded_view(self, workflow_files):
+        _, _, moml_path = workflow_files
+        spec, view = load_workflow(str(moml_path))
+        assert view is not None
+        assert len(view) == 7
+
+    def test_load_view(self, workflow_files):
+        spec_path, view_path, _ = workflow_files
+        spec, _ = load_workflow(str(spec_path))
+        view = load_view(str(view_path), spec)
+        assert len(view) == 7
+
+    def test_error_mentions_filename(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(SerializationError) as excinfo:
+            load_workflow(str(bad))
+        assert "bad.json" in str(excinfo.value)
+
+    def test_load_workflow_text(self):
+        spec, _ = load_workflow_text(spec_to_json(phylogenomics()))
+        assert spec.name == "phylogenomics"
+
+
+class TestCli:
+    def test_validate_unsound_exits_1(self, workflow_files, capsys):
+        spec_path, view_path, _ = workflow_files
+        code = main(["validate", str(spec_path), "--view", str(view_path)])
+        assert code == 1
+        assert "unsound" in capsys.readouterr().out
+
+    def test_validate_without_view(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["validate", str(spec_path)]) == 0
+
+    def test_correct_writes_output(self, workflow_files, tmp_path, capsys):
+        spec_path, view_path, _ = workflow_files
+        out = tmp_path / "fixed.json"
+        code = main(["correct", str(spec_path), "--view", str(view_path),
+                     "--criterion", "strong", "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "wolves-view"
+        assert len(document["composites"]) == 8
+
+    def test_correct_without_view_fails(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["correct", str(spec_path)]) == 2
+
+    def test_correct_moml_embedded_view(self, workflow_files, capsys):
+        _, _, moml_path = workflow_files
+        assert main(["correct", str(moml_path)]) == 0
+        assert "corrected 1 unsound" in capsys.readouterr().out
+
+    def test_show_text(self, workflow_files, capsys):
+        spec_path, view_path, _ = workflow_files
+        assert main(["show", str(spec_path), "--view",
+                     str(view_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage 0" in out
+        assert "[UNSOUND]" in out
+
+    def test_show_dot(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["show", str(spec_path), "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_catalog_listing(self, capsys):
+        assert main(["catalog"]) == 0
+        assert "phylogenomics" in capsys.readouterr().out
+
+    def test_catalog_export(self, capsys):
+        assert main(["catalog", "figure3"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "figure3"
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "wrong provenance" in out
+        assert "corrected 1 unsound" in out
+
+    def test_missing_file_error(self, capsys):
+        assert main(["validate", "/nonexistent/file.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_suggest_sound_view(self, workflow_files, tmp_path, capsys):
+        spec_path, _, _ = workflow_files
+        out = tmp_path / "suggested.json"
+        assert main(["suggest", str(spec_path), "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "UNSOUND" not in output
+        assert out.exists()
+
+    def test_suggest_user_view(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["suggest", str(spec_path),
+                     "--relevant", "2", "7", "11"]) == 0
+        assert "UNSOUND" not in capsys.readouterr().out
+
+    def test_suggest_unknown_relevant(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["suggest", str(spec_path),
+                     "--relevant", "999"]) == 2
+        assert "unknown task" in capsys.readouterr().err
+
+    def test_audit(self, capsys):
+        assert main(["audit", "--seed", "2009", "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "repository audit" in out
+        assert "expert" in out
+
+    def test_lineage(self, workflow_files, capsys):
+        spec_path, view_path, _ = workflow_files
+        assert main(["lineage", str(spec_path), "8",
+                     "--view", str(view_path)]) == 0
+        out = capsys.readouterr().out
+        assert "upstream tasks" in out
+        assert "WARNING: spurious composites" in out
+
+    def test_lineage_unknown_task(self, workflow_files, capsys):
+        spec_path, _, _ = workflow_files
+        assert main(["lineage", str(spec_path), "999"]) == 2
+        assert "unknown task" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""Cross-module integration tests: full pipelines over the corpus."""
+
+import random
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import is_sound_view, unsound_composites
+from repro.provenance.execution import execute
+from repro.provenance.queries import lineage_tasks
+from repro.provenance.viewlevel import lineage_correctness
+from repro.repository.corpus import build_corpus
+from repro.system.session import WolvesSession
+from repro.views.diff import view_delta
+from repro.workflow.jsonio import (
+    spec_from_json,
+    spec_to_json,
+    view_from_json,
+    view_to_json,
+)
+from repro.workflow.moml import spec_from_moml, spec_to_moml
+from repro.views.view import WorkflowView
+
+
+class TestCorpusPipeline:
+    def test_full_audit_and_repair(self):
+        """Repository audit: census, correct everything, verify soundness."""
+        corpus = build_corpus(seed=77, count=10, min_size=8, max_size=24,
+                              noise_moves=3)
+        census = corpus.unsoundness_census()
+        assert census["expert"]["views"] == 10
+        repaired = 0
+        for entry in corpus:
+            for family in ("expert", "automatic"):
+                view = entry.view(family)
+                if is_sound_view(view):
+                    continue
+                report = correct_view(view, Criterion.STRONG)
+                assert is_sound_view(report.corrected)
+                # correction refines: composites only grow in number
+                assert len(report.corrected) >= len(view)
+                repaired += 1
+        assert repaired > 0
+
+    def test_correction_improves_lineage_precision(self):
+        corpus = build_corpus(seed=88, count=8, min_size=8, max_size=20,
+                              noise_moves=3)
+        improved = 0
+        for entry in corpus:
+            view = entry.view("expert")
+            if is_sound_view(view):
+                continue
+            before_precision, _, _ = lineage_correctness(view)
+            fixed = correct_view(view, Criterion.STRONG).corrected
+            after_precision, after_recall, _ = lineage_correctness(fixed)
+            assert after_precision == 1.0
+            assert after_recall == 1.0
+            assert after_precision >= before_precision
+            improved += 1
+        assert improved > 0
+
+    def test_weak_vs_strong_view_sizes_over_corpus(self):
+        corpus = build_corpus(seed=99, count=8, min_size=10, max_size=24,
+                              noise_moves=3)
+        weak_total = 0
+        strong_total = 0
+        for entry in corpus:
+            view = entry.view("expert")
+            if is_sound_view(view):
+                continue
+            weak_total += len(correct_view(view, Criterion.WEAK).corrected)
+            strong_total += len(
+                correct_view(view, Criterion.STRONG).corrected)
+        assert strong_total <= weak_total
+
+
+class TestSerializationPipeline:
+    def test_json_roundtrip_preserves_soundness_verdict(self):
+        corpus = build_corpus(seed=11, count=5)
+        for entry in corpus:
+            view = entry.view("expert")
+            restored_spec = spec_from_json(spec_to_json(entry.spec))
+            restored_view = view_from_json(view_to_json(view),
+                                           restored_spec)
+            assert (is_sound_view(view)
+                    == is_sound_view(restored_view))
+
+    def test_moml_roundtrip_preserves_soundness_verdict(self):
+        corpus = build_corpus(seed=12, count=4)
+        for entry in corpus:
+            view = entry.view("expert")
+            text = spec_to_moml(entry.spec, view)
+            restored_spec, grouping = spec_from_moml(text)
+            restored_view = WorkflowView(restored_spec, grouping)
+            assert (is_sound_view(view)
+                    == is_sound_view(restored_view))
+
+
+class TestSessionOverCorpus:
+    def test_sessions_reach_soundness(self):
+        corpus = build_corpus(seed=13, count=6, noise_moves=3)
+        for entry in corpus:
+            view = entry.view("automatic")
+            session = WolvesSession(entry.spec, view)
+            if not session.is_sound:
+                session.correct(Criterion.STRONG)
+            assert session.is_sound
+
+    def test_history_supports_estimates_across_workflows(self):
+        corpus = build_corpus(seed=14, count=6, min_size=8, max_size=18,
+                              noise_moves=3)
+        sessions = []
+        shared_corrector = None
+        for entry in corpus:
+            view = entry.view("expert")
+            session = WolvesSession(entry.spec, view)
+            if shared_corrector is None:
+                shared_corrector = session.corrector
+            else:
+                session.corrector = shared_corrector
+            if unsound_composites(view):
+                session.correct(Criterion.STRONG)
+            sessions.append(session)
+        assert shared_corrector is not None
+        # after the sweep, the shared history is non-trivial whenever any
+        # view needed correction
+        any_corrections = any(
+            event.kind == "correct"
+            for session in sessions for event in session.history)
+        if any_corrections:
+            assert len(shared_corrector.estimator) > 0
+
+
+class TestProvenanceConsistency:
+    def test_execution_agrees_with_spec_reachability_on_corpus(self):
+        corpus = build_corpus(seed=15, count=4, min_size=8, max_size=16)
+        for entry in corpus:
+            run = execute(entry.spec)
+            index = entry.spec.reachability()
+            rng = random.Random(0)
+            sample = rng.sample(entry.spec.task_ids(),
+                                min(5, len(entry.spec)))
+            for task in sample:
+                assert lineage_tasks(run, task) == set(
+                    index.ancestors(task))

@@ -1,0 +1,86 @@
+"""Unit tests for the interval-labelled reachability index."""
+
+import random
+
+import pytest
+
+from repro.errors import CycleError, NodeNotFoundError
+from repro.graphs.dag import Digraph
+from repro.graphs.generators import layered_dag, random_dag
+from repro.graphs.intervals import IntervalIndex
+from repro.graphs.reachability import ReachabilityIndex
+from tests.helpers import graph_from_edges
+
+
+class TestCorrectness:
+    def test_chain(self):
+        index = IntervalIndex(graph_from_edges([(1, 2), (2, 3)]))
+        assert index.reaches(1, 3)
+        assert not index.reaches(3, 1)
+        assert not index.reaches(1, 1)
+        assert index.reaches_or_equal(1, 1)
+
+    def test_diamond(self):
+        index = IntervalIndex(
+            graph_from_edges([(1, 2), (1, 3), (2, 4), (3, 4)]))
+        assert index.reaches(1, 4)
+        assert not index.reaches(2, 3)
+
+    def test_agrees_with_bitset_index_on_random_dags(self):
+        rng = random.Random(42)
+        for trial in range(25):
+            g = random_dag(rng, rng.randint(2, 25), rng.uniform(0.05, 0.4))
+            exact = ReachabilityIndex(g)
+            interval = IntervalIndex(g, traversals=2,
+                                     rng=random.Random(trial))
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert interval.reaches(u, v) == exact.reaches(u, v)
+
+    def test_agrees_on_layered_workflow_shapes(self):
+        rng = random.Random(7)
+        g = layered_dag(rng, 6, 4)
+        exact = ReachabilityIndex(g)
+        interval = IntervalIndex(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert interval.reaches(u, v) == exact.reaches(u, v)
+
+
+class TestValidation:
+    def test_rejects_cycles(self):
+        with pytest.raises(CycleError):
+            IntervalIndex(graph_from_edges([(1, 2), (2, 1)]))
+
+    def test_rejects_unknown_nodes(self):
+        index = IntervalIndex(graph_from_edges([(1, 2)]))
+        with pytest.raises(NodeNotFoundError):
+            index.reaches(1, "ghost")
+        with pytest.raises(NodeNotFoundError):
+            index.reaches("ghost", 1)
+
+    def test_rejects_zero_traversals(self):
+        with pytest.raises(ValueError):
+            IntervalIndex(Digraph(), traversals=0)
+
+
+class TestPruning:
+    def test_labels_refute_most_negative_queries(self):
+        # on a wide layered DAG most pairs are unreachable and the labels
+        # should answer a healthy share of them without DFS
+        rng = random.Random(3)
+        g = layered_dag(rng, 5, 6, edge_prob=0.3)
+        index = IntervalIndex(g, traversals=3, rng=random.Random(0))
+        nodes = g.nodes()
+        for u in nodes:
+            for v in nodes:
+                if u != v:
+                    index.reaches(u, v)
+        assert index.queries > 0
+        assert index.refutation_rate > 0.3
+
+    def test_counters(self):
+        index = IntervalIndex(graph_from_edges([(1, 2)]))
+        assert index.refutation_rate == 0.0
+        index.reaches(2, 1)
+        assert index.queries == 1

@@ -1,0 +1,88 @@
+"""Unit tests for repro.workflow.jsonio."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+from repro.workflow.jsonio import (
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+    view_from_json,
+    view_to_json,
+)
+from tests.helpers import diamond_spec
+
+
+class TestSpecRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        spec = phylogenomics()
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored.name == spec.name
+        assert set(restored.dependencies()) == set(spec.dependencies())
+        assert restored.task(4).name == "Curate annotations"
+        assert restored.task(4).kind == "curate"
+
+    def test_roundtrip_params(self):
+        spec = diamond_spec()
+        spec.add_task(spec.task(1).with_params(db="GenBank", limit=10))
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored.task(1).params == {"db": "GenBank", "limit": 10}
+
+    def test_dict_has_format_marker(self):
+        document = spec_to_dict(diamond_spec())
+        assert document["format"] == "wolves-workflow"
+        assert document["version"] == 1
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            spec_from_json("this is not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            spec_from_json('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            spec_from_json('{"format": "wolves-workflow", "version": 99}')
+
+    def test_malformed_tasks_rejected(self):
+        text = ('{"format": "wolves-workflow", "version": 1, '
+                '"tasks": [{"no_id": true}], "dependencies": []}')
+        with pytest.raises(SerializationError):
+            spec_from_json(text)
+
+
+class TestViewRoundTrip:
+    def test_roundtrip_preserves_partition(self):
+        view = phylogenomics_view()
+        restored = view_from_json(view_to_json(view), view.spec)
+        original_blocks = {frozenset(view.members(label))
+                           for label in view.composite_labels()}
+        restored_blocks = {frozenset(restored.members(label))
+                           for label in restored.composite_labels()}
+        assert original_blocks == restored_blocks
+
+    def test_view_name_preserved(self):
+        view = phylogenomics_view()
+        restored = view_from_json(view_to_json(view), view.spec)
+        assert restored.name == view.name
+
+    def test_view_wrong_format(self):
+        spec = diamond_spec()
+        with pytest.raises(SerializationError):
+            view_from_json('{"format": "nope"}', spec)
+
+    def test_view_without_composites(self):
+        spec = diamond_spec()
+        with pytest.raises(SerializationError):
+            view_from_json('{"format": "wolves-view", "version": 1}', spec)
+
+    def test_view_json_is_loadable_against_new_spec_copy(self):
+        view = phylogenomics_view()
+        text = view_to_json(view)
+        fresh_spec = phylogenomics()
+        restored = view_from_json(text, fresh_spec)
+        assert isinstance(restored, WorkflowView)
+        assert len(restored) == len(view)

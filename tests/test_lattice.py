@@ -1,0 +1,116 @@
+"""Unit + property tests for the view partition lattice."""
+
+import random
+
+import pytest
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import is_sound_view
+from repro.errors import ViewError
+from repro.views.lattice import (
+    is_lattice_consistent,
+    join,
+    meet,
+    refines,
+)
+from repro.views.builders import random_convex_view, singleton_view, whole_view
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+from tests.helpers import diamond_spec
+
+
+class TestRefines:
+    def test_singletons_refine_everything(self):
+        spec = phylogenomics()
+        singles = singleton_view(spec)
+        assert refines(singles, phylogenomics_view())
+        assert refines(singles, whole_view(spec))
+
+    def test_everything_refines_whole(self):
+        spec = phylogenomics()
+        assert refines(phylogenomics_view(), whole_view(spec))
+
+    def test_refinement_is_reflexive(self):
+        view = phylogenomics_view()
+        assert refines(view, view)
+
+    def test_not_refines_when_blocks_cross(self):
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        b = WorkflowView(spec, {"p": [1, 3], "q": [2, 4]})
+        assert not refines(a, b)
+        assert not refines(b, a)
+
+    def test_correction_refines_original(self):
+        view = phylogenomics_view()
+        corrected = correct_view(view, Criterion.STRONG).corrected
+        assert refines(corrected, view)
+        assert not refines(view, corrected)
+
+    def test_different_specs_rejected(self):
+        with pytest.raises(ViewError):
+            refines(phylogenomics_view(),
+                    WorkflowView(diamond_spec(), {"all": [1, 2, 3, 4]}))
+
+
+class TestMeetAndJoin:
+    def test_meet_of_crossing_views(self):
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        b = WorkflowView(spec, {"p": [1, 3], "q": [2, 4]})
+        low = meet(a, b)
+        assert len(low) == 4  # all intersections are singletons
+
+    def test_join_of_crossing_views(self):
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        b = WorkflowView(spec, {"p": [1, 3], "q": [2, 4]})
+        high = join(a, b)
+        assert len(high) == 1  # overlaps chain everything together
+
+    def test_meet_with_self_is_identity(self):
+        view = phylogenomics_view()
+        assert meet(view, view) == view
+        assert join(view, view) == view
+
+    def test_lattice_consistency_on_random_views(self):
+        rng = random.Random(808)
+        spec = phylogenomics()
+        for _ in range(25):
+            a = random_convex_view(rng, spec, rng.randint(1, 12))
+            b = random_convex_view(rng, spec, rng.randint(1, 12))
+            assert is_lattice_consistent(a, b)
+
+    def test_meet_of_interval_views_is_interval_view(self):
+        # intersections of topological intervals are intervals, so the
+        # meet of two interval views stays well-formed
+        rng = random.Random(809)
+        spec = phylogenomics()
+        for _ in range(15):
+            a = random_convex_view(rng, spec, rng.randint(1, 10))
+            b = random_convex_view(rng, spec, rng.randint(1, 10))
+            assert meet(a, b).is_well_formed()
+
+    def test_meet_of_sound_views_need_not_be_sound(self):
+        # the documented caveat: soundness does not survive intersection.
+        # chain 1->2->3->4 with a = {12|34}, b = {1|23|4}: meet gives
+        # {1|2|3|4}? all singletons are sound... use the diamond instead:
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"head": [1, 2, 3], "tail": [4]})
+        b = WorkflowView(spec, {"head": [1], "tail": [2, 3, 4]})
+        assert is_sound_view(a)
+        assert is_sound_view(b)
+        low = meet(a, b)
+        # {2, 3} is the intersection block — the classic unsound composite
+        assert not is_sound_view(low)
+
+
+class TestLatticeVsCorrection:
+    def test_meet_of_two_corrections(self):
+        view = phylogenomics_view()
+        weak = correct_view(view, Criterion.WEAK).corrected
+        strong = correct_view(view, Criterion.STRONG).corrected
+        low = meet(weak, strong)
+        assert refines(low, weak)
+        assert refines(low, strong)
+        assert refines(low, view)

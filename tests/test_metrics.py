@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    ApproachOutcome,
+    quality,
+    speedup,
+    summarize_outcomes,
+)
+from repro.core.split import SplitResult
+
+
+class TestQuality:
+    def test_optimal_has_quality_one(self):
+        assert quality(5, 5) == 1.0
+
+    def test_coarser_split_scores_below_one(self):
+        assert quality(8, 5) == pytest.approx(0.625)
+
+    def test_cannot_beat_optimal(self):
+        with pytest.raises(ValueError):
+            quality(4, 5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quality(0, 5)
+        with pytest.raises(ValueError):
+            quality(5, 0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(2.0, 0.5) == 4.0
+
+    def test_zero_candidate_guarded(self):
+        assert speedup(1.0, 0.0) > 1e6
+
+
+class TestApproachOutcome:
+    def test_from_result_with_optimal(self):
+        result = SplitResult(algorithm="weak", parts=[[1], [2]],
+                             elapsed_seconds=0.01)
+        outcome = ApproachOutcome.from_result(result, optimal_parts=2)
+        assert outcome.quality == 1.0
+        assert outcome.algorithm == "weak"
+        assert outcome.parts == 2
+
+    def test_from_result_without_optimal(self):
+        result = SplitResult(algorithm="strong", parts=[[1]],
+                             elapsed_seconds=0.02)
+        outcome = ApproachOutcome.from_result(result)
+        assert outcome.quality is None
+
+
+class TestSummary:
+    def test_table_lines(self):
+        outcomes = {
+            "weak": ApproachOutcome("weak", 8, 0.001, 0.625),
+            "strong": ApproachOutcome("strong", 5, 0.002, 1.0),
+        }
+        text = summarize_outcomes(outcomes)
+        assert "weak" in text and "strong" in text
+        assert "quality=0.625" in text
+        assert "quality=1.000" in text
+
+    def test_handles_missing_quality(self):
+        text = summarize_outcomes(
+            {"weak": ApproachOutcome("weak", 3, 0.0, None)})
+        assert "quality=n/a" in text

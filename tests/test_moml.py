@@ -1,0 +1,86 @@
+"""Unit tests for repro.workflow.moml."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+from repro.workflow.moml import spec_from_moml, spec_to_moml
+
+
+class TestWriter:
+    def test_entities_and_relations(self):
+        text = spec_to_moml(phylogenomics())
+        assert "<entity" in text
+        assert 'class="ptolemy.actor.TypedAtomicActor"' in text
+        assert "<relation" in text
+        assert "<link" in text
+
+    def test_display_names_emitted(self):
+        text = spec_to_moml(phylogenomics())
+        assert "Curate annotations" in text
+
+    def test_view_nesting(self):
+        text = spec_to_moml(phylogenomics_view().spec, phylogenomics_view())
+        assert 'class="ptolemy.actor.TypedCompositeActor"' in text
+
+
+class TestRoundTrip:
+    def test_flat_roundtrip(self):
+        spec = phylogenomics()
+        restored, grouping = spec_from_moml(spec_to_moml(spec))
+        assert grouping is None
+        assert len(restored) == len(spec)
+        # ids become strings in MOML; compare stringified edges
+        expected = {(str(a), str(b)) for a, b in spec.dependencies()}
+        assert set(restored.dependencies()) == expected
+
+    def test_nested_roundtrip_recovers_view(self):
+        view = phylogenomics_view()
+        text = spec_to_moml(view.spec, view)
+        restored_spec, grouping = spec_from_moml(text)
+        assert grouping is not None
+        restored_view = WorkflowView(restored_spec, grouping)
+        original = {frozenset(str(m) for m in view.members(label))
+                    for label in view.composite_labels()}
+        recovered = {frozenset(restored_view.members(label))
+                     for label in restored_view.composite_labels()}
+        assert original == recovered
+
+    def test_kind_property_roundtrip(self):
+        spec = phylogenomics()
+        restored, _ = spec_from_moml(spec_to_moml(spec))
+        assert restored.task("4").kind == "curate"
+        assert restored.task("4").name == "Curate annotations"
+
+
+class TestReaderErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(SerializationError):
+            spec_from_moml("<entity><unclosed>")
+
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            spec_from_moml("<workflow/>")
+
+    def test_nameless_entity(self):
+        with pytest.raises(SerializationError):
+            spec_from_moml(
+                '<entity name="wf" class="ptolemy.actor.TypedCompositeActor">'
+                '<entity class="ptolemy.actor.TypedAtomicActor"/></entity>')
+
+    def test_malformed_link_port(self):
+        text = ('<entity name="wf" '
+                'class="ptolemy.actor.TypedCompositeActor">'
+                '<entity name="a" class="ptolemy.actor.TypedAtomicActor"/>'
+                '<link port="no-dot" relation="r0"/></entity>')
+        with pytest.raises(SerializationError):
+            spec_from_moml(text)
+
+    def test_incomplete_relation(self):
+        text = ('<entity name="wf" '
+                'class="ptolemy.actor.TypedCompositeActor">'
+                '<entity name="a" class="ptolemy.actor.TypedAtomicActor"/>'
+                '<link port="a.output" relation="r0"/></entity>')
+        with pytest.raises(SerializationError):
+            spec_from_moml(text)

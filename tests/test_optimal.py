@@ -1,0 +1,70 @@
+"""Unit tests for the optimal (exponential) corrector."""
+
+import random
+
+import pytest
+
+from repro.core.optimal import optimal_split
+from repro.core.optimality import (
+    brute_force_optimal_parts,
+    is_sound_split,
+)
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+from repro.core.hardness import crown_instance
+from repro.errors import CorrectionError
+from repro.workflow.catalog import FIG3_OPTIMAL_PARTS, figure3_view
+from tests.helpers import random_context
+
+
+class TestOptimalOnExamples:
+    def test_figure3(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = optimal_split(ctx)
+        assert result.part_count == FIG3_OPTIMAL_PARTS
+        assert is_sound_split(ctx, result.parts)
+
+    def test_crowns_match_brute_force(self):
+        for k in (2, 3, 4):
+            ctx = crown_instance(k)
+            assert (optimal_split(ctx).part_count
+                    == brute_force_optimal_parts(ctx))
+
+
+class TestOptimalProperties:
+    def test_matches_brute_force_on_random_instances(self):
+        rng = random.Random(500)
+        for _ in range(60):
+            ctx = random_context(rng, max_nodes=8)
+            result = optimal_split(ctx)
+            assert is_sound_split(ctx, result.parts)
+            assert result.part_count == brute_force_optimal_parts(ctx)
+
+    def test_never_worse_than_strong_or_weak(self):
+        rng = random.Random(600)
+        for _ in range(40):
+            ctx = random_context(rng, max_nodes=9)
+            optimum = optimal_split(ctx).part_count
+            assert optimum <= strong_split(ctx).part_count
+            assert optimum <= weak_split(ctx).part_count
+
+    def test_sound_composite_one_part(self):
+        ctx = CompositeContext(
+            [1, 2], [(1, 2)], ext_in={1: True}, ext_out={2: True})
+        assert optimal_split(ctx).part_count == 1
+
+    def test_node_limit_guard(self):
+        ctx = CompositeContext(
+            list(range(30)), [(i, i + 1) for i in range(29)],
+            ext_in={0: True}, ext_out={29: True})
+        with pytest.raises(CorrectionError):
+            optimal_split(ctx, node_limit=24)
+        # lifting the guard lets a trivially sound chain through
+        assert optimal_split(ctx, node_limit=None).part_count == 1
+
+    def test_reports_k_in_notes(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = optimal_split(ctx)
+        assert result.notes["k"] == result.part_count
+        assert result.algorithm == "optimal"

@@ -1,0 +1,104 @@
+"""Unit tests for the optimality verifiers themselves."""
+
+import pytest
+
+from repro.core.optimality import (
+    brute_force_optimal_parts,
+    find_combinable_subset,
+    is_sound_split,
+    is_strong_local_optimal,
+    is_weak_local_optimal,
+)
+from repro.core.split import CompositeContext
+from repro.workflow.catalog import figure3_view
+
+
+def fig3_ctx():
+    return CompositeContext.from_view(figure3_view(), "T")
+
+
+def singleton_parts(ctx):
+    return [[t] for t in ctx.order]
+
+
+class TestIsSoundSplit:
+    def test_singletons_always_sound_split(self):
+        ctx = fig3_ctx()
+        assert is_sound_split(ctx, singleton_parts(ctx))
+
+    def test_non_partition_rejected(self):
+        ctx = fig3_ctx()
+        parts = singleton_parts(ctx)[:-1]  # drop one node
+        assert not is_sound_split(ctx, parts)
+
+    def test_unsound_part_rejected(self):
+        ctx = fig3_ctx()
+        # the whole composite as one part is the original unsound task
+        assert not is_sound_split(ctx, [list(ctx.order)])
+
+    def test_cyclic_quotient_rejected(self):
+        ctx = fig3_ctx()
+        # {a, f} with c, g elsewhere: a->c->f and a->c->g->? creates a
+        # cycle between {a, f} and {c}
+        parts = [["a", "f"]] + [[t] for t in ctx.order
+                                if t not in ("a", "f")]
+        assert not is_sound_split(ctx, parts)
+
+
+class TestWeakVerifier:
+    def test_accepts_weak_fixpoint(self):
+        ctx = fig3_ctx()
+        parts = [["a", "c"], ["b", "d"], ["e"], ["f"], ["g"],
+                 ["h", "k"], ["i", "m"], ["j"]]
+        assert is_weak_local_optimal(ctx, parts)
+
+    def test_rejects_mergeable_singletons(self):
+        ctx = fig3_ctx()
+        # singletons leave the pair (a, c) combinable
+        assert not is_weak_local_optimal(ctx, singleton_parts(ctx))
+
+
+class TestStrongVerifier:
+    def test_rejects_weak_fixpoint_with_funnel(self):
+        ctx = fig3_ctx()
+        parts = [["a", "c"], ["b", "d"], ["e"], ["f"], ["g"],
+                 ["h", "k"], ["i", "m"], ["j"]]
+        assert not is_strong_local_optimal(ctx, parts)
+        subset = find_combinable_subset(ctx, parts)
+        merged = {t for i in subset for t in parts[i]}
+        assert merged == {"a", "b", "c", "d", "f", "g"}
+
+    def test_accepts_strong_fixpoint(self):
+        ctx = fig3_ctx()
+        parts = [["a", "b", "c", "d", "f", "g"], ["e"],
+                 ["h", "k"], ["i", "m"], ["j"]]
+        assert is_strong_local_optimal(ctx, parts)
+
+    def test_part_limit_guard(self):
+        ctx = CompositeContext(
+            list(range(25)), [],
+            ext_in={i: True for i in range(25)},
+            ext_out={i: True for i in range(25)})
+        with pytest.raises(ValueError):
+            is_strong_local_optimal(ctx, [[i] for i in range(25)],
+                                    part_limit=20)
+
+
+class TestBruteForce:
+    def test_chain(self):
+        ctx = CompositeContext(
+            [1, 2, 3], [(1, 2), (2, 3)], ext_in={1: True},
+            ext_out={3: True})
+        assert brute_force_optimal_parts(ctx) == 1
+
+    def test_two_independent_chains(self):
+        ctx = CompositeContext(
+            [1, 2, 3, 4], [(1, 2), (3, 4)],
+            ext_in={1: True, 3: True}, ext_out={2: True, 4: True})
+        assert brute_force_optimal_parts(ctx) == 2
+
+    def test_node_limit(self):
+        ctx = CompositeContext(list(range(12)), [],
+                               ext_in={}, ext_out={})
+        with pytest.raises(ValueError):
+            brute_force_optimal_parts(ctx, node_limit=9)

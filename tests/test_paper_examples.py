@@ -1,0 +1,156 @@
+"""Integration tests replaying every claim the paper makes on its examples.
+
+Each test cites the sentence of the paper it verifies; together they form
+the acceptance suite for the reproduction (see EXPERIMENTS.md).
+"""
+
+from repro.core.corrector import Criterion, correct_view, split_composite
+from repro.core.optimality import (
+    is_strong_local_optimal,
+    is_weak_local_optimal,
+)
+from repro.core.soundness import (
+    is_sound_composite,
+    is_sound_view,
+    soundness_witness,
+    spurious_dependencies,
+    unsound_composites,
+    validate_view,
+)
+from repro.core.split import CompositeContext
+from repro.provenance.execution import execute
+from repro.provenance.queries import lineage_tasks
+from repro.provenance.viewlevel import view_implied_task_lineage
+from repro.workflow.catalog import (
+    FIG3_OPTIMAL_PARTS,
+    FIG3_STRONG_PARTS,
+    FIG3_WEAK_PARTS,
+    figure3_view,
+    phylogenomics_view,
+)
+
+
+class TestSection1Figure1:
+    """Claims of the introduction about the phylogenomics example."""
+
+    def test_view_considers_13_to_16_as_provenance_of_18(self):
+        # "Based on the view, all the outputs of tasks (13), (14), (15)
+        #  and (16) will be considered as the provenance of the output of
+        #  task (18)"
+        view = phylogenomics_view()
+        ancestors = set(view.view_reachability().ancestors(18))
+        assert ancestors == {13, 14, 15, 16}
+
+    def test_nevertheless_this_is_wrong(self):
+        # "There is no path between node (3) (contained in (14)) and (8)
+        #  (contained in (18)) in the workflow"
+        view = phylogenomics_view()
+        assert view.composite_of(3) == 14
+        assert view.composite_of(8) == 18
+        assert not view.spec.depends_on(8, 3)
+        assert (14, 18) in spurious_dependencies(view)
+
+    def test_executed_provenance_agrees(self):
+        # ground truth from an actual (simulated) execution
+        view = phylogenomics_view()
+        run = execute(view.spec)
+        assert 3 not in lineage_tasks(run, 8)
+        assert 3 in view_implied_task_lineage(view, 8)
+
+
+class TestSection21Validator:
+    """Claims of Section 2.1."""
+
+    def test_view_1b_is_unsound(self):
+        # "the view in Figure 1(b) is unsound"
+        assert not is_sound_view(phylogenomics_view())
+
+    def test_composite_16_unsound_with_witness_4_7(self):
+        # "the composite task (16) ... is unsound, since there is no path
+        #  from atomic task (4) in (16).in to (7) in (16).out"
+        view = phylogenomics_view()
+        assert not is_sound_composite(view, 16)
+        assert soundness_witness(view, 16) == (4, 7)
+
+    def test_proposition_2_1_on_the_example(self):
+        # "A view V ... is sound if and only if all composite tasks in V
+        #  are sound" — correcting the single unsound composite suffices
+        view = phylogenomics_view()
+        assert unsound_composites(view) == [16]
+        fixed = correct_view(view, Criterion.WEAK).corrected
+        assert is_sound_view(fixed)
+
+
+class TestSection22Figure3:
+    """Claims of Section 2.2 about the corrections of Figure 3."""
+
+    def test_weak_split_to_8(self):
+        # "(b) is a split of the unsound tasks in (a) to 8"
+        view = figure3_view()
+        result = split_composite(view, "T", Criterion.WEAK)
+        assert result.part_count == FIG3_WEAK_PARTS
+        ctx = CompositeContext.from_view(view, "T")
+        assert is_weak_local_optimal(ctx, result.parts)
+
+    def test_strong_split_to_5_strictly_better(self):
+        # "(c) is a split to 5 ... Thus (c) is a strictly better correction"
+        view = figure3_view()
+        result = split_composite(view, "T", Criterion.STRONG)
+        assert result.part_count == FIG3_STRONG_PARTS
+        ctx = CompositeContext.from_view(view, "T")
+        assert is_strong_local_optimal(ctx, result.parts)
+        assert FIG3_STRONG_PARTS < FIG3_WEAK_PARTS
+
+    def test_weak_fixpoint_has_combinable_four_subset(self):
+        # "if we merge tasks c, d, f and g in Figure 3(b) ... the resulting
+        #  task is sound ... weak local optimality is not optimal"
+        view = figure3_view()
+        ctx = CompositeContext.from_view(view, "T")
+        weak_parts = split_composite(view, "T", Criterion.WEAK).parts
+        assert not is_strong_local_optimal(ctx, weak_parts)
+
+    def test_optimal_matches_strong_here(self):
+        view = figure3_view()
+        result = split_composite(view, "T", Criterion.OPTIMAL)
+        assert result.part_count == FIG3_OPTIMAL_PARTS
+
+    def test_merging_f_and_g_is_unsound(self):
+        # "if we tentatively merge f and g ... then T is unsound"
+        from repro.core.combinable import combinable
+
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        parts = ctx.singleton_parts()
+        f = ctx.mask_of(["f"])
+        g = ctx.mask_of(["g"])
+        assert not combinable(ctx, parts, [f, g])
+
+
+class TestSection31Evaluation:
+    """The demo's quantitative claims, at smoke-test scale.
+
+    The full sweeps live in benchmarks/; here we assert the *direction* of
+    each claim on one mid-size instance so the acceptance suite stays fast.
+    """
+
+    def test_strong_quality_close_to_optimal_and_faster(self):
+        import random
+
+        from repro.core.optimal import optimal_split
+        from repro.core.strong import strong_split
+        from tests.helpers import random_context
+
+        rng = random.Random(3131)
+        strong_parts = 0
+        optimal_parts = 0
+        for _ in range(20):
+            ctx = random_context(rng, max_nodes=9)
+            strong_parts += strong_split(ctx).part_count
+            optimal_parts += optimal_split(ctx).part_count
+        # "often able to produce views with similar quality to the one
+        #  produced by the optimal corrector"
+        assert optimal_parts <= strong_parts <= optimal_parts * 1.15
+
+    def test_validator_output_matches_gui_expectations(self):
+        report = validate_view(phylogenomics_view())
+        assert report.unsound_composites == [16]
+        assert not report.sound

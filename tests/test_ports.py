@@ -1,0 +1,142 @@
+"""Unit tests for the ported workflow model."""
+
+import pytest
+
+from repro.errors import CycleError, SerializationError, WorkflowError
+from repro.workflow.catalog import PHYLO_EDGES, phylogenomics
+from repro.workflow.ports import (
+    PortedTask,
+    PortedWorkflow,
+    ported_phylogenomics,
+)
+
+
+class TestPortedTask:
+    def test_defaults(self):
+        task = PortedTask("align")
+        assert task.inputs == ("in",)
+        assert task.outputs == ("out",)
+
+    def test_port_name_collision_rejected(self):
+        with pytest.raises(WorkflowError):
+            PortedTask(1, inputs=("x",), outputs=("x",))
+
+    def test_to_task(self):
+        task = PortedTask(1, name="Align", kind="align",
+                          params={"gap": -1})
+        plain = task.to_task()
+        assert plain.name == "Align"
+        assert plain.params == {"gap": -1}
+
+
+class TestConnections:
+    def wf(self):
+        wf = PortedWorkflow("test")
+        wf.add_task(PortedTask("a", inputs=(), outputs=("x", "y")))
+        wf.add_task(PortedTask("b", inputs=("in",), outputs=("out",)))
+        wf.add_task(PortedTask("c", inputs=("p", "q"), outputs=()))
+        return wf
+
+    def test_basic_wiring(self):
+        wf = self.wf()
+        wf.connect(("a", "x"), ("b", "in"))
+        wf.connect(("a", "y"), ("c", "p"))
+        wf.connect(("b", "out"), ("c", "q"))
+        assert len(wf.connections()) == 3
+        assert wf.producers_of("c", "p") == [("a", "y")]
+        assert set(wf.consumers_of("a", "x")) == {("b", "in")}
+
+    def test_direction_enforced(self):
+        wf = self.wf()
+        with pytest.raises(WorkflowError):
+            wf.connect(("b", "in"), ("c", "p"))   # input used as source
+        with pytest.raises(WorkflowError):
+            wf.connect(("a", "x"), ("b", "out"))  # output used as target
+
+    def test_unknown_ports_and_tasks(self):
+        wf = self.wf()
+        with pytest.raises(WorkflowError):
+            wf.connect(("a", "nope"), ("b", "in"))
+        with pytest.raises(WorkflowError):
+            wf.connect(("ghost", "x"), ("b", "in"))
+
+    def test_input_port_single_producer(self):
+        wf = self.wf()
+        wf.connect(("a", "x"), ("b", "in"))
+        with pytest.raises(WorkflowError):
+            wf.connect(("a", "y"), ("b", "in"))
+
+    def test_duplicate_connection_rejected(self):
+        wf = self.wf()
+        wf.connect(("a", "x"), ("b", "in"))
+        with pytest.raises(WorkflowError):
+            wf.connect(("a", "x"), ("b", "in"))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        wf = PortedWorkflow()
+        wf.add_task(PortedTask("a"))
+        wf.add_task(PortedTask("b"))
+        wf.connect(("a", "out"), ("b", "in"))
+        with pytest.raises(CycleError):
+            wf.connect(("b", "out"), ("a", "in"))
+        assert len(wf.connections()) == 1
+
+    def test_unbound_inputs(self):
+        wf = self.wf()
+        wf.connect(("a", "x"), ("b", "in"))
+        assert set(wf.unbound_inputs()) == {("c", "p"), ("c", "q")}
+
+
+class TestProjection:
+    def test_ported_phylo_projects_to_figure1(self):
+        wf = ported_phylogenomics()
+        spec = wf.to_spec()
+        assert set(spec.dependencies()) == set(PHYLO_EDGES)
+        reference = phylogenomics()
+        for task_id in reference.task_ids():
+            assert spec.task(task_id).name == reference.task(task_id).name
+
+    def test_parallel_port_edges_collapse(self):
+        wf = PortedWorkflow()
+        wf.add_task(PortedTask("a", inputs=(), outputs=("x", "y")))
+        wf.add_task(PortedTask("b", inputs=("p", "q"), outputs=()))
+        wf.connect(("a", "x"), ("b", "p"))
+        wf.connect(("a", "y"), ("b", "q"))
+        spec = wf.to_spec()
+        assert spec.dependencies() == [("a", "b")]
+
+    def test_split_entries_has_two_outputs(self):
+        wf = ported_phylogenomics()
+        assert wf.task(2).outputs == ("annotations", "sequences")
+        assert wf.consumers_of(2, "annotations") == [(3, "in")]
+        assert wf.consumers_of(2, "sequences") == [(6, "in")]
+
+
+class TestPortedMoml:
+    def test_roundtrip(self):
+        wf = ported_phylogenomics()
+        restored = PortedWorkflow.from_moml(wf.to_moml())
+        assert len(restored) == len(wf)
+        original = {((str(s[0]), s[1]), (str(t[0]), t[1]))
+                    for s, t in wf.connections()}
+        recovered = set(restored.connections())
+        assert original == recovered
+
+    def test_port_directions_roundtrip(self):
+        wf = ported_phylogenomics()
+        restored = PortedWorkflow.from_moml(wf.to_moml())
+        assert restored.task("2").outputs == ("annotations", "sequences")
+
+    def test_bad_xml(self):
+        with pytest.raises(SerializationError):
+            PortedWorkflow.from_moml("<entity")
+
+    def test_incomplete_relation(self):
+        text = ('<entity name="w" '
+                'class="ptolemy.actor.TypedCompositeActor">'
+                '<entity name="a" class="ptolemy.actor.TypedAtomicActor">'
+                '<port name="out" class="ptolemy.actor.TypedIOPort" '
+                'direction="output"/></entity>'
+                '<link port="a.out" relation="r0"/></entity>')
+        with pytest.raises(SerializationError):
+            PortedWorkflow.from_moml(text)

@@ -1,0 +1,78 @@
+"""Property-based tests certifying the three correctors (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimal import optimal_split
+from repro.core.optimality import (
+    brute_force_optimal_parts,
+    is_sound_split,
+    is_strong_local_optimal,
+    is_weak_local_optimal,
+)
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+
+
+@st.composite
+def contexts(draw, max_nodes=8):
+    """Random composite-correction problems.
+
+    Nodes 0..n-1 in topological order; sources/sinks always carry external
+    flags (as in any composite cut from a workflow), other boundary flags
+    random.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True,
+                          max_size=len(pairs)) if pairs else st.just([]))
+    has_pred = {j for _, j in edges}
+    has_succ = {i for i, _ in edges}
+    ext_in = {}
+    ext_out = {}
+    for node in range(n):
+        ext_in[node] = (node not in has_pred) or draw(st.booleans())
+        ext_out[node] = (node not in has_succ) or draw(st.booleans())
+    return CompositeContext(list(range(n)), edges, ext_in, ext_out)
+
+
+@given(contexts())
+@settings(max_examples=150, deadline=None)
+def test_weak_split_is_weak_local_optimal(ctx):
+    result = weak_split(ctx)
+    assert is_sound_split(ctx, result.parts)
+    assert is_weak_local_optimal(ctx, result.parts)
+
+
+@given(contexts())
+@settings(max_examples=150, deadline=None)
+def test_strong_split_is_strong_local_optimal(ctx):
+    result = strong_split(ctx)
+    assert is_sound_split(ctx, result.parts)
+    assert is_strong_local_optimal(ctx, result.parts)
+
+
+@given(contexts(max_nodes=7))
+@settings(max_examples=100, deadline=None)
+def test_optimal_split_matches_brute_force(ctx):
+    result = optimal_split(ctx)
+    assert is_sound_split(ctx, result.parts)
+    assert result.part_count == brute_force_optimal_parts(ctx)
+
+
+@given(contexts())
+@settings(max_examples=100, deadline=None)
+def test_corrector_ordering(ctx):
+    """optimal <= strong <= weak, always."""
+    optimum = optimal_split(ctx).part_count
+    strong = strong_split(ctx).part_count
+    weak = weak_split(ctx).part_count
+    assert optimum <= strong <= weak
+
+
+@given(contexts())
+@settings(max_examples=100, deadline=None)
+def test_strong_local_optimal_implies_weak(ctx):
+    """Definition 2.6 subsumes Definition 2.5 (subsets include pairs)."""
+    result = strong_split(ctx)
+    assert is_weak_local_optimal(ctx, result.parts)

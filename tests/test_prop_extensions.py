@@ -1,0 +1,126 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merging import hybrid_correct, merge_correct
+from repro.core.soundness import (
+    is_sound_composite,
+    is_sound_view,
+    unsound_composites,
+)
+from repro.errors import CorrectionError
+from repro.views.editor import ViewEditor
+from repro.views.hierarchy import ViewHierarchy
+from repro.views.suggest import suggest_sound_view
+from repro.views.view import WorkflowView
+from repro.workflow.builder import spec_from_edges
+
+
+@st.composite
+def specs(draw, max_nodes=9):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                           max_size=len(pairs)))
+    return spec_from_edges("prop", chosen, extra_tasks=range(n))
+
+
+@st.composite
+def specs_with_interval_views(draw, max_nodes=9):
+    spec = draw(specs(max_nodes))
+    order = spec.topological_order()
+    n = len(order)
+    cut_candidates = list(range(1, n))
+    cuts = sorted(draw(st.lists(st.sampled_from(cut_candidates),
+                                unique=True,
+                                max_size=len(cut_candidates))) \
+                  if cut_candidates else [])
+    bounds = [0] + cuts + [n]
+    groups = {f"c{i}": order[a:b]
+              for i, (a, b) in enumerate(zip(bounds, bounds[1:]))
+              if a < b}
+    return spec, WorkflowView(spec, groups)
+
+
+@given(specs())
+@settings(max_examples=60, deadline=None)
+def test_suggested_views_always_sound(spec):
+    view = suggest_sound_view(spec)
+    assert is_sound_view(view)
+    members = sorted(m for label in view.composite_labels()
+                     for m in view.members(label))
+    assert members == sorted(spec.task_ids())
+
+
+@given(specs_with_interval_views())
+@settings(max_examples=80, deadline=None)
+def test_merge_correct_outcome_is_sound_or_fails_cleanly(spec_and_view):
+    _, view = spec_and_view
+    for label in unsound_composites(view):
+        try:
+            outcome = merge_correct(view, label)
+        except CorrectionError:
+            continue
+        assert outcome.view.is_well_formed()
+        assert is_sound_composite(outcome.view, outcome.new_label)
+
+
+@given(specs_with_interval_views())
+@settings(max_examples=60, deadline=None)
+def test_hybrid_correct_always_ends_sound(spec_and_view):
+    _, view = spec_and_view
+    report = hybrid_correct(view)
+    assert is_sound_view(report.corrected)
+
+
+@given(specs_with_interval_views(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_editor_agrees_with_batch_after_random_edits(spec_and_view, data):
+    spec, view = spec_and_view
+    editor = ViewEditor(spec)
+    # replay the view's grouping through the editor, in a random order
+    groups = list(view.groups().values())
+    order = data.draw(st.permutations(range(len(groups))))
+    for i in order:
+        if len(groups[i]) >= 1:
+            editor.group(groups[i])
+    materialised = editor.to_view()
+    assert (set(editor.unsound_composites())
+            == set(unsound_composites(materialised)))
+    # the editor rebuilt exactly the view's partition
+    expected = {frozenset(members) for members in view.groups().values()}
+    actual = {frozenset(materialised.members(label))
+              for label in materialised.composite_labels()}
+    assert actual == expected
+
+
+@given(specs_with_interval_views(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_hierarchy_flattening_is_a_partition(spec_and_view, data):
+    spec, view = spec_and_view
+    hierarchy = ViewHierarchy(spec)
+    hierarchy.add_level(view.groups())
+    labels = hierarchy.level(0).composite_labels()
+    cut = data.draw(st.integers(min_value=0, max_value=len(labels)))
+    groups = {}
+    if labels[:cut]:
+        groups["L"] = labels[:cut]
+    if labels[cut:]:
+        groups["R"] = labels[cut:]
+    flattened = hierarchy.add_level(groups)
+    members = sorted(m for label in flattened.composite_labels()
+                     for m in flattened.members(label))
+    assert members == sorted(spec.task_ids())
+
+
+@given(specs_with_interval_views())
+@settings(max_examples=40, deadline=None)
+def test_sound_base_plus_trivial_level_stays_sound(spec_and_view):
+    """Composition: a singleton-grouping upper level changes nothing."""
+    spec, view = spec_and_view
+    hierarchy = ViewHierarchy(spec)
+    hierarchy.add_level(view.groups())
+    labels = hierarchy.level(0).composite_labels()
+    hierarchy.add_level({f"={label}": [label] for label in labels})
+    assert (is_sound_view(hierarchy.level(0))
+            == is_sound_view(hierarchy.level(1)))

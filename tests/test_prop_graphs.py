@@ -1,0 +1,93 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.convexity import convex_closure, is_convex
+from repro.graphs.dag import Digraph
+from repro.graphs.reachability import ReachabilityIndex
+from repro.graphs.topo import is_acyclic, layers, topological_sort
+
+
+@st.composite
+def dags(draw, max_nodes=12):
+    """Random DAGs as upper-triangular edge sets over 0..n-1."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                           max_size=len(pairs)) if pairs else st.just([]))
+    graph = Digraph()
+    for node in range(n):
+        graph.add_node(node)
+    for source, target in chosen:
+        graph.add_edge(source, target)
+    return graph
+
+
+@given(dags())
+@settings(max_examples=80, deadline=None)
+def test_topological_sort_respects_every_edge(graph):
+    order = topological_sort(graph)
+    position = {node: i for i, node in enumerate(order)}
+    assert len(order) == len(graph)
+    for source, target in graph.edges():
+        assert position[source] < position[target]
+
+
+@given(dags())
+@settings(max_examples=80, deadline=None)
+def test_layers_partition_and_respect_edges(graph):
+    stage_layers = layers(graph)
+    flattened = [node for layer in stage_layers for node in layer]
+    assert sorted(flattened) == sorted(graph.nodes())
+    depth = {node: d for d, layer in enumerate(stage_layers)
+             for node in layer}
+    for source, target in graph.edges():
+        assert depth[source] < depth[target]
+
+
+@given(dags())
+@settings(max_examples=80, deadline=None)
+def test_reachability_transitive(graph):
+    index = ReachabilityIndex(graph)
+    nodes = graph.nodes()
+    for a in nodes:
+        for b in index.descendants(a):
+            for c in index.descendants(b):
+                assert index.reaches(a, c)
+
+
+@given(dags())
+@settings(max_examples=80, deadline=None)
+def test_reachability_antisymmetric(graph):
+    index = ReachabilityIndex(graph)
+    for a in graph.nodes():
+        for b in index.descendants(a):
+            assert not index.reaches(b, a)
+
+
+@given(dags(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_convex_closure_properties(graph, data):
+    index = ReachabilityIndex(graph)
+    nodes = graph.nodes()
+    subset = data.draw(st.lists(st.sampled_from(nodes), min_size=1,
+                                unique=True))
+    closure = convex_closure(index, subset)
+    assert set(subset) <= set(closure)
+    assert is_convex(index, closure)
+    assert set(convex_closure(index, closure)) == set(closure)
+
+
+@given(dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_quotient_of_topological_intervals_is_acyclic(graph, data):
+    order = topological_sort(graph)
+    n = len(order)
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    cuts = sorted(data.draw(st.lists(
+        st.integers(min_value=1, max_value=max(n - 1, 1)),
+        max_size=k, unique=True))) if n > 1 else []
+    bounds = [0] + cuts + [n]
+    blocks = [order[a:b] for a, b in zip(bounds, bounds[1:]) if a < b]
+    quotient = graph.quotient(blocks)
+    assert is_acyclic(quotient)

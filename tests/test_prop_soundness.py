@@ -1,0 +1,92 @@
+"""Property-based tests for soundness and view-level provenance."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.soundness import (
+    is_sound_view,
+    is_sound_view_by_definition,
+    missing_dependencies,
+    spurious_dependencies,
+    unsound_composites,
+)
+from repro.provenance.viewlevel import lineage_correctness
+from repro.views.view import WorkflowView
+from repro.workflow.builder import spec_from_edges
+
+
+@st.composite
+def specs_with_views(draw, max_nodes=10):
+    """A random spec plus a random topo-interval view (well-formed)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                           max_size=len(pairs)))
+    spec = spec_from_edges("prop", chosen, extra_tasks=range(n))
+    order = spec.topological_order()
+    cut_candidates = list(range(1, n))
+    cuts = sorted(draw(st.lists(st.sampled_from(cut_candidates),
+                                unique=True,
+                                max_size=len(cut_candidates))) \
+                  if cut_candidates else [])
+    bounds = [0] + cuts + [n]
+    groups = {f"c{i}": order[a:b]
+              for i, (a, b) in enumerate(zip(bounds, bounds[1:]))
+              if a < b}
+    return spec, WorkflowView(spec, groups)
+
+
+@given(specs_with_views())
+@settings(max_examples=120, deadline=None)
+def test_proposition_2_1_implication(spec_and_view):
+    """All composites sound => Definition 2.1 holds (the safe direction).
+
+    The converse is deliberately not asserted: redundant dependencies can
+    mask an unsound composite at pairwise granularity (see the explicit
+    counterexample below and the note in repro.core.soundness).
+    """
+    _, view = spec_and_view
+    if is_sound_view(view):
+        assert is_sound_view_by_definition(view)
+
+
+def test_proposition_2_1_converse_counterexample():
+    """The masking counterexample: unsound composite, pairwise-clean view."""
+    spec = spec_from_edges("mask", [("x", "i"), ("o", "y"), ("x", "y")])
+    view = WorkflowView(spec, {"S": ["x"], "T": ["i", "o"], "U": ["y"]})
+    assert not is_sound_view(view)          # T breaks Definition 2.3
+    assert is_sound_view_by_definition(view)  # every pair checks out
+
+
+@given(specs_with_views())
+@settings(max_examples=100, deadline=None)
+def test_pairwise_soundness_iff_no_spurious_dependencies(spec_and_view):
+    _, view = spec_and_view
+    assert missing_dependencies(view) == []
+    assert (is_sound_view_by_definition(view)
+            == (spurious_dependencies(view) == []))
+    if is_sound_view(view):
+        assert spurious_dependencies(view) == []
+
+
+@given(specs_with_views())
+@settings(max_examples=80, deadline=None)
+def test_lineage_exact_iff_pairwise_sound(spec_and_view):
+    """The paper's motivation: lineage queries are exact exactly when the
+    view preserves pairwise dependencies; composite soundness implies it."""
+    _, view = spec_and_view
+    precision, recall, comparisons = lineage_correctness(view)
+    assert recall == 1.0
+    all_exact = all(c.exact for c in comparisons)
+    assert all_exact == is_sound_view_by_definition(view)
+    if is_sound_view(view):
+        assert precision == 1.0 and all_exact
+
+
+@given(specs_with_views())
+@settings(max_examples=80, deadline=None)
+def test_singleton_composites_never_unsound(spec_and_view):
+    _, view = spec_and_view
+    bad = set(unsound_composites(view))
+    for label in view.composite_labels():
+        if len(view.members(label)) == 1:
+            assert label not in bad

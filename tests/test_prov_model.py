@@ -1,0 +1,83 @@
+"""Unit tests for repro.provenance.model."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
+
+
+def small_graph():
+    graph = ProvenanceGraph()
+    graph.record_invocation(Invocation("inv-1", task_id=1))
+    graph.record_artifact(Artifact("a1", producer="inv-1", payload="x"))
+    graph.record_invocation(Invocation("inv-2", task_id=2), used=["a1"])
+    graph.record_artifact(Artifact("a2", producer="inv-2"))
+    return graph
+
+
+class TestRecording:
+    def test_basic_recording(self):
+        graph = small_graph()
+        assert len(graph) == 4
+        assert graph.used("inv-2") == ["a1"]
+        assert graph.generated_by("a2") == "inv-2"
+
+    def test_duplicate_invocation_rejected(self):
+        graph = small_graph()
+        with pytest.raises(ProvenanceError):
+            graph.record_invocation(Invocation("inv-1", task_id=9))
+
+    def test_duplicate_artifact_rejected(self):
+        graph = small_graph()
+        with pytest.raises(ProvenanceError):
+            graph.record_artifact(Artifact("a1", producer="inv-1"))
+
+    def test_artifact_needs_known_producer(self):
+        graph = ProvenanceGraph()
+        with pytest.raises(ProvenanceError):
+            graph.record_artifact(Artifact("a", producer="ghost"))
+
+    def test_invocation_needs_known_inputs(self):
+        graph = ProvenanceGraph()
+        with pytest.raises(ProvenanceError):
+            graph.record_invocation(Invocation("inv", task_id=1),
+                                    used=["ghost"])
+
+
+class TestAccess:
+    def test_lookups(self):
+        graph = small_graph()
+        assert graph.artifact("a1").payload == "x"
+        assert graph.invocation("inv-2").task_id == 2
+
+    def test_unknown_lookups(self):
+        graph = small_graph()
+        with pytest.raises(ProvenanceError):
+            graph.artifact("nope")
+        with pytest.raises(ProvenanceError):
+            graph.invocation("nope")
+        with pytest.raises(ProvenanceError):
+            graph.used("nope")
+        with pytest.raises(ProvenanceError):
+            graph.generated_by("nope")
+
+    def test_outputs_of(self):
+        graph = small_graph()
+        assert graph.outputs_of("inv-1") == ["a1"]
+
+    def test_invocation_of_task(self):
+        graph = small_graph()
+        assert graph.invocation_of_task(2).invocation_id == "inv-2"
+        assert graph.invocation_of_task(99) is None
+
+
+class TestDigraphForm:
+    def test_opm_edges(self):
+        graph = small_graph().to_digraph()
+        assert graph.has_edge(("invocation", "inv-1"), ("artifact", "a1"))
+        assert graph.has_edge(("artifact", "a1"), ("invocation", "inv-2"))
+
+    def test_bipartite(self):
+        graph = small_graph().to_digraph()
+        for source, target in graph.edges():
+            assert source[0] != target[0]

@@ -1,0 +1,57 @@
+"""API-surface tests: the documented public interface stays importable.
+
+Guards against accidental breakage of ``__all__`` exports — the contract
+downstream users rely on.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graphs",
+    "repro.workflow",
+    "repro.views",
+    "repro.core",
+    "repro.provenance",
+    "repro.repository",
+    "repro.system",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} must declare __all__"
+    for name in exported:
+        assert hasattr(package, name), (
+            f"{package_name}.__all__ lists {name!r} but the attribute "
+            f"is missing")
+
+
+def test_top_level_quickstart_names():
+    """The names the README quickstart uses are top-level exports."""
+    import repro
+
+    for name in ("WorkflowBuilder", "WorkflowView", "validate_view",
+                 "correct_view", "Criterion", "execute", "lineage_tasks",
+                 "build_corpus", "WolvesSession"):
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable exported at top level carries a docstring."""
+    import repro
+
+    for name in repro.__all__:
+        item = getattr(repro, name)
+        if callable(item) and not isinstance(item, type(repro)):
+            assert item.__doc__, f"repro.{name} lacks a docstring"

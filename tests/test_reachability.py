@@ -1,0 +1,118 @@
+"""Unit tests for repro.graphs.reachability, cross-checked with networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import CycleError, NodeNotFoundError
+from repro.graphs.dag import Digraph
+from repro.graphs.generators import random_dag
+from repro.graphs.reachability import (
+    ReachabilityIndex,
+    reachable_pairs,
+    restrict_index,
+    transitive_closure,
+)
+from tests.helpers import graph_from_edges
+
+
+class TestReachabilityIndex:
+    def test_chain(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2), (2, 3)]))
+        assert index.reaches(1, 3)
+        assert index.reaches(1, 2)
+        assert not index.reaches(3, 1)
+        assert not index.reaches(2, 1)
+
+    def test_strict_not_reflexive(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2)]))
+        assert not index.reaches(1, 1)
+        assert index.reaches_or_equal(1, 1)
+
+    def test_diamond(self):
+        index = ReachabilityIndex(
+            graph_from_edges([(1, 2), (1, 3), (2, 4), (3, 4)]))
+        assert index.reaches(1, 4)
+        assert not index.reaches(2, 3)
+        assert not index.reaches(3, 2)
+
+    def test_descendants_and_ancestors(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2), (2, 3)]))
+        assert set(index.descendants(1)) == {2, 3}
+        assert set(index.ancestors(3)) == {1, 2}
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            ReachabilityIndex(graph_from_edges([(1, 2), (2, 1)]))
+
+    def test_unknown_node(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2)]))
+        with pytest.raises(NodeNotFoundError):
+            index.reaches(1, "ghost")
+
+    def test_mask_roundtrip(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2), (2, 3)]))
+        mask = index.mask_of([1, 3])
+        assert set(index.nodes_of(mask)) == {1, 3}
+
+    def test_set_masks(self):
+        index = ReachabilityIndex(
+            graph_from_edges([(1, 2), (3, 4)]))
+        down = index.descendants_mask_of_set([1, 3])
+        assert set(index.nodes_of(down)) == {2, 4}
+        up = index.ancestors_mask_of_set([2, 4])
+        assert set(index.nodes_of(up)) == {1, 3}
+
+    def test_matches_networkx_on_random_dags(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            g = random_dag(rng, rng.randint(1, 20), rng.uniform(0.05, 0.5))
+            nxg = nx.DiGraph(g.edges())
+            nxg.add_nodes_from(g.nodes())
+            index = ReachabilityIndex(g)
+            for u in g.nodes():
+                expected = set(nx.descendants(nxg, u))
+                assert set(index.descendants(u)) == expected
+
+    def test_all_pairs(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2)]))
+        pairs = index.all_pairs()
+        assert pairs[1] == [2]
+        assert pairs[2] == []
+
+
+class TestTransitiveClosure:
+    def test_closure_edges(self):
+        closure = transitive_closure(graph_from_edges([(1, 2), (2, 3)]))
+        assert closure.has_edge(1, 3)
+        assert closure.has_edge(1, 2)
+        assert not closure.has_edge(3, 1)
+
+    def test_closure_preserves_nodes(self):
+        g = Digraph()
+        g.add_node("lonely")
+        closure = transitive_closure(g)
+        assert "lonely" in closure
+
+    def test_reachable_pairs(self):
+        pairs = reachable_pairs(graph_from_edges([(1, 2), (2, 3)]))
+        assert set(pairs) == {(1, 2), (1, 3), (2, 3)}
+
+
+class TestRestrictIndex:
+    def test_restriction_uses_full_graph_paths(self):
+        # 1 -> x -> 2: restricted to [1, 2], 1 still reaches 2 through x.
+        g = graph_from_edges([(1, "x"), ("x", 2)])
+        index = ReachabilityIndex(g)
+        local = restrict_index(index, [1, 2])
+        assert local[1] & 0b10  # bit of node 2
+        assert not local[2]
+
+    def test_restriction_numbering(self):
+        g = graph_from_edges([(1, 2), (2, 3)])
+        index = ReachabilityIndex(g)
+        local = restrict_index(index, [3, 1])  # custom order
+        # node 1 (local bit 1) reaches node 3 (local bit 0)
+        assert local[1] == 0b01
+        assert local[3] == 0

@@ -1,0 +1,50 @@
+"""Unit tests for the audit report module."""
+
+from repro.core.corrector import Criterion
+from repro.system.report import audit_report, audit_view
+from repro.workflow.catalog import (
+    climate_view,
+    order_processing_view,
+    phylogenomics_view,
+)
+
+
+class TestAuditView:
+    def test_unsound_view_finding(self):
+        finding = audit_view(phylogenomics_view())
+        assert not finding.sound
+        assert finding.repair_order == [16]
+        assert "correction adds 1 composite" in finding.correction_preview
+        text = "\n".join(finding.lines())
+        assert "UNSOUND" in text
+        assert "repair order: 16" in text
+
+    def test_sound_view_finding(self):
+        finding = audit_view(order_processing_view())
+        assert finding.sound
+        assert finding.repair_order == []
+        assert finding.correction_preview is None
+        assert "sound" in finding.lines()[0]
+
+    def test_preview_can_be_disabled(self):
+        finding = audit_view(phylogenomics_view(),
+                             preview_correction=False)
+        assert finding.correction_preview is None
+
+    def test_weak_criterion_preview(self):
+        finding = audit_view(climate_view(), criterion=Criterion.WEAK)
+        assert "weak correction" in finding.correction_preview
+
+
+class TestAuditReport:
+    def test_multi_view_report(self):
+        text = audit_report([phylogenomics_view(), climate_view(),
+                             order_processing_view()])
+        assert "audited 3 view(s): 2 unsound" in text
+        assert "phylogenomics-view" in text
+        assert "climate-view" in text
+        assert "order-view" in text
+
+    def test_repair_order_most_broken_first(self):
+        finding = audit_view(climate_view())
+        assert finding.repair_order == ["extract", "bias-correct"]

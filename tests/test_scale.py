@@ -1,0 +1,98 @@
+"""Scale tests: the polynomial components stay fast at realistic sizes.
+
+These are correctness-plus-budget tests, not micro-benchmarks: each asserts
+a generous wall-clock ceiling so CI catches accidental complexity
+regressions (e.g. the strong corrector degenerating to its exponential
+worst case on ordinary inputs).
+"""
+
+import random
+import time
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import is_sound_view, validate_view
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+from repro.graphs.generators import layered_dag
+from repro.graphs.reachability import ReachabilityIndex
+from repro.repository.synthetic import synthetic_workflow
+from repro.views.builders import random_convex_view
+from repro.views.editor import ViewEditor
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+class TestValidatorScale:
+    def test_validate_500_task_workflow(self):
+        workflow = synthetic_workflow(seed=1, size=500, shape="layered")
+        rng = random.Random(1)
+        view = random_convex_view(rng, workflow.spec, 60)
+        _, elapsed = timed(lambda: validate_view(view))
+        assert elapsed < 2.0
+
+    def test_reachability_index_1000_nodes(self):
+        rng = random.Random(2)
+        graph = layered_dag(rng, 50, 20, edge_prob=0.2)
+        assert len(graph) > 400
+        index, elapsed = timed(lambda: ReachabilityIndex(graph))
+        assert elapsed < 2.0
+        # queries are effectively free afterwards
+        nodes = graph.nodes()
+        _, query_time = timed(lambda: sum(
+            index.reaches(nodes[0], v) for v in nodes))
+        assert query_time < 0.1
+
+
+class TestCorrectorScale:
+    def test_weak_and_strong_on_60_task_composite(self):
+        rng = random.Random(3)
+        graph = layered_dag(rng, 12, 5, edge_prob=0.4)
+        nodes = graph.nodes()
+        ctx = CompositeContext(
+            nodes, graph.edges(),
+            ext_in={v: rng.random() < 0.3 or not graph.predecessors(v)
+                    for v in nodes},
+            ext_out={v: rng.random() < 0.3 or not graph.successors(v)
+                     for v in nodes})
+        assert ctx.n >= 30
+        weak, weak_time = timed(lambda: weak_split(ctx))
+        strong, strong_time = timed(lambda: strong_split(ctx))
+        assert strong.part_count <= weak.part_count
+        assert weak_time < 5.0
+        assert strong_time < 10.0
+
+    def test_correct_view_on_200_task_workflow(self):
+        workflow = synthetic_workflow(seed=4, size=200, shape="random")
+        rng = random.Random(4)
+        view = random_convex_view(rng, workflow.spec, 25)
+        report, elapsed = timed(
+            lambda: correct_view(view, Criterion.STRONG))
+        assert is_sound_view(report.corrected)
+        assert elapsed < 20.0
+
+
+class TestEditorScale:
+    def test_100_edits_on_150_task_workflow(self):
+        workflow = synthetic_workflow(seed=5, size=150, shape="layered")
+        spec = workflow.spec
+        rng = random.Random(5)
+        editor = ViewEditor(spec)
+        tasks = spec.task_ids()
+
+        def apply_edits():
+            for _ in range(100):
+                editor.group(rng.sample(tasks, 2))
+            return editor
+
+        _, elapsed = timed(apply_edits)
+        assert elapsed < 10.0
+        # incremental bookkeeping still agrees with the ground truth
+        from repro.core.soundness import unsound_composites
+
+        assert (set(editor.unsound_composites())
+                == set(unsound_composites(editor.to_view())))

@@ -1,0 +1,97 @@
+"""Unit tests for repro.system.session (the Figure 2 loop)."""
+
+import pytest
+
+from repro.core.corrector import Criterion
+from repro.errors import ViewError
+from repro.system.session import WolvesSession
+from repro.workflow.catalog import (
+    figure3_spec,
+    figure3_view,
+    phylogenomics,
+    phylogenomics_view,
+)
+
+
+def make_session():
+    view = phylogenomics_view()
+    return WolvesSession(view.spec, view)
+
+
+class TestSessionLifecycle:
+    def test_validate_logs_history(self):
+        session = make_session()
+        report = session.validate()
+        assert not report.sound
+        assert session.history[-1].kind == "validate"
+
+    def test_correct_makes_sound(self):
+        session = make_session()
+        session.correct(Criterion.STRONG)
+        assert session.is_sound
+        assert len(session.view) == 8
+
+    def test_split_single_task(self):
+        session = make_session()
+        result = session.split_task(16, Criterion.OPTIMAL)
+        assert result.part_count == 2
+        assert session.is_sound
+
+    def test_feedback_merge_revalidates(self):
+        session = make_session()
+        session.correct(Criterion.STRONG)
+        outcome = session.create_composite_task(["16.1", "16.2"],
+                                                new_label="16-again")
+        # merging the split parts re-creates the unsound composite
+        assert not outcome.sound
+        assert outcome.warning is not None
+        assert not session.is_sound
+
+    def test_full_figure2_loop(self):
+        # validate -> correct -> feedback merge -> re-validate -> re-correct
+        session = make_session()
+        assert not session.validate().sound
+        session.correct(Criterion.STRONG)
+        assert session.validate().sound
+        session.create_composite_task([13, 14], new_label="front")
+        assert session.validate().sound
+        transcript = session.transcript()
+        assert "validate" in transcript
+        assert "correct" in transcript
+        assert "merge" in transcript
+
+    def test_move_task(self):
+        session = make_session()
+        session.move_task(7, 15)
+        assert session.view.composite_of(7) == 15
+
+    def test_estimates_need_history(self):
+        session = make_session()
+        assert session.estimates(16) == {}
+        session.split_task(16, Criterion.WEAK)
+        # after one correction the estimator can speak about weak
+        fresh = WolvesSession(*_fresh_phylo(session))
+        fresh.corrector = session.corrector
+        assert "weak" in fresh.estimates(16)
+
+    def test_view_must_match_spec(self):
+        with pytest.raises(ViewError):
+            WolvesSession(figure3_spec(), phylogenomics_view())
+
+
+def _fresh_phylo(session):
+    view = phylogenomics_view()
+    return view.spec, view
+
+
+class TestSessionOnFigure3:
+    def test_criteria_disagree_as_published(self):
+        view = figure3_view()
+        weak_session = WolvesSession(view.spec, view)
+        weak_session.correct(Criterion.WEAK)
+        strong_view = figure3_view()
+        strong_session = WolvesSession(strong_view.spec, strong_view)
+        strong_session.correct(Criterion.STRONG)
+        # 8 vs 5 resulting parts (plus the 2 untouched composites)
+        assert len(weak_session.view) == 8 + 2
+        assert len(strong_session.view) == 5 + 2

@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.soundness."""
+
+import random
+
+from repro.core.soundness import (
+    is_sound_composite,
+    is_sound_view,
+    is_sound_view_by_definition,
+    missing_dependencies,
+    soundness_witness,
+    spurious_dependencies,
+    unsound_composites,
+    validate_view,
+)
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics_view
+from tests.helpers import (
+    diamond_spec,
+    random_spec_and_view,
+    two_track_spec,
+    unsound_two_track_view,
+)
+
+
+class TestCompositeSoundness:
+    def test_singletons_always_sound(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {f"s{t}": [t] for t in spec.task_ids()})
+        for label in view.composite_labels():
+            assert is_sound_composite(view, label)
+
+    def test_unsound_composite_with_witness(self):
+        view = unsound_two_track_view()  # B = {2, 3} across tracks
+        assert not is_sound_composite(view, "B")
+        witness = soundness_witness(view, "B")
+        # 2's external input comes from 1; 3's external output goes to 4;
+        # both 2 and 3 are in B.in and B.out, and 3 never reaches 2.
+        assert witness is not None
+        t_in, t_out = witness
+        assert not view.spec.reachability().reaches_or_equal(t_in, t_out)
+
+    def test_empty_out_set_is_vacuously_sound(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"head": [1, 3], "rest": [2, 4, 5]})
+        # {2,4,5} swallows the sink: out set is empty
+        assert view.out_set("rest") == []
+        assert is_sound_composite(view, "rest")
+
+    def test_reflexive_reachability_accepted(self):
+        # a single task with both external input and output is sound
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"a": [1], "b": [2], "c": [3],
+                                   "d": [4], "e": [5]})
+        assert is_sound_composite(view, "b")
+
+
+class TestViewSoundness:
+    def test_sound_view(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"head": [1], "body": [2, 3, 4]})
+        assert is_sound_view(view)
+
+    def test_unsound_view(self):
+        assert not is_sound_view(unsound_two_track_view())
+
+    def test_ill_formed_view_is_not_sound(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]})
+        assert not view.is_well_formed()
+        assert not is_sound_view(view)
+
+    def test_unsound_composites_listing(self):
+        assert unsound_composites(unsound_two_track_view()) == ["B"]
+
+
+class TestProposition21:
+    """Proposition 2.1: composite soundness implies Definition 2.1.
+
+    The implication is strict — see the masking counterexample in
+    test_prop_soundness.py — so these tests assert the safe direction and
+    record that disagreements only ever go one way.
+    """
+
+    def test_on_paper_example(self):
+        view = phylogenomics_view()
+        assert not is_sound_view(view)
+        assert not is_sound_view_by_definition(view)
+
+    def test_on_random_views(self):
+        rng = random.Random(21)
+        for _ in range(60):
+            _, view = random_spec_and_view(rng)
+            if is_sound_view(view):
+                assert is_sound_view_by_definition(view)
+            if not is_sound_view_by_definition(view):
+                assert not is_sound_view(view)
+
+
+class TestValidationReport:
+    def test_sound_report(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"head": [1], "body": [2, 3, 4]},
+                            name="ok")
+        report = validate_view(view)
+        assert report.sound
+        assert report.witnesses == {}
+        assert "sound" in report.summary()
+
+    def test_unsound_report_carries_witnesses(self):
+        report = validate_view(unsound_two_track_view())
+        assert not report.sound
+        assert report.well_formed
+        assert set(report.unsound_composites) == {"B"}
+        assert "no path" in report.summary()
+
+    def test_ill_formed_report(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]},
+                            name="bad")
+        report = validate_view(view)
+        assert not report.well_formed
+        assert report.cycle is not None
+        assert "cycle" in report.summary()
+
+
+class TestPathEnumerationChecker:
+    """The naive exponential checker of Section 2.1, used by E8."""
+
+    def test_agrees_with_pairwise_closure(self):
+        from repro.core.soundness import is_sound_view_by_path_enumeration
+
+        rng = random.Random(55)
+        for _ in range(25):
+            _, view = random_spec_and_view(rng, max_nodes=10)
+            assert (is_sound_view_by_path_enumeration(view)
+                    == is_sound_view_by_definition(view))
+
+    def test_budget_exhaustion_raises(self):
+        from repro.core.soundness import is_sound_view_by_path_enumeration
+
+        # a dense diamond lattice has exponentially many simple paths
+        edges = []
+        for i in range(12):
+            for j in range(i + 1, 12):
+                edges.append((i, j))
+        from repro.workflow.builder import spec_from_edges
+
+        spec = spec_from_edges("dense", edges)
+        view = WorkflowView(spec, {"a": list(range(6)),
+                                   "b": list(range(6, 12))})
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            is_sound_view_by_path_enumeration(view, path_budget=50)
+
+    def test_ill_formed_is_unsound(self):
+        from repro.core.soundness import is_sound_view_by_path_enumeration
+
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]})
+        assert not is_sound_view_by_path_enumeration(view)
+
+
+class TestDependencyDiagnostics:
+    def test_spurious_of_paper_view(self):
+        assert (14, 18) in spurious_dependencies(phylogenomics_view())
+
+    def test_no_spurious_on_sound_view(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"head": [1], "body": [2, 3, 4]})
+        assert spurious_dependencies(view) == []
+
+    def test_missing_always_empty_for_well_formed(self):
+        rng = random.Random(33)
+        for _ in range(40):
+            _, view = random_spec_and_view(rng)
+            assert missing_dependencies(view) == []

@@ -1,0 +1,134 @@
+"""Unit tests for repro.workflow.spec."""
+
+import pytest
+
+from repro.errors import CycleError, WorkflowError
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import Task
+from tests.helpers import diamond_spec
+
+
+class TestConstruction:
+    def test_empty(self):
+        spec = WorkflowSpec("empty")
+        assert len(spec) == 0
+        assert spec.name == "empty"
+
+    def test_add_task_and_dependency(self):
+        spec = WorkflowSpec()
+        spec.add_task(Task(1))
+        spec.add_task(Task(2))
+        spec.add_dependency(1, 2)
+        assert spec.dependencies() == [(1, 2)]
+
+    def test_readding_task_replaces(self):
+        spec = WorkflowSpec()
+        spec.add_task(Task(1, name="old"))
+        spec.add_task(Task(1, name="new"))
+        assert spec.task(1).name == "new"
+        assert len(spec) == 1
+
+    def test_dependency_on_unknown_task(self):
+        spec = WorkflowSpec()
+        spec.add_task(Task(1))
+        with pytest.raises(WorkflowError):
+            spec.add_dependency(1, 99)
+        with pytest.raises(WorkflowError):
+            spec.add_dependency(99, 1)
+
+    def test_self_dependency_rejected(self):
+        spec = WorkflowSpec()
+        spec.add_task(Task(1))
+        with pytest.raises(WorkflowError):
+            spec.add_dependency(1, 1)
+
+    def test_cycle_rejected_and_rolled_back(self):
+        spec = WorkflowSpec()
+        for i in (1, 2, 3):
+            spec.add_task(Task(i))
+        spec.add_dependency(1, 2)
+        spec.add_dependency(2, 3)
+        with pytest.raises(CycleError):
+            spec.add_dependency(3, 1)
+        # the offending edge must not linger
+        assert (3, 1) not in spec.dependencies()
+        spec.validate()
+
+    def test_ctor_with_tasks_and_dependencies(self):
+        spec = WorkflowSpec("wf", tasks=[Task(1), Task(2)],
+                            dependencies=[(1, 2)])
+        assert spec.depends_on(2, 1)
+
+
+class TestQueries:
+    def test_entry_and_exit(self):
+        spec = diamond_spec()
+        assert spec.entry_tasks() == [1]
+        assert spec.exit_tasks() == [4]
+
+    def test_predecessors_successors(self):
+        spec = diamond_spec()
+        assert set(spec.successors(1)) == {2, 3}
+        assert set(spec.predecessors(4)) == {2, 3}
+
+    def test_depends_on(self):
+        spec = diamond_spec()
+        assert spec.depends_on(4, 1)
+        assert not spec.depends_on(1, 4)
+        assert not spec.depends_on(3, 2)
+
+    def test_topological_order(self):
+        spec = diamond_spec()
+        order = spec.topological_order()
+        assert order.index(1) < order.index(2) < order.index(4)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(WorkflowError):
+            diamond_spec().task(99)
+
+    def test_contains(self):
+        spec = diamond_spec()
+        assert 1 in spec
+        assert 99 not in spec
+
+
+class TestMutation:
+    def test_remove_dependency(self):
+        spec = diamond_spec()
+        spec.remove_dependency(1, 2)
+        assert (1, 2) not in spec.dependencies()
+
+    def test_remove_task(self):
+        spec = diamond_spec()
+        spec.remove_task(2)
+        assert 2 not in spec
+        assert all(2 not in edge for edge in spec.dependencies())
+
+    def test_remove_unknown_task(self):
+        with pytest.raises(WorkflowError):
+            diamond_spec().remove_task(99)
+
+    def test_reachability_cache_invalidated(self):
+        spec = diamond_spec()
+        assert spec.depends_on(4, 1)
+        spec.remove_dependency(1, 2)
+        spec.remove_dependency(1, 3)
+        assert not spec.depends_on(4, 1)
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        spec = diamond_spec()
+        clone = spec.copy("clone")
+        clone.remove_task(4)
+        assert 4 in spec
+        assert clone.name == "clone"
+
+    def test_copy_preserves_structure(self):
+        spec = diamond_spec()
+        clone = spec.copy()
+        assert set(clone.dependencies()) == set(spec.dependencies())
+        assert clone.task(1) == spec.task(1)
+
+    def test_repr(self):
+        assert "tasks=4" in repr(diamond_spec())

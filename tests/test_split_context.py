@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.split (CompositeContext, SplitResult)."""
+
+import pytest
+
+from repro.core.split import CompositeContext, SplitResult, apply_split
+from repro.errors import CorrectionError
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import figure3_view, phylogenomics_view
+from tests.helpers import two_track_spec, unsound_two_track_view
+
+
+class TestFromView:
+    def test_members_and_edges(self):
+        ctx = CompositeContext.from_view(phylogenomics_view(), 16)
+        assert set(ctx.order) == {4, 7}
+        assert ctx.graph.edge_count() == 0  # no spec edge between 4 and 7
+
+    def test_boundary_flags(self):
+        ctx = CompositeContext.from_view(phylogenomics_view(), 16)
+        i4 = ctx.local[4]
+        i7 = ctx.local[7]
+        assert ctx.ext_in[i4] and ctx.ext_out[i4]
+        assert ctx.ext_in[i7] and ctx.ext_out[i7]
+
+    def test_figure3_context(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        assert ctx.n == 12
+        assert ctx.graph.edge_count() == 9
+
+    def test_standalone(self):
+        ctx = CompositeContext.standalone(two_track_spec())
+        assert ctx.n == 5
+        entry_bits = [ctx.local[t] for t in (1, 3)]
+        assert all(ctx.ext_in[i] for i in entry_bits)
+        sink_bit = ctx.local[5]
+        assert ctx.ext_out[sink_bit]
+
+
+class TestBitmaskMachinery:
+    def ctx(self):
+        return CompositeContext.from_view(unsound_two_track_view(), "B")
+
+    def test_in_out_masks(self):
+        ctx = self.ctx()
+        full = ctx.full_mask
+        # task 2 receives from task 1 outside; task 3 is a pure source,
+        # so only 2 is in the in set, while both send output outside
+        assert ctx.in_mask(full) == 1 << ctx.local[2]
+        assert ctx.out_mask(full) == full
+
+    def test_first_offence(self):
+        ctx = self.ctx()
+        offence = ctx.first_offence(ctx.full_mask)
+        assert offence is not None
+        i, o = offence
+        assert not (ctx.reach[i] >> o) & 1
+
+    def test_singletons_sound(self):
+        ctx = self.ctx()
+        for i in range(ctx.n):
+            assert ctx.is_sound_part(1 << i)
+
+    def test_partition_check(self):
+        ctx = self.ctx()
+        assert ctx.is_partition([0b01, 0b10])
+        assert not ctx.is_partition([0b01])
+        assert not ctx.is_partition([0b01, 0b11])
+        assert not ctx.is_partition([0b01, 0b10, 0])
+
+    def test_quotient_acyclicity(self):
+        view = figure3_view()
+        ctx = CompositeContext.from_view(view, "T")
+        # grouping {a, f} with {c} separate: a -> c -> f makes a cycle
+        a_f = ctx.mask_of(["a", "f"])
+        c = ctx.mask_of(["c"])
+        rest = ctx.full_mask & ~a_f & ~c
+        singles = [1 << i for i in range(ctx.n) if (1 << i) & rest]
+        assert not ctx.parts_quotient_acyclic([a_f, c] + singles)
+        # but singletons are fine
+        assert ctx.parts_quotient_acyclic(ctx.singleton_parts())
+
+    def test_mask_roundtrip(self):
+        ctx = self.ctx()
+        mask = ctx.mask_of([2, 3])
+        assert set(ctx.tasks_of(mask)) == {2, 3}
+
+
+class TestApplySplit:
+    def test_apply_two_parts(self):
+        view = unsound_two_track_view()
+        result = SplitResult(algorithm="test", parts=[[2], [3]])
+        fixed = apply_split(view, "B", result)
+        assert len(fixed) == 5
+
+    def test_single_part_returns_same_view(self):
+        view = unsound_two_track_view()
+        result = SplitResult(algorithm="test", parts=[[2, 3]])
+        assert apply_split(view, "B", result) is view
+
+    def test_empty_split_rejected(self):
+        view = unsound_two_track_view()
+        result = SplitResult(algorithm="test", parts=[])
+        with pytest.raises(CorrectionError):
+            apply_split(view, "B", result)
+
+    def test_part_count(self):
+        result = SplitResult(algorithm="test", parts=[[1], [2]])
+        assert result.part_count == 2

@@ -1,0 +1,83 @@
+"""Unit tests for view quality statistics."""
+
+import pytest
+
+from repro.views.stats import (
+    composite_stats,
+    rank_repair_candidates,
+    view_stats,
+)
+from repro.workflow.catalog import (
+    climate_view,
+    phylogenomics_view,
+)
+from tests.helpers import unsound_two_track_view
+
+
+class TestCompositeStats:
+    def test_figure1_composite_16(self):
+        stats = composite_stats(phylogenomics_view(), 16)
+        assert stats.size == 2
+        assert stats.in_size == 2
+        assert stats.out_size == 2
+        assert stats.required_pairs == 4
+        # the reflexive pairs (4,4) and (7,7) hold; both cross pairs
+        # (4,7) and (7,4) are broken
+        assert stats.connected_pairs == 2
+        assert stats.soundness_margin == pytest.approx(0.5)
+        assert not stats.is_sound
+
+    def test_sound_composite_full_margin(self):
+        stats = composite_stats(phylogenomics_view(), 13)
+        assert stats.is_sound
+        assert stats.soundness_margin == 1.0
+
+    def test_empty_out_set_margin(self):
+        stats = composite_stats(phylogenomics_view(), 19)
+        assert stats.required_pairs in (0, stats.connected_pairs)
+        assert stats.soundness_margin == 1.0
+
+
+class TestViewStats:
+    def test_phylogenomics_aggregate(self):
+        stats = view_stats(phylogenomics_view())
+        assert stats.tasks == 12
+        assert stats.composites == 7
+        assert stats.unsound_composites == 1
+        assert stats.min_margin == pytest.approx(0.5)
+        assert stats.largest_composite == 4
+        assert not stats.is_sound
+        assert "unsound" in stats.summary()
+
+    def test_sound_view_summary(self):
+        from repro.core.corrector import Criterion, correct_view
+
+        fixed = correct_view(phylogenomics_view(),
+                             Criterion.STRONG).corrected
+        stats = view_stats(fixed)
+        assert stats.is_sound
+        assert "sound" in stats.summary()
+        assert stats.mean_margin == 1.0
+
+    def test_compression_matches_view(self):
+        view = phylogenomics_view()
+        assert view_stats(view).compression == pytest.approx(
+            view.compression_ratio())
+
+
+class TestRepairRanking:
+    def test_most_broken_first(self):
+        view = climate_view()
+        ranked = rank_repair_candidates(view)
+        assert set(ranked) == {"extract", "bias-correct"}
+        margins = [composite_stats(view, label).soundness_margin
+                   for label in ranked]
+        assert margins == sorted(margins)
+
+    def test_sound_view_has_no_candidates(self):
+        from repro.workflow.catalog import order_processing_view
+
+        assert rank_repair_candidates(order_processing_view()) == []
+
+    def test_two_track(self):
+        assert rank_repair_candidates(unsound_two_track_view()) == ["B"]

@@ -1,0 +1,116 @@
+"""Unit tests for the multi-run provenance store."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.execution import execute
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import diamond_spec
+
+
+def store_with_runs():
+    spec = diamond_spec()
+    store = ProvenanceStore(spec)
+    store.add_run(execute(spec, run_id="r1"))
+    store.add_run(execute(spec, run_id="r2",
+                          overrides={2: {"threshold": 0.5}}))
+    store.add_run(execute(spec, run_id="r3", inputs={1: "other-batch"}))
+    return spec, store
+
+
+class TestRecording:
+    def test_add_and_lookup(self):
+        _, store = store_with_runs()
+        assert len(store) == 3
+        assert store.run("r1").run_id == "r1"
+        assert set(store.run_ids()) == {"r1", "r2", "r3"}
+
+    def test_duplicate_run_rejected(self):
+        spec, store = store_with_runs()
+        with pytest.raises(ProvenanceError):
+            store.add_run(execute(spec, run_id="r1"))
+
+    def test_foreign_run_rejected(self):
+        _, store = store_with_runs()
+        other = phylogenomics()
+        with pytest.raises(ProvenanceError):
+            store.add_run(execute(other, run_id="alien"))
+
+    def test_unknown_run(self):
+        _, store = store_with_runs()
+        with pytest.raises(ProvenanceError):
+            store.run("nope")
+
+
+class TestCrossRunQueries:
+    def test_runs_producing_shared_payload(self):
+        _, store = store_with_runs()
+        # task 1 has identical parameters/inputs in r1 and r2, so the same
+        # payload shows up in both; r3 changed the input
+        payload = store.run("r1").output_artifact(1).payload
+        producers = store.runs_producing(payload)
+        assert ("r1", 1) in producers
+        assert ("r2", 1) in producers
+        assert all(run != "r3" for run, _ in producers)
+
+    def test_runs_depending_on_output(self):
+        _, store = store_with_runs()
+        dependents = store.runs_depending_on_output_of("r1", 1)
+        assert "r1" in dependents and "r2" in dependents
+        assert "r3" not in dependents
+
+    def test_divergence(self):
+        _, store = store_with_runs()
+        # r2 changed task 2's parameters: 2 and its dependent 4 diverge
+        assert store.divergence("r1", "r2") == [2, 4]
+        # r3 changed the workflow input: everything diverges
+        assert store.divergence("r1", "r3") == [1, 2, 3, 4]
+
+    def test_blame_finds_root_cause(self):
+        _, store = store_with_runs()
+        assert store.blame("r1", "r2") == [2]
+        assert store.blame("r1", "r3") == [1]
+
+    def test_identical_runs_no_divergence(self):
+        spec = diamond_spec()
+        store = ProvenanceStore(spec)
+        store.add_run(execute(spec, run_id="a"))
+        store.add_run(execute(spec, run_id="b"))
+        assert store.divergence("a", "b") == []
+        assert store.blame("a", "b") == []
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        spec, store = store_with_runs()
+        restored = ProvenanceStore.from_json(store.to_json(), spec)
+        assert len(restored) == 3
+        assert restored.divergence("r1", "r2") == [2, 4]
+        assert restored.blame("r1", "r3") == [1]
+
+    def test_roundtrip_preserves_payloads(self):
+        spec, store = store_with_runs()
+        restored = ProvenanceStore.from_json(store.to_json(), spec)
+        for run_id in store.run_ids():
+            for task in spec.task_ids():
+                assert (restored.run(run_id).output_artifact(task).payload
+                        == store.run(run_id).output_artifact(task).payload)
+
+    def test_bad_documents(self):
+        spec = diamond_spec()
+        with pytest.raises(ProvenanceError):
+            ProvenanceStore.from_json("{broken", spec)
+        with pytest.raises(ProvenanceError):
+            ProvenanceStore.from_json('{"format": "nope"}', spec)
+
+    def test_dangling_references_rejected(self):
+        spec = diamond_spec()
+        text = '''{"format": "wolves-provenance", "version": 1,
+                   "workflow": "diamond", "runs": [{
+                     "run_id": "x",
+                     "invocations": [{"id": "i", "task": 1,
+                                      "used": ["ghost"], "params": {}}],
+                     "artifacts": [], "outputs": {}}]}'''
+        with pytest.raises(ProvenanceError):
+            ProvenanceStore.from_json(text, spec)

@@ -1,0 +1,90 @@
+"""Unit tests for the strong local optimal corrector."""
+
+import random
+
+from repro.core.optimality import (
+    find_combinable_subset,
+    is_sound_split,
+    is_strong_local_optimal,
+)
+from repro.core.split import CompositeContext
+from repro.core.strong import strong_split
+from repro.core.weak import weak_split
+from repro.core.hardness import crown_instance, random_hard_instance
+from repro.workflow.catalog import (
+    FIG3_STRONG_PARTS,
+    FIG3_WEAK_PARTS,
+    figure3_view,
+)
+from tests.helpers import random_context
+
+
+class TestStrongOnPaperExamples:
+    def test_figure3_yields_five_parts(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = strong_split(ctx)
+        assert result.part_count == FIG3_STRONG_PARTS
+        assert is_strong_local_optimal(ctx, result.parts)
+
+    def test_figure3_funnel_merged(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        parts = {frozenset(p) for p in strong_split(ctx).parts}
+        assert frozenset(["a", "b", "c", "d", "f", "g"]) in parts
+
+    def test_strictly_better_than_weak_on_figure3(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        assert (strong_split(ctx).part_count
+                < weak_split(ctx).part_count == FIG3_WEAK_PARTS)
+
+
+class TestStrongProperties:
+    def test_always_strong_local_optimal(self):
+        rng = random.Random(200)
+        for _ in range(80):
+            ctx = random_context(rng)
+            result = strong_split(ctx)
+            assert is_sound_split(ctx, result.parts)
+            assert is_strong_local_optimal(ctx, result.parts)
+            assert find_combinable_subset(ctx, result.parts) is None
+
+    def test_never_worse_than_weak(self):
+        rng = random.Random(300)
+        for _ in range(60):
+            ctx = random_context(rng)
+            assert strong_split(ctx).part_count <= weak_split(
+                ctx).part_count
+
+    def test_deterministic(self):
+        rng = random.Random(7)
+        ctx = random_context(rng)
+        assert strong_split(ctx).parts == strong_split(ctx).parts
+
+    def test_records_subset_merges(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = strong_split(ctx)
+        assert result.notes["subset_merges"] >= 1
+        assert result.algorithm == "strong"
+
+
+class TestStrongOnHardInstances:
+    def test_crowns(self):
+        for k in (2, 3, 4, 5):
+            ctx = crown_instance(k)
+            result = strong_split(ctx)
+            assert is_strong_local_optimal(ctx, result.parts)
+
+    def test_random_funnels(self):
+        rng = random.Random(400)
+        for _ in range(30):
+            ctx = random_hard_instance(rng, rng.randint(2, 4),
+                                       rng.randint(2, 4),
+                                       rng.uniform(0.2, 0.9))
+            result = strong_split(ctx)
+            assert is_sound_split(ctx, result.parts)
+            assert is_strong_local_optimal(ctx, result.parts)
+
+    def test_sound_composite_collapses(self):
+        ctx = CompositeContext(
+            ["x", "y"], [("x", "y")], ext_in={"x": True},
+            ext_out={"y": True})
+        assert strong_split(ctx).part_count == 1

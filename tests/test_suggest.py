@@ -1,0 +1,70 @@
+"""Unit tests for repro.views.suggest (sound-by-construction views)."""
+
+import random
+
+from repro.core.combinable import composites_combinable
+from repro.core.soundness import is_sound_view
+from repro.views.suggest import suggest_sound_view, suggest_user_view
+from repro.workflow.catalog import (
+    climate_pipeline,
+    phylogenomics,
+)
+from tests.helpers import chain_spec, random_spec_and_view
+
+
+class TestSuggestSoundView:
+    def test_always_sound(self):
+        rng = random.Random(606)
+        for _ in range(20):
+            spec, _ = random_spec_and_view(rng, max_nodes=14)
+            view = suggest_sound_view(spec)
+            assert is_sound_view(view)
+
+    def test_chain_collapses_to_one_composite(self):
+        view = suggest_sound_view(chain_spec(8))
+        assert len(view) == 1
+        assert is_sound_view(view)
+
+    def test_phylogenomics_compresses(self):
+        view = suggest_sound_view(phylogenomics())
+        assert is_sound_view(view)
+        assert len(view) < 12  # strictly coarser than singletons
+
+    def test_no_pair_of_composites_combinable(self):
+        # strong local optimality at view scale: the suggestion cannot be
+        # compressed further by any single merge
+        view = suggest_sound_view(climate_pipeline())
+        labels = view.composite_labels()
+        for i, a in enumerate(labels):
+            for b in labels[i + 1:]:
+                assert not composites_combinable(view, [a, b])
+
+    def test_custom_name(self):
+        assert suggest_sound_view(chain_spec(3), name="x").name == "x"
+
+
+class TestSuggestUserView:
+    def test_always_sound(self):
+        rng = random.Random(707)
+        spec = phylogenomics()
+        for _ in range(15):
+            relevant = rng.sample(spec.task_ids(), rng.randint(1, 5))
+            view = suggest_user_view(spec, relevant)
+            assert is_sound_view(view)
+
+    def test_at_most_one_relevant_task_per_composite(self):
+        spec = phylogenomics()
+        relevant = [2, 7, 11]
+        view = suggest_user_view(spec, relevant)
+        for label in view.composite_labels():
+            members = set(view.members(label))
+            assert len(members & set(relevant)) <= 1
+
+    def test_affinity_strategy(self):
+        view = suggest_user_view(phylogenomics(), [5, 8],
+                                 strategy="affinity")
+        assert is_sound_view(view)
+
+    def test_name(self):
+        view = suggest_user_view(phylogenomics(), [2], name="mine")
+        assert view.name == "mine"

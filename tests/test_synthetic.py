@@ -1,0 +1,98 @@
+"""Unit tests for repro.repository.synthetic."""
+
+import random
+
+import pytest
+
+from repro.core.soundness import is_sound_view
+from repro.repository.synthetic import (
+    SHAPES,
+    automatic_view,
+    expert_view,
+    synthetic_workflow,
+    unsound_composite_contexts,
+)
+
+
+class TestSyntheticWorkflow:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_shapes_generate_valid_specs(self, shape):
+        workflow = synthetic_workflow(seed=1, size=20, shape=shape)
+        workflow.spec.validate()
+        assert len(workflow.spec) >= 10
+        assert workflow.shape == shape
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_workflow(seed=5, size=15)
+        b = synthetic_workflow(seed=5, size=15)
+        assert set(a.spec.dependencies()) == set(b.spec.dependencies())
+
+    def test_different_seeds_differ(self):
+        a = synthetic_workflow(seed=1, size=25)
+        b = synthetic_workflow(seed=2, size=25)
+        assert (set(a.spec.dependencies()) != set(b.spec.dependencies())
+                or len(a.spec) != len(b.spec))
+
+    def test_kinds_assigned(self):
+        workflow = synthetic_workflow(seed=3, size=12)
+        kinds = {task.kind for task in workflow.spec.tasks()}
+        assert len(kinds) > 1
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            synthetic_workflow(seed=0, size=10, shape="spiral")
+
+
+class TestExpertViews:
+    def test_well_formed(self):
+        rng = random.Random(9)
+        for seed in range(10):
+            workflow = synthetic_workflow(seed=seed, size=20)
+            view = expert_view(rng, workflow.spec)
+            assert view.is_well_formed()
+
+    def test_noise_free_views_are_stage_views(self):
+        rng = random.Random(9)
+        workflow = synthetic_workflow(seed=1, size=20)
+        view = expert_view(rng, workflow.spec, noise_moves=0)
+        assert view.is_well_formed()
+
+    def test_some_views_unsound_across_seeds(self):
+        rng = random.Random(10)
+        unsound = 0
+        for seed in range(20):
+            workflow = synthetic_workflow(seed=seed, size=25)
+            view = expert_view(rng, workflow.spec, noise_moves=3)
+            if not is_sound_view(view):
+                unsound += 1
+        assert unsound > 0
+
+
+class TestAutomaticViews:
+    def test_well_formed(self):
+        rng = random.Random(11)
+        for seed in range(10):
+            workflow = synthetic_workflow(seed=seed, size=20)
+            view = automatic_view(rng, workflow.spec)
+            assert view.is_well_formed()
+
+    def test_relevant_count_respected(self):
+        rng = random.Random(12)
+        workflow = synthetic_workflow(seed=4, size=20)
+        view = automatic_view(rng, workflow.spec, relevant_count=4)
+        assert len(view) == 4
+
+
+class TestUnsoundContexts:
+    def test_contexts_for_unsound_composites(self):
+        rng = random.Random(13)
+        found = False
+        for seed in range(20):
+            workflow = synthetic_workflow(seed=seed, size=25)
+            view = expert_view(rng, workflow.spec, noise_moves=3)
+            contexts = unsound_composite_contexts(view)
+            if contexts:
+                found = True
+                assert all(not ctx.is_sound_part(ctx.full_mask)
+                           for ctx in contexts)
+        assert found

@@ -1,0 +1,54 @@
+"""Unit tests for repro.workflow.task."""
+
+import pytest
+
+from repro.workflow.task import Task
+
+
+class TestTask:
+    def test_minimal(self):
+        task = Task(1)
+        assert task.task_id == 1
+        assert task.kind == "atomic"
+        assert task.params == {}
+
+    def test_label_prefers_name(self):
+        assert Task(1, name="Align").label == "Align"
+        assert Task(7).label == "7"
+
+    def test_none_id_rejected(self):
+        with pytest.raises(ValueError):
+            Task(None)
+
+    def test_params_copied(self):
+        params = {"db": "GenBank"}
+        task = Task(1, params=params)
+        params["db"] = "changed"
+        assert task.params["db"] == "GenBank"
+
+    def test_with_params_merges(self):
+        task = Task(1, params={"a": 1})
+        updated = task.with_params(b=2)
+        assert updated.params == {"a": 1, "b": 2}
+        assert task.params == {"a": 1}
+
+    def test_renamed(self):
+        task = Task(1, name="old")
+        assert task.renamed("new").name == "new"
+        assert task.name == "old"
+
+    def test_hash_by_id(self):
+        assert hash(Task(1, name="x")) == hash(Task(1, name="y"))
+        assert {Task(1), Task(2)} == {Task(1), Task(2)}
+
+    def test_equality_includes_fields(self):
+        assert Task(1, name="a") != Task(1, name="b")
+        assert Task(1, name="a") == Task(1, name="a")
+
+    def test_frozen(self):
+        task = Task(1)
+        with pytest.raises(AttributeError):
+            task.name = "nope"
+
+    def test_repr_mentions_id(self):
+        assert "Task" in repr(Task("align"))

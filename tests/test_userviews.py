@@ -1,0 +1,93 @@
+"""Unit tests for repro.views.userviews (Biton-style automatic views)."""
+
+import random
+
+import pytest
+
+from repro.core.soundness import is_sound_view
+from repro.errors import ViewError
+from repro.views.userviews import user_view
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import chain_spec
+
+
+class TestIntervalStrategy:
+    def test_one_composite_per_relevant_task(self):
+        view = user_view(phylogenomics(), [2, 7, 11])
+        assert len(view) == 3
+        labels = set(view.composite_labels())
+        assert labels == {"around-2", "around-7", "around-11"}
+
+    def test_each_relevant_task_in_its_composite(self):
+        view = user_view(phylogenomics(), [2, 7, 11])
+        for task in (2, 7, 11):
+            assert task in view.members(f"around-{task}")
+
+    def test_always_well_formed(self):
+        rng = random.Random(13)
+        spec = phylogenomics()
+        for _ in range(20):
+            relevant = rng.sample(spec.task_ids(), rng.randint(1, 6))
+            view = user_view(spec, relevant, strategy="interval")
+            assert view.is_well_formed()
+
+    def test_chain_intervals_sound(self):
+        # on a pipeline, interval views are sound
+        view = user_view(chain_spec(8), [1, 4, 6])
+        assert is_sound_view(view)
+
+    def test_parallel_branches_often_unsound(self):
+        # the point of the paper: automatic views are not sound in general
+        spec = phylogenomics()
+        unsound_found = False
+        rng = random.Random(0)
+        for _ in range(30):
+            relevant = rng.sample(spec.task_ids(), 3)
+            view = user_view(spec, relevant, strategy="interval")
+            if not is_sound_view(view):
+                unsound_found = True
+                break
+        assert unsound_found
+
+
+class TestAffinityStrategy:
+    def test_well_formed_after_repair(self):
+        rng = random.Random(7)
+        spec = phylogenomics()
+        for _ in range(20):
+            relevant = rng.sample(spec.task_ids(), rng.randint(1, 6))
+            view = user_view(spec, relevant, strategy="affinity")
+            assert view.is_well_formed()
+
+    def test_relevant_tasks_stay_in_their_composites(self):
+        view = user_view(phylogenomics(), [2, 11], strategy="affinity")
+        assert 2 in view.members("around-2")
+        assert 11 in view.members("around-11")
+
+    def test_partition_complete(self):
+        view = user_view(phylogenomics(), [5, 8], strategy="affinity")
+        members = sorted(m for label in view.composite_labels()
+                         for m in view.members(label))
+        assert members == list(range(1, 13))
+
+
+class TestValidation:
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ViewError):
+            user_view(phylogenomics(), [])
+
+    def test_unknown_relevant_rejected(self):
+        with pytest.raises(ViewError):
+            user_view(phylogenomics(), [99])
+
+    def test_duplicate_relevant_rejected(self):
+        with pytest.raises(ViewError):
+            user_view(phylogenomics(), [2, 2])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ViewError):
+            user_view(phylogenomics(), [2], strategy="mystery")
+
+    def test_custom_name(self):
+        view = user_view(phylogenomics(), [2], name="my-view")
+        assert view.name == "my-view"

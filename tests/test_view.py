@@ -1,0 +1,157 @@
+"""Unit tests for repro.views.view."""
+
+import pytest
+
+from repro.errors import NotAPartitionError, ViewError
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import diamond_spec, two_track_spec
+
+
+def diamond_view():
+    return WorkflowView(diamond_spec(),
+                        {"src": [1], "mid": [2, 3], "sink": [4]})
+
+
+class TestPartitionValidation:
+    def test_valid_partition(self):
+        view = diamond_view()
+        assert len(view) == 3
+        assert view.composite_of(2) == "mid"
+
+    def test_missing_task_rejected(self):
+        with pytest.raises(NotAPartitionError):
+            WorkflowView(diamond_spec(), {"a": [1, 2], "b": [3]})
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(NotAPartitionError):
+            WorkflowView(diamond_spec(),
+                         {"a": [1, 2], "b": [2, 3], "c": [4]})
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(NotAPartitionError):
+            WorkflowView(diamond_spec(),
+                         {"a": [1, 2, 3, 4], "b": [99]})
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(NotAPartitionError):
+            WorkflowView(diamond_spec(),
+                         {"a": [1, 2, 3, 4], "empty": []})
+
+
+class TestQuotient:
+    def test_quotient_edges(self):
+        view = diamond_view()
+        assert view.quotient.has_edge("src", "mid")
+        assert view.quotient.has_edge("mid", "sink")
+        assert not view.quotient.has_edge("src", "sink")
+
+    def test_internal_edges_dropped(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"all": [1, 2, 3, 4]})
+        assert view.quotient.edges() == []
+
+    def test_cyclic_quotient_representable(self):
+        spec = two_track_spec()  # 1->2->5, 3->4->5
+        view = WorkflowView(spec, {"A": [1, 5], "B": [2], "C": [3, 4]})
+        assert not view.is_well_formed()
+
+    def test_view_path_exists(self):
+        view = diamond_view()
+        assert view.view_path_exists("src", "sink")
+        assert not view.view_path_exists("sink", "src")
+
+
+class TestBoundarySets:
+    def test_in_and_out_sets(self):
+        view = diamond_view()
+        assert view.in_set("mid") == [2, 3]
+        assert view.out_set("mid") == [2, 3]
+        assert view.in_set("src") == []
+        assert view.out_set("sink") == []
+
+    def test_figure1_composite_16(self):
+        from repro.workflow.catalog import phylogenomics_view
+
+        view = phylogenomics_view()
+        assert view.in_set(16) == [4, 7]
+        assert view.out_set(16) == [4, 7]
+
+    def test_internal_node_not_in_boundary(self):
+        spec = phylogenomics()
+        view = WorkflowView(spec, {"A": [1, 2, 3], "rest":
+                                   [4, 5, 6, 7, 8, 9, 10, 11, 12]})
+        assert view.in_set("A") == []
+        assert view.out_set("A") == [2, 3]
+
+
+class TestEditing:
+    def test_split(self):
+        view = diamond_view()
+        split = view.split("mid", [[2], [3]])
+        assert len(split) == 4
+        assert split.composite_of(2) == "mid.1"
+        assert split.composite_of(3) == "mid.2"
+
+    def test_split_custom_labels(self):
+        view = diamond_view()
+        split = view.split("mid", [[2], [3]], part_labels=["left", "right"])
+        assert "left" in split and "right" in split
+
+    def test_split_must_partition(self):
+        view = diamond_view()
+        with pytest.raises(ViewError):
+            view.split("mid", [[2]])
+        with pytest.raises(ViewError):
+            view.split("mid", [[2], [3, 4]])
+
+    def test_split_label_collision(self):
+        view = diamond_view()
+        with pytest.raises(ViewError):
+            view.split("mid", [[2], [3]], part_labels=["src", "x"])
+
+    def test_merge(self):
+        view = diamond_view()
+        merged = view.merge(["src", "mid"], new_label="front")
+        assert merged.composite_of(1) == "front"
+        assert merged.composite_of(2) == "front"
+        assert len(merged) == 2
+
+    def test_merge_needs_two(self):
+        with pytest.raises(ViewError):
+            diamond_view().merge(["src"])
+
+    def test_merge_unknown_label(self):
+        with pytest.raises(ViewError):
+            diamond_view().merge(["src", "ghost"])
+
+    def test_editing_returns_new_view(self):
+        view = diamond_view()
+        view.split("mid", [[2], [3]])
+        assert len(view) == 3  # original untouched
+
+
+class TestMisc:
+    def test_compression_ratio(self):
+        assert diamond_view().compression_ratio() == pytest.approx(4 / 3)
+
+    def test_equality_by_blocks(self):
+        spec = diamond_spec()
+        a = WorkflowView(spec, {"x": [1], "y": [2, 3], "z": [4]})
+        b = WorkflowView(spec, {"p": [1], "q": [3, 2], "r": [4]})
+        assert a == b
+
+    def test_groups_copy(self):
+        view = diamond_view()
+        groups = view.groups()
+        groups["mid"].append(99)
+        assert view.members("mid") == [2, 3]
+
+    def test_unknown_composite(self):
+        with pytest.raises(ViewError):
+            diamond_view().members("ghost")
+        with pytest.raises(ViewError):
+            diamond_view().composite_of(42)
+
+    def test_display_name_fallback(self):
+        assert diamond_view().display_name("mid") == "mid"

@@ -1,0 +1,121 @@
+"""Unit tests for repro.views.builders."""
+
+import random
+
+import pytest
+
+from repro.core.soundness import is_sound_view
+from repro.errors import ViewError
+from repro.views.builders import (
+    perturb_view,
+    random_convex_view,
+    singleton_view,
+    view_by_kind,
+    view_from_layers,
+    whole_view,
+)
+from repro.workflow.catalog import phylogenomics
+from tests.helpers import chain_spec, diamond_spec
+
+
+class TestSingletonAndWhole:
+    def test_singleton_view_sound(self):
+        view = singleton_view(phylogenomics())
+        assert len(view) == 12
+        assert is_sound_view(view)
+
+    def test_whole_view_single_composite(self):
+        view = whole_view(phylogenomics())
+        assert len(view) == 1
+        # the whole phylogenomics workflow as one composite is sound only if
+        # every entry reaches every exit; task 9's track makes it unsound? no:
+        # entries {1, 9} both reach exit {12}; with one composite there are
+        # no external edges at all, so it is trivially sound.
+        assert is_sound_view(view)
+
+
+class TestLayeredViews:
+    def test_layers_partition(self):
+        view = view_from_layers(phylogenomics())
+        members = sorted(m for label in view.composite_labels()
+                         for m in view.members(label))
+        assert members == list(range(1, 13))
+
+    def test_layered_always_well_formed(self):
+        view = view_from_layers(phylogenomics(), layers_per_composite=2)
+        assert view.is_well_formed()
+
+    def test_chunking(self):
+        view1 = view_from_layers(chain_spec(6), layers_per_composite=1)
+        view3 = view_from_layers(chain_spec(6), layers_per_composite=3)
+        assert len(view1) == 6
+        assert len(view3) == 2
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ViewError):
+            view_from_layers(diamond_spec(), layers_per_composite=0)
+
+
+class TestKindViews:
+    def test_runs_of_same_kind_grouped(self):
+        view = view_by_kind(phylogenomics())
+        # tasks keep their composite's kind prefix
+        for label in view.composite_labels():
+            kinds = {view.spec.task(t).kind for t in view.members(label)}
+            assert len(kinds) == 1
+
+    def test_partition(self):
+        view = view_by_kind(phylogenomics())
+        members = sorted(m for label in view.composite_labels()
+                         for m in view.members(label))
+        assert members == list(range(1, 13))
+
+
+class TestRandomConvexView:
+    def test_always_well_formed(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            view = random_convex_view(rng, phylogenomics(),
+                                      rng.randint(1, 12))
+            assert view.is_well_formed()
+
+    def test_target_composites_respected(self):
+        rng = random.Random(1)
+        view = random_convex_view(rng, phylogenomics(), 5)
+        assert len(view) == 5
+
+    def test_target_capped_at_task_count(self):
+        rng = random.Random(1)
+        view = random_convex_view(rng, diamond_spec(), 99)
+        assert len(view) == 4
+
+    def test_bad_target(self):
+        with pytest.raises(ViewError):
+            random_convex_view(random.Random(0), diamond_spec(), 0)
+
+
+class TestPerturbView:
+    def test_moves_applied_and_well_formed(self):
+        rng = random.Random(3)
+        base = view_from_layers(phylogenomics(), layers_per_composite=2)
+        noisy = perturb_view(rng, base, moves=3)
+        assert noisy.is_well_formed()
+        assert noisy.name == "perturbed"
+
+    def test_zero_moves_is_identity_partition(self):
+        rng = random.Random(3)
+        base = view_from_layers(phylogenomics())
+        noisy = perturb_view(rng, base, moves=0)
+        assert noisy == base
+
+    def test_perturbation_can_create_unsoundness(self):
+        # with enough moves over many seeds, at least one perturbed view
+        # must become unsound — that is the generator's purpose
+        base = view_from_layers(phylogenomics(), layers_per_composite=2)
+        produced_unsound = False
+        for seed in range(30):
+            noisy = perturb_view(random.Random(seed), base, moves=4)
+            if not is_sound_view(noisy):
+                produced_unsound = True
+                break
+        assert produced_unsound

@@ -1,0 +1,90 @@
+"""Unit tests for repro.provenance.viewlevel: the paper's motivation."""
+
+import random
+
+import pytest
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.soundness import is_sound_view
+from repro.errors import IllFormedViewError
+from repro.provenance.viewlevel import (
+    compare_lineage,
+    lineage_correctness,
+    true_composite_lineage,
+    view_implied_task_lineage,
+    view_lineage,
+)
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics_view
+from tests.helpers import random_spec_and_view, two_track_spec
+
+
+class TestFigure1Story:
+    def test_view_wrongly_includes_14_for_18(self):
+        view = phylogenomics_view()
+        assert 14 in view_lineage(view, 18)
+        assert 14 not in true_composite_lineage(view, 18)
+
+    def test_task_3_wrongly_in_provenance_of_task_8(self):
+        view = phylogenomics_view()
+        implied = view_implied_task_lineage(view, 8)
+        assert 3 in implied  # the wrong answer the paper warns about
+        assert not view.spec.depends_on(8, 3)  # ...and it is indeed wrong
+
+    def test_comparison_quantifies_error(self):
+        view = phylogenomics_view()
+        comparison = compare_lineage(view, 8)
+        assert 14 in comparison.spurious
+        assert comparison.precision < 1.0
+        assert comparison.recall == 1.0  # views never miss dependencies
+        assert not comparison.exact
+
+    def test_corrected_view_is_exact(self):
+        view = phylogenomics_view()
+        fixed = correct_view(view, Criterion.STRONG).corrected
+        precision, recall, comparisons = lineage_correctness(fixed)
+        assert precision == 1.0
+        assert recall == 1.0
+        assert all(c.exact for c in comparisons)
+
+
+class TestCorrectnessTheorem:
+    """Pairwise soundness <=> every lineage query is exact.
+
+    Composite soundness (the validator's notion) implies exactness; the
+    exactness check itself coincides with Definition 2.1.
+    """
+
+    def test_on_random_views(self):
+        from repro.core.soundness import is_sound_view_by_definition
+
+        rng = random.Random(77)
+        checked_sound = 0
+        checked_unsound = 0
+        for _ in range(50):
+            _, view = random_spec_and_view(rng)
+            _, recall, comparisons = lineage_correctness(view)
+            all_exact = all(c.exact for c in comparisons)
+            assert recall == 1.0
+            assert all_exact == is_sound_view_by_definition(view)
+            if is_sound_view(view):
+                assert all_exact
+                checked_sound += 1
+            else:
+                checked_unsound += 1
+        assert checked_sound > 0
+        assert checked_unsound > 0
+
+
+class TestEdgeCases:
+    def test_ill_formed_view_rejected(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]})
+        with pytest.raises(IllFormedViewError):
+            view_lineage(view, "A")
+
+    def test_source_composite_empty_lineage(self):
+        view = phylogenomics_view()
+        assert view_lineage(view, 13) == []
+        comparison = compare_lineage(view, 1)
+        assert comparison.exact

@@ -1,0 +1,84 @@
+"""Unit tests for the weak local optimal corrector."""
+
+import random
+
+from repro.core.optimality import is_sound_split, is_weak_local_optimal
+from repro.core.split import CompositeContext
+from repro.core.weak import weak_split, weak_split_masks
+from repro.workflow.catalog import (
+    FIG3_WEAK_PARTS,
+    figure3_view,
+    phylogenomics_view,
+)
+from tests.helpers import random_context, unsound_two_track_view
+
+
+class TestWeakOnPaperExamples:
+    def test_figure3_yields_eight_parts(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = weak_split(ctx)
+        assert result.part_count == FIG3_WEAK_PARTS
+        assert is_weak_local_optimal(ctx, result.parts)
+
+    def test_figure3_exact_parts(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        parts = {frozenset(p) for p in weak_split(ctx).parts}
+        assert frozenset(["a", "c"]) in parts
+        assert frozenset(["b", "d"]) in parts
+        assert frozenset(["h", "k"]) in parts
+        assert frozenset(["i", "m"]) in parts
+        for singleton in ("e", "f", "g", "j"):
+            assert frozenset([singleton]) in parts
+
+    def test_phylogenomics_composite_16(self):
+        ctx = CompositeContext.from_view(phylogenomics_view(), 16)
+        result = weak_split(ctx)
+        assert result.part_count == 2
+        assert {frozenset(p) for p in result.parts} == {
+            frozenset([4]), frozenset([7])}
+
+    def test_two_track(self):
+        ctx = CompositeContext.from_view(unsound_two_track_view(), "B")
+        result = weak_split(ctx)
+        assert result.part_count == 2
+
+
+class TestWeakProperties:
+    def test_always_weak_local_optimal(self):
+        rng = random.Random(100)
+        for _ in range(80):
+            ctx = random_context(rng)
+            result = weak_split(ctx)
+            assert is_sound_split(ctx, result.parts)
+            assert is_weak_local_optimal(ctx, result.parts)
+
+    def test_deterministic(self):
+        rng = random.Random(5)
+        ctx = random_context(rng)
+        a = weak_split(ctx).parts
+        b = weak_split(ctx).parts
+        assert a == b
+
+    def test_sound_composite_collapses_to_one_part(self):
+        # a pure chain with one entry and one exit merges completely
+        ctx = CompositeContext(
+            [1, 2, 3], [(1, 2), (2, 3)],
+            ext_in={1: True}, ext_out={3: True})
+        result = weak_split(ctx)
+        assert result.part_count == 1
+
+    def test_masks_agree_with_split(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            ctx = random_context(rng)
+            via_result = {frozenset(p) for p in weak_split(ctx).parts}
+            via_masks = {frozenset(ctx.tasks_of(m))
+                         for m in weak_split_masks(ctx)}
+            assert via_result == via_masks
+
+    def test_counts_checks(self):
+        ctx = CompositeContext.from_view(figure3_view(), "T")
+        result = weak_split(ctx)
+        assert result.checks > 0
+        assert result.elapsed_seconds >= 0
+        assert result.algorithm == "weak"

@@ -1,0 +1,59 @@
+"""Unit tests for repro.views.wellformed."""
+
+import pytest
+
+from repro.errors import IllFormedViewError
+from repro.views.view import WorkflowView
+from repro.views.wellformed import (
+    assert_well_formed,
+    is_well_formed,
+    non_convex_composites,
+    quotient_cycle,
+)
+from repro.workflow.builder import spec_from_edges
+from tests.helpers import diamond_spec, two_track_spec
+
+
+def cyclic_view():
+    # 1 -> x -> 2 with {1, 2} grouped: quotient 2-cycle
+    spec = spec_from_edges("wf", [(1, "x"), ("x", 2)])
+    return WorkflowView(spec, {"A": [1, 2], "X": ["x"]})
+
+
+class TestWellFormedness:
+    def test_well_formed_view(self):
+        view = WorkflowView(diamond_spec(),
+                            {"a": [1, 2], "b": [3], "c": [4]})
+        assert is_well_formed(view)
+        assert quotient_cycle(view) is None
+        assert_well_formed(view)  # must not raise
+
+    def test_non_convex_composite_detected(self):
+        view = cyclic_view()
+        assert not is_well_formed(view)
+        assert non_convex_composites(view) == ["A"]
+
+    def test_cycle_witness(self):
+        cycle = quotient_cycle(cyclic_view())
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"A", "X"}
+
+    def test_assert_raises_with_cycle_in_message(self):
+        with pytest.raises(IllFormedViewError) as excinfo:
+            assert_well_formed(cyclic_view())
+        assert "cyclic quotient" in str(excinfo.value)
+
+    def test_convex_parts_can_still_be_cyclic(self):
+        # the subtle case of DESIGN.md: every part is convex in the spec,
+        # yet single edges create a quotient 2-cycle
+        spec = two_track_spec()  # 1->2->5, 3->4->5
+        view = WorkflowView(spec, {"A": [1, 4], "B": [2, 3], "C": [5]})
+        # A = {1, 4}: no spec path between 1 and 4, so A is convex; same B
+        assert non_convex_composites(view) == []
+        assert not is_well_formed(view)
+
+    def test_singleton_view_always_well_formed(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {f"s{t}": [t] for t in spec.task_ids()})
+        assert is_well_formed(view)
