@@ -2,6 +2,9 @@
 
 * :mod:`~repro.core.soundness` — Definitions 2.1-2.3 and Proposition 2.1:
   the polynomial view validator with witnesses.
+* :mod:`~repro.core.incremental` — the incremental analysis engine: edit
+  events, dirty sets and the per-session :class:`AnalysisCache` that makes
+  revalidation after an edit O(affected composites).
 * :mod:`~repro.core.split` — the self-contained per-composite correction
   problem (:class:`~repro.core.split.CompositeContext`).
 * :mod:`~repro.core.weak` / :mod:`~repro.core.strong` /
@@ -22,7 +25,17 @@ from repro.core.soundness import (
     soundness_witness,
     unsound_composites,
     validate_view,
+    witness_for_members,
     ValidationReport,
+)
+from repro.core.incremental import (
+    AnalysisCache,
+    CacheStats,
+    DirtySet,
+    EditEvent,
+    ReportDelta,
+    edit_event_between,
+    report_delta,
 )
 from repro.core.split import CompositeContext, SplitResult
 from repro.core.weak import weak_split
@@ -50,7 +63,15 @@ __all__ = [
     "soundness_witness",
     "unsound_composites",
     "validate_view",
+    "witness_for_members",
     "ValidationReport",
+    "AnalysisCache",
+    "CacheStats",
+    "DirtySet",
+    "EditEvent",
+    "ReportDelta",
+    "edit_event_between",
+    "report_delta",
     "CompositeContext",
     "SplitResult",
     "weak_split",

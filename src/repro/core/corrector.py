@@ -51,9 +51,18 @@ _SPLITTERS: Dict[Criterion, Callable[[CompositeContext], SplitResult]] = {
 
 
 def split_composite(view: WorkflowView, label: CompositeLabel,
-                    criterion: Criterion = Criterion.STRONG) -> SplitResult:
-    """Split one composite with the chosen criterion (GUI: *Split Task*)."""
-    ctx = CompositeContext.from_view(view, label)
+                    criterion: Criterion = Criterion.STRONG,
+                    ctx: Optional[CompositeContext] = None) -> SplitResult:
+    """Split one composite with the chosen criterion (GUI: *Split Task*).
+
+    ``ctx`` lets callers that already built the composite's
+    :class:`CompositeContext` (the system corrector does, for its
+    estimates and history) avoid a second construction; the context only
+    depends on the composite's membership and the spec, so any context for
+    the same members is interchangeable.
+    """
+    if ctx is None:
+        ctx = CompositeContext.from_view(view, label)
     return _SPLITTERS[criterion](ctx)
 
 
@@ -89,13 +98,21 @@ class CorrectionReport:
 
 def correct_view(view: WorkflowView,
                  criterion: Criterion = Criterion.STRONG,
-                 labels: Optional[List[CompositeLabel]] = None
-                 ) -> CorrectionReport:
+                 labels: Optional[List[CompositeLabel]] = None,
+                 contexts: Optional[Dict[CompositeLabel,
+                                         CompositeContext]] = None,
+                 verify: Optional[bool] = None) -> CorrectionReport:
     """Correct every unsound composite of ``view`` (or just ``labels``).
 
     The input view must be well-formed; the output view is sound, which is
     asserted before returning (defence in depth — the correctors guarantee
-    it by construction).
+    it by construction).  ``contexts`` supplies prebuilt
+    :class:`CompositeContext` objects per label (splitting one composite
+    never changes another's membership, so contexts built against the
+    original view stay valid for the whole walk).  ``verify`` forces or
+    suppresses the final soundness assertion; by default it runs exactly
+    when ``labels`` was not given (correcting a subset legitimately leaves
+    the view unsound).
     """
     assert_well_formed(view)
     started = time.perf_counter()
@@ -103,11 +120,14 @@ def correct_view(view: WorkflowView,
     current = view
     splits: Dict[CompositeLabel, SplitResult] = {}
     for label in targets:
-        result = split_composite(current, label, criterion)
+        ctx = contexts.get(label) if contexts else None
+        result = split_composite(current, label, criterion, ctx=ctx)
         splits[label] = result
         current = apply_split(current, label, result)
     elapsed = time.perf_counter() - started
-    if labels is None and not is_sound_view(current):
+    if verify is None:
+        verify = labels is None
+    if verify and not is_sound_view(current):
         raise CorrectionError(
             f"internal error: corrected view {current.name!r} is not sound")
     return CorrectionReport(criterion=criterion, original=view,

@@ -1,0 +1,446 @@
+"""The incremental analysis engine: per-edit revalidation in O(affected).
+
+The WOLVES loop (Figure 2) is interactive — validate, correct, apply user
+feedback, revalidate.  A composite's soundness (Definition 2.3) depends only
+on its own member set and the specification graph, so after an edit that
+touches one or two composites the other witnesses are still valid.  This
+module makes that observation a first-class artifact:
+
+* :class:`EditEvent` — a structured description of one view edit (merge,
+  move, split, ...) naming the composites it removed and added.  The editor,
+  the Feedback module and the lattice operations all emit them.
+* :class:`DirtySet` — the composites whose witnesses an event invalidates
+  (exactly the event's added labels: a composite whose membership did not
+  change keeps its witness).
+* :class:`AnalysisCache` — a per-spec memo of soundness witnesses keyed by
+  composite membership, plus the last :class:`ValidationReport` and its
+  delta.  :meth:`AnalysisCache.validate` returns a report identical to a
+  from-scratch :func:`~repro.core.soundness.validate_view` (same witnesses,
+  same ordering) while recomputing only dirty composites.
+
+Witnesses are keyed by the member *tuple* (order included) because the
+witness pair depends on member order; an untouched composite keeps its
+member list verbatim across edits, so it always hits the cache.  The cache
+is stamped with the spec's mutation counter
+(:attr:`~repro.workflow.spec.WorkflowSpec.version`) and drops everything
+when the specification itself changes — witnesses are only reusable against
+the reachability index they were computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.soundness import ValidationReport, witness_for_members
+from repro.errors import CycleError, ViewError
+from repro.graphs.topo import topological_sort
+from repro.views.view import CompositeLabel, WorkflowView
+from repro.views.wellformed import quotient_cycle
+from repro.workflow.spec import WorkflowSpec
+from repro.workflow.task import TaskId
+
+MemberKey = Tuple[TaskId, ...]
+Witness = Optional[Tuple[TaskId, TaskId]]
+
+
+@dataclass(frozen=True)
+class EditEvent:
+    """One structured view edit: which composites vanished, which appeared.
+
+    ``added`` lists every composite whose membership is new or changed (the
+    dirty candidates); ``removed`` lists labels no longer present.  A label
+    may appear in both (membership changed in place, e.g. the donor of a
+    ``move``).
+    """
+
+    kind: str
+    removed: Tuple[CompositeLabel, ...] = ()
+    added: Tuple[CompositeLabel, ...] = ()
+
+    # -- constructors for the edits of the Feedback module / editor --------
+
+    @classmethod
+    def merge(cls, labels: Iterable[CompositeLabel],
+              new_label: CompositeLabel) -> "EditEvent":
+        """*Create Composite Task*: several composites fused into one."""
+        return cls(kind="create_composite_task",
+                   removed=tuple(labels), added=(new_label,))
+
+    @classmethod
+    def move(cls, source: CompositeLabel, target: CompositeLabel,
+             source_survives: bool) -> "EditEvent":
+        """One task dragged ``source -> target``."""
+        if source_survives:
+            return cls(kind="move_task", removed=(),
+                       added=(source, target))
+        return cls(kind="move_task", removed=(source,), added=(target,))
+
+    @classmethod
+    def split(cls, label: CompositeLabel,
+              parts: Iterable[CompositeLabel]) -> "EditEvent":
+        """A corrector (or *ungroup*) replaced one composite by parts."""
+        return cls(kind="split", removed=(label,), added=tuple(parts))
+
+    def dirty_set(self) -> "DirtySet":
+        return DirtySet(self.added)
+
+
+def edit_event_between(before: WorkflowView, after: WorkflowView,
+                       kind: str = "delta") -> EditEvent:
+    """Derive the :class:`EditEvent` turning ``before`` into ``after``.
+
+    A composite of ``after`` is *added* (dirty) unless a composite with the
+    same member tuple exists in ``before``; a label of ``before`` is
+    *removed* unless it survives with identical membership.  Used by the
+    lattice operations and the correct-view path, where the edit is not a
+    single gesture.
+    """
+    before_keys = {tuple(before.members(label)): label
+                   for label in before.composite_labels()}
+    added = []
+    surviving_before_labels = set()
+    for label in after.composite_labels():
+        key = tuple(after.members(label))
+        if key in before_keys:
+            surviving_before_labels.add(before_keys[key])
+        else:
+            added.append(label)
+    removed = [label for label in before.composite_labels()
+               if label not in surviving_before_labels]
+    return EditEvent(kind=kind, removed=tuple(removed), added=tuple(added))
+
+
+#: placement gives up beyond this many changed composites per edit — large
+#: rewrites (correct-view, lattice ops) are cheaper to rescan outright
+PLACEMENT_LIMIT = 8
+
+
+def place_into_order(changed, positions, neighbours):
+    """Slot ``changed`` composites into an existing topological order.
+
+    ``positions`` maps every *unchanged* composite to its position in a
+    topological order that is still valid for edges between unchanged
+    composites; ``neighbours(label)`` yields the quotient
+    ``(predecessors, successors)`` of a changed composite.  Each changed
+    composite must land strictly after all its predecessors and before all
+    its successors; success returns the new ``{label: position}``
+    assignments — a certificate that the whole quotient is acyclic —
+    and ``None`` means no certificate was found (the caller rescans; the
+    quotient may or may not be cyclic).
+
+    Shared by :meth:`AnalysisCache.validate` and
+    :class:`~repro.views.editor.ViewEditor`, whose revalidation paths
+    differ only in how they look up quotient neighbourhoods.
+    """
+    if not changed:
+        return {}
+    if len(changed) > PLACEMENT_LIMIT:
+        return None
+    changed_set = set(changed)
+    assigned: Dict[CompositeLabel, float] = {}
+    remaining = list(changed)
+    while remaining:
+        progressed = False
+        for label in list(remaining):
+            preds, succs = neighbours(label)
+            lower = -1.0
+            deferred = False
+            for pred in preds:
+                if pred in changed_set:
+                    if pred not in assigned:
+                        deferred = True
+                        break
+                    lower = max(lower, assigned[pred])
+                else:
+                    pos = positions.get(pred)
+                    if pos is None:
+                        return None
+                    lower = max(lower, pos)
+            if deferred:
+                continue
+            upper = float("inf")
+            for succ in succs:
+                if succ not in changed_set:
+                    pos = positions.get(succ)
+                    if pos is None:
+                        return None
+                    upper = min(upper, pos)
+            if lower >= upper:
+                return None
+            slot = lower + 1.0 if upper == float("inf") \
+                else (lower + upper) / 2.0
+            if not lower < slot < upper:
+                return None  # float precision exhausted; rescan
+            assigned[label] = slot
+            remaining.remove(label)
+            progressed = True
+        if not progressed:
+            # mutual constraints among changed composites (a potential
+            # cycle through them) — no cheap certificate
+            return None
+    return assigned
+
+
+class DirtySet:
+    """The composites whose analysis state an edit invalidated."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Iterable[CompositeLabel] = ()) -> None:
+        self._labels: FrozenSet[CompositeLabel] = frozenset(labels)
+
+    @property
+    def labels(self) -> FrozenSet[CompositeLabel]:
+        return self._labels
+
+    def __contains__(self, label: CompositeLabel) -> bool:
+        return label in self._labels
+
+    def __iter__(self) -> Iterator[CompositeLabel]:
+        return iter(sorted(self._labels, key=str))
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __or__(self, other: "DirtySet") -> "DirtySet":
+        return DirtySet(self._labels | other._labels)
+
+    def __repr__(self) -> str:
+        return f"DirtySet({sorted(self._labels, key=str)!r})"
+
+
+@dataclass
+class CacheStats:
+    """Instrumentation: how much work each revalidation actually did."""
+
+    hits: int = 0
+    misses: int = 0
+    validations: int = 0
+    spec_invalidations: int = 0
+    #: labels whose witness was recomputed during the last ``validate``
+    last_recomputed: Tuple[CompositeLabel, ...] = ()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ReportDelta:
+    """What changed between two consecutive validation reports."""
+
+    newly_unsound: Tuple[CompositeLabel, ...]
+    newly_sound: Tuple[CompositeLabel, ...]
+    still_unsound: Tuple[CompositeLabel, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.newly_unsound or self.newly_sound)
+
+
+def report_delta(before: Optional[ValidationReport],
+                 after: ValidationReport) -> ReportDelta:
+    """Diff two reports composite-wise (``before`` may be ``None``)."""
+    old = set(before.witnesses) if before is not None else set()
+    new = set(after.witnesses)
+    return ReportDelta(
+        newly_unsound=tuple(label for label in after.witnesses
+                            if label not in old),
+        newly_sound=tuple(sorted(old - new, key=str)),
+        still_unsound=tuple(label for label in after.witnesses
+                            if label in old))
+
+
+class AnalysisCache:
+    """Shared per-session soundness state over one specification.
+
+    One instance is owned by a :class:`~repro.system.session.WolvesSession`
+    (or a :class:`~repro.views.editor.ViewEditor`) and consulted by the
+    validator, the Feedback module and the correctors, replacing their
+    private from-scratch revalidations.
+    """
+
+    def __init__(self, spec: WorkflowSpec) -> None:
+        self.spec = spec
+        self.stats = CacheStats()
+        self._witnesses: Dict[MemberKey, Witness] = {}
+        self._token = spec.version
+        self._last_report: Optional[ValidationReport] = None
+        self._last_delta: Optional[ReportDelta] = None
+        # topological positions of the last well-formed quotient, used to
+        # certify acyclicity after small edits without an O(V+E) rescan
+        self._prev_keys: Dict[CompositeLabel, MemberKey] = {}
+        self._prev_pos: Optional[Dict[CompositeLabel, float]] = None
+
+    # -- freshness ---------------------------------------------------------
+
+    def _ensure_fresh(self) -> None:
+        if self._token != self.spec.version:
+            self._witnesses.clear()
+            self._last_report = None
+            self._last_delta = None
+            self._prev_keys = {}
+            self._prev_pos = None
+            self._token = self.spec.version
+            self.stats.spec_invalidations += 1
+
+    # -- witness memo ------------------------------------------------------
+
+    def _witness_for_key(self, key: MemberKey) -> Tuple[Witness, bool]:
+        """Memoized witness lookup; the flag reports a recomputation."""
+        try:
+            witness = self._witnesses[key]
+            self.stats.hits += 1
+            return witness, False
+        except KeyError:
+            self.stats.misses += 1
+            witness = witness_for_members(self.spec,
+                                          self.spec.reachability(), key)
+            self._witnesses[key] = witness
+            return witness, True
+
+    def witness_for(self, members: Iterable[TaskId]) -> Witness:
+        """Cached Definition 2.3 witness for a bare member list."""
+        self._ensure_fresh()
+        return self._witness_for_key(tuple(members))[0]
+
+    def is_sound_members(self, members: Iterable[TaskId]) -> bool:
+        return self.witness_for(members) is None
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, view: WorkflowView,
+                 event: Optional[EditEvent] = None) -> ValidationReport:
+        """A :class:`ValidationReport` identical to ``validate_view(view)``.
+
+        Only composites missing from the cache — after an edit, exactly the
+        event's dirty set — pay a witness computation; everything else is a
+        dictionary lookup.  ``event`` is advisory (instrumentation and
+        debugging): correctness never depends on it, because witnesses are
+        keyed by membership.
+        """
+        if view.spec is not self.spec:
+            raise ViewError("view does not belong to this cache's spec")
+        if view.spec_token != self.spec.version:
+            raise ViewError(
+                f"view {view.name!r} was built against spec version "
+                f"{view.spec_token}, but the spec is now at version "
+                f"{self.spec.version}; rebuild the view (its quotient is "
+                f"stale)")
+        self._ensure_fresh()
+        self.stats.validations += 1
+        recomputed: List[CompositeLabel] = []
+        keys = [(label, tuple(view.members(label)))
+                for label in view.composite_labels()]
+        cycle, positions = self._check_well_formed(view, keys)
+        if cycle is not None:
+            report = ValidationReport(view.name, well_formed=False,
+                                      cycle=cycle)
+            self._prev_pos = None
+            self._prev_keys = {}
+        else:
+            witnesses: Dict[CompositeLabel, Tuple[TaskId, TaskId]] = {}
+            for label, key in keys:
+                witness, miss = self._witness_for_key(key)
+                if miss:
+                    recomputed.append(label)
+                if witness is not None:
+                    witnesses[label] = witness
+            report = ValidationReport(view.name, well_formed=True,
+                                      cycle=None, witnesses=witnesses)
+            self._prev_pos = positions
+            self._prev_keys = dict(keys)
+        self.stats.last_recomputed = tuple(recomputed)
+        self._last_delta = report_delta(self._last_report, report)
+        self._last_report = report
+        return report
+
+    def _check_well_formed(self, view, keys):
+        """``(cycle, positions)`` — cycle witness or topological positions.
+
+        Tries the O(changed-degree) placement certificate first; falls back
+        to a full Kahn pass (whose :class:`CycleError` carries the same
+        witness ``find_cycle`` would produce, keeping reports identical to
+        from-scratch validation).
+        """
+        positions = self._place_against_previous(view, keys)
+        if positions is not None:
+            return None, positions
+        try:
+            order = topological_sort(view.quotient)
+            return None, {label: float(i)
+                          for i, label in enumerate(order)}
+        except CycleError as err:
+            cycle = err.cycle if err.cycle is not None \
+                else quotient_cycle(view)
+            return cycle, None
+
+    def _place_against_previous(self, view, keys):
+        """Certify acyclicity by slotting changed composites into the last
+        well-formed quotient's topological positions.
+
+        A composite is *unchanged* when the previous well-formed view had
+        the same label with the same member tuple; quotient edges between
+        two unchanged composites depend only on their memberships, so the
+        previous positions still order them (see :func:`place_into_order`).
+        Returns the patched positions, or ``None`` when no certificate is
+        found (caller rescans).
+        """
+        prev_pos = self._prev_pos
+        if prev_pos is None:
+            return None
+        prev_keys = self._prev_keys
+        changed = [label for label, key in keys
+                   if prev_keys.get(label) != key]
+        quotient = view.quotient
+        assigned = place_into_order(
+            changed, prev_pos,
+            lambda label: (quotient.predecessors(label),
+                           quotient.successors(label)))
+        if assigned is None:
+            return None
+        return {label: assigned.get(label, prev_pos.get(label))
+                for label, _ in keys}
+
+    @property
+    def last_report(self) -> Optional[ValidationReport]:
+        return self._last_report
+
+    @property
+    def last_delta(self) -> Optional[ReportDelta]:
+        """Delta between the two most recent validations (UI convenience)."""
+        return self._last_delta
+
+    # -- maintenance -------------------------------------------------------
+
+    def prune(self, view: WorkflowView) -> int:
+        """Drop entries for composites absent from ``view``; returns count.
+
+        Bounds memory on long sessions; hurts only undo-style edits that
+        recreate a previously seen composite.
+        """
+        self._ensure_fresh()
+        live = {tuple(view.members(label))
+                for label in view.composite_labels()}
+        stale = [key for key in self._witnesses if key not in live]
+        for key in stale:
+            del self._witnesses[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._witnesses)
+
+    def __repr__(self) -> str:
+        return (f"AnalysisCache(spec={self.spec.name!r}, "
+                f"entries={len(self._witnesses)}, "
+                f"hit_rate={self.stats.hit_rate:.2f})")

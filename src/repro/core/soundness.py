@@ -32,16 +32,46 @@ sound).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.graphs.reachability import ReachabilityIndex
 from repro.views.view import CompositeLabel, WorkflowView
 from repro.views.wellformed import quotient_cycle
+from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
 
 
 def is_sound_composite(view: WorkflowView, label: CompositeLabel) -> bool:
     """Definition 2.3: every ``T.in`` task reaches every ``T.out`` task."""
     return soundness_witness(view, label) is None
+
+
+def witness_for_members(spec: WorkflowSpec, index: ReachabilityIndex,
+                        members: Sequence[TaskId]
+                        ) -> Optional[Tuple[TaskId, TaskId]]:
+    """Definition 2.3 on a bare member list (no view object needed).
+
+    This is the single witness kernel: :func:`soundness_witness`, the
+    incremental :class:`~repro.core.incremental.AnalysisCache` and the
+    :class:`~repro.views.editor.ViewEditor` all call it, so cached and
+    from-scratch validations return identical witnesses — same first
+    offending ``t_in`` (member order) and same first missing ``t_out``
+    (topological order).
+    """
+    member_set = set(members)
+    outs = [t for t in members
+            if any(s not in member_set for s in spec.successors(t))]
+    if not outs:
+        return None
+    out_mask = index.mask_of(outs)
+    for t_in in members:
+        if all(p in member_set for p in spec.predecessors(t_in)):
+            continue
+        reach = index.descendants_mask(t_in) | (1 << index.index_of(t_in))
+        missing = out_mask & ~reach
+        if missing:
+            return (t_in, index.first_node_of(missing))
+    return None
 
 
 def soundness_witness(view: WorkflowView, label: CompositeLabel
@@ -52,17 +82,8 @@ def soundness_witness(view: WorkflowView, label: CompositeLabel
     ``(4, 7)`` — task 4 receives external input, task 7 sends external
     output, and no path runs 4 -> 7.
     """
-    index = view.spec.reachability()
-    outs = view.out_set(label)
-    if not outs:
-        return None
-    out_mask = index.mask_of(outs)
-    for t_in in view.in_set(label):
-        reach = index.descendants_mask(t_in) | (1 << index.index_of(t_in))
-        missing = out_mask & ~reach
-        if missing:
-            return (t_in, index.nodes_of(missing)[0])
-    return None
+    return witness_for_members(view.spec, view.spec.reachability(),
+                               view.members(label))
 
 
 def unsound_composites(view: WorkflowView) -> List[CompositeLabel]:

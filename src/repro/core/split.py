@@ -21,7 +21,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import CorrectionError
+from repro.graphs.convexity import is_convex
 from repro.graphs.dag import Digraph
+from repro.graphs.reachability import (
+    ReachabilityIndex,
+    bit_indices,
+    restrict_index,
+)
 from repro.graphs.topo import is_acyclic, topological_sort
 from repro.views.view import CompositeLabel, WorkflowView
 from repro.workflow.spec import WorkflowSpec
@@ -34,7 +40,8 @@ class CompositeContext:
     def __init__(self, nodes: Sequence[TaskId],
                  edges: Sequence[tuple],
                  ext_in: Dict[TaskId, bool],
-                 ext_out: Dict[TaskId, bool]) -> None:
+                 ext_out: Dict[TaskId, bool],
+                 full_index: Optional[ReachabilityIndex] = None) -> None:
         graph = Digraph()
         for node in nodes:
             graph.add_node(node)
@@ -52,19 +59,21 @@ class CompositeContext:
         for source, target in graph.edges():
             self.succs[self.local[source]] |= 1 << self.local[target]
             self.preds[self.local[target]] |= 1 << self.local[source]
-        # strict descendants, one reverse-topological pass
-        self.reach = [0] * n
-        for node in reversed(self.order):
-            i = self.local[node]
-            mask = 0
-            succ = self.succs[i]
-            j = 0
-            while succ:
-                if succ & 1:
+        if full_index is not None:
+            # reuse the workflow-level index: restricting it to the members
+            # equals the internal closure whenever the member set is convex
+            # (no path leaves and re-enters), which from_view guarantees
+            restricted = restrict_index(full_index, self.order)
+            self.reach = [restricted[node] for node in self.order]
+        else:
+            # strict descendants, one reverse-topological pass
+            self.reach = [0] * n
+            for node in reversed(self.order):
+                i = self.local[node]
+                mask = 0
+                for j in bit_indices(self.succs[i]):
                     mask |= (1 << j) | self.reach[j]
-                succ >>= 1
-                j += 1
-            self.reach[i] = mask
+                self.reach[i] = mask
         self.ext_in = [bool(ext_in.get(node, False)) for node in self.order]
         self.ext_out = [bool(ext_out.get(node, False)) for node in self.order]
         self.ext_in_mask = sum(1 << i for i in range(n) if self.ext_in[i])
@@ -88,7 +97,9 @@ class CompositeContext:
         ext_out = {task: any(s not in member_set
                              for s in spec.successors(task))
                    for task in members}
-        return cls(members, edges, ext_in, ext_out)
+        index = spec.reachability()
+        full_index = index if is_convex(index, members) else None
+        return cls(members, edges, ext_in, ext_out, full_index=full_index)
 
     @classmethod
     def standalone(cls, spec: WorkflowSpec) -> "CompositeContext":

@@ -22,7 +22,13 @@ from repro.graphs.topo import (
     layers,
     longest_path_length,
 )
-from repro.graphs.reachability import ReachabilityIndex, transitive_closure
+from repro.graphs.reachability import (
+    ReachabilityIndex,
+    bit_indices,
+    popcount,
+    restrict_index,
+    transitive_closure,
+)
 from repro.graphs.intervals import IntervalIndex
 from repro.graphs.chains import ChainIndex
 from repro.graphs.convexity import is_convex, convex_closure, between
@@ -35,6 +41,9 @@ __all__ = [
     "layers",
     "longest_path_length",
     "ReachabilityIndex",
+    "bit_indices",
+    "popcount",
+    "restrict_index",
     "IntervalIndex",
     "ChainIndex",
     "transitive_closure",

@@ -5,6 +5,13 @@ optimal), optionally for a single composite (*Split Task*) or the whole view
 (*Correct View*), and — per Section 3.2 — sees estimated time and quality
 for each approach before committing, computed from the session's correction
 history.
+
+Each :class:`~repro.core.split.CompositeContext` is built once per
+composite and shared between the splitter, the estimator and the history
+recorder (a context depends only on the composite's membership and the
+spec, so it stays valid while other composites are being split); the
+contexts themselves reuse the spec-level reachability index instead of
+recomputing a local closure.
 """
 
 from __future__ import annotations
@@ -55,17 +62,28 @@ class CorrectorModule:
                    criterion: Criterion) -> SplitResult:
         """GUI *Split Task*: correct one composite, record history."""
         ctx = CompositeContext.from_view(view, label)
-        result = split_composite(view, label, criterion)
+        result = split_composite(view, label, criterion, ctx=ctx)
         self._record(ctx, result)
         return result
 
     def correct_view(self, view: WorkflowView,
-                     criterion: Criterion) -> CorrectionReport:
-        """GUI *Correct View*: correct every unsound composite."""
-        targets = unsound_composites(view)
+                     criterion: Criterion,
+                     targets: Optional[list] = None) -> CorrectionReport:
+        """GUI *Correct View*: correct every unsound composite.
+
+        ``targets`` lets a session that just validated the view (and so
+        already knows the unsound labels) skip the re-discovery scan; an
+        explicit subset legitimately leaves the view unsound, so the final
+        soundness assertion only runs when the module discovered the
+        targets itself.
+        """
+        verify = targets is None
+        if targets is None:
+            targets = unsound_composites(view)
         contexts = {label: CompositeContext.from_view(view, label)
                     for label in targets}
-        report = correct_view(view, criterion)
+        report = correct_view(view, criterion, labels=list(targets),
+                              contexts=contexts, verify=verify)
         for label, result in report.splits.items():
             self._record(contexts[label], result)
         return report

@@ -11,6 +11,13 @@ pattern is the demo's outline::
     session.view                             # the current (possibly sound) view
 
 Every step is recorded so examples and tests can replay the interaction.
+
+The session owns one :class:`~repro.core.incremental.AnalysisCache` shared
+by every module: the validator, the post-edit re-validations of the
+Feedback module, and the soundness probes after corrections all consult the
+same witness cache over the same spec-level reachability index.  An edit
+therefore costs O(touched composites), not O(view) — the property the
+interactive loop needs on large workflows.
 """
 
 from __future__ import annotations
@@ -20,9 +27,10 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.corrector import CorrectionReport, Criterion
 from repro.core.estimator import Estimate, Estimator
-from repro.core.soundness import ValidationReport, validate_view
+from repro.core.incremental import AnalysisCache
+from repro.core.soundness import ValidationReport
 from repro.core.split import SplitResult
-from repro.errors import ViewError
+from repro.errors import CorrectionError, ViewError
 from repro.system.corrector import CorrectorModule
 from repro.system.feedback import (
     FeedbackOutcome,
@@ -50,21 +58,24 @@ class WolvesSession:
     view: WorkflowView
     corrector: CorrectorModule = field(default_factory=CorrectorModule)
     history: List[SessionEvent] = field(default_factory=list)
+    analysis: Optional[AnalysisCache] = None
 
     def __post_init__(self) -> None:
         if self.view.spec is not self.spec:
             raise ViewError("view does not belong to this session's spec")
+        if self.analysis is None:
+            self.analysis = AnalysisCache(self.spec)
 
     # -- validator --------------------------------------------------------
 
     def validate(self) -> ValidationReport:
-        report = validate_view(self.view)
+        report = self.analysis.validate(self.view)
         self._log("validate", report.summary(), report.sound)
         return report
 
     @property
     def is_sound(self) -> bool:
-        return validate_view(self.view).sound
+        return self.analysis.validate(self.view).sound
 
     # -- corrector --------------------------------------------------------
 
@@ -75,9 +86,19 @@ class WolvesSession:
     def correct(self, criterion: Criterion = Criterion.STRONG
                 ) -> CorrectionReport:
         """Correct the whole view (GUI: right-click, *Correct View*)."""
-        report = self.corrector.correct_view(self.view, criterion)
+        targets = self.analysis.validate(self.view).unsound_composites
+        report = self.corrector.correct_view(self.view, criterion,
+                                             targets=targets)
         self.view = report.corrected
-        self._log("correct", report.summary(), self.is_sound)
+        sound_after = self.is_sound
+        if targets and not sound_after:
+            # the targets covered every unsound composite, so the corrected
+            # view must be sound (the assertion core.correct_view runs for
+            # self-discovered targets — here via the incremental cache)
+            raise CorrectionError(
+                f"internal error: corrected view {self.view.name!r} "
+                f"is not sound")
+        self._log("correct", report.summary(), sound_after)
         return report
 
     def split_task(self, label: CompositeLabel,
@@ -97,7 +118,8 @@ class WolvesSession:
                               ) -> FeedbackOutcome:
         """Merge composites (GUI: *Create Composite Task*), re-validated."""
         outcome = create_composite_task(self.view, labels,
-                                        new_label=new_label)
+                                        new_label=new_label,
+                                        cache=self.analysis)
         self.view = outcome.view
         detail = outcome.report.summary()
         if outcome.warning:
@@ -107,7 +129,8 @@ class WolvesSession:
 
     def move_task(self, task_id, target_label: CompositeLabel
                   ) -> FeedbackOutcome:
-        outcome = move_task(self.view, task_id, target_label)
+        outcome = move_task(self.view, task_id, target_label,
+                            cache=self.analysis)
         self.view = outcome.view
         self._log("move", outcome.report.summary(), outcome.sound)
         return outcome

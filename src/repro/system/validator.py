@@ -3,13 +3,19 @@
 A thin system-level wrapper over :mod:`repro.core.soundness` adding the
 GUI's presentation concerns: unsound composites are highlighted (the GUI
 shows them red) and the report carries display names.
+
+When handed the session's
+:class:`~repro.core.incremental.AnalysisCache` the validator runs
+incrementally — composites whose membership is unchanged since the last
+validation reuse their cached witness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.incremental import AnalysisCache, EditEvent
 from repro.core.soundness import ValidationReport, validate_view
 from repro.views.view import CompositeLabel, WorkflowView
 
@@ -37,9 +43,14 @@ class HighlightedReport:
         return rendered
 
 
-def validate(view: WorkflowView) -> HighlightedReport:
+def validate(view: WorkflowView,
+             cache: Optional[AnalysisCache] = None,
+             event: Optional[EditEvent] = None) -> HighlightedReport:
     """Validate and colour: unsound composites red, sound ones green."""
-    report = validate_view(view)
+    if cache is not None:
+        report = cache.validate(view, event)
+    else:
+        report = validate_view(view)
     colors = {
         label: ("red" if label in report.witnesses else "green")
         for label in view.composite_labels()

@@ -27,7 +27,13 @@ from repro.views.suggest import suggest_sound_view, suggest_user_view
 from repro.views.editor import ViewEditor, EditReport
 from repro.views.hierarchy import ViewHierarchy
 from repro.views.stats import view_stats, composite_stats, rank_repair_candidates
-from repro.views.lattice import refines, meet, join
+from repro.views.lattice import (
+    refines,
+    meet,
+    join,
+    meet_with_event,
+    join_with_event,
+)
 from repro.views.diff import partition_distance, composites_changed, view_delta
 
 __all__ = [
@@ -53,6 +59,8 @@ __all__ = [
     "refines",
     "meet",
     "join",
+    "meet_with_event",
+    "join_with_event",
     "partition_distance",
     "composites_changed",
     "view_delta",

@@ -4,8 +4,8 @@ The demo offers two workflows: correcting a finished view, or "making
 suggestions while users are creating a view".  This module implements the
 second: a :class:`ViewEditor` holds a partition under construction and
 revalidates *incrementally* after every edit — only the composites whose
-boundary could have changed are rechecked, so feedback stays interactive on
-large workflows.
+membership changed are rechecked, so feedback stays interactive on large
+workflows.
 
 Edits mirror the GUI gestures:
 
@@ -16,14 +16,23 @@ Edits mirror the GUI gestures:
 After each edit the editor reports the soundness status of every touched
 composite plus whether the quotient stayed acyclic, and it can *veto* edits
 (``strict=True``) that would make the view unsound or ill-formed.
+
+Soundness checks run through a shared
+:class:`~repro.core.incremental.AnalysisCache`, and every
+:class:`EditReport` carries the structured
+:class:`~repro.core.incremental.EditEvent` the edit emitted, so a session
+that materialises the partition (:meth:`ViewEditor.to_view`) can hand both
+to its own cache and keep revalidation O(affected).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.errors import ViewError
+from repro.core.incremental import AnalysisCache, EditEvent, place_into_order
+from repro.errors import CycleError, ViewError
+from repro.graphs.topo import topological_sort
 from repro.views.view import CompositeLabel, WorkflowView
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
@@ -39,6 +48,7 @@ class EditReport:
     newly_sound: Tuple[CompositeLabel, ...]
     well_formed: bool
     vetoed: bool = False
+    event: Optional[EditEvent] = None
 
     @property
     def ok(self) -> bool:
@@ -48,9 +58,12 @@ class EditReport:
 class ViewEditor:
     """A partition under construction, validated incrementally."""
 
-    def __init__(self, spec: WorkflowSpec, strict: bool = False) -> None:
+    def __init__(self, spec: WorkflowSpec, strict: bool = False,
+                 analysis: Optional[AnalysisCache] = None) -> None:
         self.spec = spec
         self.strict = strict
+        self.analysis = analysis if analysis is not None \
+            else AnalysisCache(spec)
         self._owner: Dict[TaskId, CompositeLabel] = {}
         self._members: Dict[CompositeLabel, List[TaskId]] = {}
         self._unsound: Set[CompositeLabel] = set()
@@ -59,6 +72,11 @@ class ViewEditor:
             label = self._fresh_label()
             self._owner[task_id] = label
             self._members[label] = [task_id]
+        # topological positions of the current quotient (None while the
+        # partition is ill-formed); the singleton quotient is the spec DAG
+        self._positions: Optional[Dict[CompositeLabel, float]] = {
+            self._owner[task]: float(i)
+            for i, task in enumerate(spec.topological_order())}
 
     def _fresh_label(self) -> str:
         self._counter += 1
@@ -83,7 +101,7 @@ class ViewEditor:
 
     @property
     def is_sound(self) -> bool:
-        return not self._unsound and self.to_view().is_well_formed()
+        return not self._unsound and self._positions is not None
 
     def to_view(self, name: str = "edited") -> WorkflowView:
         """Materialise the current partition as an immutable view."""
@@ -92,46 +110,19 @@ class ViewEditor:
     # -- incremental soundness machinery -----------------------------------
 
     def _composite_sound(self, label: CompositeLabel) -> bool:
-        members = set(self._members[label])
-        index = self.spec.reachability()
-        outs = [t for t in members
-                if any(s not in members for s in self.spec.successors(t))]
-        if not outs:
-            return True
-        ins = [t for t in members
-               if any(p not in members for p in self.spec.predecessors(t))]
-        out_mask = index.mask_of(outs)
-        for t_in in ins:
-            reach = index.descendants_mask(t_in) | (
-                1 << index.index_of(t_in))
-            if out_mask & ~reach:
-                return False
-        return True
+        return self.analysis.witness_for(self._members[label]) is None
 
-    def _neighbours_of(self, labels: Iterable[CompositeLabel]
-                       ) -> Set[CompositeLabel]:
-        """Composites adjacent to any of ``labels`` (boundaries can shift)."""
-        found: Set[CompositeLabel] = set()
-        for label in labels:
-            for task in self._members.get(label, ()):
-                for other in (self.spec.predecessors(task)
-                              + self.spec.successors(task)):
-                    found.add(self._owner[other])
-        return found
-
-    def _revalidate(self, edit: str,
-                    touched: Iterable[CompositeLabel]) -> EditReport:
+    def _revalidate(self, edit: str, touched: Iterable[CompositeLabel],
+                    event: EditEvent) -> EditReport:
+        # Definition 2.3 for a composite depends only on its own membership
+        # and the spec graph — a neighbour whose membership did not change
+        # keeps its in/out sets and its witness — so exactly the touched
+        # composites are rechecked (and unchanged ones hit the cache).
         touched_set = {label for label in touched
                        if label in self._members}
-        # a move changes in/out sets of the touched composites only; their
-        # neighbours keep their boundaries (membership of OTHER composites
-        # is unchanged), so only touched composites need rechecking —
-        # but a task arriving next to a neighbour can change that
-        # neighbour's in/out sets, so include direct neighbours too.
-        to_check = touched_set | self._neighbours_of(touched_set)
         newly_unsound = []
         newly_sound = []
-        for label in to_check:
+        for label in touched_set:
             sound = self._composite_sound(label)
             was_unsound = label in self._unsound
             if sound and was_unsound:
@@ -141,13 +132,69 @@ class ViewEditor:
                 self._unsound.add(label)
                 newly_unsound.append(label)
         self._unsound &= set(self._members)
-        well_formed = self.to_view().is_well_formed()
+        well_formed = self._update_well_formed(touched_set)
         return EditReport(edit=edit,
                           touched=tuple(sorted(touched_set, key=str)),
                           newly_unsound=tuple(sorted(newly_unsound,
                                                      key=str)),
                           newly_sound=tuple(sorted(newly_sound, key=str)),
-                          well_formed=well_formed)
+                          well_formed=well_formed,
+                          event=event)
+
+    # -- incremental well-formedness -----------------------------------------
+
+    def _quotient_neighbours(self, label: CompositeLabel
+                             ) -> Tuple[Set[CompositeLabel],
+                                        Set[CompositeLabel]]:
+        """Predecessor/successor composites of ``label`` in the quotient,
+        computed from the partition without materialising the view."""
+        preds: Set[CompositeLabel] = set()
+        succs: Set[CompositeLabel] = set()
+        for task in self._members[label]:
+            for other in self.spec.predecessors(task):
+                owner = self._owner[other]
+                if owner != label:
+                    preds.add(owner)
+            for other in self.spec.successors(task):
+                owner = self._owner[other]
+                if owner != label:
+                    succs.add(owner)
+        return preds, succs
+
+    def _update_well_formed(self,
+                            touched: Set[CompositeLabel]) -> bool:
+        """Maintain quotient acyclicity in O(touched neighbourhood).
+
+        Same certificate as
+        :meth:`~repro.core.incremental.AnalysisCache.validate`: only the
+        touched composites changed membership, so quotient edges between
+        untouched composites are unchanged and the previous topological
+        positions still order them; slotting every touched composite
+        strictly between its predecessors' and successors' positions
+        yields a topological order of the whole quotient.  No slot found
+        (or no positions to patch) falls back to a full scan.
+        """
+        if self._positions is not None:
+            placed = self._place_touched(touched)
+            if placed is not None:
+                self._positions.update(placed)
+                return True
+        view = self.to_view()
+        try:
+            order = topological_sort(view.quotient)
+        except CycleError:
+            self._positions = None
+            return False
+        self._positions = {label: float(i)
+                           for i, label in enumerate(order)}
+        return True
+
+    def _place_touched(self, touched: Set[CompositeLabel]
+                       ) -> Optional[Dict[CompositeLabel, float]]:
+        neighbours = {label: self._quotient_neighbours(label)
+                      for label in touched}
+        return place_into_order(list(touched), self._positions,
+                                neighbours.__getitem__)
 
     # -- edits -------------------------------------------------------------
 
@@ -169,7 +216,9 @@ class ViewEditor:
         self._members[new_label] = merged
         for task in merged:
             self._owner[task] = new_label
-        report = self._revalidate(f"group -> {new_label}", [new_label])
+        event = EditEvent.merge(sorted(merging, key=str), new_label)
+        report = self._revalidate(f"group -> {new_label}", [new_label],
+                                  event)
         return self._maybe_veto(report, snapshot)
 
     def ungroup(self, label: CompositeLabel) -> EditReport:
@@ -184,7 +233,8 @@ class ViewEditor:
             self._members[new_label] = [task]
             self._owner[task] = new_label
             fresh.append(new_label)
-        report = self._revalidate(f"ungroup {label}", fresh)
+        event = EditEvent.split(label, fresh)
+        report = self._revalidate(f"ungroup {label}", fresh, event)
         return self._maybe_veto(report, snapshot)
 
     def move(self, task_id: TaskId,
@@ -203,23 +253,33 @@ class ViewEditor:
             self._unsound.discard(source)
         self._members[target].append(task_id)
         self._owner[task_id] = target
+        event = EditEvent.move(source, target,
+                               source_survives=source in self._members)
         report = self._revalidate(f"move {task_id} -> {target}",
-                                  [source, target])
+                                  [source, target], event)
         return self._maybe_veto(report, snapshot)
 
     # -- strict mode --------------------------------------------------------
 
     def _snapshot(self):
+        # only taken in strict mode (rollback support); cache entries are
+        # keyed by membership, so a rollback never needs to touch the
+        # analysis cache — stale entries simply stop matching
+        if not self.strict:
+            return None
         return ({t: l for t, l in self._owner.items()},
                 {l: list(m) for l, m in self._members.items()},
-                set(self._unsound), self._counter)
+                set(self._unsound), self._counter,
+                dict(self._positions) if self._positions is not None
+                else None)
 
     def _restore(self, snapshot) -> None:
-        owner, members, unsound, counter = snapshot
+        owner, members, unsound, counter, positions = snapshot
         self._owner = owner
         self._members = members
         self._unsound = unsound
         self._counter = counter
+        self._positions = positions
 
     def _maybe_veto(self, report: EditReport, snapshot) -> EditReport:
         if self.strict and not report.ok:
@@ -227,5 +287,6 @@ class ViewEditor:
             return EditReport(edit=report.edit, touched=report.touched,
                               newly_unsound=report.newly_unsound,
                               newly_sound=report.newly_sound,
-                              well_formed=report.well_formed, vetoed=True)
+                              well_formed=report.well_formed, vetoed=True,
+                              event=report.event)
         return report

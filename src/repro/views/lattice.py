@@ -20,8 +20,9 @@ views.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Tuple
 
+from repro.core.incremental import EditEvent, edit_event_between
 from repro.errors import ViewError
 from repro.views.view import WorkflowView
 from repro.workflow.task import TaskId
@@ -105,6 +106,28 @@ def join(a: WorkflowView, b: WorkflowView,
     named = {f"j{i}": members
              for i, members in enumerate(groups.values())}
     return WorkflowView(a.spec, named, name=name)
+
+
+def meet_with_event(a: WorkflowView, b: WorkflowView,
+                    name: str = "meet"
+                    ) -> Tuple[WorkflowView, EditEvent]:
+    """:func:`meet` plus the :class:`EditEvent` turning ``a`` into it.
+
+    The event names exactly the composites whose membership differs from
+    ``a`` — composites of ``a`` already refined by ``b`` survive verbatim
+    and stay clean — so an :class:`~repro.core.incremental.AnalysisCache`
+    consuming the event revalidates only the genuinely new blocks.
+    """
+    result = meet(a, b, name=name)
+    return result, edit_event_between(a, result, kind="meet")
+
+
+def join_with_event(a: WorkflowView, b: WorkflowView,
+                    name: str = "join"
+                    ) -> Tuple[WorkflowView, EditEvent]:
+    """:func:`join` plus the :class:`EditEvent` turning ``a`` into it."""
+    result = join(a, b, name=name)
+    return result, edit_event_between(a, result, kind="join")
 
 
 def is_lattice_consistent(a: WorkflowView, b: WorkflowView) -> bool:

@@ -45,6 +45,9 @@ class WorkflowView:
         self._quotient = spec.graph.quotient(
             self._members.values(), labels=list(self._members))
         self._view_index: Optional[ReachabilityIndex] = None
+        # the spec version this view (and its quotient) was derived from;
+        # analysis caches compare this token against spec.version
+        self._spec_token = spec.version
 
     def _validate_partition(self) -> None:
         for label, members in self._members.items():
@@ -71,6 +74,11 @@ class WorkflowView:
     @property
     def spec(self) -> WorkflowSpec:
         return self._spec
+
+    @property
+    def spec_token(self) -> int:
+        """The spec version this view was built from (staleness probe)."""
+        return self._spec_token
 
     @property
     def quotient(self) -> Digraph:
@@ -138,7 +146,8 @@ class WorkflowView:
     def view_reachability(self) -> ReachabilityIndex:
         """Reachability over composites (requires a well-formed view)."""
         if self._view_index is None:
-            self._view_index = ReachabilityIndex(self._quotient)
+            self._view_index = ReachabilityIndex(self._quotient,
+                                                 token=self._spec_token)
         return self._view_index
 
     def view_path_exists(self, source: CompositeLabel,
@@ -184,6 +193,11 @@ class WorkflowView:
         return WorkflowView(self._spec, groups, name=self.name,
                             labels=self._display)
 
+    @staticmethod
+    def merged_label(merge_labels: Iterable[CompositeLabel]) -> str:
+        """The default label :meth:`merge` gives a fused composite."""
+        return "+".join(str(label) for label in merge_labels)
+
     def merge(self, merge_labels: Iterable[CompositeLabel],
               new_label: Optional[CompositeLabel] = None) -> "WorkflowView":
         """Merge several composites into one (the Feedback module's move)."""
@@ -194,7 +208,7 @@ class WorkflowView:
             if label not in self._members:
                 raise ViewError(f"unknown composite {label!r}")
         if new_label is None:
-            new_label = "+".join(str(label) for label in merging)
+            new_label = self.merged_label(merging)
         merged: List[TaskId] = []
         for label in merging:
             merged.extend(self._members[label])

@@ -9,6 +9,12 @@ of the workflow's final outputs.
 The spec caches its :class:`~repro.graphs.reachability.ReachabilityIndex`;
 the cache is invalidated on every mutation, so validators and correctors can
 call :meth:`WorkflowSpec.reachability` freely.
+
+Every mutation also bumps :attr:`WorkflowSpec.version`, and the cached
+index is stamped with the version it was built from
+(:attr:`~repro.graphs.reachability.ReachabilityIndex.token`).  Downstream
+caches — views, the incremental analysis engine — compare tokens instead of
+re-deriving state, which is what makes per-edit revalidation O(affected).
 """
 
 from __future__ import annotations
@@ -32,12 +38,34 @@ class WorkflowSpec:
         self._tasks: Dict[TaskId, Task] = {}
         self._graph = Digraph()
         self._index: Optional[ReachabilityIndex] = None
+        self._version = 0
         for task in tasks:
             self.add_task(task)
         for source, target in dependencies:
             self.add_dependency(source, target)
 
     # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_digraph(cls, name: str, graph: Digraph) -> "WorkflowSpec":
+        """Bulk-build a spec from an existing DAG, checking acyclicity once.
+
+        ``add_dependency`` re-checks acyclicity per edge — right for
+        interactive edits, quadratic for bulk loads.  Generators and
+        benchmarks construct thousand-task workflows through this path.
+        """
+        if not is_acyclic(graph):
+            raise CycleError("workflow dependency graph is cyclic")
+        spec = cls(name)
+        for node in graph.nodes():
+            spec._tasks[node] = Task(node)
+            spec._graph.add_node(node)
+        for source, target in graph.edges():
+            if source == target:
+                raise WorkflowError(f"self dependency on task {source!r}")
+            spec._graph.add_edge(source, target)
+        spec._invalidate()
+        return spec
 
     def add_task(self, task: Task) -> Task:
         """Register ``task``; re-adding an id replaces the task object."""
@@ -117,10 +145,21 @@ class WorkflowSpec:
         """The dependency DAG (a live reference; mutate via the spec)."""
         return self._graph
 
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every task/dependency change."""
+        return self._version
+
     def reachability(self) -> ReachabilityIndex:
-        """The cached reachability index over task ids."""
-        if self._index is None:
-            self._index = ReachabilityIndex(self._graph)
+        """The cached reachability index over task ids.
+
+        The returned index is stamped with the spec version it was built
+        from (``index.token == spec.version``), so holders can detect
+        staleness without re-querying the spec graph.
+        """
+        if self._index is None or self._index.token != self._version:
+            self._index = ReachabilityIndex(self._graph,
+                                            token=self._version)
         return self._index
 
     def depends_on(self, downstream: TaskId, upstream: TaskId) -> bool:
@@ -152,3 +191,4 @@ class WorkflowSpec:
 
     def _invalidate(self) -> None:
         self._index = None
+        self._version += 1

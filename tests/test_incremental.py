@@ -1,0 +1,349 @@
+"""Tests for the incremental analysis engine (repro.core.incremental).
+
+The contract under test: after *any* sequence of editor/feedback
+operations, the incremental :class:`ValidationReport` is identical to a
+from-scratch :func:`validate_view` — same witnesses, same summary string —
+and the dirty set is minimal: a composite whose membership did not change
+is never rechecked (its witness is a cache hit).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incremental import (
+    AnalysisCache,
+    DirtySet,
+    EditEvent,
+    edit_event_between,
+    report_delta,
+)
+from repro.core.soundness import validate_view
+from repro.errors import ViewError
+from repro.graphs.generators import layered_dag, random_dag
+from repro.system.feedback import create_composite_task, move_task
+from repro.system.session import WolvesSession
+from repro.system.validator import validate as highlight_validate
+from repro.views.builders import random_convex_view, singleton_view
+from repro.views.lattice import join_with_event, meet_with_event
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics, phylogenomics_view
+from repro.workflow.spec import WorkflowSpec
+from tests.helpers import diamond_spec, two_track_spec
+
+
+def spec_from_graph(graph, name="generated") -> WorkflowSpec:
+    return WorkflowSpec.from_digraph(name, graph)
+
+
+def assert_reports_identical(incremental, scratch):
+    assert incremental == scratch
+    assert incremental.summary() == scratch.summary()
+    assert list(incremental.witnesses) == list(scratch.witnesses)
+
+
+class TestEditEvent:
+    def test_merge_event(self):
+        event = EditEvent.merge(["a", "b"], "ab")
+        assert event.kind == "create_composite_task"
+        assert event.removed == ("a", "b")
+        assert event.added == ("ab",)
+        assert set(event.dirty_set().labels) == {"ab"}
+
+    def test_move_event_donor_survives(self):
+        event = EditEvent.move("src", "dst", source_survives=True)
+        assert set(event.added) == {"src", "dst"}
+        assert event.removed == ()
+
+    def test_move_event_donor_dissolves(self):
+        event = EditEvent.move("src", "dst", source_survives=False)
+        assert event.added == ("dst",)
+        assert event.removed == ("src",)
+
+    def test_dirty_set_ops(self):
+        d = DirtySet(["b", "a"]) | DirtySet(["c"])
+        assert len(d) == 3
+        assert "a" in d and list(d) == ["a", "b", "c"]
+
+
+class TestAnalysisCacheBasics:
+    def test_matches_validate_view_on_figure1(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        assert_reports_identical(cache.validate(view), validate_view(view))
+
+    def test_second_validation_is_all_hits(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        cache.validate(view)
+        misses_before = cache.stats.misses
+        cache.validate(view)
+        assert cache.stats.misses == misses_before
+        assert cache.stats.last_recomputed == ()
+
+    def test_rejects_foreign_view(self):
+        cache = AnalysisCache(diamond_spec())
+        with pytest.raises(ViewError):
+            cache.validate(singleton_view(two_track_spec()))
+
+    def test_stale_view_rejected_after_spec_mutation(self):
+        spec = two_track_spec()
+        view = singleton_view(spec)
+        cache = AnalysisCache(spec)
+        cache.validate(view)
+        spec.add_dependency(1, 3)
+        # the old view's quotient predates the mutation; the cache refuses
+        # it instead of validating stale structure
+        with pytest.raises(ViewError):
+            cache.validate(view)
+        assert_reports_identical(cache.validate(singleton_view(spec)),
+                                 validate_view(singleton_view(spec)))
+
+    def test_spec_mutation_invalidates(self):
+        spec = two_track_spec()
+        view = WorkflowView(spec, {"A": [1], "B": [2, 3], "C": [4],
+                                   "D": [5]})
+        cache = AnalysisCache(spec)
+        assert not cache.validate(view).sound
+        # adding 2 -> 4 creates the path 2 -> 4 -> 5 that B was missing...
+        spec.add_dependency(2, 4)
+        rebuilt = WorkflowView(spec, view.groups())
+        report = cache.validate(rebuilt)
+        assert cache.stats.spec_invalidations == 1
+        assert_reports_identical(report, validate_view(rebuilt))
+
+    def test_ill_formed_view_reports_cycle(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"X": [1, 4], "Y": [2], "Z": [3]})
+        cache = AnalysisCache(spec)
+        report = cache.validate(view)
+        assert_reports_identical(report, validate_view(view))
+        assert not report.well_formed
+
+    def test_prune_drops_dead_entries(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        cache.validate(view)
+        merged = view.merge([13, 14], new_label="front")
+        cache.validate(merged)
+        dropped = cache.prune(merged)
+        assert dropped == 2  # the entries for 13 and 14
+        assert_reports_identical(cache.validate(merged),
+                                 validate_view(merged))
+
+    def test_report_delta_tracks_transitions(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        cache.validate(view)
+        session = WolvesSession(view.spec, view, analysis=cache)
+        session.correct()
+        assert session.is_sound
+        assert cache.last_delta is not None
+        assert 16 in cache.last_delta.newly_sound or not \
+            cache.last_delta.still_unsound
+
+    def test_report_delta_function(self):
+        view = phylogenomics_view()
+        before = validate_view(view)
+        after = validate_view(view.merge([13, 14], new_label="front"))
+        delta = report_delta(before, after)
+        assert delta.still_unsound == (16,)
+        assert not delta.newly_sound
+        first = report_delta(None, before)
+        assert first.newly_unsound == (16,)
+
+
+class TestFeedbackIntegration:
+    def test_validator_module_uses_cache(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        highlighted = highlight_validate(view, cache=cache)
+        assert highlighted.report == validate_view(view)
+        assert highlighted.colors[16] == "red"
+        assert cache.stats.validations == 1
+
+    def test_move_task_event_and_report(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        cache.validate(view)
+        outcome = move_task(view, 7, 15, cache=cache)
+        assert outcome.event.kind == "move_task"
+        assert set(outcome.event.added) == {15, 16}
+        assert_reports_identical(outcome.report,
+                                 validate_view(outcome.view))
+        # only the touched composites were recomputed
+        assert set(cache.stats.last_recomputed) <= set(outcome.event.added)
+
+    def test_merge_event_and_report(self):
+        view = phylogenomics_view()
+        cache = AnalysisCache(view.spec)
+        cache.validate(view)
+        outcome = create_composite_task(view, [13, 14], new_label="front",
+                                        cache=cache)
+        assert outcome.event == EditEvent.merge([13, 14], "front")
+        assert_reports_identical(outcome.report,
+                                 validate_view(outcome.view))
+        assert cache.stats.last_recomputed == ("front",)
+
+
+class TestLatticeEvents:
+    def test_meet_event_marks_only_new_blocks(self):
+        spec = phylogenomics()
+        rng = random.Random(11)
+        a = random_convex_view(rng, spec, 4, name="a")
+        b = random_convex_view(rng, spec, 6, name="b")
+        met, event = meet_with_event(a, b)
+        assert event.kind == "meet"
+        cache = AnalysisCache(spec)
+        cache.validate(a)
+        report = cache.validate(met, event)
+        assert_reports_identical(report, validate_view(met))
+        assert set(cache.stats.last_recomputed) <= set(event.added)
+        # blocks of `a` surviving into the meet are not dirty
+        surviving = {tuple(a.members(l)) for l in a.composite_labels()} & \
+            {tuple(met.members(l)) for l in met.composite_labels()}
+        assert len(event.added) == len(met) - len(surviving)
+
+    def test_join_event(self):
+        spec = phylogenomics()
+        rng = random.Random(12)
+        a = random_convex_view(rng, spec, 5, name="a")
+        b = random_convex_view(rng, spec, 3, name="b")
+        joined, event = join_with_event(a, b)
+        assert event.kind == "join"
+        cache = AnalysisCache(spec)
+        cache.validate(a)
+        assert_reports_identical(cache.validate(joined, event),
+                                 validate_view(joined))
+
+    def test_edit_event_between_identity(self):
+        view = phylogenomics_view()
+        event = edit_event_between(view, view)
+        assert event.added == () and event.removed == ()
+
+
+@st.composite
+def workflow_and_seed(draw):
+    n = draw(st.integers(min_value=4, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 20))
+    rng = random.Random(seed)
+    if draw(st.booleans()):
+        graph = random_dag(rng, n, rng.uniform(0.1, 0.5))
+    else:
+        graph = layered_dag(rng, max(2, n // 4), 4)
+    return spec_from_graph(graph), seed
+
+
+class TestPropertyRandomEditSequences:
+    """The acceptance property: identical reports + minimal dirty sets."""
+
+    @given(workflow_and_seed())
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_reports_identical_and_dirty_minimal(self, pair):
+        spec, seed = pair
+        rng = random.Random(seed ^ 0xC0FFEE)
+        composites = rng.randint(2, max(2, len(spec) // 2))
+        view = random_convex_view(rng, spec, composites)
+        cache = AnalysisCache(spec)
+        prev_report = cache.validate(view)
+        assert_reports_identical(prev_report, validate_view(view))
+        for _ in range(8):
+            labels = view.composite_labels()
+            if len(labels) >= 2 and rng.random() < 0.5:
+                merging = rng.sample(labels, 2)
+                outcome = create_composite_task(
+                    view, merging, new_label=f"m{rng.randrange(10 ** 6)}",
+                    cache=cache)
+            else:
+                task = rng.choice(spec.task_ids())
+                targets = [l for l in labels
+                           if l != view.composite_of(task)]
+                if not targets:
+                    continue
+                outcome = move_task(view, task, rng.choice(targets),
+                                    cache=cache)
+            # identical to a from-scratch validation, byte for byte
+            assert_reports_identical(outcome.report,
+                                     validate_view(outcome.view))
+            # minimality: only composites the edit touched were recomputed
+            # (an ill-formed predecessor cached no witnesses at all, so the
+            # next validation legitimately recomputes more)
+            if prev_report.well_formed:
+                assert set(cache.stats.last_recomputed) <= \
+                    set(outcome.event.added)
+            prev_report = outcome.report
+            view = outcome.view
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_untouched_composites_never_recomputed(self, seed):
+        rng = random.Random(seed)
+        graph = layered_dag(rng, 6, 4)
+        spec = spec_from_graph(graph)
+        view = random_convex_view(rng, spec, max(3, len(spec) // 3))
+        cache = AnalysisCache(spec)
+        cache.validate(view)
+        task = rng.choice(spec.task_ids())
+        targets = [l for l in view.composite_labels()
+                   if l != view.composite_of(task)]
+        if not targets:
+            return
+        before = {l: tuple(view.members(l))
+                  for l in view.composite_labels()}
+        outcome = move_task(view, task, rng.choice(targets), cache=cache)
+        untouched = {l for l in outcome.view.composite_labels()
+                     if before.get(l) == tuple(outcome.view.members(l))}
+        assert not untouched & set(cache.stats.last_recomputed)
+
+
+class TestCorrectorTargets:
+    def test_partial_targets_leave_view_unsound_without_error(self):
+        from repro.core.corrector import Criterion
+        from repro.system.corrector import CorrectorModule
+
+        spec = phylogenomics()
+        # two independent unsound composites: the classic {4,7} plus {3,6}
+        view = WorkflowView(spec, {
+            "a": [1, 2], "x": [3, 6], "y": [4, 7],
+            "b": [5], "c": [8], "d": [9, 10, 11, 12]})
+        unsound = set(validate_view(view).unsound_composites)
+        assert {"x", "y"} <= unsound
+        module = CorrectorModule()
+        report = module.correct_view(view, Criterion.STRONG, targets=["x"])
+        # correcting a subset is legitimate and must not raise
+        assert "x" in report.splits
+        assert "y" in validate_view(report.corrected).unsound_composites
+
+
+class TestSessionSharing:
+    def test_session_reuses_cache_across_loop(self):
+        view = phylogenomics_view()
+        session = WolvesSession(view.spec, view)
+        session.validate()
+        misses_after_first = session.analysis.stats.misses
+        session.validate()  # pure cache hits
+        assert session.analysis.stats.misses == misses_after_first
+        session.correct()
+        session.create_composite_task([13, 14], new_label="front")
+        assert session.analysis.stats.hits > 0
+        # the session's running state agrees with a from-scratch validation
+        assert_reports_identical(session.analysis.validate(session.view),
+                                 validate_view(session.view))
+
+    def test_editor_shares_cache_with_session_cachewise(self):
+        from repro.views.editor import ViewEditor
+
+        spec = phylogenomics()
+        editor = ViewEditor(spec)
+        report = editor.group([1, 2, 3], label="head")
+        assert report.event is not None
+        assert report.event.added == ("head",)
+        view = editor.to_view()
+        # the editor's cache can serve a full validation of the same
+        # partition without recomputing the grouped composite
+        cached = editor.analysis
+        recomputed_before = cached.stats.misses
+        cached.validate(view)
+        assert "head" not in cached.stats.last_recomputed
+        assert cached.stats.misses > recomputed_before  # the singletons

@@ -10,6 +10,8 @@ from repro.graphs.dag import Digraph
 from repro.graphs.generators import random_dag
 from repro.graphs.reachability import (
     ReachabilityIndex,
+    bit_indices,
+    popcount,
     reachable_pairs,
     restrict_index,
     transitive_closure,
@@ -82,6 +84,50 @@ class TestReachabilityIndex:
         assert pairs[2] == []
 
 
+class TestBitKernels:
+    def test_bit_indices_empty_and_single(self):
+        assert bit_indices(0) == []
+        assert bit_indices(1) == [0]
+        assert bit_indices(1 << 200) == [200]
+
+    def test_bit_indices_matches_naive_scan(self):
+        rng = random.Random(99)
+        for _ in range(50):
+            mask = rng.getrandbits(rng.randint(1, 500))
+            naive = [i for i in range(mask.bit_length()) if (mask >> i) & 1]
+            assert bit_indices(mask) == naive
+
+    def test_bit_indices_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_indices(-1)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 300) | 1) == 2
+
+    def test_ancestor_matrix_is_descendant_transpose(self):
+        rng = random.Random(21)
+        for _ in range(10):
+            g = random_dag(rng, rng.randint(2, 30), rng.uniform(0.1, 0.5))
+            index = ReachabilityIndex(g)
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert (v in set(index.descendants(u))) == \
+                        (u in set(index.ancestors(v)))
+
+    def test_first_node_of(self):
+        index = ReachabilityIndex(graph_from_edges([(1, 2), (2, 3)]))
+        assert index.first_node_of(0) is None
+        mask = index.mask_of([3, 2])
+        assert index.first_node_of(mask) == 2  # topologically first
+
+    def test_index_token(self):
+        g = graph_from_edges([(1, 2)])
+        assert ReachabilityIndex(g).token is None
+        assert ReachabilityIndex(g, token=7).token == 7
+
+
 class TestTransitiveClosure:
     def test_closure_edges(self):
         closure = transitive_closure(graph_from_edges([(1, 2), (2, 3)]))
@@ -116,3 +162,15 @@ class TestRestrictIndex:
         # node 1 (local bit 1) reaches node 3 (local bit 0)
         assert local[1] == 0b01
         assert local[3] == 0
+
+    def test_restriction_matches_pairwise_queries(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            g = random_dag(rng, rng.randint(2, 25), rng.uniform(0.1, 0.5))
+            index = ReachabilityIndex(g)
+            nodes = rng.sample(g.nodes(), rng.randint(1, len(g.nodes())))
+            local = restrict_index(index, nodes)
+            for i, u in enumerate(nodes):
+                for j, v in enumerate(nodes):
+                    expected = index.reaches(u, v)
+                    assert bool(local[u] & (1 << j)) == expected
