@@ -7,23 +7,52 @@ Paper claims reproduced:
   measured as closure-size reduction and query-time speedup;
 * unsound views give wrong lineage (precision < 1), corrected views are
   exact — the end-to-end story of the demo.
+
+Plus the indexed-vs-naive run-level sweep: repeated ``lineage_tasks``
+queries on the memoized bitset :class:`~repro.provenance.index.\
+ProvenanceIndex` against the seed's naive path (rebuild the OPM digraph,
+BFS per query).  Runs two ways:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_provenance.py -s`` —
+  the assertion-carrying experiments (including the >= 10x acceptance gate
+  at 2000 tasks);
+* ``PYTHONPATH=src python benchmarks/bench_provenance.py [--quick]
+  [--min-speedup X] [--out BENCH_provenance_index.json]`` — the sweep
+  (runs x queries) recording a ``BENCH_*.json`` datapoint; a non-zero exit
+  when the largest size misses ``--min-speedup`` makes it a CI gate.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
+import statistics
+import sys
 import time
+from typing import Dict, List
 
 import pytest
 
 from repro.core.corrector import Criterion, correct_view
 from repro.core.soundness import is_sound_view
+from repro.graphs.generators import layered_dag
 from repro.graphs.reachability import ReachabilityIndex
+from repro.graphs.topo import ancestors_of
+from repro.provenance.execution import WorkflowRun, execute
+from repro.provenance.queries import lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness
 from repro.repository.synthetic import expert_view, synthetic_workflow
 from repro.views.view import WorkflowView
+from repro.workflow.spec import WorkflowSpec
 
-from benchmarks.conftest import print_table
+try:
+    from benchmarks.conftest import print_table
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_provenance.py
+    from conftest import print_table
 
 WORKFLOW_SIZE = 120
+LAYER_WIDTH = 10
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +148,152 @@ def test_benchmark_view_level_lineage(benchmark, big_spec_and_view):
 
     sizes = benchmark(query_all)
     assert all(size >= 0 for size in sizes)
+
+
+# -- indexed vs naive run-level lineage ---------------------------------------
+
+
+def build_run(n_tasks: int, seed: int) -> WorkflowRun:
+    """Execute a layered scientific-workflow spec of ``n_tasks`` tasks."""
+    rng = random.Random(seed)
+    n_layers = max(2, n_tasks // LAYER_WIDTH)
+    graph = layered_dag(rng, n_layers, LAYER_WIDTH,
+                        stage_sizes=[LAYER_WIDTH] * n_layers)
+    spec = WorkflowSpec.from_digraph(f"prov-bench-{n_tasks}", graph)
+    return execute(spec, run_id=f"bench-{n_tasks}")
+
+
+def naive_lineage_tasks(run: WorkflowRun, task_id) -> set:
+    """The seed's query path: rebuild the OPM digraph, BFS its ancestors."""
+    artifact = run.output_artifact(task_id)
+    graph = run.provenance.build_digraph()
+    producing = set()
+    for kind, node_id in ancestors_of(
+            graph, ("artifact", artifact.artifact_id)):
+        if kind == "invocation":
+            producing.add(run.provenance.invocation(node_id).task_id)
+    producing.discard(task_id)
+    return producing
+
+
+def measure_lineage(run: WorkflowRun, queries: int = 32,
+                    seed: int = 7) -> Dict[str, float]:
+    """Median per-query time, naive vs indexed, same targets, answers
+    asserted identical on every query."""
+    rng = random.Random(seed)
+    targets = [rng.choice(run.spec.task_ids()) for _ in range(queries)]
+
+    started = time.perf_counter()
+    run.provenance_index()
+    build_s = time.perf_counter() - started
+
+    naive_times: List[float] = []
+    indexed_times: List[float] = []
+    for task_id in targets:
+        started = time.perf_counter()
+        naive_answer = naive_lineage_tasks(run, task_id)
+        naive_times.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        indexed_answer = lineage_tasks(run, task_id)
+        indexed_times.append(time.perf_counter() - started)
+
+        assert indexed_answer == naive_answer, "lineage answers diverged"
+
+    naive_ms = statistics.median(naive_times) * 1e3
+    indexed_ms = statistics.median(indexed_times) * 1e3
+    return {
+        "naive_ms": naive_ms,
+        "indexed_ms": indexed_ms,
+        "speedup": naive_ms / indexed_ms if indexed_ms else float("inf"),
+        "index_build_ms": build_s * 1e3,
+        "queries": queries,
+    }
+
+
+def run_index_sweep(sizes: List[int],
+                    queries: int = 32) -> List[Dict[str, object]]:
+    rows = []
+    for n_tasks in sizes:
+        run = build_run(n_tasks, seed=n_tasks)
+        result = measure_lineage(run, queries=queries)
+        rows.append({"tasks": n_tasks,
+                     "opm_nodes": len(run.provenance), **result})
+    return rows
+
+
+def _print_index_rows(rows: List[Dict[str, object]]) -> None:
+    print_table(
+        "provenance lineage: indexed vs naive (median per query)",
+        ["tasks", "OPM nodes", "naive (ms)", "indexed (ms)", "speedup",
+         "index build (ms)"],
+        [[r["tasks"], r["opm_nodes"], f"{r['naive_ms']:.3f}",
+          f"{r['indexed_ms']:.4f}", f"{r['speedup']:.0f}x",
+          f"{r['index_build_ms']:.1f}"] for r in rows])
+
+
+def test_indexed_lineage_10x_at_2000_tasks():
+    """The acceptance criterion, pinned as an executable assertion."""
+    run = build_run(2000, seed=42)
+    result = measure_lineage(run, queries=12)
+    _print_index_rows([{"tasks": 2000, "opm_nodes": len(run.provenance),
+                        **result}])
+    assert result["speedup"] >= 10.0, (
+        f"indexed lineage only {result['speedup']:.1f}x faster than naive")
+
+
+def test_indexed_answers_identical_small():
+    """Smoke: the per-query identity assertion inside measure_lineage."""
+    for n_tasks in (100, 300):
+        result = measure_lineage(build_run(n_tasks, seed=n_tasks),
+                                 queries=8)
+        assert result["speedup"] > 1.0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) if the largest size's speedup "
+                             "is below this")
+    parser.add_argument("--out", default=None,
+                        help="write a BENCH_*.json datapoint here")
+    args = parser.parse_args(argv)
+    if args.sizes:
+        sizes = args.sizes
+    elif args.quick:
+        sizes = [200, 500]
+    else:
+        sizes = [500, 1000, 2000]
+    rows = run_index_sweep(sizes, queries=args.queries)
+    _print_index_rows(rows)
+    if args.out:
+        payload = {
+            "benchmark": "provenance_index_lineage",
+            "unit": "ms_per_query_median",
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                        time.gmtime()),
+            "workload": ("layered DAG, width %d; repeated lineage_tasks "
+                         "queries, indexed (bitset ProvenanceIndex) vs "
+                         "naive (digraph rebuild + BFS)" % LAYER_WIDTH),
+            "results": rows,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        largest = rows[-1]
+        if largest["speedup"] < args.min_speedup:
+            print(f"FAIL: speedup {largest['speedup']:.1f}x at "
+                  f"{largest['tasks']} tasks is below the "
+                  f"{args.min_speedup:.1f}x gate")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,7 +23,7 @@ holding a reference to the owning graph.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.dag import Digraph, Node
@@ -69,6 +69,44 @@ def popcount(mask: int) -> int:
         return bin(mask).count("1")
 
 
+def closure_masks(order: Sequence[Node], successors
+                  ) -> "Tuple[Dict[Node, int], List[int], List[int]]":
+    """Descendant/ancestor bitset rows over any topologically ordered DAG.
+
+    ``order`` must list every node once, topologically (every edge points
+    forward in the sequence); ``successors(node)`` yields the direct
+    successors.  Returns ``(position, desc, anc)`` where ``position`` maps
+    nodes to bit indices and ``desc[i]`` / ``anc[i]`` are the strict
+    closure rows as big-int bitsets.
+
+    This is the word-chunked kernel :class:`ReachabilityIndex` is built on,
+    factored out so closures over graphs that are *not* materialised as a
+    :class:`Digraph` — e.g. the bipartite OPM provenance graph in
+    :mod:`repro.provenance.index` — pay for the adjacency they already
+    have instead of a graph rebuild.
+    """
+    position: Dict[Node, int] = {n: i for i, n in enumerate(order)}
+    n = len(position)
+    if n != len(order):
+        raise ValueError("closure_masks order contains duplicate nodes")
+    desc = [0] * n
+    for node in reversed(order):
+        i = position[node]
+        mask = 0
+        for succ in successors(node):
+            j = position[succ]
+            mask |= (1 << j) | desc[j]
+        desc[i] = mask
+    # the ancestor matrix is the transpose; iterate set bits only, so a
+    # sparse row costs O(popcount) instead of O(V)
+    anc = [0] * n
+    for i in range(n):
+        bit = 1 << i
+        for j in bit_indices(desc[i]):
+            anc[j] |= bit
+    return position, desc, anc
+
+
 class ReachabilityIndex:
     """Strict-reachability index over an acyclic :class:`Digraph`.
 
@@ -83,25 +121,8 @@ class ReachabilityIndex:
         #: spec's mutation counter); ``None`` for unowned indexes.
         self.token: Optional[Hashable] = token
         self._order: List[Node] = topological_sort(graph)
-        self._index: Dict[Node, int] = {n: i for i, n in enumerate(self._order)}
-        n = len(self._order)
-        desc = [0] * n
-        for node in reversed(self._order):
-            i = self._index[node]
-            mask = 0
-            for succ in graph.successors(node):
-                j = self._index[succ]
-                mask |= (1 << j) | desc[j]
-            desc[i] = mask
-        # the ancestor matrix is the transpose; iterate set bits only, so a
-        # sparse row costs O(popcount) instead of O(V)
-        anc = [0] * n
-        for i in range(n):
-            bit = 1 << i
-            for j in bit_indices(desc[i]):
-                anc[j] |= bit
-        self._desc = desc
-        self._anc = anc
+        self._index, self._desc, self._anc = closure_masks(
+            self._order, graph.successors)
 
     # -- node-level queries --------------------------------------------------
 

@@ -8,8 +8,10 @@ motivation end to end:
 * :mod:`~repro.provenance.execution` — a deterministic simulated executor
   that runs a :class:`~repro.workflow.spec.WorkflowSpec` and records
   provenance;
+* :mod:`~repro.provenance.index` — the per-run bitset lineage closure
+  (:class:`ProvenanceIndex`) every query below runs on;
 * :mod:`~repro.provenance.queries` — lineage (transitive-closure) queries
-  over the provenance graph;
+  over the provenance graph, with batched multi-query variants;
 * :mod:`~repro.provenance.viewlevel` — view-level provenance analysis and
   its correctness metrics: a sound view answers lineage queries exactly;
   an unsound view produces the spurious dependencies of Figure 1.
@@ -21,10 +23,16 @@ from repro.provenance.model import (
     ProvenanceGraph,
 )
 from repro.provenance.execution import execute, WorkflowRun
+from repro.provenance.index import ProvenanceIndex
 from repro.provenance.queries import (
-    lineage_artifacts,
-    lineage_tasks,
+    cone_of_change,
     downstream_tasks,
+    downstream_tasks_many,
+    lineage_artifacts,
+    lineage_invocations,
+    lineage_many,
+    lineage_tasks,
+    lineage_tasks_many,
 )
 from repro.provenance.viewlevel import (
     view_lineage,
@@ -40,9 +48,15 @@ __all__ = [
     "ProvenanceGraph",
     "execute",
     "WorkflowRun",
+    "ProvenanceIndex",
     "lineage_artifacts",
+    "lineage_invocations",
     "lineage_tasks",
+    "lineage_many",
+    "lineage_tasks_many",
     "downstream_tasks",
+    "downstream_tasks_many",
+    "cone_of_change",
     "view_lineage",
     "lineage_correctness",
     "LineageComparison",

@@ -109,10 +109,12 @@ class IncrementalEngine:
                 new_overrides[task] = merged
                 changed.add(task)
 
+        # one indexed pass over the affected cone: union the descendant
+        # bitsets, decode once — instead of materialising a node list per
+        # changed task
         index = self.spec.reachability()
         dirty: Set[TaskId] = set(changed)
-        for task in changed:
-            dirty.update(index.descendants(task))
+        dirty.update(index.nodes_of(index.descendants_mask_of_set(changed)))
 
         self._run_counter += 1
         run_id = f"inc-{self._run_counter}"

@@ -12,10 +12,11 @@ downstream of that task, which is what the provenance tests assert.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import ProvenanceError
+from repro.provenance.index import ProvenanceIndex
 from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
@@ -29,6 +30,22 @@ class WorkflowRun:
     provenance: ProvenanceGraph
     outputs: Dict[TaskId, str]
     run_id: str
+    _index: Optional[ProvenanceIndex] = field(
+        default=None, repr=False, compare=False)
+
+    def provenance_index(self) -> ProvenanceIndex:
+        """The memoized bitset lineage closure over this run's provenance.
+
+        Rebuilt only when the provenance graph has been mutated since the
+        index was taken (the stamped :attr:`ProvenanceIndex.token` lags
+        :attr:`ProvenanceGraph.version`), so every lineage query of a
+        settled run shares one closure.
+        """
+        index = self._index
+        if index is None or index.token != self.provenance.version:
+            index = ProvenanceIndex(self.provenance)
+            self._index = index
+        return index
 
     def output_artifact(self, task_id: TaskId) -> Artifact:
         """The artifact produced by ``task_id`` in this run."""

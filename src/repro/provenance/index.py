@@ -1,0 +1,176 @@
+"""Indexed provenance: bitset lineage closures over the OPM graph.
+
+The paper's headline use of views is making provenance queries tractable —
+"the view's transitive closure is much smaller than the workflow's".  The
+run-level queries deserve the same treatment: instead of rebuilding the
+bipartite OPM digraph and BFS-walking it per query
+(``O(V + E)`` each time), a :class:`ProvenanceIndex` numbers every artifact
+and invocation once, closes the graph with the word-chunked bitset kernels
+of :mod:`repro.graphs.reachability`, and answers every lineage question as
+one big-int AND plus an ``O(popcount)`` decode.
+
+The index never materialises a :class:`~repro.graphs.dag.Digraph`: the
+recording order of a :class:`~repro.provenance.model.ProvenanceGraph` is
+already topological and its used/generated adjacency is maintained on
+record, so :func:`~repro.graphs.reachability.closure_masks` runs straight
+over the provenance structure.
+
+Instances are stamped with the provenance graph's mutation counter
+(:attr:`ProvenanceIndex.token`); the per-run memo
+(:meth:`~repro.provenance.execution.WorkflowRun.provenance_index`) rebuilds
+when the graph has grown, mirroring the versioned spec-level
+:class:`~repro.graphs.reachability.ReachabilityIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ProvenanceError
+from repro.graphs.reachability import bit_indices, closure_masks, popcount
+from repro.provenance.model import ProvenanceGraph
+from repro.workflow.task import TaskId
+
+#: A typed OPM node: ``("artifact", artifact_id)`` or
+#: ``("invocation", invocation_id)``.
+OpmNode = Tuple[str, str]
+
+
+class ProvenanceIndex:
+    """Bitset transitive closure over one run's OPM provenance graph.
+
+    Bit ``j`` of ``ancestors_mask(node)`` is set iff OPM node number ``j``
+    is a strict ancestor of ``node`` in the bipartite graph (equivalently:
+    part of its provenance).  Kind-filtered selectors turn any mask into
+    the artifact / invocation / task view of the same answer without
+    walking anything.
+    """
+
+    def __init__(self, provenance: ProvenanceGraph) -> None:
+        #: the :attr:`ProvenanceGraph.version` this closure was built from
+        self.token: int = provenance.version
+        order = provenance.topological_order()
+        outputs = provenance.outputs_of
+        consumers = provenance.consumers
+
+        def successors(node: OpmNode) -> List[OpmNode]:
+            kind, node_id = node
+            if kind == "invocation":
+                return [("artifact", a) for a in outputs(node_id)]
+            return [("invocation", i) for i in consumers(node_id)]
+
+        self._order: List[OpmNode] = order
+        self._pos, self._desc, self._anc = closure_masks(order, successors)
+        artifact_selector = 0
+        invocation_selector = 0
+        task_at: List[Optional[TaskId]] = [None] * len(order)
+        for node in order:
+            kind, node_id = node
+            bit = 1 << self._pos[node]
+            if kind == "artifact":
+                artifact_selector |= bit
+            else:
+                invocation_selector |= bit
+                task_at[self._pos[node]] = \
+                    provenance.invocation(node_id).task_id
+        self._artifact_selector = artifact_selector
+        self._invocation_selector = invocation_selector
+        self._task_at = task_at
+
+    # -- structure -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def order(self) -> List[OpmNode]:
+        """The typed OPM nodes in the index's topological order."""
+        return list(self._order)
+
+    def closure_size(self) -> int:
+        """Number of strict-reachability pairs (for size comparisons)."""
+        return sum(popcount(mask) for mask in self._desc)
+
+    def _position(self, kind: str, node_id: str) -> int:
+        try:
+            return self._pos[(kind, node_id)]
+        except KeyError:
+            raise ProvenanceError(
+                f"unknown {kind} {node_id!r}") from None
+
+    # -- masks ---------------------------------------------------------------
+
+    def ancestors_mask(self, kind: str, node_id: str) -> int:
+        """Strict-ancestor bitset of one OPM node (its provenance)."""
+        return self._anc[self._position(kind, node_id)]
+
+    def descendants_mask(self, kind: str, node_id: str) -> int:
+        """Strict-descendant bitset of one OPM node (its impact set)."""
+        return self._desc[self._position(kind, node_id)]
+
+    def ancestors_mask_of_artifacts(self, artifact_ids: Iterable[str]) -> int:
+        """Union of ancestor masks — the batched lineage cone."""
+        mask = 0
+        for artifact_id in artifact_ids:
+            mask |= self._anc[self._position("artifact", artifact_id)]
+        return mask
+
+    def descendants_mask_of_artifacts(self,
+                                      artifact_ids: Iterable[str]) -> int:
+        """Union of descendant masks — the batched impact cone."""
+        mask = 0
+        for artifact_id in artifact_ids:
+            mask |= self._desc[self._position("artifact", artifact_id)]
+        return mask
+
+    # -- decoding ------------------------------------------------------------
+
+    def artifacts_of_mask(self, mask: int) -> List[str]:
+        """Artifact ids of a mask, in topological order."""
+        order = self._order
+        return [order[i][1]
+                for i in bit_indices(mask & self._artifact_selector)]
+
+    def invocations_of_mask(self, mask: int) -> List[str]:
+        """Invocation ids of a mask, in topological order."""
+        order = self._order
+        return [order[i][1]
+                for i in bit_indices(mask & self._invocation_selector)]
+
+    def tasks_of_mask(self, mask: int) -> Set[TaskId]:
+        """Tasks whose invocations appear in a mask."""
+        task_at = self._task_at
+        return {task_at[i]
+                for i in bit_indices(mask & self._invocation_selector)}
+
+    # -- lineage queries -----------------------------------------------------
+
+    def lineage_artifacts(self, artifact_id: str) -> List[str]:
+        """Artifacts in the provenance of ``artifact_id`` (itself excluded)."""
+        return self.artifacts_of_mask(
+            self.ancestors_mask("artifact", artifact_id))
+
+    def lineage_invocations(self, artifact_id: str) -> List[str]:
+        """Invocations in the provenance of ``artifact_id``."""
+        return self.invocations_of_mask(
+            self.ancestors_mask("artifact", artifact_id))
+
+    def lineage_tasks_of_artifact(self, artifact_id: str) -> Set[TaskId]:
+        """Tasks whose invocations are in ``artifact_id``'s provenance."""
+        return self.tasks_of_mask(
+            self.ancestors_mask("artifact", artifact_id))
+
+    def downstream_tasks_of_artifact(self, artifact_id: str) -> Set[TaskId]:
+        """Tasks whose invocations consumed ``artifact_id`` transitively."""
+        return self.tasks_of_mask(
+            self.descendants_mask("artifact", artifact_id))
+
+    def in_lineage(self, ancestor: OpmNode, node: OpmNode) -> bool:
+        """True iff ``ancestor`` is part of ``node``'s provenance."""
+        kind, node_id = node
+        return bool(self.ancestors_mask(kind, node_id)
+                    & (1 << self._position(*ancestor)))
+
+    def __repr__(self) -> str:
+        return (f"ProvenanceIndex(nodes={len(self._order)}, "
+                f"closure={self.closure_size()}, token={self.token})")

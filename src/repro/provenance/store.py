@@ -5,17 +5,34 @@ runs ("which runs consumed the bad reference database?").  This module
 stores :class:`~repro.provenance.execution.WorkflowRun` results, indexes
 them by task and by artifact payload, and answers cross-run queries.  An
 OPM-flavoured JSON export/import keeps stores portable.
+
+Following the append-only-store-with-secondary-indexes design (LogBase),
+every index is maintained incrementally in :meth:`ProvenanceStore.add_run`
+— runs are immutable once stored, so an index entry never needs repair:
+
+* the *content index* ``payload -> {(run_id, task_id)}``;
+* the *task index* ``task_id -> run_ids`` (which runs executed a task);
+* the *consumption index* ``payload -> run_ids`` (which runs fed an
+  artifact with that payload into some invocation);
+* the *exit-lineage index* ``run_id -> frozenset(tasks)`` — the provenance
+  cone of the run's final outputs, filled lazily (runs are immutable, so
+  at most once per run) with the batched indexed lineage query; write-
+  heavy stores that never issue a cross-run lineage query pay nothing.
+
+Cross-run sweeps ("which runs consumed this artifact's lineage?") are then
+dictionary lookups plus set membership instead of a lineage traversal per
+run per query.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import ProvenanceError
 from repro.provenance.execution import WorkflowRun
 from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.queries import lineage_tasks_many
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
 
@@ -28,6 +45,14 @@ class ProvenanceStore:
         self._runs: Dict[str, WorkflowRun] = {}
         # payload -> {(run_id, task_id)}: the content index
         self._by_payload: Dict[Any, Set[tuple]] = {}
+        # task -> run ids that executed it (insertion-ordered via dict keys)
+        self._runs_by_task: Dict[TaskId, Dict[str, None]] = {}
+        # payload -> run ids in which some invocation consumed it
+        # (insertion-ordered via dict keys)
+        self._consumed_by: Dict[Any, Dict[str, None]] = {}
+        # run -> tasks in the provenance cone of its exit outputs; filled
+        # lazily by _exit_lineage_of
+        self._exit_lineage: Dict[str, FrozenSet[TaskId]] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -37,11 +62,36 @@ class ProvenanceStore:
         if set(run.spec.task_ids()) != set(self.spec.task_ids()):
             raise ProvenanceError(
                 "run belongs to a different workflow than the store's")
+        # stage every index entry before touching store state, so a bad run
+        # (e.g. outputs referencing a missing artifact) cannot leave the
+        # indexes inconsistent with _runs
+        produced = [(run.output_artifact(task_id).payload, task_id)
+                    for task_id in run.outputs]
+        graph = run.provenance
+        consumed = {graph.artifact(artifact_id).payload
+                    for invocation in graph.invocations()
+                    for artifact_id in graph.used(invocation.invocation_id)}
         self._runs[run.run_id] = run
-        for task_id in run.outputs:
-            payload = run.output_artifact(task_id).payload
+        for payload, task_id in produced:
             self._by_payload.setdefault(payload, set()).add(
                 (run.run_id, task_id))
+            self._runs_by_task.setdefault(task_id, {})[run.run_id] = None
+        for payload in consumed:
+            self._consumed_by.setdefault(payload, {})[run.run_id] = None
+
+    def _exit_lineage_of(self, run_id: str) -> FrozenSet[TaskId]:
+        """The run's exit-lineage cone, computed at most once per run."""
+        cone = self._exit_lineage.get(run_id)
+        if cone is None:
+            run = self._runs[run_id]
+            exit_tasks = [task_id for task_id in run.spec.exit_tasks()
+                          if task_id in run.outputs]
+            tasks: Set[TaskId] = set(exit_tasks)
+            for lineage in lineage_tasks_many(run, exit_tasks).values():
+                tasks |= lineage
+            cone = frozenset(tasks)
+            self._exit_lineage[run_id] = cone
+        return cone
 
     def __len__(self) -> int:
         return len(self._runs)
@@ -61,6 +111,29 @@ class ProvenanceStore:
         """``(run_id, task_id)`` pairs whose output had this payload."""
         return sorted(self._by_payload.get(payload, ()))
 
+    def runs_of_task(self, task_id: TaskId) -> List[str]:
+        """Runs that executed ``task_id``, in insertion order."""
+        return list(self._runs_by_task.get(task_id, ()))
+
+    def runs_consuming(self, payload: Any) -> List[str]:
+        """Runs in which some invocation consumed data with this payload."""
+        return list(self._consumed_by.get(payload, ()))
+
+    def exit_lineage(self, run_id: str) -> FrozenSet[TaskId]:
+        """Tasks in the provenance cone of the run's final outputs
+        (exit tasks included); computed once per immutable run."""
+        self.run(run_id)
+        return self._exit_lineage_of(run_id)
+
+    def runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
+        """Runs whose final outputs transitively depend on ``task_id``.
+
+        An index sweep over the exit-lineage cones — no per-run graph
+        traversal at query time.
+        """
+        return [run_id for run_id in self._runs
+                if task_id in self._exit_lineage_of(run_id)]
+
     def runs_depending_on_output_of(self, run_id: str,
                                     task_id: TaskId) -> List[str]:
         """Runs whose final outputs transitively consumed the *same data*
@@ -68,19 +141,14 @@ class ProvenanceStore:
 
         Two runs share data when the payloads coincide (the executor's
         content hashing makes payload equality mean value equality).
+        Answered from the content and exit-lineage indexes: no lineage is
+        recomputed at query time.
         """
         payload = self.run(run_id).output_artifact(task_id).payload
-        found = []
-        for other_id, other in self._runs.items():
-            if (other_id, task_id) not in self._by_payload.get(payload, ()):
-                continue
-            exit_lineages: Set[TaskId] = set()
-            for exit_task in other.spec.exit_tasks():
-                exit_lineages |= lineage_tasks(other, exit_task)
-                exit_lineages.add(exit_task)
-            if task_id in exit_lineages:
-                found.append(other_id)
-        return found
+        producers = self._by_payload.get(payload, ())
+        return [other_id for other_id in self._runs
+                if (other_id, task_id) in producers
+                and task_id in self._exit_lineage_of(other_id)]
 
     def divergence(self, run_a: str, run_b: str) -> List[TaskId]:
         """Tasks whose outputs differ between two runs, in topo order."""

@@ -27,16 +27,66 @@ offers — composite membership:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
+from repro.graphs.reachability import ReachabilityIndex
 from repro.views.view import CompositeLabel, WorkflowView
 from repro.views.wellformed import assert_well_formed
 from repro.workflow.task import TaskId
 
 
+class _LineageCache:
+    """Per-view bitset memo for composite-level lineage answers.
+
+    Member masks and per-label ancestor unions are computed once per view
+    (views are immutable) against one spec-level
+    :class:`~repro.graphs.reachability.ReachabilityIndex`; the cache is
+    stamped with the index's token and rebuilt if the spec has mutated
+    underneath the view.  With it, one ``true_composite_lineage`` query is
+    a single AND per candidate composite, and the precision/recall sweep
+    of :func:`lineage_correctness` reuses every mask across its N queries.
+    """
+
+    __slots__ = ("token", "index", "member_masks", "_ancestor_unions")
+
+    def __init__(self, index: ReachabilityIndex,
+                 view: WorkflowView) -> None:
+        self.token = index.token
+        self.index = index
+        self.member_masks: Dict[CompositeLabel, int] = {
+            label: index.mask_of(view.members(label))
+            for label in view.composite_labels()}
+        self._ancestor_unions: Dict[CompositeLabel, int] = {}
+
+    def ancestors_union(self, view: WorkflowView,
+                        label: CompositeLabel) -> int:
+        """Union of strict-ancestor masks over ``label``'s members."""
+        mask = self._ancestor_unions.get(label)
+        if mask is None:
+            mask = self.index.ancestors_mask_of_set(view.members(label))
+            self._ancestor_unions[label] = mask
+        return mask
+
+
+def _lineage_cache(view: WorkflowView) -> _LineageCache:
+    # the view declares the storage slot (see WorkflowView.__init__); this
+    # module owns its contents and the token-based invalidation
+    index = view.spec.reachability()
+    cache = view._viewlevel_cache
+    if cache is None or cache.token != index.token:
+        cache = _LineageCache(index, view)
+        view._viewlevel_cache = cache
+    return cache
+
+
 def view_lineage(view: WorkflowView, label: CompositeLabel
                  ) -> List[CompositeLabel]:
-    """Composites the view claims are in the provenance of ``label``."""
+    """Composites the view claims are in the provenance of ``label``.
+
+    Well-formedness is validated once per view (the witness is cached on
+    the immutable view) and the quotient reachability index is the view's
+    own memoized one, so repeated queries cost one bitset decode each.
+    """
     assert_well_formed(view)
     return view.view_reachability().ancestors(label)
 
@@ -46,18 +96,15 @@ def true_composite_lineage(view: WorkflowView, label: CompositeLabel
     """Composites truly in the provenance of ``label``.
 
     A composite ``S`` belongs iff some task of ``S`` reaches some task of
-    ``label`` in the specification (the right-hand side of Definition 2.1).
+    ``label`` in the specification (the right-hand side of Definition 2.1)
+    — evaluated as one AND of ``S``'s member mask against the union of the
+    targets' ancestor masks instead of a quadratic pairwise scan.
     """
-    index = view.spec.reachability()
-    targets = view.members(label)
-    found = []
-    for other in view.composite_labels():
-        if other == label:
-            continue
-        if any(index.reaches(source, target)
-               for source in view.members(other) for target in targets):
-            found.append(other)
-    return found
+    cache = _lineage_cache(view)
+    targets_ancestors = cache.ancestors_union(view, label)
+    member_masks = cache.member_masks
+    return [other for other in view.composite_labels()
+            if other != label and member_masks[other] & targets_ancestors]
 
 
 def view_implied_task_lineage(view: WorkflowView, task_id: TaskId

@@ -30,7 +30,16 @@ from repro.core.estimator import Estimate, Estimator
 from repro.core.incremental import AnalysisCache
 from repro.core.soundness import ValidationReport
 from repro.core.split import SplitResult
-from repro.errors import CorrectionError, ViewError
+from repro.errors import CorrectionError, ProvenanceError, ViewError
+from repro.provenance.execution import WorkflowRun
+from repro.provenance.queries import downstream_tasks as _downstream_tasks
+from repro.provenance.queries import lineage_tasks as _lineage_tasks
+from repro.provenance.store import ProvenanceStore
+from repro.provenance.viewlevel import (
+    LineageComparison,
+    compare_lineage,
+    lineage_correctness,
+)
 from repro.system.corrector import CorrectorModule
 from repro.system.feedback import (
     FeedbackOutcome,
@@ -59,12 +68,15 @@ class WolvesSession:
     corrector: CorrectorModule = field(default_factory=CorrectorModule)
     history: List[SessionEvent] = field(default_factory=list)
     analysis: Optional[AnalysisCache] = None
+    store: Optional[ProvenanceStore] = None
 
     def __post_init__(self) -> None:
         if self.view.spec is not self.spec:
             raise ViewError("view does not belong to this session's spec")
         if self.analysis is None:
             self.analysis = AnalysisCache(self.spec)
+        if self.store is None:
+            self.store = ProvenanceStore(self.spec)
 
     # -- validator --------------------------------------------------------
 
@@ -134,6 +146,50 @@ class WolvesSession:
         self.view = outcome.view
         self._log("move", outcome.report.summary(), outcome.sound)
         return outcome
+
+    # -- provenance ---------------------------------------------------------
+    #
+    # Session-level provenance queries share the session's state: runs live
+    # in the one ProvenanceStore (whose secondary indexes are maintained on
+    # add_run), task-level lineage rides each run's memoized bitset
+    # ProvenanceIndex, and view-level answers reuse the same spec
+    # reachability index the AnalysisCache validates against.
+
+    def record_run(self, run: WorkflowRun) -> WorkflowRun:
+        """Store an executed run (GUI: a workflow finished executing)."""
+        self.store.add_run(run)
+        self._log("record_run",
+                  f"{run.run_id} ({len(run.provenance)} OPM nodes)",
+                  self.is_sound)
+        return run
+
+    def _resolve_run(self, run_id: Optional[str]) -> WorkflowRun:
+        if run_id is not None:
+            return self.store.run(run_id)
+        run_ids = self.store.run_ids()
+        if not run_ids:
+            raise ProvenanceError(
+                "no run recorded in this session; call record_run() first")
+        return self.store.run(run_ids[-1])
+
+    def lineage_tasks(self, task_id,
+                      run_id: Optional[str] = None) -> set:
+        """Ground-truth provenance of ``task_id``'s output (latest run)."""
+        return _lineage_tasks(self._resolve_run(run_id), task_id)
+
+    def downstream_tasks(self, task_id,
+                         run_id: Optional[str] = None) -> set:
+        """Impact set of ``task_id``'s output (latest run)."""
+        return _downstream_tasks(self._resolve_run(run_id), task_id)
+
+    def compare_lineage(self, task_id) -> LineageComparison:
+        """View answer vs truth for one provenance query on the current
+        view (the demo's red/green lineage panel)."""
+        return compare_lineage(self.view, task_id)
+
+    def lineage_correctness(self):
+        """Average precision/recall of the current view's lineage answers."""
+        return lineage_correctness(self.view)
 
     # -- history ------------------------------------------------------------
 

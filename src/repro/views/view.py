@@ -20,7 +20,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional
 from repro.errors import NotAPartitionError, ViewError
 from repro.graphs.dag import Digraph
 from repro.graphs.reachability import ReachabilityIndex
-from repro.graphs.topo import is_acyclic
+from repro.graphs.topo import find_cycle
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
 
@@ -45,6 +45,11 @@ class WorkflowView:
         self._quotient = spec.graph.quotient(
             self._members.values(), labels=list(self._members))
         self._view_index: Optional[ReachabilityIndex] = None
+        self._quotient_cycle: Optional[List[CompositeLabel]] = None
+        self._quotient_cycle_checked = False
+        # composite-level lineage memo owned by repro.provenance.viewlevel
+        # (member masks + ancestor unions, keyed by the spec index token)
+        self._viewlevel_cache = None
         # the spec version this view (and its quotient) was derived from;
         # analysis caches compare this token against spec.version
         self._spec_token = spec.version
@@ -139,9 +144,21 @@ class WorkflowView:
 
     # -- view-level reachability --------------------------------------------
 
+    def quotient_cycle(self) -> Optional[List[CompositeLabel]]:
+        """A witness cycle of composites, or ``None`` when well-formed.
+
+        Views are immutable, so the answer is computed once and cached —
+        repeated provenance queries against the same view stop paying a
+        cycle scan each (see :mod:`repro.provenance.viewlevel`).
+        """
+        if not self._quotient_cycle_checked:
+            self._quotient_cycle = find_cycle(self._quotient)
+            self._quotient_cycle_checked = True
+        return self._quotient_cycle
+
     def is_well_formed(self) -> bool:
         """True when the quotient graph is a DAG."""
-        return is_acyclic(self._quotient)
+        return self.quotient_cycle() is None
 
     def view_reachability(self) -> ReachabilityIndex:
         """Reachability over composites (requires a well-formed view)."""

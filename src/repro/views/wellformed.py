@@ -19,23 +19,27 @@ from typing import List, Optional
 
 from repro.errors import IllFormedViewError
 from repro.graphs.convexity import is_convex
-from repro.graphs.topo import find_cycle, is_acyclic
 from repro.views.view import CompositeLabel, WorkflowView
 
 
 def is_well_formed(view: WorkflowView) -> bool:
-    """True when the view's quotient graph is a DAG."""
-    return is_acyclic(view.quotient)
+    """True when the view's quotient graph is a DAG (cached on the view)."""
+    return view.is_well_formed()
 
 
 def quotient_cycle(view: WorkflowView) -> Optional[List[CompositeLabel]]:
-    """A witness cycle of composites, or ``None`` for well-formed views."""
-    return find_cycle(view.quotient)
+    """A witness cycle of composites, or ``None`` for well-formed views.
+
+    Delegates to the view's cached witness — views are immutable, so
+    repeated callers (per-query validation in provenance analysis) pay the
+    cycle scan once.
+    """
+    return view.quotient_cycle()
 
 
 def assert_well_formed(view: WorkflowView) -> None:
     """Raise :class:`IllFormedViewError` with a witness on a cyclic view."""
-    cycle = quotient_cycle(view)
+    cycle = view.quotient_cycle()
     if cycle is not None:
         rendered = " -> ".join(str(label) for label in cycle)
         raise IllFormedViewError(

@@ -95,3 +95,49 @@ class TestSessionOnFigure3:
         # 8 vs 5 resulting parts (plus the 2 untouched composites)
         assert len(weak_session.view) == 8 + 2
         assert len(strong_session.view) == 5 + 2
+
+
+class TestSessionProvenance:
+    """Session-level provenance queries ride the shared per-session state."""
+
+    def test_record_and_query_latest_run(self):
+        from repro.provenance.execution import execute
+        from repro.provenance.queries import lineage_tasks
+
+        session = make_session()
+        run = execute(session.spec, run_id="s1")
+        session.record_run(run)
+        assert session.history[-1].kind == "record_run"
+        assert session.store.run("s1") is run
+        # the Figure 1 crux, answered through the session
+        assert 3 not in session.lineage_tasks(8)
+        assert 6 in session.lineage_tasks(8)
+        assert session.lineage_tasks(8) == lineage_tasks(run, 8)
+        assert 8 in session.downstream_tasks(6)
+
+    def test_latest_run_is_default(self):
+        from repro.provenance.execution import execute
+
+        session = make_session()
+        session.record_run(execute(session.spec, run_id="s1"))
+        session.record_run(execute(session.spec, run_id="s2",
+                                   overrides={6: {"knob": 1}}))
+        assert session.lineage_tasks(8) == \
+            session.lineage_tasks(8, run_id="s2")
+
+    def test_query_without_run_raises(self):
+        from repro.errors import ProvenanceError
+
+        session = make_session()
+        with pytest.raises(ProvenanceError):
+            session.lineage_tasks(8)
+
+    def test_view_level_comparison_through_session(self):
+        session = make_session()
+        comparison = session.compare_lineage(8)
+        assert 14 in comparison.spurious  # the paper's wrong answer
+        precision, recall, _ = session.lineage_correctness()
+        assert precision < 1.0 and recall == 1.0
+        session.correct(Criterion.STRONG)
+        precision_after, recall_after, _ = session.lineage_correctness()
+        assert precision_after == 1.0 and recall_after == 1.0
