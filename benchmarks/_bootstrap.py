@@ -1,0 +1,45 @@
+"""Path bootstrap shared by every benchmark script.
+
+The benchmarks must behave identically under all four launch styles::
+
+    PYTHONPATH=src python -m pytest benchmarks/          # CI, repo root
+    python -m pytest benchmarks/                         # no PYTHONPATH
+    python benchmarks/bench_incremental.py --quick       # direct, any CWD
+    cd benchmarks && python bench_incremental.py --quick
+
+Importing this module (pytest puts ``benchmarks/`` on ``sys.path`` for
+test modules and conftest; direct execution puts the script's directory
+there) pins two things:
+
+* ``repro`` is importable: ``<repo>/src`` is prepended to ``sys.path``
+  when the environment did not already provide it;
+* ``--out`` datapoints land in the repository root, never silently in
+  whatever CWD the runner happened to use: :func:`resolve_out` anchors
+  relative paths at ``REPO_ROOT``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+_SRC = os.path.join(REPO_ROOT, "src")
+
+
+def ensure_repro_importable() -> None:
+    try:
+        import repro  # noqa: F401  (already importable: nothing to do)
+    except ModuleNotFoundError:
+        sys.path.insert(0, _SRC)
+
+
+def resolve_out(path: str) -> str:
+    """Anchor a relative ``--out`` path at the repository root."""
+    if os.path.isabs(path):
+        return path
+    return os.path.join(REPO_ROOT, path)
+
+
+ensure_repro_importable()

@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.soundness import (
     is_sound_view,
     is_sound_view_by_definition,
@@ -20,7 +21,7 @@ from repro.core.soundness import (
 from repro.core.strong import strong_split
 from repro.repository.synthetic import expert_view, synthetic_workflow
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 
 @pytest.fixture(scope="module")

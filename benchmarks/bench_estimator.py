@@ -13,13 +13,14 @@ import random
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.estimator import Estimator
 from repro.core.metrics import quality
 from repro.core.optimal import optimal_split
 from repro.core.strong import strong_split
 from repro.core.weak import weak_split
 
-from benchmarks.conftest import print_table, random_unsound_context
+from conftest import print_table, random_unsound_context
 
 ALGORITHMS = {"weak": weak_split, "strong": strong_split,
               "optimal": optimal_split}

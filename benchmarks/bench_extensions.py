@@ -13,6 +13,7 @@ import time
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.corrector import Criterion, correct_view
 from repro.core.merging import Resolution, hybrid_correct
 from repro.core.soundness import is_sound_view, unsound_composites
@@ -24,7 +25,7 @@ from repro.views.diff import view_delta
 from repro.views.editor import ViewEditor
 from repro.views.suggest import suggest_sound_view
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 
 @pytest.fixture(scope="module")

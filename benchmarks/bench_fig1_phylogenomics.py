@@ -8,6 +8,7 @@ Paper claims reproduced:
 pytest-benchmark times the validator and the corrector on the example.
 """
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.corrector import Criterion, correct_view
 from repro.core.soundness import (
     spurious_dependencies,
@@ -16,7 +17,7 @@ from repro.core.soundness import (
 from repro.provenance.viewlevel import compare_lineage, lineage_correctness
 from repro.workflow.catalog import phylogenomics_view
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 
 def test_validator_finds_witness(benchmark):

@@ -8,6 +8,7 @@ Paper claims reproduced:
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.metrics import quality
 from repro.core.optimal import optimal_split
 from repro.core.split import CompositeContext
@@ -20,7 +21,7 @@ from repro.workflow.catalog import (
     figure3_view,
 )
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 
 @pytest.fixture(scope="module")

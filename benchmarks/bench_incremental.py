@@ -25,6 +25,7 @@ import sys
 import time
 from typing import Dict, List, Tuple
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.incremental import AnalysisCache, EditEvent
 from repro.core.soundness import validate_view
 from repro.graphs.generators import layered_dag
@@ -194,6 +195,7 @@ def main(argv: List[str]) -> int:
     rows = run_sweep(sizes, edits=args.edits)
     _print_rows(rows)
     if args.out:
+        args.out = _bootstrap.resolve_out(args.out)
         payload = {
             "benchmark": "incremental_revalidation",
             "unit": "ms_per_edit_median",

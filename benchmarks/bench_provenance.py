@@ -34,6 +34,7 @@ from typing import Dict, List
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.corrector import Criterion, correct_view
 from repro.core.soundness import is_sound_view
 from repro.graphs.generators import layered_dag
@@ -42,14 +43,10 @@ from repro.graphs.topo import ancestors_of
 from repro.provenance.execution import WorkflowRun, execute
 from repro.provenance.queries import lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness
-from repro.repository.synthetic import expert_view, synthetic_workflow
-from repro.views.view import WorkflowView
+from repro.repository.synthetic import synthetic_workflow
 from repro.workflow.spec import WorkflowSpec
 
-try:
-    from benchmarks.conftest import print_table
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_provenance.py
-    from conftest import print_table
+from conftest import print_table
 
 WORKFLOW_SIZE = 120
 LAYER_WIDTH = 10
@@ -271,6 +268,7 @@ def main(argv: List[str]) -> int:
     rows = run_index_sweep(sizes, queries=args.queries)
     _print_index_rows(rows)
     if args.out:
+        args.out = _bootstrap.resolve_out(args.out)
         payload = {
             "benchmark": "provenance_index_lineage",
             "unit": "ms_per_query_median",

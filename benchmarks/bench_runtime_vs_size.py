@@ -15,11 +15,12 @@ import time
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.optimal import optimal_split
 from repro.core.strong import strong_split
 from repro.core.weak import weak_split
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 OPTIMAL_SIZE_CAP = 14
 

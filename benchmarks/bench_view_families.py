@@ -10,11 +10,12 @@ corrector fixes every one of them.
 
 import pytest
 
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
 from repro.core.corrector import Criterion, correct_view
 from repro.core.soundness import is_sound_view, unsound_composites
 from repro.repository.corpus import build_corpus
 
-from benchmarks.conftest import print_table
+from conftest import print_table
 
 FAMILIES = ("expert", "automatic")
 

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 import pytest
 
+import _bootstrap  # noqa: F401  (puts <repo>/src on sys.path)
 from repro.core.split import CompositeContext
 from repro.graphs.generators import random_dag
 

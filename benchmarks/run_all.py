@@ -1,0 +1,154 @@
+"""The unified, regression-gated benchmark runner.
+
+One declarative table (:data:`BENCHES`) drives every ``bench_*.py`` that
+records a ``BENCH_*.json`` datapoint: ``run_all`` executes each module's
+``main(argv)`` in-process with its ``--quick`` arguments, merges the fresh
+datapoint into the benchmark's ``BENCH_*.json`` (keeping a bounded history
+of earlier runs), and enforces the benchmark's speedup gate from the
+table's ``min_speedup`` — so CI has exactly one step and one exit code for
+"did any measured claim regress".
+
+Usage::
+
+    python benchmarks/run_all.py            # quick sweeps + all gates
+    python benchmarks/run_all.py --full     # full sweeps (slow)
+    python benchmarks/run_all.py --only corpus provenance
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import _bootstrap
+
+#: how many historical datapoints a BENCH_*.json keeps alongside the
+#: current one
+HISTORY_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One gated benchmark: what to run, where it writes, what must hold."""
+
+    name: str
+    module: str
+    out: str  #: BENCH_*.json file (relative to the repo root)
+    #: extracts the gated figure from the written payload
+    metric: Callable[[Dict], float]
+    metric_label: str
+    min_speedup: float
+    quick_argv: List[str] = field(default_factory=list)
+    full_argv: List[str] = field(default_factory=list)
+
+
+def _largest_size_speedup(payload: Dict) -> float:
+    return payload["results"][-1]["speedup"]
+
+
+BENCHES = [
+    Bench(
+        name="corpus",
+        module="bench_corpus",
+        out="BENCH_corpus.json",
+        metric=lambda payload: payload["best_speedup"],
+        metric_label="batch service vs per-item baseline",
+        min_speedup=3.0,
+        quick_argv=["--quick"],
+    ),
+    Bench(
+        name="provenance",
+        module="bench_provenance",
+        out="BENCH_provenance_index.json",
+        metric=_largest_size_speedup,
+        metric_label="indexed vs naive lineage, largest size",
+        min_speedup=5.0,
+        quick_argv=["--quick"],
+    ),
+    Bench(
+        name="incremental",
+        module="bench_incremental",
+        out="BENCH_incremental.json",
+        metric=_largest_size_speedup,
+        metric_label="incremental vs full revalidation, largest size",
+        min_speedup=3.0,
+        quick_argv=["--quick"],
+    ),
+]
+
+
+def _load(path: str) -> Optional[Dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def run_bench(bench: Bench, full: bool) -> Dict[str, object]:
+    """Run one benchmark; returns the row for the summary table."""
+    out_path = _bootstrap.resolve_out(bench.out)
+    previous = _load(out_path)
+    argv = list(bench.full_argv if full else bench.quick_argv)
+    argv += ["--out", bench.out]
+    module = __import__(bench.module)
+    print(f"\n--- {bench.name}: python benchmarks/{bench.module}.py "
+          f"{' '.join(argv)}")
+    started = time.perf_counter()
+    exit_code = module.main(argv)
+    elapsed = time.perf_counter() - started
+    payload = _load(out_path)
+    row: Dict[str, object] = {
+        "bench": bench.name, "elapsed_s": elapsed,
+        "exit_code": exit_code, "speedup": None,
+        "gate": bench.min_speedup, "passed": False,
+    }
+    if exit_code != 0 or payload is None:
+        return row
+    if previous is not None:
+        history = previous.pop("history", [])
+        payload["history"] = ([previous] + history)[:HISTORY_LIMIT]
+        with open(out_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    speedup = bench.metric(payload)
+    row["speedup"] = speedup
+    row["passed"] = speedup >= bench.min_speedup
+    return row
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps instead of --quick")
+    parser.add_argument("--only", nargs="+", default=None,
+                        choices=[bench.name for bench in BENCHES],
+                        help="run a subset of the table")
+    args = parser.parse_args(argv)
+    selected = [bench for bench in BENCHES
+                if args.only is None or bench.name in args.only]
+    rows = [run_bench(bench, full=args.full) for bench in selected]
+    print("\n=== benchmark gates ===")
+    failed = 0
+    for bench, row in zip(selected, rows):
+        speedup = (f"{row['speedup']:.1f}x" if row["speedup"] is not None
+                   else "n/a")
+        status = "PASS" if row["passed"] else "FAIL"
+        if not row["passed"]:
+            failed += 1
+        print(f"  [{status}] {bench.name:>12}: {speedup:>8} "
+              f"(gate {bench.min_speedup:.0f}x, "
+              f"{row['elapsed_s']:.1f}s) — {bench.metric_label}")
+    if failed:
+        print(f"{failed} of {len(rows)} benchmark gate(s) failed")
+        return 1
+    print(f"all {len(rows)} benchmark gate(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -55,6 +55,8 @@ from repro.provenance import (
     lineage_correctness,
 )
 from repro.repository import build_corpus
+from repro.repository.corpus import CorpusSpec, materialize_corpus
+from repro.service import AnalysisService, CorpusReport
 from repro.system import WolvesSession
 
 __version__ = "1.0.0"
@@ -85,6 +87,10 @@ __all__ = [
     "lineage_tasks",
     "lineage_correctness",
     "build_corpus",
+    "CorpusSpec",
+    "materialize_corpus",
+    "AnalysisService",
+    "CorpusReport",
     "WolvesSession",
     "__version__",
 ]

@@ -29,7 +29,7 @@ the reachability index they were computed from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -411,6 +411,19 @@ class AnalysisCache:
             return None
         return {label: assigned.get(label, prev_pos.get(label))
                 for label, _ in keys}
+
+    def validate_many(self, views: Iterable[WorkflowView]
+                      ) -> List[ValidationReport]:
+        """Validate a batch of views over this spec, sharing the witness
+        memo.
+
+        The batch analysis service runs every view of a repository entry
+        through one cache: composites that recur across a workflow's views
+        (stage groupings, singleton tails) pay their witness once for the
+        whole sweep instead of once per view.  Reports are identical to
+        per-view :func:`~repro.core.soundness.validate_view` calls.
+        """
+        return [self.validate(view) for view in views]
 
     @property
     def last_report(self) -> Optional[ValidationReport]:

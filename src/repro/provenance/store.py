@@ -27,7 +27,7 @@ run per query.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Set
 
 from repro.errors import ProvenanceError
 from repro.provenance.execution import WorkflowRun

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.repository.synthetic import (
+    SCENARIOS,
     SHAPES,
     automatic_view,
     expert_view,
+    scenario_view,
     synthetic_workflow,
 )
 from repro.views.view import WorkflowView
@@ -31,6 +33,9 @@ class CorpusEntry:
     shape: str
     seed: int
     views: Dict[str, WorkflowView] = field(default_factory=dict)
+    #: scenario actually built by :func:`materialize_entry` (mixed-workload
+    #: corpora only; classic two-family corpora leave it ``None``)
+    scenario: Optional[str] = None
 
     def view(self, family: str) -> WorkflowView:
         try:
@@ -104,3 +109,84 @@ def build_corpus(seed: int = 2009, count: int = 20,
         entries.append(CorpusEntry(spec=workflow.spec, shape=shape,
                                    seed=workflow.seed, views=views))
     return Corpus(entries=entries, seed=seed)
+
+
+#: family key of the single view carried by mixed-scenario corpus entries
+SCENARIO_FAMILY = "scenario"
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A picklable *description* of a corpus — the unit of work the batch
+    analysis service ships to worker processes.
+
+    Unlike :func:`build_corpus` (one sequential RNG, entry ``i`` depends on
+    every earlier draw), a :class:`CorpusSpec` derives an independent RNG
+    per entry index, so :func:`materialize_entry` can build any entry
+    without building its predecessors.  That is what makes sharding
+    embarrassingly parallel: a worker holding ``(corpus_spec, indices)``
+    regenerates exactly its shard, and serial and parallel sweeps see
+    byte-identical workloads.
+    """
+
+    seed: int = 2009
+    count: int = 20
+    min_size: int = 12
+    max_size: int = 40
+    shapes: Tuple[str, ...] = SHAPES
+    scenarios: Tuple[str, ...] = SCENARIOS
+    noise_moves: int = 2
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.min_size < 6 or self.max_size < self.min_size:
+            raise ValueError("need 6 <= min_size <= max_size")
+        if not self.shapes:
+            raise ValueError("need at least one shape")
+        if not self.scenarios:
+            raise ValueError("need at least one scenario")
+        unknown = set(self.scenarios) - set(SCENARIOS)
+        if unknown:
+            raise ValueError(
+                f"unknown scenarios {sorted(unknown)!r}; "
+                f"choose from {SCENARIOS}")
+
+    def entry_rng(self, index: int) -> random.Random:
+        """The independent RNG of entry ``index`` (order-free, process-
+        safe: seeded from a string, not :func:`hash`)."""
+        return random.Random(f"corpus-{self.seed}-entry-{index}")
+
+    def indices(self) -> range:
+        return range(self.count)
+
+
+def materialize_entry(corpus: CorpusSpec, index: int) -> CorpusEntry:
+    """Build entry ``index`` of ``corpus``: one workflow plus one
+    mixed-scenario view under the :data:`SCENARIO_FAMILY` key.
+
+    Deterministic in ``(corpus, index)`` alone.  The requested scenario
+    cycles through ``corpus.scenarios``; the entry's ``scenario`` field
+    records what was actually built (see
+    :func:`~repro.repository.synthetic.scenario_view` on fallbacks).
+    """
+    if not 0 <= index < corpus.count:
+        raise IndexError(
+            f"entry index {index} out of range for count {corpus.count}")
+    rng = corpus.entry_rng(index)
+    size = rng.randint(corpus.min_size, corpus.max_size)
+    shape = corpus.shapes[index % len(corpus.shapes)]
+    requested = corpus.scenarios[index % len(corpus.scenarios)]
+    workflow = synthetic_workflow(rng.randrange(2 ** 31), size, shape=shape)
+    view, actual = scenario_view(rng, workflow.spec, requested,
+                                 noise_moves=corpus.noise_moves)
+    return CorpusEntry(spec=workflow.spec, shape=shape, seed=workflow.seed,
+                       views={SCENARIO_FAMILY: view}, scenario=actual)
+
+
+def materialize_corpus(corpus: CorpusSpec) -> Corpus:
+    """Materialize every entry of ``corpus`` in-process (the serial path;
+    the analysis service shards :func:`materialize_entry` instead)."""
+    return Corpus(entries=[materialize_entry(corpus, i)
+                           for i in corpus.indices()],
+                  seed=corpus.seed)

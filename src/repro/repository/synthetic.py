@@ -14,14 +14,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.errors import ViewError
 from repro.graphs.generators import (
     layered_dag,
     random_dag,
     workflow_motif_dag,
 )
-from repro.views.builders import perturb_view, view_from_layers
+from repro.views.builders import (
+    cyclic_quotient_view,
+    perturb_view,
+    view_from_layers,
+    whole_view,
+)
 from repro.views.userviews import user_view
 from repro.views.view import WorkflowView
 from repro.workflow.spec import WorkflowSpec
@@ -31,6 +37,11 @@ TASK_KINDS = ("query", "transform", "curate", "align", "format", "build",
               "render")
 
 SHAPES = ("motif", "layered", "random")
+
+#: the mixed-workload scenarios of the corpus service benchmarks: what the
+#: validate -> correct -> provenance-check pipeline will find per view
+SCENARIOS = ("sound", "unsound_fixable", "cyclic_quotient",
+             "provenance_divergent")
 
 
 @dataclass
@@ -65,14 +76,15 @@ def synthetic_workflow(seed: int, size: int,
         graph = random_dag(rng, size, min(0.9, 3.0 / max(size - 1, 1)))
     else:
         raise ValueError(f"unknown shape {shape!r}; choose from {SHAPES}")
-    spec = WorkflowSpec(f"synthetic-{shape}-{seed}")
+    # bulk-load the DAG (one acyclicity check), then tag the tasks —
+    # per-edge add_dependency would re-run Kahn per edge, which is
+    # quadratic and dominates corpus materialization
+    spec = WorkflowSpec.from_digraph(f"synthetic-{shape}-{seed}", graph)
     kinds = list(TASK_KINDS)
     rng.shuffle(kinds)
     for i, node in enumerate(graph.nodes()):
         spec.add_task(Task(node, name=f"task-{node}",
                            kind=kinds[i % len(kinds)]))
-    for source, target in graph.edges():
-        spec.add_dependency(source, target)
     return SyntheticWorkflow(spec=spec, shape=shape, seed=seed)
 
 
@@ -105,6 +117,114 @@ def automatic_view(rng: random.Random, spec: WorkflowSpec,
     relevant = rng.sample(ids, relevant_count)
     return user_view(spec, relevant, strategy=strategy,
                      name=f"automatic-{strategy}")
+
+
+def _sound_view(rng: random.Random, spec: WorkflowSpec) -> WorkflowView:
+    """A guaranteed-sound stage view (corrected if the stages are not)."""
+    from repro.core.corrector import Criterion, correct_view
+    from repro.core.soundness import is_sound_view
+
+    base = view_from_layers(spec,
+                            layers_per_composite=rng.choice([1, 2, 3]),
+                            name="scenario-sound")
+    if is_sound_view(base):
+        return base
+    return correct_view(base, Criterion.STRONG).corrected
+
+
+def _unsound_view(rng: random.Random, spec: WorkflowSpec,
+                  noise_moves: int) -> Optional[WorkflowView]:
+    """A well-formed view with at least one unsound composite (fixable by
+    the correctors), or ``None`` when noise never produces one."""
+    from repro.core.soundness import unsound_composites
+
+    for attempt in range(8):
+        view = expert_view(rng, spec, noise_moves=noise_moves + attempt)
+        if unsound_composites(view):
+            return view
+    whole = whole_view(spec, name="scenario-unsound")
+    if unsound_composites(whole):
+        return whole
+    return None
+
+
+def _provenance_divergent_view(rng: random.Random, spec: WorkflowSpec
+                               ) -> Optional[WorkflowView]:
+    """A well-formed view whose composite-level lineage answers diverge
+    from the specification's ground truth for at least one task.
+
+    Constructive (the Figure 1 failure, manufactured): merge two
+    incomparable tasks ``a`` and ``b`` into one composite ``M`` and keep
+    everything else a singleton.  With ``pa -> a`` and ``b -> sb``, the
+    quotient chains ``{pa} -> M -> {sb}``, so the view claims ``pa`` is in
+    the provenance of ``sb``; choosing the pair so that ``pa`` does not
+    reach ``sb`` at the task level makes that claim false.  The quotient
+    stays acyclic because any cycle through ``M`` would imply a task-level
+    path between ``a`` and ``b``, contradicting their incomparability.
+    """
+    index = spec.reachability()
+    ids = list(spec.task_ids())
+    rng.shuffle(ids)
+    for a in ids:
+        preds_a = spec.predecessors(a)
+        if not preds_a:
+            continue
+        for b in ids:
+            if b == a or index.reaches(a, b) or index.reaches(b, a):
+                continue
+            for pa in preds_a:
+                if pa == b:
+                    continue
+                for sb in spec.successors(b):
+                    if sb == a or index.reaches(pa, sb):
+                        continue
+                    groups = {f"t{t}": [t] for t in spec.task_ids()
+                              if t not in (a, b)}
+                    groups["divergent"] = [a, b]
+                    return WorkflowView(spec, groups, name="divergent")
+    return None
+
+
+def scenario_view(rng: random.Random, spec: WorkflowSpec,
+                  scenario: str,
+                  noise_moves: int = 2) -> Tuple[WorkflowView, str]:
+    """One view exhibiting ``scenario``, as ``(view, actual_scenario)``.
+
+    Scenarios (:data:`SCENARIOS`) are what the corpus pipeline will find:
+
+    * ``sound`` — validation passes outright;
+    * ``unsound_fixable`` — well-formed, at least one unsound composite,
+      corrected by the Section 3 correctors;
+    * ``cyclic_quotient`` — ill-formed, the validator rejects with a cycle
+      witness and correction is impossible;
+    * ``provenance_divergent`` — well-formed but its lineage answers are
+      wrong for at least one task (the Figure 1 failure).
+
+    The stochastic scenarios are search problems; when a specification
+    never yields one (tiny or chain-shaped graphs), the returned view
+    falls back to a neighbouring scenario and ``actual_scenario`` reports
+    what was actually built — callers must label entries with it.
+    """
+    if scenario == "sound":
+        return _sound_view(rng, spec), "sound"
+    if scenario == "cyclic_quotient":
+        try:
+            return cyclic_quotient_view(rng, spec,
+                                        name="scenario-cyclic"), scenario
+        except ViewError:
+            scenario = "unsound_fixable"
+    if scenario == "provenance_divergent":
+        view = _provenance_divergent_view(rng, spec)
+        if view is not None:
+            return view.relabeled("scenario-divergent"), scenario
+        scenario = "unsound_fixable"
+    if scenario == "unsound_fixable":
+        view = _unsound_view(rng, spec, noise_moves=noise_moves)
+        if view is not None:
+            return view.relabeled("scenario-unsound"), "unsound_fixable"
+        return _sound_view(rng, spec), "sound"
+    raise ValueError(
+        f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
 
 
 def unsound_composite_contexts(view: WorkflowView) -> List:

@@ -1,0 +1,47 @@
+"""Corpus-scale batch analysis service.
+
+The multi-process execution layer over the per-session WOLVES machinery:
+shard a repository of workflow views across workers, run the full
+validate -> correct -> provenance-check pipeline on every view, stream
+picklable result records back with bounded memory.
+
+Entry points:
+
+* :class:`AnalysisService` — ``analyze_corpus`` / ``correct_corpus`` /
+  ``lineage_audit`` sweeps over a
+  :class:`~repro.repository.corpus.CorpusSpec`;
+* ``repro corpus`` (the ``wolves corpus`` CLI subcommand) — the same
+  sweeps from the command line;
+* :mod:`repro.service.results` — the record types and the aggregated
+  :class:`~repro.service.results.CorpusReport`.
+"""
+
+from repro.service.results import (
+    ALREADY_SOUND,
+    CORRECTED,
+    UNCORRECTABLE,
+    CorpusReport,
+    CorrectionOutcome,
+    LineageAudit,
+    ShardFailure,
+    ViewAnalysis,
+)
+from repro.service.service import AnalysisService
+from repro.service.sharding import plan_shards
+from repro.service.worker import ShardJob, ShardResult, run_shard
+
+__all__ = [
+    "ALREADY_SOUND",
+    "CORRECTED",
+    "UNCORRECTABLE",
+    "AnalysisService",
+    "CorpusReport",
+    "CorrectionOutcome",
+    "LineageAudit",
+    "ShardFailure",
+    "ShardJob",
+    "ShardResult",
+    "ViewAnalysis",
+    "plan_shards",
+    "run_shard",
+]

@@ -1,0 +1,184 @@
+"""Result records of the corpus analysis service.
+
+Everything here crosses a process boundary, so the records are plain
+picklable dataclasses over primitive payloads (labels, task ids, counts,
+the validation report).  They deliberately do **not** carry specs or views
+— a corpus sweep over thousands of workflows must stream results with
+bounded memory, and shipping graphs back from workers would defeat that.
+
+:class:`CorpusReport` is the aggregate: the streaming APIs yield per-view
+records, ``CorpusReport.collect`` folds any iterable of them into the
+repository-survey numbers (the corpus-scale form of the paper's
+"our survey ... revealed unsound views").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.soundness import ValidationReport
+
+#: outcome tags of the correction stage
+CORRECTED = "corrected"
+ALREADY_SOUND = "already_sound"
+UNCORRECTABLE = "uncorrectable"  # ill-formed: no correction exists
+
+
+@dataclass(frozen=True)
+class ViewAnalysis:
+    """One view's trip through the validate stage."""
+
+    entry_index: int
+    workflow: str
+    family: str
+    shape: str
+    scenario: Optional[str]
+    tasks: int
+    composites: int
+    report: ValidationReport
+
+    @property
+    def sound(self) -> bool:
+        return self.report.sound
+
+    @property
+    def well_formed(self) -> bool:
+        return self.report.well_formed
+
+
+@dataclass(frozen=True)
+class CorrectionOutcome:
+    """One view's trip through the validate -> correct stage."""
+
+    entry_index: int
+    workflow: str
+    family: str
+    scenario: Optional[str]
+    outcome: str  #: one of CORRECTED / ALREADY_SOUND / UNCORRECTABLE
+    composites_before: int
+    composites_after: int
+    #: per corrected composite: (label, parts, algorithm)
+    splits: Tuple[Tuple[object, int, str], ...] = ()
+    sound_after: Optional[bool] = None
+
+    @property
+    def parts_added(self) -> int:
+        return self.composites_after - self.composites_before
+
+
+@dataclass(frozen=True)
+class LineageAudit:
+    """One view's trip through the full pipeline: validate, correct when
+    needed, then compare view-level lineage against an executed run."""
+
+    entry_index: int
+    workflow: str
+    family: str
+    scenario: Optional[str]
+    outcome: str  #: correction-stage tag (what the pipeline had to do)
+    run_id: Optional[str]
+    #: lineage answers of the *original* view vs the executed run
+    queries: int
+    divergent_queries: int
+    precision: float
+    recall: float
+    #: when the pipeline corrected the view: did the corrected view answer
+    #: every query exactly (the paper's end-to-end claim)?
+    corrected_exact: Optional[bool] = None
+    #: run-recorded lineage vs spec reachability mismatches (pipeline
+    #: invariant — nonzero means the provenance capture itself is broken)
+    provenance_mismatches: int = 0
+
+    @property
+    def exact(self) -> bool:
+        return self.divergent_queries == 0
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """A shard whose worker died; the service retried it serially, so this
+    record only appears via :attr:`CorpusReport.shard_failures`."""
+
+    shard_id: int
+    error: str
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated census over any stream of per-view records."""
+
+    views: int = 0
+    sound: int = 0
+    unsound: int = 0
+    ill_formed: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+    parts_added: int = 0
+    lineage_queries: int = 0
+    divergent_queries: int = 0
+    provenance_mismatches: int = 0
+    by_scenario: Dict[str, int] = field(default_factory=dict)
+    shard_failures: List[ShardFailure] = field(default_factory=list)
+
+    def add(self, record) -> None:
+        self.views += 1
+        scenario = record.scenario or "unknown"
+        self.by_scenario[scenario] = self.by_scenario.get(scenario, 0) + 1
+        if isinstance(record, ViewAnalysis):
+            if not record.well_formed:
+                self.ill_formed += 1
+            elif record.sound:
+                self.sound += 1
+            else:
+                self.unsound += 1
+            return
+        if isinstance(record, CorrectionOutcome):
+            if record.outcome == CORRECTED:
+                self.corrected += 1
+                self.parts_added += record.parts_added
+            elif record.outcome == UNCORRECTABLE:
+                self.uncorrectable += 1
+            else:
+                self.sound += 1
+            return
+        if isinstance(record, LineageAudit):
+            self.lineage_queries += record.queries
+            self.divergent_queries += record.divergent_queries
+            self.provenance_mismatches += record.provenance_mismatches
+            if record.outcome == UNCORRECTABLE:
+                self.uncorrectable += 1
+            elif record.outcome == CORRECTED:
+                self.corrected += 1
+            else:
+                self.sound += 1
+            return
+        raise TypeError(f"unknown record type {type(record).__name__}")
+
+    @classmethod
+    def collect(cls, records: Iterable) -> "CorpusReport":
+        report = cls()
+        for record in records:
+            report.add(record)
+        return report
+
+    def summary(self) -> str:
+        scenarios = ", ".join(f"{name}={count}" for name, count
+                              in sorted(self.by_scenario.items()))
+        parts = [f"{self.views} views ({scenarios})"]
+        if self.sound or self.unsound or self.ill_formed:
+            parts.append(f"{self.sound} sound, {self.unsound} unsound, "
+                         f"{self.ill_formed} ill-formed")
+        if self.corrected or self.uncorrectable:
+            parts.append(f"{self.corrected} corrected "
+                         f"(+{self.parts_added} parts), "
+                         f"{self.uncorrectable} uncorrectable")
+        if self.lineage_queries:
+            parts.append(f"{self.divergent_queries}/{self.lineage_queries} "
+                         f"lineage queries divergent, "
+                         f"{self.provenance_mismatches} provenance "
+                         f"mismatches")
+        if self.shard_failures:
+            parts.append(f"{len(self.shard_failures)} shard(s) retried "
+                         f"serially")
+        return "; ".join(parts)

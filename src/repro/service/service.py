@@ -1,0 +1,182 @@
+"""The corpus-scale analysis service.
+
+:class:`AnalysisService` turns the per-session validate -> correct ->
+provenance-check loop into a high-throughput sweep over a whole repository
+of workflow views: a :class:`~repro.repository.corpus.CorpusSpec` is cut
+into contiguous shards (:mod:`repro.service.sharding`), each shard is
+shipped to a process-pool worker as a picklable
+:class:`~repro.service.worker.ShardJob`, and the per-view result records
+stream back to the caller with bounded memory — the parent never holds
+more than the in-flight shards' records, and workers never hold more than
+one materialized workflow.
+
+Fault tolerance is shard-granular: a worker that raises — or dies outright,
+taking the pool with it — only forfeits its shard, which the parent re-runs
+in-process (:func:`~repro.service.worker.run_shard` is the same code path
+either way).  A sweep therefore always yields exactly one record per view,
+crash or no crash; the retries are reported on the
+:class:`~repro.service.results.CorpusReport`.
+
+With ``workers <= 1`` no pool is created at all and shards run inline,
+which is both the comparison baseline for the scaling benchmark and the
+degraded mode on single-core hosts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.repository.corpus import CorpusSpec
+from repro.service.results import CorpusReport, ShardFailure
+from repro.service.sharding import plan_shards
+from repro.service.worker import (
+    OP_ANALYZE,
+    OP_CORRECT,
+    OP_LINEAGE,
+    ShardJob,
+    ShardResult,
+    run_shard,
+)
+
+
+class AnalysisService:
+    """Batched repository analysis over a process pool.
+
+    ``workers=None`` uses every available core; ``workers<=1`` runs
+    serially in-process.  ``shards_per_worker`` trades dispatch overhead
+    against balance and retry granularity.  ``criterion`` picks the
+    correction algorithm family for the correcting stages.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 shards_per_worker: int = 4,
+                 criterion: str = "strong",
+                 _fail_shards: Optional[Dict[int, str]] = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = max(1, workers)
+        self.shards_per_worker = shards_per_worker
+        self.criterion = criterion
+        # test hook: shard id -> failure mode injected into ShardJobs
+        self._fail_shards = dict(_fail_shards or {})
+        self.last_report: Optional[CorpusReport] = None
+
+    # -- public sweeps -----------------------------------------------------
+
+    def analyze_corpus(self, corpus: CorpusSpec) -> Iterator:
+        """Validate every view; yields
+        :class:`~repro.service.results.ViewAnalysis` in entry order."""
+        return self._sweep(corpus, OP_ANALYZE)
+
+    def correct_corpus(self, corpus: CorpusSpec) -> Iterator:
+        """Validate and correct every view; yields
+        :class:`~repro.service.results.CorrectionOutcome` in entry
+        order."""
+        return self._sweep(corpus, OP_CORRECT)
+
+    def lineage_audit(self, corpus: CorpusSpec,
+                      queries_per_view: Optional[int] = None) -> Iterator:
+        """Run the full pipeline — validate, correct when needed, execute,
+        compare lineage — on every view; yields
+        :class:`~repro.service.results.LineageAudit` in entry order."""
+        return self._sweep(corpus, OP_LINEAGE,
+                           queries_per_view=queries_per_view)
+
+    def report(self, corpus: CorpusSpec, op: str = OP_ANALYZE,
+               **options) -> CorpusReport:
+        """One aggregated :class:`CorpusReport` for a whole sweep."""
+        records = self._sweep(corpus, op, **options)
+        report = CorpusReport.collect(records)
+        if self.last_report is not None:
+            report.shard_failures = self.last_report.shard_failures
+        self.last_report = report
+        return report
+
+    # -- execution ---------------------------------------------------------
+
+    def _jobs(self, corpus: CorpusSpec, op: str,
+              queries_per_view: Optional[int]) -> List[ShardJob]:
+        shards = plan_shards(corpus.count, self.workers,
+                             shards_per_worker=self.shards_per_worker)
+        return [ShardJob(shard_id=shard_id, corpus=corpus, indices=indices,
+                         op=op, criterion=self.criterion,
+                         queries_per_view=queries_per_view,
+                         fail=self._fail_shards.get(shard_id))
+                for shard_id, indices in enumerate(shards)]
+
+    def _sweep(self, corpus: CorpusSpec, op: str,
+               queries_per_view: Optional[int] = None) -> Iterator:
+        jobs = self._jobs(corpus, op, queries_per_view)
+        self.last_report = CorpusReport()
+        if self.workers <= 1 or len(jobs) <= 1:
+            return self._run_serial(jobs)
+        return self._run_parallel(jobs)
+
+    def _run_serial(self, jobs: List[ShardJob]) -> Iterator:
+        for job in jobs:
+            yield from run_shard(job).records
+
+    def _run_parallel(self, jobs: List[ShardJob]) -> Iterator:
+        """Fan shards out to a process pool, stream records back in shard
+        order, and retry any failed shard serially in the parent."""
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+        from concurrent.futures import wait as wait_futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            pending = {executor.submit(run_shard, job): job for job in jobs}
+            ready: Dict[int, ShardResult] = {}
+            next_shard = 0
+            while pending:
+                done, _ = wait_futures(pending, return_when=FIRST_COMPLETED)
+                poisoned: List[ShardJob] = []
+                for future in done:
+                    job = pending.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        poisoned.append(job)
+                        continue
+                    except Exception as exc:  # the shard itself failed
+                        self.last_report.shard_failures.append(
+                            ShardFailure(shard_id=job.shard_id,
+                                         error=repr(exc)))
+                        result = run_shard(job)  # serial retry, same code
+                    ready[result.shard_id] = result
+                if poisoned:
+                    # a dead worker breaks the whole pool, poisoning every
+                    # in-flight future; those shards did not fail — rebuild
+                    # the pool and resubmit them, retrying one poisoned
+                    # shard serially per breakage (possibly the actual
+                    # crasher), which keeps the sweep parallel and bounds
+                    # pool rebuilds by the shard count even if one shard
+                    # reliably kills its worker
+                    crashed, innocent = poisoned[0], poisoned[1:]
+                    self.last_report.shard_failures.append(
+                        ShardFailure(shard_id=crashed.shard_id,
+                                     error="worker process died "
+                                           "(pool rebuilt)"))
+                    result = run_shard(crashed)
+                    ready[result.shard_id] = result
+                    resubmit = innocent + list(pending.values())
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(
+                        max_workers=self.workers)
+                    pending = {executor.submit(run_shard, job): job
+                               for job in resubmit}
+                # stream in shard order with bounded buffering: a shard's
+                # records are released as soon as every earlier shard has
+                # arrived
+                while next_shard in ready:
+                    yield from ready.pop(next_shard).records
+                    next_shard += 1
+        finally:
+            # wait=True: by the time the stream is drained the pool is
+            # idle, and on early abandonment the in-flight shards are
+            # small; an unwaited pool leaks its management thread's pipes
+            # into interpreter shutdown
+            executor.shutdown(wait=True, cancel_futures=True)

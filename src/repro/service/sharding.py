@@ -1,0 +1,47 @@
+"""Shard planning for corpus sweeps.
+
+A shard is a contiguous slice of entry indices: contiguity keeps ordered
+streaming cheap (results re-assemble by shard id) and, because scenarios
+cycle through the index space, any shard longer than the scenario cycle
+still carries a representative workload mix.
+
+Shards are deliberately finer than the worker count
+(``shards_per_worker``): small shards bound both the tail latency of the
+slowest worker and the memory held by the parent while re-ordering
+results, and they are the retry unit when a worker dies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def plan_shards(count: int, workers: int,
+                shards_per_worker: int = 4,
+                min_shard_size: int = 2) -> List[Tuple[int, ...]]:
+    """Split ``range(count)`` into contiguous, near-equal index tuples.
+
+    Aims for ``workers * shards_per_worker`` shards but never produces
+    shards smaller than ``min_shard_size`` (tiny shards are all dispatch
+    overhead) or empty ones.  ``count == 0`` yields no shards.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if shards_per_worker < 1:
+        raise ValueError("shards_per_worker must be >= 1")
+    if min_shard_size < 1:
+        raise ValueError("min_shard_size must be >= 1")
+    if count == 0:
+        return []
+    target = workers * shards_per_worker
+    n_shards = max(1, min(target, count // min_shard_size or 1))
+    base, extra = divmod(count, n_shards)
+    shards: List[Tuple[int, ...]] = []
+    start = 0
+    for shard_id in range(n_shards):
+        size = base + (1 if shard_id < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return shards

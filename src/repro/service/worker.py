@@ -1,0 +1,216 @@
+"""The per-shard worker: materialize, analyze, summarize.
+
+A :class:`ShardJob` is the picklable unit of work the service ships to a
+process pool: a :class:`~repro.repository.corpus.CorpusSpec` (a corpus
+*description*, not its graphs), a tuple of entry indices, and the pipeline
+stage to run.  :func:`run_shard` executes it either in a worker process or
+— identically — in the parent, which is both the serial fallback and the
+retry path when a worker dies.
+
+Each entry is materialized, analyzed, summarized into the picklable
+records of :mod:`repro.service.results`, and dropped before the next one,
+so a shard's resident set is one workflow regardless of corpus size.  The
+analysis reuses the per-session machinery of the incremental engine and
+the provenance index:
+
+* one :class:`~repro.core.incremental.AnalysisCache` per entry, shared by
+  every view of that entry and by the correction stage's revalidation;
+* the spec-level :class:`~repro.graphs.reachability.ReachabilityIndex`,
+  memoized on the spec and shared by validation, correction and the
+  lineage truth;
+* the run-level bitset :class:`~repro.provenance.index.ProvenanceIndex`
+  behind one batched ``lineage_tasks_many`` sweep per audited view.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.corrector import Criterion, correct_view
+from repro.core.incremental import AnalysisCache
+from repro.provenance.execution import execute
+from repro.provenance.viewlevel import run_lineage_comparisons
+from repro.repository.corpus import CorpusEntry, CorpusSpec, materialize_entry
+from repro.service.results import (
+    ALREADY_SOUND,
+    CORRECTED,
+    UNCORRECTABLE,
+    CorrectionOutcome,
+    LineageAudit,
+    ViewAnalysis,
+)
+
+#: the pipeline stages a shard can run
+OP_ANALYZE = "analyze"
+OP_CORRECT = "correct"
+OP_LINEAGE = "lineage"
+OPS = (OP_ANALYZE, OP_CORRECT, OP_LINEAGE)
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """Everything a worker needs, picklable."""
+
+    shard_id: int
+    corpus: CorpusSpec
+    indices: Tuple[int, ...]
+    op: str
+    criterion: str = "strong"
+    #: cap on lineage queries per view (``None`` = every task)
+    queries_per_view: Optional[int] = None
+    #: test hook: simulate a worker failure for this shard ("raise" dies
+    #: with an exception, "exit" kills the process like a segfault/OOM
+    #: would).  Only honoured inside a worker process, so the parent's
+    #: serial retry of the same job succeeds.
+    fail: Optional[str] = None
+
+
+@dataclass
+class ShardResult:
+    """What comes back over the pipe: the shard id (for re-ordering) and
+    the per-view records, entry order preserved."""
+
+    shard_id: int
+    records: List = field(default_factory=list)
+
+
+def _maybe_fail(job: ShardJob) -> None:
+    if job.fail and multiprocessing.parent_process() is not None:
+        if job.fail == "exit":
+            os._exit(3)
+        raise RuntimeError(
+            f"injected failure in shard {job.shard_id}")
+
+
+def run_shard(job: ShardJob) -> ShardResult:
+    """Execute one shard; the process-pool entry point."""
+    _maybe_fail(job)
+    result = ShardResult(shard_id=job.shard_id)
+    for index in job.indices:
+        entry = materialize_entry(job.corpus, index)
+        result.records.extend(analyze_entry(entry, index, job))
+    return result
+
+
+def analyze_entry(entry: CorpusEntry, index: int,
+                  job: ShardJob) -> Iterator:
+    """Run the job's pipeline stage on every view of one entry."""
+    cache = AnalysisCache(entry.spec)
+    for family in sorted(entry.views):
+        view = entry.views[family]
+        if job.op == OP_ANALYZE:
+            yield _analyze_view(entry, index, family, view, cache)
+        elif job.op == OP_CORRECT:
+            yield _correct_view(entry, index, family, view, cache,
+                                Criterion.parse(job.criterion))
+        elif job.op == OP_LINEAGE:
+            yield _lineage_audit(entry, index, family, view, cache, job)
+        else:
+            raise ValueError(f"unknown op {job.op!r}; choose from {OPS}")
+
+
+def _analyze_view(entry, index, family, view, cache) -> ViewAnalysis:
+    return ViewAnalysis(
+        entry_index=index, workflow=entry.spec.name, family=family,
+        shape=entry.shape, scenario=entry.scenario,
+        tasks=len(entry.spec), composites=len(view),
+        report=cache.validate(view))
+
+
+def _correct_view(entry, index, family, view, cache,
+                  criterion) -> CorrectionOutcome:
+    common = dict(entry_index=index, workflow=entry.spec.name,
+                  family=family, scenario=entry.scenario,
+                  composites_before=len(view))
+    report = cache.validate(view)
+    if not report.well_formed:
+        return CorrectionOutcome(outcome=UNCORRECTABLE,
+                                 composites_after=len(view), **common)
+    if report.sound:
+        return CorrectionOutcome(outcome=ALREADY_SOUND,
+                                 composites_after=len(view),
+                                 sound_after=True, **common)
+    correction = correct_view(view, criterion,
+                              labels=report.unsound_composites,
+                              verify=False)
+    corrected = correction.corrected
+    return CorrectionOutcome(
+        outcome=CORRECTED, composites_after=len(corrected),
+        splits=tuple((label, split.part_count, split.algorithm)
+                     for label, split in correction.splits.items()),
+        sound_after=cache.validate(corrected).sound, **common)
+
+
+def _lineage_audit(entry, index, family, view, cache,
+                   job: ShardJob) -> LineageAudit:
+    common = dict(entry_index=index, workflow=entry.spec.name,
+                  family=family, scenario=entry.scenario)
+    report = cache.validate(view)
+    if not report.well_formed:
+        # no quotient order, no view-level lineage, no correction
+        return LineageAudit(outcome=UNCORRECTABLE, run_id=None, queries=0,
+                            divergent_queries=0, precision=1.0, recall=1.0,
+                            **common)
+    run = execute(entry.spec, run_id=f"corpus-{index}")
+    task_ids = _audit_targets(view, job.queries_per_view)
+    comparisons = run_lineage_comparisons(view, run, task_ids)
+    mismatches = _provenance_mismatches(view, run, task_ids)
+    corrected_exact = None
+    outcome = ALREADY_SOUND if report.sound else CORRECTED
+    if not report.sound:
+        correction = correct_view(view, Criterion.parse(job.criterion),
+                                  labels=report.unsound_composites,
+                                  verify=False)
+        corrected_exact = all(
+            c.exact for c in run_lineage_comparisons(
+                correction.corrected, run, task_ids))
+    n = len(comparisons)
+    return LineageAudit(
+        outcome=outcome, run_id=run.run_id, queries=n,
+        divergent_queries=sum(not c.exact for c in comparisons),
+        precision=sum(c.precision for c in comparisons) / n if n else 1.0,
+        recall=sum(c.recall for c in comparisons) / n if n else 1.0,
+        corrected_exact=corrected_exact,
+        provenance_mismatches=mismatches, **common)
+
+
+def _audit_targets(view, cap: Optional[int]) -> List:
+    """Tasks to audit: round-robin across composites, so a capped audit
+    still covers every composite once before sampling any twice (lineage
+    answers are composite-granular — a cap that walked ``task_ids()`` in
+    order could silently skip the one divergent composite)."""
+    member_lists = [view.members(label)
+                    for label in view.composite_labels()]
+    targets: List = []
+    depth = 0
+    added = True
+    while added and (cap is None or len(targets) < cap):
+        added = False
+        for members in member_lists:
+            if depth < len(members):
+                targets.append(members[depth])
+                added = True
+                if cap is not None and len(targets) >= cap:
+                    break
+        depth += 1
+    return targets
+
+
+def _provenance_mismatches(view, run, task_ids) -> int:
+    """Cross-check the run's recorded lineage against spec reachability.
+
+    The simulator executes the specification faithfully, so the run-level
+    truth and the graph-level truth must agree task for task; a mismatch
+    means provenance capture itself is broken and the audit's numbers
+    cannot be trusted.
+    """
+    from repro.provenance.queries import lineage_tasks_many
+
+    index = view.spec.reachability()
+    truth = lineage_tasks_many(run, task_ids)
+    return sum(
+        1 for task_id in task_ids
+        if truth[task_id] != set(index.ancestors(task_id)))

@@ -28,7 +28,6 @@ from repro.system.displayer import (
     view_to_dot,
 )
 from repro.system.importer import load_view, load_workflow
-from repro.views.view import WorkflowView
 from repro.workflow import catalog
 from repro.workflow.jsonio import spec_to_json, view_to_json
 
@@ -83,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
     lineage_cmd.add_argument("spec", help="workflow file (MOML or JSON)")
     lineage_cmd.add_argument("task", help="task id to query")
     lineage_cmd.add_argument("--view", help="also answer at the view level")
+
+    corpus_cmd = commands.add_parser(
+        "corpus",
+        help="batch-analyze a synthetic corpus across worker processes")
+    corpus_cmd.add_argument(
+        "op", choices=["analyze", "correct", "lineage"],
+        help="pipeline stage: validate only, validate+correct, or the "
+             "full lineage audit")
+    corpus_cmd.add_argument("--seed", type=int, default=2009)
+    corpus_cmd.add_argument("--count", type=int, default=20,
+                            help="number of corpus entries")
+    corpus_cmd.add_argument("--min-size", type=int, default=12)
+    corpus_cmd.add_argument("--max-size", type=int, default=40)
+    corpus_cmd.add_argument("--scenarios", nargs="+", default=None,
+                            help="scenario mix (default: all)")
+    corpus_cmd.add_argument("--workers", type=int, default=None,
+                            help="worker processes (default: all cores; "
+                                 "0/1 = serial)")
+    corpus_cmd.add_argument("--criterion", default="strong",
+                            choices=["weak", "strong", "optimal"])
+    corpus_cmd.add_argument("--queries", type=int, default=None,
+                            help="lineage queries per view (default: one "
+                                 "per task)")
+    corpus_cmd.add_argument("--quiet", action="store_true",
+                            help="print only the aggregate report")
     return parser
 
 
@@ -234,6 +258,60 @@ def cmd_lineage(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.repository.corpus import CorpusSpec
+    from repro.service import AnalysisService, CorpusReport
+
+    try:
+        corpus = CorpusSpec(seed=args.seed, count=args.count,
+                            min_size=args.min_size, max_size=args.max_size,
+                            scenarios=tuple(args.scenarios)
+                            if args.scenarios else CorpusSpec.scenarios)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = AnalysisService(workers=args.workers,
+                              criterion=args.criterion)
+    if args.op == "analyze":
+        records = service.analyze_corpus(corpus)
+    elif args.op == "correct":
+        records = service.correct_corpus(corpus)
+    else:
+        records = service.lineage_audit(corpus,
+                                        queries_per_view=args.queries)
+    report = CorpusReport()
+    for record in records:
+        report.add(record)
+        if not args.quiet:
+            print(_corpus_line(record))
+    report.shard_failures = service.last_report.shard_failures
+    print(f"corpus {args.op} (seed={corpus.seed}, {corpus.count} entries, "
+          f"{service.workers} worker(s)): {report.summary()}")
+    return 1 if report.provenance_mismatches else 0
+
+
+def _corpus_line(record) -> str:
+    from repro.service.results import LineageAudit, ViewAnalysis
+
+    prefix = (f"  [{record.entry_index:>4}] {record.workflow} "
+              f"({record.scenario})")
+    if isinstance(record, ViewAnalysis):
+        return f"{prefix}: {record.report.summary()}"
+    if isinstance(record, LineageAudit):
+        detail = (f"{record.divergent_queries}/{record.queries} queries "
+                  f"divergent (precision {record.precision:.3f})")
+        if record.corrected_exact is not None:
+            fixed = "exact" if record.corrected_exact else "NOT exact"
+            detail += f"; corrected view {fixed}"
+        return f"{prefix}: {record.outcome}; {detail}"
+    detail = record.outcome
+    if record.splits:
+        detail += " " + ", ".join(
+            f"{label} -> {parts} parts ({algorithm})"
+            for label, parts, algorithm in record.splits)
+    return f"{prefix}: {detail}"
+
+
 _HANDLERS = {
     "validate": cmd_validate,
     "correct": cmd_correct,
@@ -243,6 +321,7 @@ _HANDLERS = {
     "suggest": cmd_suggest,
     "audit": cmd_audit,
     "lineage": cmd_lineage,
+    "corpus": cmd_corpus,
 }
 
 

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.corrector import CorrectionReport, Criterion
-from repro.core.estimator import Estimate, Estimator
+from repro.core.estimator import Estimate
 from repro.core.incremental import AnalysisCache
 from repro.core.soundness import ValidationReport
 from repro.core.split import SplitResult

@@ -95,6 +95,38 @@ def random_convex_view(rng: random.Random, spec: WorkflowSpec,
     return WorkflowView(spec, groups, name=name)
 
 
+def cyclic_quotient_view(rng: random.Random, spec: WorkflowSpec,
+                         name: str = "cyclic") -> WorkflowView:
+    """A deliberately ill-formed view whose quotient contains a cycle.
+
+    Two dependency edges ``a -> b`` and ``c -> d`` with four distinct
+    endpoints are folded into composites ``A = {a, d}`` and ``B = {b, c}``,
+    giving quotient edges ``A -> B`` (via ``a -> b``) and ``B -> A`` (via
+    ``c -> d``); every other task stays a singleton.  Corpus sweeps use
+    this to exercise the validator's ill-formed branch (the reject-with-
+    cycle-witness path), which well-formed generators never reach.
+
+    Raises :class:`ViewError` when the specification has no two endpoint-
+    disjoint edges (callers fall back to another scenario).
+    """
+    edges = spec.dependencies()
+    rng.shuffle(edges)
+    for i, (a, b) in enumerate(edges):
+        for c, d in edges[i + 1:]:
+            if len({a, b, c, d}) == 4:
+                groups: Dict[str, List[TaskId]] = {
+                    "cyc-A": [a, d], "cyc-B": [b, c]}
+                for task_id in spec.task_ids():
+                    if task_id not in (a, b, c, d):
+                        groups[f"t{task_id}"] = [task_id]
+                # quotient edges A -> B (a -> b) and B -> A (c -> d)
+                # exist by construction, so the view is always ill-formed
+                return WorkflowView(spec, groups, name=name)
+    raise ViewError(
+        f"spec {spec.name!r} admits no cyclic-quotient view "
+        f"(no suitable endpoint-disjoint edge pair)")
+
+
 def perturb_view(rng: random.Random, view: WorkflowView, moves: int = 1,
                  name: str = "perturbed") -> WorkflowView:
     """Move ``moves`` random tasks into neighbouring composites.

@@ -18,7 +18,7 @@ hashables are stringified on write, which is documented rather than hidden.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.errors import SerializationError
 from repro.workflow.spec import WorkflowSpec

@@ -20,7 +20,7 @@ This module models ports explicitly and projects down to the task level:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import xml.etree.ElementTree as ET
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.core.soundness import is_sound_view, unsound_composites
+from repro.core.soundness import unsound_composites
 from repro.errors import ViewError
 from repro.views.editor import ViewEditor
 from repro.workflow.catalog import phylogenomics

@@ -7,7 +7,6 @@ import pytest
 from repro.core.soundness import is_sound_view, unsound_composites
 from repro.errors import ViewError
 from repro.views.hierarchy import ViewHierarchy
-from repro.views.view import WorkflowView
 from repro.workflow.catalog import PHYLO_VIEW_GROUPS, phylogenomics
 from tests.helpers import chain_spec, diamond_spec
 

@@ -9,7 +9,6 @@ from repro.provenance.queries import lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness
 from repro.repository.corpus import build_corpus
 from repro.system.session import WolvesSession
-from repro.views.diff import view_delta
 from repro.workflow.jsonio import (
     spec_from_json,
     spec_to_json,

@@ -19,7 +19,6 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ProvenanceError, ViewError
 from repro.graphs.topo import ancestors_of, descendants_of, topological_sort
 from repro.provenance.execution import execute
-from repro.provenance.index import ProvenanceIndex
 from repro.provenance.queries import (
     cone_of_change,
     downstream_tasks,

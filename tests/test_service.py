@@ -1,0 +1,245 @@
+"""Tests for the corpus-scale batch analysis service.
+
+The load-bearing property: a parallel ``analyze_corpus`` sweep reports
+exactly what serial per-view ``validate_view`` calls report, on random
+corpora — including when workers crash mid-sweep and when the corpus is
+smaller than the worker pool (or empty).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.soundness import validate_view
+from repro.provenance.execution import execute
+from repro.provenance.viewlevel import (
+    compare_lineage,
+    run_lineage_comparisons,
+)
+from repro.repository.corpus import (
+    SCENARIO_FAMILY,
+    CorpusSpec,
+    materialize_corpus,
+    materialize_entry,
+)
+from repro.repository.synthetic import SCENARIOS, scenario_view
+from repro.service import (
+    AnalysisService,
+    CorpusReport,
+    plan_shards,
+    run_shard,
+)
+from repro.service.results import CORRECTED, UNCORRECTABLE
+from repro.service.worker import OP_ANALYZE, ShardJob
+from repro.workflow.builder import WorkflowBuilder
+
+
+@st.composite
+def corpus_specs(draw):
+    min_size = draw(st.integers(min_value=6, max_value=14))
+    return CorpusSpec(
+        seed=draw(st.integers(min_value=0, max_value=10 ** 6)),
+        count=draw(st.integers(min_value=0, max_value=8)),
+        min_size=min_size,
+        max_size=min_size + draw(st.integers(min_value=0, max_value=8)),
+    )
+
+
+def serial_truth(corpus: CorpusSpec):
+    """The per-view seed path the service must reproduce exactly."""
+    reports = []
+    for entry in materialize_corpus(corpus):
+        for family in sorted(entry.views):
+            reports.append(validate_view(entry.views[family]))
+    return reports
+
+
+class TestParallelIdentity:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(corpus=corpus_specs())
+    def test_parallel_analyze_equals_serial_validate_view(self, corpus):
+        truth = serial_truth(corpus)
+        service = AnalysisService(workers=2, shards_per_worker=1)
+        records = list(service.analyze_corpus(corpus))
+        assert [record.report for record in records] == truth
+        assert [record.entry_index for record in records] \
+            == sorted(record.entry_index for record in records)
+
+    def test_serial_service_equals_serial_validate_view(self):
+        corpus = CorpusSpec(seed=91, count=10, min_size=8, max_size=16)
+        records = list(AnalysisService(workers=1).analyze_corpus(corpus))
+        assert [record.report for record in records] \
+            == serial_truth(corpus)
+
+    def test_correct_and_lineage_parallel_equal_serial(self):
+        corpus = CorpusSpec(seed=17, count=8, min_size=8, max_size=16)
+        serial = AnalysisService(workers=1)
+        parallel = AnalysisService(workers=2, shards_per_worker=2)
+        assert list(parallel.correct_corpus(corpus)) \
+            == list(serial.correct_corpus(corpus))
+        assert list(parallel.lineage_audit(corpus, queries_per_view=6)) \
+            == list(serial.lineage_audit(corpus, queries_per_view=6))
+
+
+class TestEdgeCases:
+    def test_empty_corpus(self):
+        corpus = CorpusSpec(seed=1, count=0)
+        for workers in (1, 3):
+            service = AnalysisService(workers=workers)
+            assert list(service.analyze_corpus(corpus)) == []
+            assert service.last_report.shard_failures == []
+
+    def test_corpus_smaller_than_worker_pool(self):
+        corpus = CorpusSpec(seed=2, count=2, min_size=8, max_size=10)
+        records = list(AnalysisService(workers=6).analyze_corpus(corpus))
+        assert [record.report for record in records] \
+            == serial_truth(corpus)
+
+    @pytest.mark.parametrize("mode", ["raise", "exit"])
+    def test_worker_crash_is_retried_serially(self, mode):
+        corpus = CorpusSpec(seed=3, count=8, min_size=8, max_size=14)
+        truth = serial_truth(corpus)
+        service = AnalysisService(workers=2, shards_per_worker=2,
+                                  _fail_shards={1: mode})
+        records = list(service.analyze_corpus(corpus))
+        assert [record.report for record in records] == truth
+        assert service.last_report.shard_failures
+        failed = {failure.shard_id
+                  for failure in service.last_report.shard_failures}
+        assert 1 in failed
+
+    def test_injected_failure_ignored_in_parent(self):
+        # the retry path runs the same job in the parent process; the
+        # injection must not fire there or retries could never succeed
+        corpus = CorpusSpec(seed=4, count=4, min_size=8, max_size=10)
+        job = ShardJob(shard_id=0, corpus=corpus, indices=(0, 1),
+                       op=OP_ANALYZE, fail="raise")
+        assert len(run_shard(job).records) == 2
+
+    def test_invalid_corpus_spec(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(count=-1)
+        with pytest.raises(ValueError):
+            CorpusSpec(min_size=4)
+        with pytest.raises(ValueError):
+            CorpusSpec(min_size=20, max_size=10)
+        with pytest.raises(ValueError):
+            CorpusSpec(scenarios=("nonsense",))
+        with pytest.raises(IndexError):
+            materialize_entry(CorpusSpec(count=2), 2)
+
+
+class TestSharding:
+    @settings(max_examples=60, deadline=None)
+    @given(count=st.integers(min_value=0, max_value=200),
+           workers=st.integers(min_value=1, max_value=8),
+           per_worker=st.integers(min_value=1, max_value=6))
+    def test_plan_covers_every_index_once_contiguously(self, count,
+                                                       workers,
+                                                       per_worker):
+        shards = plan_shards(count, workers,
+                             shards_per_worker=per_worker)
+        flat = [index for shard in shards for index in shard]
+        assert flat == list(range(count))
+        assert all(shard for shard in shards)
+        if shards:
+            sizes = sorted(len(shard) for shard in shards)
+            assert sizes[-1] - sizes[0] <= 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(4, 0)
+        with pytest.raises(ValueError):
+            plan_shards(4, 2, shards_per_worker=0)
+        with pytest.raises(ValueError):
+            plan_shards(4, 2, min_shard_size=0)
+
+
+class TestScenarios:
+    def test_mixed_corpus_covers_every_scenario(self):
+        corpus = CorpusSpec(seed=11, count=16, min_size=10, max_size=20)
+        scenarios = {materialize_entry(corpus, i).scenario
+                     for i in corpus.indices()}
+        assert scenarios == set(SCENARIOS)
+
+    def test_scenarios_behave_as_labelled(self):
+        corpus = CorpusSpec(seed=11, count=16, min_size=10, max_size=20)
+        for index in corpus.indices():
+            entry = materialize_entry(corpus, index)
+            view = entry.views[SCENARIO_FAMILY]
+            report = validate_view(view)
+            if entry.scenario == "sound":
+                assert report.sound
+            elif entry.scenario == "cyclic_quotient":
+                assert not report.well_formed
+            elif entry.scenario == "unsound_fixable":
+                assert report.well_formed and report.witnesses
+            else:  # provenance_divergent
+                assert report.well_formed
+                assert any(
+                    not compare_lineage(view, task_id).exact
+                    for task_id in entry.spec.task_ids())
+
+    def test_scenario_view_rejects_unknown(self):
+        entry = materialize_entry(CorpusSpec(seed=1, count=1), 0)
+        with pytest.raises(ValueError):
+            scenario_view(random.Random(0), entry.spec, "bogus")
+
+    def test_materialize_entry_is_order_independent(self):
+        corpus = CorpusSpec(seed=5, count=6, min_size=8, max_size=14)
+        forward = [materialize_entry(corpus, i) for i in range(6)]
+        backward = [materialize_entry(corpus, i)
+                    for i in reversed(range(6))][::-1]
+        for a, b in zip(forward, backward):
+            assert set(a.spec.dependencies()) == set(b.spec.dependencies())
+            assert a.views[SCENARIO_FAMILY] == b.views[SCENARIO_FAMILY]
+            assert a.scenario == b.scenario
+
+
+class TestLineageAuditSemantics:
+    def test_run_truth_matches_spec_truth(self):
+        # the simulator is faithful, so run-derived comparisons must be
+        # the spec-derived compare_lineage verbatim
+        entry = materialize_entry(
+            CorpusSpec(seed=23, count=4, min_size=10, max_size=18), 3)
+        view = entry.views[SCENARIO_FAMILY]
+        run = execute(entry.spec, run_id="truth")
+        for comparison in run_lineage_comparisons(view, run):
+            expected = compare_lineage(view, comparison.task_id)
+            assert comparison.true_composites == expected.true_composites
+            assert comparison.view_composites == expected.view_composites
+
+    def test_audit_report_aggregates(self):
+        corpus = CorpusSpec(seed=29, count=8, min_size=10, max_size=18)
+        service = AnalysisService(workers=1)
+        records = list(service.lineage_audit(corpus))
+        report = CorpusReport.collect(records)
+        assert report.views == len(records) == corpus.count
+        assert report.uncorrectable \
+            == sum(r.outcome == UNCORRECTABLE for r in records)
+        assert report.provenance_mismatches == 0
+        corrected = [r for r in records if r.outcome == CORRECTED]
+        assert all(r.corrected_exact for r in corrected)
+        assert "views" in report.summary()
+
+
+class TestValidateMany:
+    def test_shares_witnesses_across_views(self):
+        from repro.core.incremental import AnalysisCache
+
+        spec = (WorkflowBuilder("vm")
+                .task(1, "a").task(2, "b").task(3, "c").task(4, "d")
+                .chain(1, 2, 4).chain(1, 3, 4).build())
+        from repro.views.view import WorkflowView
+        first = WorkflowView(spec, {"x": [1, 2], "y": [3], "z": [4]})
+        second = WorkflowView(spec, {"x": [1, 2], "y": [3, 4]})
+        cache = AnalysisCache(spec)
+        reports = cache.validate_many([first, second])
+        assert reports == [validate_view(first), validate_view(second)]
+        # the shared composite {1, 2} hit the memo on the second pass
+        assert cache.stats.hits >= 1

@@ -8,7 +8,6 @@ from repro.system.session import WolvesSession
 from repro.workflow.catalog import (
     figure3_spec,
     figure3_view,
-    phylogenomics,
     phylogenomics_view,
 )
 

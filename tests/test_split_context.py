@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.split import CompositeContext, SplitResult, apply_split
 from repro.errors import CorrectionError
-from repro.views.view import WorkflowView
 from repro.workflow.catalog import figure3_view, phylogenomics_view
 from tests.helpers import two_track_spec, unsound_two_track_view
 
