@@ -78,6 +78,15 @@ BENCHES = [
         min_speedup=3.0,
         quick_argv=["--quick"],
     ),
+    Bench(
+        name="persistence",
+        module="bench_persistence",
+        out="BENCH_persistence.json",
+        metric=lambda payload: payload["warm_speedup"],
+        metric_label="warm restart vs cold sweep, lineage audit",
+        min_speedup=3.0,
+        quick_argv=["--quick"],
+    ),
 ]
 
 

@@ -57,6 +57,7 @@ from repro.provenance import (
 from repro.repository import build_corpus
 from repro.repository.corpus import CorpusSpec, materialize_corpus
 from repro.service import AnalysisService, CorpusReport
+from repro.persistence import AnalysisResultCache, DurableProvenanceStore
 from repro.system import WolvesSession
 
 __version__ = "1.0.0"
@@ -91,6 +92,8 @@ __all__ = [
     "materialize_corpus",
     "AnalysisService",
     "CorpusReport",
+    "AnalysisResultCache",
+    "DurableProvenanceStore",
     "WolvesSession",
     "__version__",
 ]

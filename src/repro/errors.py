@@ -87,3 +87,8 @@ class ProvenanceError(ReproError):
 
 class EstimatorError(ReproError):
     """The estimator has no history group for the requested prediction."""
+
+
+class PersistenceError(ReproError):
+    """A problem in the durable store (schema mismatch, bad payload,
+    workflow mismatch, read-only write attempt...)."""

@@ -1,0 +1,220 @@
+"""The keyed analysis-result cache: warm restarts for the batch service.
+
+A corpus sweep's unit of work is (view, pipeline op): validation,
+correction, or the full lineage audit of one
+:class:`~repro.views.view.WorkflowView`.  All three are pure functions of
+the view's content, so their records can be cached durably and reused
+across process restarts — the "warm restart" path of
+:class:`~repro.service.service.AnalysisService`.
+
+Keys are **content fingerprints**, not object identities: the spec
+fingerprint hashes the canonical JSON of the workflow (tasks, kinds,
+params, dependencies) and the view fingerprint chains it with the
+canonical JSON of the composite partition.  Any edit to either changes
+the key, so stale hits are impossible; re-running an identical corpus
+hits on every view.  The record column stores the pickled result record
+(the same picklable dataclasses the service streams between processes);
+context fields that depend on *where* the view appeared (entry index,
+run id) are re-stamped by the consumer on every hit.
+
+The lookup is two-level.  The content-keyed ``analysis_cache`` is the
+authority; the ``entry_memo`` table additionally maps a corpus entry's
+*identity* — ``(corpus fingerprint, entry index, op)`` — to the content
+fingerprints, so a warm sweep of the same corpus resolves its records
+without even materializing the entries (``materialize_entry`` is
+deterministic in ``(corpus, index)``; the corpus fingerprint bakes in
+:data:`~repro.repository.synthetic.GENERATOR_VERSION` so a behavioral
+change to the generators orphans old memo rows instead of serving stale
+analyses).
+
+Connections follow the store's discipline: workers open read-only WAL
+connections (:meth:`AnalysisResultCache.get` / :meth:`get_memo` only),
+the parent process is the single writer and batches misses per shard
+(:meth:`AnalysisResultCache.put_many`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import PersistenceError
+from repro.persistence.db import open_checked
+from repro.persistence.db import transaction as _transaction
+from repro.views.view import WorkflowView
+from repro.workflow.jsonio import spec_to_dict, view_to_dict
+from repro.workflow.spec import WorkflowSpec
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_fingerprint(spec: WorkflowSpec) -> str:
+    """Content hash of the workflow: tasks, kinds, params, dependencies."""
+    return _digest(json.dumps(spec_to_dict(spec), sort_keys=True,
+                              separators=(",", ":"), default=str))
+
+
+def view_fingerprint(view: WorkflowView,
+                     spec_fp: Optional[str] = None) -> str:
+    """Content hash of the view chained with its workflow's hash.
+
+    ``spec_fp`` lets callers amortize the spec hash across the many views
+    of one workflow; when omitted it is computed here.
+    """
+    if spec_fp is None:
+        spec_fp = spec_fingerprint(view.spec)
+    document = view_to_dict(view)
+    document.pop("name", None)  # content, not labelling, keys the cache
+    return _digest(spec_fp + json.dumps(document, sort_keys=True,
+                                        separators=(",", ":"),
+                                        default=str))
+
+
+def corpus_fingerprint(corpus) -> str:
+    """Identity hash of a :class:`~repro.repository.corpus.CorpusSpec`.
+
+    ``materialize_entry(corpus, index)`` is deterministic in
+    ``(corpus, index)`` alone, so this hash — the corpus parameters plus
+    the generator version — keys the ``entry_memo`` fast path that lets
+    a warm sweep skip materialization.  The generator version is baked
+    in so a behavioral change to the synthetic builders orphans every
+    old memo row instead of serving stale analyses.
+    """
+    from repro.repository.synthetic import GENERATOR_VERSION
+
+    return _digest(json.dumps(
+        {"generator_version": GENERATOR_VERSION,
+         **dataclasses.asdict(corpus)},
+        sort_keys=True, separators=(",", ":"), default=str))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Primary key of one cached analysis record."""
+
+    op: str
+    criterion: str
+    spec_fp: str
+    view_fp: str
+
+
+@dataclass(frozen=True)
+class MemoRow:
+    """One ``entry_memo`` row: a corpus entry's identity chained to the
+    content key of its cached record (one row per view family)."""
+
+    corpus_fp: str
+    entry_index: int
+    op: str
+    criterion: str
+    family: str
+    spec_fp: str
+    view_fp: str
+
+    def cache_key(self) -> CacheKey:
+        return CacheKey(op=self.op, criterion=self.criterion,
+                        spec_fp=self.spec_fp, view_fp=self.view_fp)
+
+
+class AnalysisResultCache:
+    """Durable (op, criterion, spec, view) -> analysis-record mapping."""
+
+    def __init__(self, path: str, readonly: bool = False) -> None:
+        self.path = str(path)
+        self.readonly = readonly
+        self._conn = open_checked(self.path, readonly=readonly)
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """The cached record, or ``None`` on a miss."""
+        try:
+            row = self._conn.execute(
+                "SELECT record FROM analysis_cache WHERE op = ? "
+                "AND criterion = ? AND spec_fp = ? AND view_fp = ?",
+                (key.op, key.criterion, key.spec_fp, key.view_fp)
+            ).fetchone()
+        except sqlite3.OperationalError:
+            # an uninitialized database opened read-only: every key misses
+            return None
+        if row is None:
+            return None
+        return pickle.loads(row[0])
+
+    def get_memo(self, corpus_fp: str, entry_index: int, op: str,
+                 criterion: str) -> List[MemoRow]:
+        """The entry's memo rows (family-sorted, the order the worker
+        emits records in); empty on a miss."""
+        try:
+            rows = self._conn.execute(
+                "SELECT family, spec_fp, view_fp FROM entry_memo "
+                "WHERE corpus_fp = ? AND entry_index = ? AND op = ? "
+                "AND criterion = ? ORDER BY family",
+                (corpus_fp, entry_index, op, criterion)).fetchall()
+        except sqlite3.OperationalError:
+            return []
+        return [MemoRow(corpus_fp=corpus_fp, entry_index=entry_index,
+                        op=op, criterion=criterion, family=family,
+                        spec_fp=spec_fp, view_fp=view_fp)
+                for family, spec_fp, view_fp in rows]
+
+    def __len__(self) -> int:
+        try:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM analysis_cache").fetchone()[0]
+        except sqlite3.OperationalError:
+            return 0
+
+    # -- writes ------------------------------------------------------------
+
+    def put_many(self, entries: Iterable[Tuple[CacheKey, int, Any]],
+                 memos: Iterable[MemoRow] = ()) -> int:
+        """Insert ``(key, spec_version, record)`` entries plus their
+        ``entry_memo`` rows in one transaction; returns how many records
+        were new (existing keys win — records are content-determined, so
+        a rewrite could only differ in context fields the consumer
+        re-stamps anyway)."""
+        if self.readonly:
+            raise PersistenceError(
+                f"analysis cache on {self.path!r} is read-only")
+        rows = [(key.op, key.criterion, key.spec_fp, key.view_fp,
+                 spec_version,
+                 pickle.dumps(record, protocol=4),
+                 time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
+                for key, spec_version, record in entries]
+        memo_rows = [(memo.corpus_fp, memo.entry_index, memo.op,
+                      memo.criterion, memo.family, memo.spec_fp,
+                      memo.view_fp) for memo in memos]
+        if not rows and not memo_rows:
+            return 0
+        with _transaction(self._conn):
+            before = self._conn.total_changes
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO analysis_cache "
+                "(op, criterion, spec_fp, view_fp, spec_version, record, "
+                "created_at) VALUES (?, ?, ?, ?, ?, ?, ?)", rows)
+            inserted = self._conn.total_changes - before
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO entry_memo "
+                "(corpus_fp, entry_index, op, criterion, family, spec_fp, "
+                "view_fp) VALUES (?, ?, ?, ?, ?, ?, ?)", memo_rows)
+        return inserted
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "AnalysisResultCache":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,93 @@
+"""SQLite connection management for the durable store.
+
+One place owns the pragma discipline (the Paper-Scanner idiom the design
+borrows): every connection — writer or per-worker read-only — runs in WAL
+mode with foreign keys enforced, ``synchronous=NORMAL`` (safe under WAL:
+a crash can lose the tail of the log but never corrupt the database), and
+a busy timeout so concurrent openers wait instead of failing.
+
+``transaction`` wraps a batch of writes in one ``BEGIN IMMEDIATE`` ...
+``COMMIT`` so multi-table inserts (a run and its OPM rows) are atomic:
+a writer killed mid-batch leaves nothing visible to readers, which the
+crash-recovery tests pin down.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import PersistenceError
+
+#: pragma -> value applied to every connection
+PRAGMAS = {
+    "journal_mode": "WAL",
+    "foreign_keys": "ON",
+    "synchronous": "NORMAL",
+    "busy_timeout": "30000",
+}
+
+
+def connect(path: str, readonly: bool = False) -> sqlite3.Connection:
+    """Open ``path`` with the store's pragmas applied.
+
+    ``readonly=True`` opens through a ``mode=ro`` URI: the connection can
+    never write (the per-worker discipline of the analysis service), but
+    it still reads concurrently with one writer thanks to WAL.
+    """
+    try:
+        if readonly:
+            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
+                                   timeout=30.0)
+        else:
+            conn = sqlite3.connect(path, timeout=30.0)
+    except sqlite3.Error as exc:
+        raise PersistenceError(
+            f"cannot open database {path!r}"
+            f"{' read-only' if readonly else ''}: {exc}") from exc
+    conn.isolation_level = None  # explicit transactions only
+    for pragma, value in PRAGMAS.items():
+        if readonly and pragma == "journal_mode":
+            # journal_mode is persistent in the database file; a read-only
+            # connection cannot (and need not) switch it
+            continue
+        conn.execute(f"PRAGMA {pragma}={value}")
+    return conn
+
+
+def open_checked(path: str, readonly: bool = False) -> sqlite3.Connection:
+    """Open ``path``, create the schema (writers only), and verify the
+    schema version — the shared front door of every store/cache class."""
+    from repro.persistence import schema
+
+    conn = connect(path, readonly=readonly)
+    if not readonly:
+        schema.initialize(conn)
+    version = schema.schema_version(conn)
+    if version != schema.SCHEMA_VERSION:
+        conn.close()
+        raise PersistenceError(
+            f"database {path!r} has schema version {version}, "
+            f"expected {schema.SCHEMA_VERSION}")
+    return conn
+
+
+@contextmanager
+def transaction(conn: sqlite3.Connection) -> Iterator[sqlite3.Connection]:
+    """One atomic write batch: ``BEGIN IMMEDIATE`` ... ``COMMIT``,
+    rolled back on any exception."""
+    try:
+        conn.execute("BEGIN IMMEDIATE")
+    except sqlite3.OperationalError as exc:
+        raise PersistenceError(f"cannot start transaction: {exc}") from exc
+    try:
+        yield conn
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
+    conn.execute("COMMIT")
+
+
+def journal_mode(conn: sqlite3.Connection) -> str:
+    return conn.execute("PRAGMA journal_mode").fetchone()[0]

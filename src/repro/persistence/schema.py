@@ -1,0 +1,165 @@
+"""The on-disk schema of the durable provenance & analysis store.
+
+One SQLite database holds three groups of tables:
+
+* **workflow identity** — ``meta`` pins the schema version and the
+  workflow specification the runs belong to, so a reopened store can
+  refuse a mismatched spec the same way the in-memory store refuses a
+  foreign run;
+* **provenance** — ``runs``, ``invocations``, ``invocation_uses``,
+  ``artifacts`` and ``run_outputs`` are the relational form of the OPM
+  graph (``used`` and ``wasGeneratedBy`` edges), append-only like the
+  in-memory :class:`~repro.provenance.store.ProvenanceStore`; every row
+  carries its recording ``position`` so hydration replays the exact
+  recording order and rebuilt indexes are bit-identical to the volatile
+  store's;
+* **derived state** — ``exit_lineage`` materializes each run's
+  exit-lineage cone (written behind the first computation, loaded on the
+  next open); ``analysis_cache`` keys validation / correction /
+  lineage-audit records by content fingerprints so a warm restart of the
+  batch service skips already-analyzed views; ``entry_memo`` maps a
+  corpus entry's *identity* (corpus fingerprint + index) to those
+  content fingerprints, letting a warm sweep of the same corpus skip
+  even the entry's materialization (``materialize_entry`` is
+  deterministic in (corpus, index), which the corpus fingerprint pins
+  via the generator version).
+
+Payloads and params are stored as canonical JSON text; artifacts whose
+payloads cannot be represented in JSON are rejected with a
+:class:`~repro.errors.PersistenceError` at ``add_run`` time (the same
+restriction the portable OPM JSON export has always had).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: bump when the DDL below changes incompatibly
+SCHEMA_VERSION = 1
+
+#: table name -> CREATE TABLE statement, in creation order
+TABLES = {
+    "meta": """
+        CREATE TABLE IF NOT EXISTS meta (
+            key   TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        )""",
+    "runs": """
+        CREATE TABLE IF NOT EXISTS runs (
+            run_id              TEXT PRIMARY KEY,
+            position            INTEGER NOT NULL,
+            exit_lineage_cached INTEGER NOT NULL DEFAULT 0
+        )""",
+    "invocations": """
+        CREATE TABLE IF NOT EXISTS invocations (
+            run_id        TEXT NOT NULL REFERENCES runs(run_id)
+                          ON DELETE CASCADE,
+            invocation_id TEXT NOT NULL,
+            task_id       TEXT NOT NULL,
+            params        TEXT NOT NULL,
+            position      INTEGER NOT NULL,
+            PRIMARY KEY (run_id, invocation_id)
+        )""",
+    "invocation_uses": """
+        CREATE TABLE IF NOT EXISTS invocation_uses (
+            run_id        TEXT NOT NULL REFERENCES runs(run_id)
+                          ON DELETE CASCADE,
+            invocation_id TEXT NOT NULL,
+            artifact_id   TEXT NOT NULL,
+            position      INTEGER NOT NULL,
+            PRIMARY KEY (run_id, invocation_id, position)
+        )""",
+    "artifacts": """
+        CREATE TABLE IF NOT EXISTS artifacts (
+            run_id      TEXT NOT NULL REFERENCES runs(run_id)
+                        ON DELETE CASCADE,
+            artifact_id TEXT NOT NULL,
+            producer    TEXT NOT NULL,
+            payload     TEXT NOT NULL,
+            position    INTEGER NOT NULL,
+            PRIMARY KEY (run_id, artifact_id)
+        )""",
+    "run_outputs": """
+        CREATE TABLE IF NOT EXISTS run_outputs (
+            run_id      TEXT NOT NULL REFERENCES runs(run_id)
+                        ON DELETE CASCADE,
+            task_id     TEXT NOT NULL,
+            artifact_id TEXT NOT NULL,
+            position    INTEGER NOT NULL,
+            PRIMARY KEY (run_id, task_id)
+        )""",
+    "exit_lineage": """
+        CREATE TABLE IF NOT EXISTS exit_lineage (
+            run_id  TEXT NOT NULL REFERENCES runs(run_id)
+                    ON DELETE CASCADE,
+            task_id TEXT NOT NULL,
+            PRIMARY KEY (run_id, task_id)
+        )""",
+    "analysis_cache": """
+        CREATE TABLE IF NOT EXISTS analysis_cache (
+            op           TEXT NOT NULL,
+            criterion    TEXT NOT NULL,
+            spec_fp      TEXT NOT NULL,
+            view_fp      TEXT NOT NULL,
+            spec_version INTEGER NOT NULL,
+            record       BLOB NOT NULL,
+            created_at   TEXT NOT NULL,
+            PRIMARY KEY (op, criterion, spec_fp, view_fp)
+        )""",
+    "entry_memo": """
+        CREATE TABLE IF NOT EXISTS entry_memo (
+            corpus_fp   TEXT NOT NULL,
+            entry_index INTEGER NOT NULL,
+            op          TEXT NOT NULL,
+            criterion   TEXT NOT NULL,
+            family      TEXT NOT NULL,
+            spec_fp     TEXT NOT NULL,
+            view_fp     TEXT NOT NULL,
+            PRIMARY KEY (corpus_fp, entry_index, op, criterion, family)
+        )""",
+}
+
+INDEXES = [
+    "CREATE INDEX IF NOT EXISTS idx_runs_position ON runs(position)",
+    "CREATE INDEX IF NOT EXISTS idx_artifacts_payload "
+    "ON artifacts(run_id, payload)",
+    "CREATE INDEX IF NOT EXISTS idx_exit_lineage_task "
+    "ON exit_lineage(task_id)",
+]
+
+
+def initialize(conn: sqlite3.Connection) -> None:
+    """Create every table and index (idempotent) and pin the schema
+    version in ``meta``."""
+    with conn:
+        for statement in TABLES.values():
+            conn.execute(statement)
+        for statement in INDEXES:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)))
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The schema version recorded in ``meta`` (0 = uninitialized)."""
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.OperationalError:
+        return 0
+    return int(row[0]) if row else 0
+
+
+def table_counts(conn: sqlite3.Connection) -> dict:
+    """Row count per schema table (the ``wolves db stats`` payload);
+    tables missing from an older or foreign file count as 0."""
+    counts = {}
+    for name in TABLES:
+        try:
+            counts[name] = conn.execute(
+                f"SELECT COUNT(*) FROM {name}").fetchone()[0]
+        except sqlite3.OperationalError:
+            counts[name] = 0
+    return counts

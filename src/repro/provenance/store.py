@@ -57,8 +57,17 @@ class ProvenanceStore:
     # -- recording -----------------------------------------------------------
 
     def add_run(self, run: WorkflowRun) -> None:
+        # reject-before-mutate: a duplicate run id must raise *before* any
+        # index is touched — re-inserting under an id whose exit-lineage
+        # cone (or payload/task rows) is already indexed would silently
+        # corrupt those indexes.  The persistence battery pins that a
+        # rejected add leaves every index byte-identical.
         if run.run_id in self._runs:
-            raise ProvenanceError(f"run {run.run_id!r} already stored")
+            raise ProvenanceError(
+                f"run {run.run_id!r} already stored; runs are immutable "
+                f"and their index entries (including the run's exit-"
+                f"lineage cone) are never repaired — record the rerun "
+                f"under a fresh run id")
         if set(run.spec.task_ids()) != set(self.spec.task_ids()):
             raise ProvenanceError(
                 "run belongs to a different workflow than the store's")

@@ -43,6 +43,15 @@ SHAPES = ("motif", "layered", "random")
 SCENARIOS = ("sound", "unsound_fixable", "cyclic_quotient",
              "provenance_divergent")
 
+#: version of the deterministic generators above.  The durable analysis
+#: cache memoizes results against a corpus entry's *identity* (corpus
+#: parameters + index), which is only sound while ``materialize_entry``
+#: stays deterministic per version — bump this whenever a change to the
+#: generators or scenario builders alters what any (seed, size, shape,
+#: scenario) tuple produces, and stale memo entries die with the old
+#: fingerprints.
+GENERATOR_VERSION = 1
+
 
 @dataclass
 class SyntheticWorkflow:

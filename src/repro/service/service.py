@@ -52,6 +52,7 @@ class AnalysisService:
     def __init__(self, workers: Optional[int] = None,
                  shards_per_worker: int = 4,
                  criterion: str = "strong",
+                 db_path: Optional[str] = None,
                  _fail_shards: Optional[Dict[int, str]] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -60,6 +61,11 @@ class AnalysisService:
         self.workers = max(1, workers)
         self.shards_per_worker = shards_per_worker
         self.criterion = criterion
+        #: durable analysis-cache database: workers read it (read-only
+        #: connections), this parent process is the single writer — a
+        #: sweep over an already-analyzed corpus becomes a warm restart
+        #: that skips the per-view computations
+        self.db_path = db_path
         # test hook: shard id -> failure mode injected into ShardJobs
         self._fail_shards = dict(_fail_shards or {})
         self.last_report: Optional[CorpusReport] = None
@@ -104,7 +110,8 @@ class AnalysisService:
         return [ShardJob(shard_id=shard_id, corpus=corpus, indices=indices,
                          op=op, criterion=self.criterion,
                          queries_per_view=queries_per_view,
-                         fail=self._fail_shards.get(shard_id))
+                         fail=self._fail_shards.get(shard_id),
+                         db_path=self.db_path)
                 for shard_id, indices in enumerate(shards)]
 
     def _sweep(self, corpus: CorpusSpec, op: str,
@@ -112,16 +119,39 @@ class AnalysisService:
         jobs = self._jobs(corpus, op, queries_per_view)
         self.last_report = CorpusReport()
         if self.workers <= 1 or len(jobs) <= 1:
-            return self._run_serial(jobs)
-        return self._run_parallel(jobs)
+            return self._stream(self._run_serial(jobs))
+        return self._stream(self._run_parallel(jobs))
+
+    def _stream(self, shard_results: Iterator) -> Iterator:
+        """Flatten shard results into the record stream, persisting each
+        shard's cache misses first (single-writer discipline: workers
+        only ever hold read-only connections).
+
+        The writable connection is opened before the first job runs, so
+        the database file and schema exist by the time a worker's
+        read-only open happens.
+        """
+        writer = None
+        if self.db_path is not None:
+            from repro.persistence.cache import AnalysisResultCache
+
+            writer = AnalysisResultCache(self.db_path)
+        try:
+            for result in shard_results:
+                if writer is not None and (result.fresh or result.memos):
+                    writer.put_many(result.fresh, memos=result.memos)
+                yield from result.records
+        finally:
+            if writer is not None:
+                writer.close()
 
     def _run_serial(self, jobs: List[ShardJob]) -> Iterator:
         for job in jobs:
-            yield from run_shard(job).records
+            yield run_shard(job)
 
     def _run_parallel(self, jobs: List[ShardJob]) -> Iterator:
-        """Fan shards out to a process pool, stream records back in shard
-        order, and retry any failed shard serially in the parent."""
+        """Fan shards out to a process pool, stream shard results back in
+        shard order, and retry any failed shard serially in the parent."""
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
         from concurrent.futures import wait as wait_futures
         from concurrent.futures.process import BrokenProcessPool
@@ -169,10 +199,10 @@ class AnalysisService:
                     pending = {executor.submit(run_shard, job): job
                                for job in resubmit}
                 # stream in shard order with bounded buffering: a shard's
-                # records are released as soon as every earlier shard has
+                # results are released as soon as every earlier shard has
                 # arrived
                 while next_shard in ready:
-                    yield from ready.pop(next_shard).records
+                    yield ready.pop(next_shard)
                     next_shard += 1
         finally:
             # wait=True: by the time the stream is drained the pool is

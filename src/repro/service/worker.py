@@ -24,13 +24,23 @@ the provenance index:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.corrector import Criterion, correct_view
 from repro.core.incremental import AnalysisCache
+from repro.errors import PersistenceError
+from repro.persistence.cache import (
+    AnalysisResultCache,
+    CacheKey,
+    MemoRow,
+    corpus_fingerprint,
+    spec_fingerprint,
+    view_fingerprint,
+)
 from repro.provenance.execution import execute
 from repro.provenance.viewlevel import run_lineage_comparisons
 from repro.repository.corpus import CorpusEntry, CorpusSpec, materialize_entry
@@ -49,6 +59,24 @@ OP_CORRECT = "correct"
 OP_LINEAGE = "lineage"
 OPS = (OP_ANALYZE, OP_CORRECT, OP_LINEAGE)
 
+#: instrumentation hook: called with ``(op, entry_index, family)`` every
+#: time a view's record is *computed* (not served from the durable
+#: analysis cache).  The warm-restart tests and benchmark count validator
+#: invocations through it; ``None`` costs one ``is None`` check.
+_validation_probe: Optional[Callable[[str, int, str], None]] = None
+
+
+def set_validation_probe(probe: Optional[Callable[[str, int, str], None]]
+                         ) -> Optional[Callable[[str, int, str], None]]:
+    """Install (or clear, with ``None``) the computation probe; returns
+    the previous probe.  Per-process: worker processes do not inherit a
+    probe set in the parent after the pool is up, so instrumented runs
+    use ``workers<=1``."""
+    global _validation_probe
+    previous = _validation_probe
+    _validation_probe = probe
+    return previous
+
 
 @dataclass(frozen=True)
 class ShardJob:
@@ -66,6 +94,9 @@ class ShardJob:
     #: would).  Only honoured inside a worker process, so the parent's
     #: serial retry of the same job succeeds.
     fail: Optional[str] = None
+    #: durable analysis-cache database; workers open it **read-only** and
+    #: serve hits instead of recomputing, the parent writes the misses
+    db_path: Optional[str] = None
 
 
 @dataclass
@@ -75,6 +106,12 @@ class ShardResult:
 
     shard_id: int
     records: List = field(default_factory=list)
+    #: cache misses computed by this shard, for the parent to persist:
+    #: ``(CacheKey, spec_version, record)`` tuples
+    fresh: List = field(default_factory=list)
+    #: ``entry_memo`` rows discovered by this shard (for computed records
+    #: *and* content-key hits), persisted alongside ``fresh``
+    memos: List = field(default_factory=list)
 
 
 def _maybe_fail(job: ShardJob) -> None:
@@ -86,30 +123,155 @@ def _maybe_fail(job: ShardJob) -> None:
 
 
 def run_shard(job: ShardJob) -> ShardResult:
-    """Execute one shard; the process-pool entry point."""
+    """Execute one shard; the process-pool entry point.
+
+    With a durable database, the warm fast path is two-level: the
+    ``entry_memo`` lookup answers "what are the content keys of this
+    (corpus, index)?" without materializing the entry — sound because
+    ``materialize_entry`` is deterministic in ``(corpus, index)`` and
+    the corpus fingerprint pins the generator version — and the records
+    behind those keys are served straight from the ``analysis_cache``.
+    Any gap (new corpus, new entry, pruned cache) falls back to
+    materialize + content-key lookup + compute.
+    """
     _maybe_fail(job)
     result = ShardResult(shard_id=job.shard_id)
-    for index in job.indices:
-        entry = materialize_entry(job.corpus, index)
-        result.records.extend(analyze_entry(entry, index, job))
+    store = _open_result_cache(job)
+    keyed = job.db_path is not None
+    corpus_fp = corpus_fingerprint(job.corpus) if keyed else None
+    op_key = _op_key(job)
+    criterion_key = "-" if job.op == OP_ANALYZE else job.criterion
+    try:
+        for index in job.indices:
+            if store is not None:
+                served = _memo_records(store, corpus_fp, index, op_key,
+                                       criterion_key)
+                if served is not None:
+                    result.records.extend(served)
+                    continue
+            entry = materialize_entry(job.corpus, index)
+            result.records.extend(
+                analyze_entry(entry, index, job, store=store,
+                              fresh=result.fresh, memos=result.memos,
+                              corpus_fp=corpus_fp, op_key=op_key,
+                              criterion_key=criterion_key))
+    finally:
+        if store is not None:
+            store.close()
     return result
 
 
-def analyze_entry(entry: CorpusEntry, index: int,
-                  job: ShardJob) -> Iterator:
-    """Run the job's pipeline stage on every view of one entry."""
+def _op_key(job: ShardJob) -> str:
+    """The op as cached: a capped lineage audit answers fewer queries
+    than an uncapped one, so the cap is part of the key."""
+    if job.op == OP_LINEAGE and job.queries_per_view is not None:
+        return f"{job.op}#q{job.queries_per_view}"
+    return job.op
+
+
+def _memo_records(store: AnalysisResultCache, corpus_fp: str, index: int,
+                  op_key: str, criterion_key: str) -> Optional[List]:
+    """Records for a whole entry off the memo fast path, or ``None`` when
+    any piece is missing (caller falls back to materialization)."""
+    rows = store.get_memo(corpus_fp, index, op_key, criterion_key)
+    if not rows:
+        return None
+    records = []
+    for row in rows:
+        record = store.get(row.cache_key())
+        if record is None:
+            return None
+        changes = {"entry_index": index}
+        if isinstance(record, LineageAudit) and record.run_id is not None:
+            changes["run_id"] = f"corpus-{index}"
+        records.append(dataclasses.replace(record, **changes))
+    return records
+
+
+def _open_result_cache(job: ShardJob) -> Optional[AnalysisResultCache]:
+    """The shard's **read-only** connection to the durable analysis
+    cache.  An unreachable database degrades to a cold sweep (every view
+    computed) rather than failing the shard."""
+    if job.db_path is None:
+        return None
+    try:
+        return AnalysisResultCache(job.db_path, readonly=True)
+    except PersistenceError:
+        return None
+
+
+def analyze_entry(entry: CorpusEntry, index: int, job: ShardJob,
+                  store: Optional[AnalysisResultCache] = None,
+                  fresh: Optional[List] = None,
+                  memos: Optional[List] = None,
+                  corpus_fp: Optional[str] = None,
+                  op_key: Optional[str] = None,
+                  criterion_key: Optional[str] = None) -> Iterator:
+    """Run the job's pipeline stage on every view of one entry.
+
+    With a durable ``store``, each view's content fingerprint is looked
+    up first: a hit re-stamps the cached record's context fields (entry
+    index, run id) and skips the computation entirely; a miss computes
+    the record and reports it through ``fresh`` for the parent — the
+    single writer — to persist.  Either way the entry's memo rows go out
+    through ``memos`` so the next sweep of this corpus takes the
+    materialization-free fast path.
+    """
     cache = AnalysisCache(entry.spec)
+    keyed = job.db_path is not None and (store is not None
+                                         or fresh is not None)
+    if keyed and op_key is None:
+        op_key = _op_key(job)
+    if keyed and criterion_key is None:
+        criterion_key = "-" if job.op == OP_ANALYZE else job.criterion
+    spec_fp = spec_fingerprint(entry.spec) if keyed else None
     for family in sorted(entry.views):
         view = entry.views[family]
+        key = None
+        if keyed:
+            key = CacheKey(op=op_key, criterion=criterion_key,
+                           spec_fp=spec_fp,
+                           view_fp=view_fingerprint(view, spec_fp))
+            if memos is not None and corpus_fp is not None:
+                memos.append(MemoRow(
+                    corpus_fp=corpus_fp, entry_index=index, op=op_key,
+                    criterion=criterion_key, family=family,
+                    spec_fp=spec_fp, view_fp=key.view_fp))
+            cached = store.get(key) if store is not None else None
+            if cached is not None:
+                yield _restamp(cached, entry, index)
+                continue
+        if _validation_probe is not None:
+            _validation_probe(job.op, index, family)
         if job.op == OP_ANALYZE:
-            yield _analyze_view(entry, index, family, view, cache)
+            record = _analyze_view(entry, index, family, view, cache)
         elif job.op == OP_CORRECT:
-            yield _correct_view(entry, index, family, view, cache,
-                                Criterion.parse(job.criterion))
+            record = _correct_view(entry, index, family, view, cache,
+                                   Criterion.parse(job.criterion))
         elif job.op == OP_LINEAGE:
-            yield _lineage_audit(entry, index, family, view, cache, job)
+            record = _lineage_audit(entry, index, family, view, cache, job)
         else:
             raise ValueError(f"unknown op {job.op!r}; choose from {OPS}")
+        if key is not None and fresh is not None:
+            fresh.append((key, entry.spec.version, record))
+        yield record
+
+
+def _restamp(record, entry: CorpusEntry, index: int):
+    """A cached record re-anchored to where the view appears *now*.
+
+    The analysis payload is content-determined and reused as-is; the
+    context fields (entry index, workflow name, scenario, the audit's
+    synthetic run id) describe this sweep's coordinates and are rebuilt
+    from the live entry.
+    """
+    changes = {"entry_index": index, "workflow": entry.spec.name,
+               "scenario": entry.scenario}
+    if isinstance(record, ViewAnalysis):
+        changes["shape"] = entry.shape
+    if isinstance(record, LineageAudit) and record.run_id is not None:
+        changes["run_id"] = f"corpus-{index}"
+    return dataclasses.replace(record, **changes)
 
 
 def _analyze_view(entry, index, family, view, cache) -> ViewAnalysis:

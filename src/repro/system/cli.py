@@ -15,6 +15,7 @@ Subcommands mirror the GUI actions:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -107,6 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  "per task)")
     corpus_cmd.add_argument("--quiet", action="store_true",
                             help="print only the aggregate report")
+
+    db_cmd = commands.add_parser(
+        "db", help="administer a durable provenance/analysis database")
+    db_sub = db_cmd.add_subparsers(dest="db_command", required=True)
+    db_init = db_sub.add_parser(
+        "init", help="create the schema (and optionally pin a workflow)")
+    db_init.add_argument("path", help="SQLite database file")
+    db_init.add_argument("--spec", default=None,
+                         help="workflow file (MOML or JSON) to pin; "
+                              "required before runs can be stored")
+    db_stats = db_sub.add_parser(
+        "stats", help="schema version, journal mode, table row counts")
+    db_stats.add_argument("path", help="SQLite database file")
+    db_vacuum = db_sub.add_parser(
+        "vacuum", help="checkpoint the WAL and compact the file")
+    db_vacuum.add_argument("path", help="SQLite database file")
+    db_export = db_sub.add_parser(
+        "export", help="export the stored runs as OPM-flavoured JSON")
+    db_export.add_argument("path", help="SQLite database file")
+    db_export.add_argument("--out", default=None,
+                           help="write here instead of stdout")
     return parser
 
 
@@ -312,6 +334,74 @@ def _corpus_line(record) -> str:
     return f"{prefix}: {detail}"
 
 
+def cmd_db(args: argparse.Namespace) -> int:
+    from repro.persistence import schema
+    from repro.persistence.db import connect, journal_mode
+    from repro.persistence.store import DurableProvenanceStore
+
+    if args.db_command == "init":
+        if args.spec is not None:
+            spec, _ = load_workflow(args.spec)
+            store = DurableProvenanceStore(args.path, spec)
+            store.close()
+            print(f"initialized {args.path} (schema v"
+                  f"{schema.SCHEMA_VERSION}, workflow {spec.name!r}, "
+                  f"{len(spec)} tasks)")
+        else:
+            conn = connect(args.path)
+            schema.initialize(conn)
+            conn.close()
+            print(f"initialized {args.path} (schema v"
+                  f"{schema.SCHEMA_VERSION}, no workflow pinned)")
+        return 0
+    if args.db_command == "stats":
+        import sqlite3
+
+        conn = connect(args.path, readonly=True)
+        try:
+            info = {
+                "schema_version": schema.schema_version(conn),
+                "journal_mode": journal_mode(conn),
+                "tables": schema.table_counts(conn),
+            }
+            try:
+                row = conn.execute(
+                    "SELECT value FROM meta "
+                    "WHERE key = 'workflow_name'").fetchone()
+            except sqlite3.OperationalError:
+                row = None  # a foreign SQLite file without a meta table
+        finally:
+            conn.close()
+        print(f"{args.path}: schema v{info['schema_version']}, "
+              f"journal_mode={info['journal_mode']}, "
+              f"workflow={row[0] if row else '(none)'}")
+        for table, count in info["tables"].items():
+            print(f"  {table:>16}: {count} row(s)")
+        return 0
+    if args.db_command == "vacuum":
+        before = os.path.getsize(args.path)
+        conn = connect(args.path)
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        conn.execute("VACUUM")
+        conn.close()
+        after = os.path.getsize(args.path)
+        print(f"vacuumed {args.path}: {before} -> {after} bytes")
+        return 0
+    # export
+    store = DurableProvenanceStore(args.path, readonly=True)
+    try:
+        text = store.to_json()
+    finally:
+        store.close()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"exported {args.path} to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 _HANDLERS = {
     "validate": cmd_validate,
     "correct": cmd_correct,
@@ -322,6 +412,7 @@ _HANDLERS = {
     "audit": cmd_audit,
     "lineage": cmd_lineage,
     "corpus": cmd_corpus,
+    "db": cmd_db,
 }
 
 

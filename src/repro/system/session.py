@@ -69,6 +69,10 @@ class WolvesSession:
     history: List[SessionEvent] = field(default_factory=list)
     analysis: Optional[AnalysisCache] = None
     store: Optional[ProvenanceStore] = None
+    #: path of a durable SQLite provenance database; when given (and no
+    #: explicit ``store``), runs recorded in this session survive
+    #: restarts — a later session with the same path sees them
+    db_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.view.spec is not self.spec:
@@ -76,7 +80,12 @@ class WolvesSession:
         if self.analysis is None:
             self.analysis = AnalysisCache(self.spec)
         if self.store is None:
-            self.store = ProvenanceStore(self.spec)
+            if self.db_path is not None:
+                from repro.persistence.store import DurableProvenanceStore
+
+                self.store = DurableProvenanceStore(self.db_path, self.spec)
+            else:
+                self.store = ProvenanceStore(self.spec)
 
     # -- validator --------------------------------------------------------
 

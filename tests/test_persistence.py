@@ -1,0 +1,417 @@
+"""Unit battery for the durable SQLite-backed provenance store.
+
+Round-trip persistence, pragma discipline, rejected-write atomicity (the
+duplicate-run satellite), read-only connections, the exit-lineage
+write-behind, the analysis-result cache, and the ``wolves db`` CLI group.
+The cross-cutting guarantees — durable == volatile on every query shape,
+crash recovery, warm restarts — have their own modules
+(test_persistence_equiv / test_persistence_crash / test_warm_restart).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError, ProvenanceError, ReproError
+from repro.persistence import (
+    AnalysisResultCache,
+    CacheKey,
+    DurableProvenanceStore,
+    schema,
+    spec_fingerprint,
+    view_fingerprint,
+)
+from repro.persistence.db import connect
+from repro.provenance.execution import WorkflowRun, execute
+from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
+from repro.provenance.store import ProvenanceStore
+from repro.system.cli import main as cli_main
+from repro.views.view import WorkflowView
+from repro.workflow.catalog import phylogenomics
+from repro.workflow.jsonio import spec_to_json
+from tests.helpers import diamond_spec, two_track_spec
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "prov.db")
+
+
+def filled_store(db_path, spec=None):
+    spec = spec or diamond_spec()
+    store = DurableProvenanceStore(db_path, spec)
+    store.add_run(execute(spec, run_id="r1"))
+    store.add_run(execute(spec, run_id="r2",
+                          overrides={2: {"threshold": 0.5}}))
+    store.add_run(execute(spec, run_id="r3", inputs={1: "other-batch"}))
+    return spec, store
+
+
+class TestSchema:
+    def test_pragmas_applied(self, db_path):
+        store = DurableProvenanceStore(db_path, diamond_spec())
+        conn = store._conn
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert conn.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+        assert conn.execute("PRAGMA synchronous").fetchone()[0] == 1  # NORMAL
+        assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 30000
+        store.close()
+
+    def test_schema_version_pinned(self, db_path):
+        DurableProvenanceStore(db_path, diamond_spec()).close()
+        conn = connect(db_path, readonly=True)
+        assert schema.schema_version(conn) == schema.SCHEMA_VERSION
+        conn.close()
+
+    def test_wrong_schema_version_rejected(self, db_path):
+        conn = connect(db_path)
+        schema.initialize(conn)
+        conn.execute("UPDATE meta SET value = '999' "
+                     "WHERE key = 'schema_version'")
+        conn.close()
+        with pytest.raises(PersistenceError):
+            DurableProvenanceStore(db_path, diamond_spec())
+
+    def test_missing_file_readonly_rejected(self, db_path):
+        with pytest.raises(PersistenceError):
+            DurableProvenanceStore(db_path, readonly=True)
+
+
+class TestRoundTrip:
+    def test_reopen_sees_runs(self, db_path):
+        spec, store = filled_store(db_path)
+        store.close()
+        reopened = DurableProvenanceStore(db_path, spec)
+        assert len(reopened) == 3
+        assert reopened.run_ids() == ["r1", "r2", "r3"]
+        assert reopened.divergence("r1", "r2") == [2, 4]
+        assert reopened.blame("r1", "r3") == [1]
+        reopened.close()
+
+    def test_reopen_without_spec_loads_pinned_workflow(self, db_path):
+        spec, store = filled_store(db_path)
+        store.close()
+        reopened = DurableProvenanceStore(db_path)
+        assert set(reopened.spec.task_ids()) == set(spec.task_ids())
+        assert reopened.spec.name == spec.name
+        assert len(reopened) == 3
+        reopened.close()
+
+    def test_payloads_identical_after_reopen(self, db_path):
+        spec, store = filled_store(db_path)
+        store.close()
+        volatile = ProvenanceStore(spec)
+        volatile.add_run(execute(spec, run_id="r1"))
+        volatile.add_run(execute(spec, run_id="r2",
+                                 overrides={2: {"threshold": 0.5}}))
+        volatile.add_run(execute(spec, run_id="r3",
+                                 inputs={1: "other-batch"}))
+        reopened = DurableProvenanceStore(db_path, spec)
+        for run_id in volatile.run_ids():
+            for task in spec.task_ids():
+                assert (reopened.run(run_id).output_artifact(task).payload
+                        == volatile.run(run_id).output_artifact(task).payload)
+        assert reopened.to_json() == volatile.to_json()
+        reopened.close()
+
+    def test_mismatched_spec_rejected_on_open(self, db_path):
+        _, store = filled_store(db_path)
+        store.close()
+        with pytest.raises(PersistenceError):
+            DurableProvenanceStore(db_path, phylogenomics())
+
+    def test_empty_db_without_spec_rejected(self, db_path):
+        with pytest.raises(PersistenceError):
+            DurableProvenanceStore(db_path)
+
+    def test_non_json_payload_rejected_before_write(self, db_path):
+        spec = diamond_spec()
+        store = DurableProvenanceStore(db_path, spec)
+        graph = ProvenanceGraph()
+        inv = graph.record_invocation(Invocation("i1", task_id=1))
+        graph.record_artifact(
+            Artifact("a1", producer=inv.invocation_id, payload={1, 2}))
+        run = WorkflowRun(spec=spec, provenance=graph,
+                          outputs={1: "a1"}, run_id="bad")
+        with pytest.raises(PersistenceError):
+            store.add_run(run)
+        # nothing hit the disk or the indexes
+        assert len(store) == 0
+        assert store.stats()["tables"]["runs"] == 0
+        store.close()
+
+    @pytest.mark.parametrize("payload,reason", [
+        (("tup", "x"), "round trip"),     # tuple reloads as a list
+        ({1: "a"}, "not hashable"),       # dict: hash guard fires first
+        ({"a": 1}, "not hashable"),       # dict cannot key the indexes
+    ])
+    def test_round_trip_unfaithful_payload_rejected(self, db_path,
+                                                    payload, reason):
+        """Serializable-but-unfaithful payloads would commit fine and
+        then poison every future hydration; they must be rejected with
+        nothing written."""
+        spec = diamond_spec()
+        store = DurableProvenanceStore(db_path, spec)
+        graph = ProvenanceGraph()
+        inv = graph.record_invocation(Invocation("i1", task_id=1))
+        graph.record_artifact(
+            Artifact("a1", producer=inv.invocation_id, payload=payload))
+        run = WorkflowRun(spec=spec, provenance=graph,
+                          outputs={1: "a1"}, run_id="bad")
+        with pytest.raises(PersistenceError, match=reason):
+            store.add_run(run)
+        assert store.stats()["tables"]["runs"] == 0
+        store.close()
+        # the database is NOT poisoned: it reopens and accepts good runs
+        reopened = DurableProvenanceStore(db_path)
+        reopened.add_run(execute(spec, run_id="good"))
+        assert reopened.runs_producing(
+            reopened.run("good").output_artifact(1).payload)
+        reopened.close()
+
+
+class TestRejectedWritesAtomic:
+    """The duplicate-run satellite: a rejected add leaves every index —
+    in memory and on disk — byte-identical."""
+
+    def test_duplicate_run_clear_error(self, db_path):
+        spec, store = filled_store(db_path)
+        with pytest.raises(ProvenanceError, match="already stored"):
+            store.add_run(execute(spec, run_id="r1"))
+        store.close()
+
+    def test_duplicate_is_a_repro_error_in_both_stores(self, db_path):
+        spec, store = filled_store(db_path)
+        volatile = ProvenanceStore(spec)
+        volatile.add_run(execute(spec, run_id="r1"))
+        for target in (store, volatile):
+            with pytest.raises(ReproError):
+                target.add_run(execute(spec, run_id="r1"))
+        store.close()
+
+    def test_rejected_add_leaves_indexes_intact(self, db_path):
+        spec, store = filled_store(db_path)
+        # force the lazily-filled run -> exit-lineage index to exist
+        cones_before = {r: store.exit_lineage(r) for r in store.run_ids()}
+        payload = store.run("r1").output_artifact(1).payload
+        producing_before = store.runs_producing(payload)
+        rows_before = store.stats()["tables"]
+        with pytest.raises(ProvenanceError):
+            store.add_run(execute(spec, run_id="r2"))
+        assert {r: store.exit_lineage(r)
+                for r in store.run_ids()} == cones_before
+        assert store.runs_producing(payload) == producing_before
+        assert store.stats()["tables"] == rows_before
+        assert len(store) == 3
+        store.close()
+
+    def test_volatile_rejected_add_leaves_exit_lineage_intact(self):
+        spec = two_track_spec()
+        store = ProvenanceStore(spec)
+        store.add_run(execute(spec, run_id="a"))
+        cone = store.exit_lineage("a")
+        with pytest.raises(ProvenanceError):
+            store.add_run(execute(spec, run_id="a",
+                                  overrides={2: {"x": 1}}))
+        assert store.exit_lineage("a") == cone
+        assert store.run_ids() == ["a"]
+
+    def test_foreign_workflow_rejected_without_rows(self, db_path):
+        _, store = filled_store(db_path)
+        with pytest.raises(ProvenanceError):
+            store.add_run(execute(phylogenomics(), run_id="alien"))
+        assert store.stats()["tables"]["runs"] == 3
+        store.close()
+
+
+class TestExitLineagePersistence:
+    def test_cones_written_behind_and_reloaded(self, db_path):
+        spec, store = filled_store(db_path)
+        cones = {r: store.exit_lineage(r) for r in store.run_ids()}
+        rows = store._conn.execute(
+            "SELECT COUNT(*) FROM exit_lineage").fetchone()[0]
+        assert rows == sum(len(c) for c in cones.values())
+        store.close()
+        reopened = DurableProvenanceStore(db_path, spec)
+        # preloaded: the memo is filled during hydration, no recomputation
+        reopened.run_ids()  # hydrate
+        assert dict(reopened._exit_lineage) == cones
+        assert {r: reopened.exit_lineage(r)
+                for r in reopened.run_ids()} == cones
+        reopened.close()
+
+    def test_index_sweep_persists_every_cone(self, db_path):
+        """One runs_with_lineage_through call leaves every run's cone
+        materialized for the next open (batched write-behind)."""
+        spec, store = filled_store(db_path)
+        store.runs_with_lineage_through(1)
+        flags = [row[0] for row in store._conn.execute(
+            "SELECT exit_lineage_cached FROM runs ORDER BY position")]
+        assert flags == [1, 1, 1]
+        store.close()
+        reopened = DurableProvenanceStore(db_path, spec)
+        reopened.run_ids()  # hydrate
+        assert set(reopened._exit_lineage) == {"r1", "r2", "r3"}
+        reopened.close()
+
+    def test_readonly_store_answers_without_writing(self, db_path):
+        spec, store = filled_store(db_path)
+        expected = store.exit_lineage("r1")
+        store.close()
+        fresh_db = db_path + ".fresh"
+        _, fresh = filled_store(fresh_db, spec)
+        fresh.close()
+        # fresh DB has no cached cones; a read-only open must still answer
+        reader = DurableProvenanceStore(fresh_db, readonly=True)
+        assert reader.exit_lineage("r1") == expected
+        assert reader.stats()["tables"]["exit_lineage"] == 0
+        reader.close()
+
+    def test_readonly_rejects_writes(self, db_path):
+        spec, store = filled_store(db_path)
+        store.close()
+        reader = DurableProvenanceStore(db_path, readonly=True)
+        with pytest.raises(PersistenceError):
+            reader.add_run(execute(spec, run_id="r4"))
+        with pytest.raises(PersistenceError):
+            reader.vacuum()
+        reader.close()
+
+
+class TestAnalysisResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.db")
+        key = CacheKey(op="analyze", criterion="-", spec_fp="s" * 64,
+                       view_fp="v" * 64)
+        record = {"decision": "sound", "witnesses": [(1, 2)]}
+        with AnalysisResultCache(path) as cache:
+            assert cache.get(key) is None
+            assert cache.put_many([(key, 3, record)]) == 1
+            assert cache.get(key) == record
+            assert len(cache) == 1
+        with AnalysisResultCache(path, readonly=True) as reader:
+            assert reader.get(key) == record
+            with pytest.raises(PersistenceError):
+                reader.put_many([(key, 3, record)])
+
+    def test_existing_keys_win(self, tmp_path):
+        path = str(tmp_path / "cache.db")
+        key = CacheKey(op="analyze", criterion="-", spec_fp="s",
+                       view_fp="v")
+        with AnalysisResultCache(path) as cache:
+            cache.put_many([(key, 1, "first")])
+            assert cache.put_many([(key, 1, "second")]) == 0
+            assert cache.get(key) == "first"
+
+    def test_fingerprints_track_content_not_names(self):
+        spec = diamond_spec()
+        fp = spec_fingerprint(spec)
+        assert fp == spec_fingerprint(diamond_spec())
+        assert fp != spec_fingerprint(two_track_spec())
+        view = WorkflowView(spec, {"A": [1, 2], "B": [3, 4]}, name="one")
+        renamed = WorkflowView(spec, {"A": [1, 2], "B": [3, 4]},
+                               name="two")
+        regrouped = WorkflowView(spec, {"A": [1], "B": [2, 3, 4]})
+        assert view_fingerprint(view) == view_fingerprint(renamed)
+        assert view_fingerprint(view) != view_fingerprint(regrouped)
+
+    def test_shares_file_with_provenance_store(self, tmp_path):
+        """One database serves both the run log and the analysis cache."""
+        path = str(tmp_path / "both.db")
+        spec, store = filled_store(path)
+        key = CacheKey(op="analyze", criterion="-", spec_fp="s",
+                       view_fp="v")
+        with AnalysisResultCache(path) as cache:
+            cache.put_many([(key, 1, "record")])
+        assert store.stats()["tables"]["analysis_cache"] == 1
+        store.close()
+
+
+class TestSessionWiring:
+    def test_session_runs_survive_restart(self, tmp_path):
+        from repro.system.session import WolvesSession
+
+        path = str(tmp_path / "session.db")
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"A": [1, 2], "B": [3, 4]})
+        session = WolvesSession(spec, view, db_path=path)
+        session.record_run(execute(spec, run_id="gui-1"))
+        lineage = session.lineage_tasks(4)
+        session.store.close()
+
+        spec2 = diamond_spec()
+        view2 = WorkflowView(spec2, {"A": [1, 2], "B": [3, 4]})
+        revived = WolvesSession(spec2, view2, db_path=path)
+        assert revived.store.run_ids() == ["gui-1"]
+        assert revived.lineage_tasks(4) == lineage
+        revived.store.close()
+
+
+class TestDbCli:
+    def spec_file(self, tmp_path):
+        path = tmp_path / "wf.json"
+        path.write_text(spec_to_json(diamond_spec()))
+        return str(path)
+
+    def test_init_stats_export_vacuum(self, tmp_path, capsys):
+        db = str(tmp_path / "cli.db")
+        spec_path = self.spec_file(tmp_path)
+        assert cli_main(["db", "init", db, "--spec", spec_path]) == 0
+        assert "initialized" in capsys.readouterr().out
+
+        store = DurableProvenanceStore(db)
+        store.add_run(execute(store.spec, run_id="r1"))
+        store.close()
+
+        assert cli_main(["db", "stats", db]) == 0
+        out = capsys.readouterr().out
+        assert "journal_mode=wal" in out
+        assert "runs: 1 row(s)" in out
+
+        out_file = str(tmp_path / "export.json")
+        assert cli_main(["db", "export", db, "--out", out_file]) == 0
+        capsys.readouterr()
+        document = json.loads(open(out_file).read())
+        assert document["format"] == "wolves-provenance"
+        assert [r["run_id"] for r in document["runs"]] == ["r1"]
+
+        assert cli_main(["db", "vacuum", db]) == 0
+        assert "vacuumed" in capsys.readouterr().out
+        # the store still opens and answers after a vacuum
+        reopened = DurableProvenanceStore(db)
+        assert reopened.run_ids() == ["r1"]
+        reopened.close()
+
+    def test_init_without_spec_then_stats(self, tmp_path, capsys):
+        db = str(tmp_path / "bare.db")
+        assert cli_main(["db", "init", db]) == 0
+        assert cli_main(["db", "stats", db]) == 0
+        assert "workflow=(none)" in capsys.readouterr().out
+
+    def test_stats_missing_file_is_clean_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.db")
+        assert cli_main(["db", "stats", missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_on_foreign_sqlite_file_degrades(self, tmp_path,
+                                                   capsys):
+        """A SQLite file that is not a wolves database (no meta table)
+        gets a zeroed report, not a traceback."""
+        import sqlite3
+
+        foreign = str(tmp_path / "foreign.db")
+        conn = sqlite3.connect(foreign)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        assert cli_main(["db", "stats", foreign]) == 0
+        out = capsys.readouterr().out
+        assert "schema v0" in out
+        assert "workflow=(none)" in out
+
+    def test_export_unpinned_db_is_clean_error(self, tmp_path, capsys):
+        db = str(tmp_path / "bare.db")
+        assert cli_main(["db", "init", db]) == 0
+        capsys.readouterr()
+        assert cli_main(["db", "export", db]) == 2
+        assert "no workflow pinned" in capsys.readouterr().err

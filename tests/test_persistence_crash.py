@@ -1,0 +1,158 @@
+"""Crash recovery and concurrent access under WAL.
+
+Two guarantees the durable store inherits from its transaction
+discipline (one ``BEGIN IMMEDIATE`` batch per run, ``synchronous=NORMAL``
+under WAL):
+
+* **atomicity across a crash** — a writer killed between its row writes
+  and its COMMIT (fork + ``os._exit``, no interpreter cleanup, exactly
+  like a segfault/OOM kill) leaves *no* trace of the partial run: a
+  reopened store sees only committed runs, rebuilds its indexes cleanly,
+  and can re-record the lost run under the same id;
+* **stale-free concurrent reads** — readers on their own read-only WAL
+  connections, racing a live writer process, only ever observe complete
+  runs (every output artifact resolvable, every query answerable), and
+  the run count they observe never goes backwards.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.persistence import DurableProvenanceStore
+from repro.provenance.execution import execute
+from tests.helpers import diamond_spec, two_track_spec
+
+
+def wait_for_exit(pid, timeout_s=60.0):
+    """The child's exit status, or a test failure on timeout."""
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            assert os.WIFEXITED(status), f"child {pid} killed by signal"
+            return os.WEXITSTATUS(status)
+        time.sleep(0.01)
+    os.kill(pid, 9)
+    os.waitpid(pid, 0)
+    pytest.fail(f"child {pid} did not exit within {timeout_s}s")
+
+
+class TestCrashRecovery:
+    def test_writer_killed_mid_transaction_leaves_no_partial_run(
+            self, tmp_path):
+        spec = diamond_spec()
+        path = str(tmp_path / "crash.db")
+        store = DurableProvenanceStore(path, spec)
+        store.add_run(execute(spec, run_id="r1"))
+        store.add_run(execute(spec, run_id="r2",
+                              overrides={2: {"threshold": 0.5}}))
+        store.close()
+
+        pid = os.fork()
+        if pid == 0:  # the doomed writer
+            try:
+                child = DurableProvenanceStore(path, spec)
+                child._crash_before_commit = True
+                child.add_run(execute(spec, run_id="r3"))
+            finally:
+                os._exit(7)  # only reached if the crash hook failed
+        assert wait_for_exit(pid) == 3  # died inside the transaction
+
+        reopened = DurableProvenanceStore(path, spec)
+        # the partial run is invisible: not in the log, not in any index
+        assert reopened.run_ids() == ["r1", "r2"]
+        assert reopened.runs_of_task(1) == ["r1", "r2"]
+        assert reopened.stats()["tables"]["invocations"] == 8
+        assert reopened.divergence("r1", "r2") == [2, 4]
+        # ...and the id is free: the lost run can be re-recorded
+        reopened.add_run(execute(spec, run_id="r3"))
+        assert reopened.run_ids() == ["r1", "r2", "r3"]
+        assert reopened.exit_lineage("r3") == {1, 2, 3, 4}
+        reopened.close()
+
+        # a fresh open replays the recovered log consistently
+        final = DurableProvenanceStore(path)
+        assert final.run_ids() == ["r1", "r2", "r3"]
+        assert final.blame("r1", "r2") == [2]
+        final.close()
+
+    def test_crash_does_not_corrupt_exit_lineage_rows(self, tmp_path):
+        """A crash *after* cones were materialized must not lose or
+        mangle them."""
+        spec = two_track_spec()
+        path = str(tmp_path / "cones.db")
+        store = DurableProvenanceStore(path, spec)
+        store.add_run(execute(spec, run_id="a"))
+        cone = store.exit_lineage("a")  # persists the write-behind rows
+        store.close()
+
+        pid = os.fork()
+        if pid == 0:
+            try:
+                child = DurableProvenanceStore(path, spec)
+                child._crash_before_commit = True
+                child.add_run(execute(spec, run_id="b"))
+            finally:
+                os._exit(7)
+        assert wait_for_exit(pid) == 3
+
+        reopened = DurableProvenanceStore(path, spec)
+        assert reopened.run_ids() == ["a"]
+        assert reopened._exit_lineage == {"a": cone}  # loaded, not rebuilt
+        assert reopened.runs_with_lineage_through(2) == ["a"]
+        reopened.close()
+
+
+class TestConcurrentReaders:
+    RUNS = 12
+
+    def _reader(self, path, spec):
+        """Poll the database with fresh read-only connections until every
+        run is visible; exit 1 on any stale or partial observation."""
+        tasks = list(spec.task_ids())
+        seen = 0
+        for _ in range(4000):
+            reader = DurableProvenanceStore(path, readonly=True)
+            try:
+                run_ids = reader.run_ids()
+                if len(run_ids) < seen:
+                    os._exit(1)  # the count went backwards: stale read
+                seen = len(run_ids)
+                for run_id in run_ids:
+                    run = reader.run(run_id)
+                    # a visible run is a *complete* run
+                    if set(run.outputs) != set(tasks):
+                        os._exit(1)
+                    for task in tasks:
+                        run.output_artifact(task)
+                if run_ids and reader.divergence(run_ids[0],
+                                                 run_ids[-1]) is None:
+                    os._exit(1)
+            finally:
+                reader.close()
+            if seen == self.RUNS:
+                os._exit(0)
+            time.sleep(0.005)
+        os._exit(2)  # never saw every run
+
+    def test_two_readers_race_a_live_writer(self, tmp_path):
+        spec = diamond_spec()
+        path = str(tmp_path / "race.db")
+        writer = DurableProvenanceStore(path, spec)  # pins the workflow
+        readers = []
+        for _ in range(2):
+            pid = os.fork()
+            if pid == 0:
+                writer.close()  # the child polls on its own connections
+                self._reader(path, spec)
+            readers.append(pid)
+        for i in range(self.RUNS):
+            writer.add_run(execute(spec, run_id=f"run-{i}",
+                                   inputs={1: f"batch-{i}"}))
+            time.sleep(0.002)
+        for pid in readers:
+            assert wait_for_exit(pid) == 0
+        assert writer.run_ids() == [f"run-{i}" for i in range(self.RUNS)]
+        writer.close()

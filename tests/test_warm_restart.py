@@ -1,0 +1,187 @@
+"""Warm restarts of the batch analysis service.
+
+With a durable database behind :class:`AnalysisService`, a sweep over an
+already-analyzed corpus must (a) serve every view from the
+:class:`~repro.persistence.cache.AnalysisResultCache` instead of
+recomputing, (b) reach byte-identical decisions, and (c) cut validator
+invocations by >= 90% (here: to zero) — counted through the worker's
+instrumentation probe.  Partial warmth (a grown corpus) recomputes
+exactly the new entries, and a criterion change must miss the cache for
+the ops it parameterizes.
+"""
+
+import pytest
+
+from repro.persistence import AnalysisResultCache
+from repro.repository.corpus import CorpusSpec
+from repro.service import AnalysisService
+from repro.service.worker import set_validation_probe
+
+CORPUS = CorpusSpec(seed=31, count=8, min_size=12, max_size=24)
+
+
+@pytest.fixture
+def probe():
+    calls = []
+    set_validation_probe(lambda op, index, family:
+                         calls.append((op, index, family)))
+    try:
+        yield calls
+    finally:
+        set_validation_probe(None)
+
+
+def sweep(op, db_path, corpus=CORPUS, workers=1, **options):
+    service = AnalysisService(workers=workers, db_path=db_path)
+    return list(getattr(service, op)(corpus, **options))
+
+
+class TestWarmRestart:
+    @pytest.mark.parametrize("op", ["analyze_corpus", "correct_corpus",
+                                    "lineage_audit"])
+    def test_restart_skips_cached_views_and_decisions_match(
+            self, op, tmp_path, probe):
+        db = str(tmp_path / "analysis.db")
+        cold = sweep(op, db)
+        cold_calls = len(probe)
+        assert cold_calls == CORPUS.count  # every view computed once
+        probe.clear()
+
+        warm = sweep(op, db)  # a fresh service: the "restarted" process
+        warm_calls = len(probe)
+        assert warm == cold  # identical decisions, record for record
+        assert warm_calls <= cold_calls * 0.1  # the >= 90% criterion
+        assert warm_calls == 0  # ...and in fact nothing recomputes
+
+    def test_cache_rows_keyed_once_per_view(self, tmp_path):
+        db = str(tmp_path / "analysis.db")
+        sweep("analyze_corpus", db)
+        sweep("analyze_corpus", db)
+        with AnalysisResultCache(db, readonly=True) as cache:
+            assert len(cache) == CORPUS.count
+
+    def test_grown_corpus_computes_only_new_entries(self, tmp_path, probe):
+        db = str(tmp_path / "analysis.db")
+        sweep("analyze_corpus", db)
+        probe.clear()
+        grown = CorpusSpec(seed=CORPUS.seed, count=CORPUS.count + 4,
+                           min_size=CORPUS.min_size,
+                           max_size=CORPUS.max_size)
+        records = sweep("analyze_corpus", db, corpus=grown)
+        assert len(records) == grown.count
+        # entries 0..count-1 are content-identical (per-entry RNGs), so
+        # only the 4 appended entries pay a validation
+        assert sorted(index for _, index, _ in probe) == [8, 9, 10, 11]
+
+    def test_warm_records_restamped_to_new_coordinates(self, tmp_path):
+        """The same views analyzed as a *different* corpus slice reuse the
+        cached analysis but carry the new sweep's coordinates."""
+        db = str(tmp_path / "analysis.db")
+        grown = CorpusSpec(seed=CORPUS.seed, count=CORPUS.count + 4,
+                           min_size=CORPUS.min_size,
+                           max_size=CORPUS.max_size)
+        cold = sweep("lineage_audit", db, corpus=grown)
+        warm = sweep("lineage_audit", db, corpus=grown)
+        assert warm == cold
+        for index, record in enumerate(warm):
+            assert record.entry_index == index
+            if record.run_id is not None:
+                assert record.run_id == f"corpus-{index}"
+
+    def test_memo_fast_path_skips_materialization(self, tmp_path, probe):
+        """A warm sweep of the *same* corpus never rebuilds an entry: the
+        entry_memo rows resolve every record without materializing."""
+        import repro.repository.corpus as corpus_module
+
+        db = str(tmp_path / "analysis.db")
+        cold = sweep("lineage_audit", db)
+        probe.clear()
+        materialized = []
+        original = corpus_module.materialize_entry
+
+        def counting(corpus, index):
+            materialized.append(index)
+            return original(corpus, index)
+
+        corpus_module.materialize_entry = counting
+        # the worker binds materialize_entry at import time; patch there
+        import repro.service.worker as worker_module
+        worker_module.materialize_entry = counting
+        try:
+            warm = sweep("lineage_audit", db)
+        finally:
+            corpus_module.materialize_entry = original
+            worker_module.materialize_entry = original
+        assert warm == cold
+        assert materialized == []  # the memo answered every entry
+        assert probe == []
+
+    def test_memo_rows_written_once_per_entry(self, tmp_path):
+        from repro.persistence.db import connect
+
+        db = str(tmp_path / "analysis.db")
+        sweep("analyze_corpus", db)
+        sweep("analyze_corpus", db)
+        conn = connect(db, readonly=True)
+        rows = conn.execute("SELECT COUNT(*) FROM entry_memo").fetchone()[0]
+        conn.close()
+        assert rows == CORPUS.count
+
+    def test_query_cap_is_part_of_the_cache_key(self, tmp_path, probe):
+        """A capped lineage audit answers fewer queries; it must never be
+        served records cached by an uncapped sweep (or vice versa)."""
+        db = str(tmp_path / "analysis.db")
+        full = sweep("lineage_audit", db)
+        probe.clear()
+        capped = sweep("lineage_audit", db, queries_per_view=3)
+        assert len(probe) == CORPUS.count  # distinct key space: all cold
+        for full_record, capped_record in zip(full, capped):
+            if full_record.run_id is None:
+                continue  # ill-formed views audit zero queries either way
+            assert capped_record.queries == min(3, full_record.queries)
+        probe.clear()
+        assert sweep("lineage_audit", db, queries_per_view=3) == capped
+        assert probe == []  # the capped sweep warms its own key space
+
+    def test_criterion_change_misses_for_correction_ops(self, tmp_path,
+                                                        probe):
+        db = str(tmp_path / "analysis.db")
+        strong = list(AnalysisService(workers=1, criterion="strong",
+                                      db_path=db).correct_corpus(CORPUS))
+        probe.clear()
+        weak = list(AnalysisService(workers=1, criterion="weak",
+                                    db_path=db).correct_corpus(CORPUS))
+        assert len(probe) == CORPUS.count  # different key space: all cold
+        assert len(weak) == len(strong)
+
+    def test_parallel_workers_share_the_warm_cache(self, tmp_path):
+        db = str(tmp_path / "analysis.db")
+        cold = sweep("analyze_corpus", db)
+        warm = sweep("analyze_corpus", db, workers=2)
+        assert warm == cold
+        with AnalysisResultCache(db, readonly=True) as cache:
+            assert len(cache) == CORPUS.count
+
+    def test_cold_parallel_sweep_populates_cache(self, tmp_path, probe):
+        db = str(tmp_path / "analysis.db")
+        cold = sweep("analyze_corpus", db, workers=2)
+        probe.clear()
+        warm = sweep("analyze_corpus", db)
+        assert warm == cold
+        assert len(probe) == 0
+
+    def test_no_db_path_never_touches_disk(self, tmp_path, probe):
+        records = sweep("analyze_corpus", None)
+        assert len(records) == CORPUS.count
+        assert len(probe) == CORPUS.count
+        assert list(tmp_path.iterdir()) == []
+
+    def test_uncached_and_cached_reports_aggregate_identically(
+            self, tmp_path):
+        from repro.service import CorpusReport
+
+        db = str(tmp_path / "analysis.db")
+        plain = CorpusReport.collect(sweep("analyze_corpus", None))
+        cold = CorpusReport.collect(sweep("analyze_corpus", db))
+        warm = CorpusReport.collect(sweep("analyze_corpus", db))
+        assert cold.__dict__ == plain.__dict__ == warm.__dict__
