@@ -1,0 +1,260 @@
+"""The serving layer: submit-to-first-record latency and sustained
+throughput under concurrent clients.
+
+The claim under measurement is the one that motivates a *daemon* over
+one-shot processes: a loaded server sustains more jobs per second than
+serial submit-wait usage of the very same server, because concurrency
+unlocks serving-layer work-sharing that sequential submission cannot
+touch:
+
+* **request coalescing (singleflight)** — identical in-flight manifests
+  share one computation with the record stream fanned out to every
+  attached job.  Under serial submit-wait each job finishes before the
+  next is submitted, so nothing ever coalesces and every submission
+  pays the full sweep; four clients hammering the same hot corpora keep
+  identical jobs in flight and the daemon computes each distinct
+  manifest roughly once per wave;
+* **pipelining** — with concurrent clients the queue is never empty, so
+  protocol turnarounds and client-side decoding overlap daemon-side
+  computation instead of serializing with it (and on multi-core hosts
+  the dispatcher pool overlaps distinct computations outright).
+
+The workload is deliberately the serving scenario: a small set of
+distinct corpora (the "hot" repository content), each submitted once by
+each of four clients.  Both phases run the *same* job multiset against
+the *same* daemon configuration — only the submission concurrency
+differs — and every job's records are asserted identical to a direct
+in-process ``AnalysisService`` sweep, so the speedup is shared work and
+removed idle time, never skipped or wrong work.  The datapoint records
+the coalescing counters so the sharing is visible, not hidden.
+
+Runs two ways:
+
+* ``python -m pytest -q -s benchmarks/bench_server.py`` — the
+  assertion-carrying experiments (record identity + the >= 2x gate);
+* ``python benchmarks/bench_server.py [--quick] [--min-speedup X]
+  [--out BENCH_server.json]`` — the sweep, recording a
+  ``BENCH_*.json`` datapoint; a non-zero exit below ``--min-speedup``
+  makes it a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from typing import Dict, List
+
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
+from repro.repository.corpus import CorpusSpec
+from repro.server import DaemonClient, JobManifest, start_in_thread
+from repro.service import AnalysisService
+
+from conftest import print_table
+
+#: the benchmarked concurrency level (the acceptance criterion's N)
+CLIENTS = 4
+
+QUICK_SPECS = [CorpusSpec(seed=20090931 + i, count=8,
+                          min_size=36, max_size=64)
+               for i in range(3)]
+FULL_SPECS = [CorpusSpec(seed=20090931 + i, count=12,
+                         min_size=40, max_size=80)
+              for i in range(4)]
+
+
+def hot_manifests(specs: List[CorpusSpec]) -> List[JobManifest]:
+    return [JobManifest(op="lineage", corpus=spec) for spec in specs]
+
+
+def direct_truth(manifests: List[JobManifest]) -> Dict[str, List]:
+    """Fingerprint -> records of a direct in-process sweep (the
+    identity every daemon-served job is checked against)."""
+    truth = {}
+    for manifest in manifests:
+        service = AnalysisService(workers=1)
+        truth[manifest.fingerprint()] = list(
+            service.lineage_audit(manifest.corpus))
+    return truth
+
+
+def run_serial(manifests: List[JobManifest],
+               truth: Dict[str, List]) -> Dict[str, float]:
+    """Serial submit-wait: one CLI-style client, a fresh connection per
+    job, each job fully streamed before the next is submitted."""
+    jobs = manifests * CLIENTS
+    first_record_s: List[float] = []
+    with start_in_thread() as handle:
+        started = time.perf_counter()
+        for manifest in jobs:
+            with DaemonClient(handle.port) as client:
+                result = client.submit(manifest)
+                assert result.state == "done", result.error
+                assert result.records == truth[manifest.fingerprint()], \
+                    "serial daemon records diverged from direct sweep"
+                first_record_s.append(result.first_record_s)
+        wall_s = time.perf_counter() - started
+    return {"jobs": len(jobs), "wall_s": wall_s,
+            "jobs_per_s": len(jobs) / wall_s,
+            "median_first_record_s": statistics.median(first_record_s)}
+
+
+def run_concurrent(manifests: List[JobManifest],
+                   truth: Dict[str, List]) -> Dict[str, object]:
+    """The same job multiset, submitted by ``CLIENTS`` concurrent
+    clients on persistent connections."""
+    first_record_s: List[float] = []
+    failures: List[str] = []
+    barrier = threading.Barrier(CLIENTS)
+    latency_lock = threading.Lock()
+
+    def client_loop(port: int) -> None:
+        try:
+            with DaemonClient(port) as client:
+                barrier.wait(timeout=60)
+                for manifest in manifests:
+                    result = client.submit(manifest)
+                    if result.state != "done":
+                        failures.append(f"{result.job_id}: "
+                                        f"{result.state} ({result.error})")
+                    elif result.records \
+                            != truth[manifest.fingerprint()]:
+                        failures.append(f"{result.job_id}: records "
+                                        f"diverged from direct sweep")
+                    with latency_lock:
+                        first_record_s.append(result.first_record_s)
+        except Exception as exc:  # surfaced through the failures list
+            failures.append(repr(exc))
+
+    with start_in_thread() as handle:
+        threads = [threading.Thread(target=client_loop,
+                                    args=(handle.port,))
+                   for _ in range(CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+        with DaemonClient(handle.port) as client:
+            stats = client.stats()
+    assert not failures, failures
+    jobs = len(manifests) * CLIENTS
+    return {"jobs": jobs, "clients": CLIENTS, "wall_s": wall_s,
+            "jobs_per_s": jobs / wall_s,
+            "median_first_record_s": statistics.median(
+                [s for s in first_record_s if s is not None]),
+            "computations": stats["computations"],
+            "coalesced": stats["coalesced"]}
+
+
+def run_sweep(specs: List[CorpusSpec]) -> Dict[str, object]:
+    manifests = hot_manifests(specs)
+    truth = direct_truth(manifests)
+    serial = run_serial(manifests, truth)
+    concurrent = run_concurrent(manifests, truth)
+    return {
+        "distinct_manifests": len(manifests),
+        "clients": CLIENTS,
+        "entries_per_corpus": specs[0].count,
+        "serial": serial,
+        "concurrent": concurrent,
+        "concurrent_speedup": concurrent["jobs_per_s"]
+        / serial["jobs_per_s"],
+    }
+
+
+def _print_sweep(sweep: Dict[str, object]) -> None:
+    serial, concurrent = sweep["serial"], sweep["concurrent"]
+    print_table(
+        f"daemon throughput: {serial['jobs']} lineage jobs over "
+        f"{sweep['distinct_manifests']} hot corpora",
+        ["mode", "jobs/s", "wall (s)", "first record (median)"],
+        [["serial submit-wait", f"{serial['jobs_per_s']:.1f}",
+          f"{serial['wall_s']:.2f}",
+          f"{serial['median_first_record_s'] * 1000:.1f} ms"],
+         [f"{CLIENTS} concurrent clients",
+          f"{concurrent['jobs_per_s']:.1f}",
+          f"{concurrent['wall_s']:.2f}",
+          f"{concurrent['median_first_record_s'] * 1000:.1f} ms"]])
+    print(f"concurrent speedup: {sweep['concurrent_speedup']:.1f}x "
+          f"({concurrent['computations']} computations for "
+          f"{concurrent['jobs']} jobs; {concurrent['coalesced']} "
+          f"submissions coalesced)")
+
+
+# -- the pytest experiments ---------------------------------------------------
+
+
+def test_daemon_records_identical_to_direct():
+    """Transparency first: both phases verify every record in-line."""
+    specs = [CorpusSpec(seed=71, count=3, min_size=10, max_size=16),
+             CorpusSpec(seed=72, count=3, min_size=10, max_size=16)]
+    manifests = hot_manifests(specs)
+    truth = direct_truth(manifests)
+    run_serial(manifests, truth)  # asserts per job
+    run_concurrent(manifests, truth)  # asserts per job
+
+
+def test_server_throughput_gate_quick():
+    """The acceptance criterion, pinned as an executable assertion."""
+    sweep = run_sweep(QUICK_SPECS)
+    _print_sweep(sweep)
+    assert sweep["concurrent_speedup"] >= 2.0, (
+        f"{CLIENTS} concurrent clients only "
+        f"{sweep['concurrent_speedup']:.1f}x the serial submit-wait "
+        f"throughput")
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) if concurrent clients are "
+                             "below this speedup over serial "
+                             "submit-wait")
+    parser.add_argument("--out", default=None,
+                        help="write a BENCH_*.json datapoint here")
+    args = parser.parse_args(argv)
+    specs = QUICK_SPECS if args.quick else FULL_SPECS
+    sweep = run_sweep(specs)
+    _print_sweep(sweep)
+    if args.out:
+        args.out = _bootstrap.resolve_out(args.out)
+        payload = {
+            "benchmark": "analysis_daemon",
+            "unit": "jobs_per_s",
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                        time.gmtime()),
+            "workload": (
+                "lineage-audit jobs over %d distinct hot corpora "
+                "(%d entries each), every corpus submitted once by "
+                "each of %d clients; serial = submit-wait on fresh "
+                "connections, concurrent = %d persistent clients; "
+                "records asserted identical to direct AnalysisService "
+                "sweeps in both phases; speedup comes from request "
+                "coalescing + pipelining (coalescing counters recorded "
+                "below)" % (
+                    sweep["distinct_manifests"],
+                    sweep["entries_per_corpus"], CLIENTS, CLIENTS)),
+            **sweep,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None \
+            and sweep["concurrent_speedup"] < args.min_speedup:
+        print(f"FAIL: concurrent speedup "
+              f"{sweep['concurrent_speedup']:.1f}x is below the "
+              f"{args.min_speedup:.1f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

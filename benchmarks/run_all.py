@@ -87,6 +87,16 @@ BENCHES = [
         min_speedup=3.0,
         quick_argv=["--quick"],
     ),
+    Bench(
+        name="server",
+        module="bench_server",
+        out="BENCH_server.json",
+        metric=lambda payload: payload["concurrent_speedup"],
+        metric_label="4 concurrent clients vs serial submit-wait, "
+                     "daemon jobs/s",
+        min_speedup=2.0,
+        quick_argv=["--quick"],
+    ),
 ]
 
 

@@ -92,3 +92,42 @@ class EstimatorError(ReproError):
 class PersistenceError(ReproError):
     """A problem in the durable store (schema mismatch, bad payload,
     workflow mismatch, read-only write attempt...)."""
+
+
+class SweepCancelled(ReproError):
+    """A corpus sweep stopped at a shard boundary because its
+    ``should_stop`` hook fired (cooperative cancellation)."""
+
+
+class ServerError(ReproError):
+    """A typed failure of the analysis daemon's protocol layer.
+
+    ``code`` is the machine-readable error tag carried on the wire
+    (``error`` frames), so clients can branch without parsing messages.
+    """
+
+    code = "server_error"
+
+    def __init__(self, message: str, code: "str | None" = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ManifestError(ServerError):
+    """A submitted job manifest failed validation."""
+
+    code = "bad_manifest"
+
+
+class QueueFullError(ServerError):
+    """The daemon's bounded job queue rejected a submission
+    (backpressure)."""
+
+    code = "queue_full"
+
+
+class UnknownJobError(ServerError):
+    """A frame referenced a job id the daemon does not know."""
+
+    code = "unknown_job"

@@ -24,6 +24,11 @@ One SQLite database holds three groups of tables:
   deterministic in (corpus, index), which the corpus fingerprint pins
   via the generator version).
 
+A fourth, additive group — ``server_jobs`` / ``server_job_records`` —
+is the analysis daemon's durable job log (:mod:`repro.server.joblog`):
+submitted jobs survive a daemon crash and finished jobs can replay
+their record streams to reconnecting clients.
+
 Payloads and params are stored as canonical JSON text; artifacts whose
 payloads cannot be represented in JSON are rejected with a
 :class:`~repro.errors.PersistenceError` at ``add_run`` time (the same
@@ -116,6 +121,28 @@ TABLES = {
             spec_fp     TEXT NOT NULL,
             view_fp     TEXT NOT NULL,
             PRIMARY KEY (corpus_fp, entry_index, op, criterion, family)
+        )""",
+    # -- the analysis daemon's durable job log (additive; v1-compatible).
+    # A job row is written at submit time (state 'queued'); its records
+    # and terminal state land in ONE later transaction, so a daemon
+    # killed mid-job leaves a record-less 'queued'/'running' row that a
+    # restarted daemon re-queues — never a partially streamed job.
+    "server_jobs": """
+        CREATE TABLE IF NOT EXISTS server_jobs (
+            job_id       TEXT PRIMARY KEY,
+            manifest     TEXT NOT NULL,
+            state        TEXT NOT NULL,
+            error        TEXT,
+            submitted_at TEXT NOT NULL,
+            finished_at  TEXT
+        )""",
+    "server_job_records": """
+        CREATE TABLE IF NOT EXISTS server_job_records (
+            job_id TEXT NOT NULL REFERENCES server_jobs(job_id)
+                   ON DELETE CASCADE,
+            seq    INTEGER NOT NULL,
+            record BLOB NOT NULL,
+            PRIMARY KEY (job_id, seq)
         )""",
 }
 

@@ -1,0 +1,52 @@
+"""The serving layer: a long-lived analysis daemon over the batch
+service.
+
+PRs 3–4 made corpus analysis parallel (:mod:`repro.service`) and
+durable (:mod:`repro.persistence`); this package makes it *served*: an
+asyncio daemon (``wolves serve``) accepts jobs over a newline-delimited
+JSON protocol, queues them with priorities and backpressure, coalesces
+identical in-flight requests, streams per-view records back as the
+sweep produces them, supports per-job cooperative cancellation, and —
+with a database — persists every job durably enough that a reconnecting
+client can replay finished streams and a restarted daemon resumes
+unfinished work.
+
+Entry points:
+
+* :class:`AnalysisDaemon` / :func:`start_in_thread` — the daemon and
+  the in-process harness;
+* :class:`DaemonClient` — the blocking client (``wolves submit`` /
+  ``jobs`` / ``cancel``);
+* :class:`JobManifest` and :mod:`repro.server.protocol` — the wire
+  format.
+"""
+
+from repro.server.client import DaemonClient, JobResult
+from repro.server.daemon import AnalysisDaemon, DaemonHandle, start_in_thread
+from repro.server.joblog import JobLog, inspect_job_log
+from repro.server.protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    JobManifest,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "AnalysisDaemon",
+    "DaemonClient",
+    "DaemonHandle",
+    "JobLog",
+    "JobManifest",
+    "JobResult",
+    "inspect_job_log",
+    "start_in_thread",
+]

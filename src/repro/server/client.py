@@ -1,0 +1,204 @@
+"""The blocking client of the analysis daemon.
+
+:class:`DaemonClient` wraps one socket connection and the NDJSON frame
+protocol; it is what ``wolves submit`` / ``wolves jobs`` / ``wolves
+cancel`` use, what the tests drive (plain threads give concurrent
+clients — socket reads release the GIL), and the reference
+implementation for anyone speaking the protocol from another language.
+
+The client is deliberately synchronous and single-job-at-a-time per
+connection: it drives one request and reads frames until that request's
+terminal frame.  Frames about other jobs cannot interleave because this
+client only ever watches the job it is currently waiting on; concurrent
+jobs come from concurrent connections, which is the daemon's natural
+unit of fairness anyway.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServerError
+from repro.server.protocol import (
+    TERMINAL_STATES,
+    JobManifest,
+    decode_frame,
+    encode_frame,
+    raise_error_frame,
+    record_from_wire,
+)
+
+#: record callback: ``(seq, record)`` as each streamed record decodes
+OnRecord = Callable[[int, Any], None]
+
+
+@dataclass
+class JobResult:
+    """What a submit/attach wait returns."""
+
+    job_id: str
+    state: str
+    records: List[Any] = field(default_factory=list)
+    error: Optional[str] = None
+    coalesced: bool = False
+    #: seconds from submit to the first streamed record (None when the
+    #: job finished with no records)
+    first_record_s: Optional[float] = None
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "done"
+
+
+class DaemonClient:
+    """One connection to a running :class:`~repro.server.daemon.
+    AnalysisDaemon`."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        #: request/response timeout; record streaming (``_follow``)
+        #: deliberately waits without one
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- frame plumbing ----------------------------------------------------
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        self._file.write(encode_frame(frame))
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServerError("daemon closed the connection",
+                              code="disconnected")
+        frame = decode_frame(line)
+        if frame.get("type") == "error":
+            raise_error_frame(frame)
+        return frame
+
+    def _expect(self, kind: str) -> Dict[str, Any]:
+        frame = self._recv()
+        if frame.get("type") != kind:
+            raise ServerError(
+                f"expected a {kind!r} frame, got {frame.get('type')!r}",
+                code="bad_frame")
+        return frame
+
+    # -- requests ----------------------------------------------------------
+
+    def ping(self) -> int:
+        self._send({"type": "ping"})
+        return self._expect("pong")["protocol"]
+
+    def submit(self, manifest: JobManifest, wait: bool = True,
+               on_record: Optional[OnRecord] = None) -> JobResult:
+        """Submit a job; with ``wait`` stream its records to completion,
+        otherwise return right after the ``accepted`` frame (use
+        :meth:`attach` later)."""
+        started = time.perf_counter()
+        self._send({"type": "submit", "manifest": manifest.to_dict(),
+                    "stream": bool(wait)})
+        accepted = self._expect("accepted")
+        result = JobResult(job_id=accepted["job"],
+                           state=accepted["state"],
+                           coalesced=accepted["coalesced"])
+        if not wait:
+            result.wall_s = time.perf_counter() - started
+            return result
+        return self._follow(result, started, on_record)
+
+    def attach(self, job_id: str,
+               on_record: Optional[OnRecord] = None) -> JobResult:
+        """(Re)connect to a job: replays already-streamed records, then
+        follows live until the job finishes."""
+        started = time.perf_counter()
+        self._send({"type": "attach", "job": job_id})
+        return self._follow(JobResult(job_id=job_id, state="queued"),
+                            started, on_record)
+
+    def _follow(self, result: JobResult, started: float,
+                on_record: Optional[OnRecord]) -> JobResult:
+        # a followed job may sit behind minutes of queued work before
+        # its first frame arrives; that wait must not trip the
+        # request/response timeout (EOF still unblocks us if the
+        # daemon dies — it closes live connections on shutdown)
+        self._sock.settimeout(None)
+        try:
+            return self._follow_frames(result, started, on_record)
+        finally:
+            self._sock.settimeout(self.timeout)
+
+    def _follow_frames(self, result: JobResult, started: float,
+                       on_record: Optional[OnRecord]) -> JobResult:
+        while True:
+            frame = self._recv()
+            kind = frame.get("type")
+            if kind == "record" and frame.get("job") == result.job_id:
+                if result.first_record_s is None:
+                    result.first_record_s = time.perf_counter() - started
+                record = record_from_wire(frame["record"])
+                result.records.append(record)
+                if on_record is not None:
+                    on_record(frame["seq"], record)
+            elif kind == "done" and frame.get("job") == result.job_id:
+                result.state = frame["state"]
+                result.error = frame.get("error")
+                result.wall_s = time.perf_counter() - started
+                return result
+            else:
+                raise ServerError(
+                    f"unexpected {kind!r} frame while following "
+                    f"{result.job_id}", code="bad_frame")
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns its state after the cancel."""
+        self._send({"type": "cancel", "job": job_id})
+        return self._expect("cancelled")["state"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        self._send({"type": "jobs"})
+        return self._expect("jobs")["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        self._send({"type": "stats"})
+        frame = self._expect("stats")
+        frame.pop("type")
+        return frame
+
+    def wait(self, job_id: str, states: tuple = TERMINAL_STATES,
+             timeout: float = 60.0, poll_s: float = 0.02
+             ) -> Dict[str, Any]:
+        """Poll the jobs listing until ``job_id`` reaches one of
+        ``states`` (listing-based, so it works without a watch)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            for entry in self.jobs():
+                if entry["job"] == job_id and entry["state"] in states:
+                    return entry
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} did not reach {states} in {timeout}s")
+            time.sleep(poll_s)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,723 @@
+"""The long-lived analysis daemon: ``wolves serve``.
+
+:class:`AnalysisDaemon` is an asyncio TCP server speaking the NDJSON
+protocol of :mod:`repro.server.protocol`.  Its moving parts:
+
+* **connection handling** — one reader loop per client plus one writer
+  task draining a per-connection outbox queue, so record streams from
+  background jobs never interleave partially with request/response
+  frames and a slow or vanished client never blocks the daemon;
+* **the job queue** — submissions become :class:`~repro.server.jobs.
+  Computation` entries in a bounded priority queue; an over-limit
+  submission is rejected with the typed ``queue_full`` error
+  (backpressure), and identical in-flight manifests coalesce onto one
+  computation (singleflight) with the records fanned out to every
+  attached job;
+* **dispatchers** — ``parallel_jobs`` asyncio tasks pop computations
+  and run them on a thread-pool executor through
+  :class:`~repro.service.service.AnalysisService` (whose own process
+  pool provides multi-core scaling when ``service_workers > 1``);
+  records are published back into the event loop as they stream out of
+  the sweep, so a watching client sees its first record while the sweep
+  is still running;
+* **cancellation** — per job; the computation's ``cancel_event`` is set
+  only when its last live job is cancelled, at which point the sweep
+  stops cooperatively at the next shard boundary
+  (:class:`~repro.errors.SweepCancelled`), leaving every already-
+  persisted record valid;
+* **durability** — with ``db_path``, submits and finishes go through
+  the :class:`~repro.server.joblog.JobLog` on a dedicated single-thread
+  I/O executor: the ``done`` frame is sent only after the job's records
+  are committed, so a reconnecting client can always replay them, and a
+  daemon killed mid-job re-queues the unfinished work on restart.
+
+Threading model: all daemon state is owned by the event loop.  Executor
+threads touch only their computation's ``cancel_event`` (read) and
+publish records via ``call_soon_threadsafe``; the job log lives on its
+one I/O thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    ReproError,
+    ServerError,
+    SweepCancelled,
+    UnknownJobError,
+)
+from repro.server import protocol
+from repro.server.jobs import Computation, Job, JobQueue
+from repro.server.joblog import JobLog
+from repro.server.protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    OP_VALIDATE,
+    RUNNING,
+    JobManifest,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    record_to_wire,
+    utc_now,
+)
+from repro.service.service import AnalysisService
+
+
+class _Connection:
+    """Per-client context: the outbox its writer task drains and the
+    jobs it watches (deregistered on disconnect)."""
+
+    def __init__(self) -> None:
+        self.outbox: "asyncio.Queue[Optional[Dict[str, Any]]]" = \
+            asyncio.Queue()
+        self.watched: List[Job] = []
+
+    def send(self, frame: Dict[str, Any]) -> None:
+        self.outbox.put_nowait(frame)
+
+
+class AnalysisDaemon:
+    """The serving layer over :class:`AnalysisService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 db_path: Optional[str] = None,
+                 max_queued: int = 32,
+                 parallel_jobs: int = 2,
+                 service_workers: int = 1,
+                 retain_jobs: int = 512,
+                 _gate: Optional[threading.Event] = None) -> None:
+        if parallel_jobs < 1:
+            raise ValueError("parallel_jobs must be >= 1")
+        if retain_jobs < 1:
+            raise ValueError("retain_jobs must be >= 1")
+        self.host = host
+        self.port = port
+        self.db_path = db_path
+        self.parallel_jobs = parallel_jobs
+        self.service_workers = service_workers
+        #: how many finished jobs a database-less daemon keeps around
+        #: for replay before evicting the oldest (a long-lived daemon
+        #: must not grow without bound; with a database the records are
+        #: released to the job log instead and replay survives anyway)
+        self.retain_jobs = retain_jobs
+        self._queue = JobQueue(max_queued=max_queued)
+        #: every job this daemon knows, submission order
+        self._jobs: Dict[str, Job] = {}
+        self._finished_order: deque = deque()
+        #: fingerprint -> queued/running computation (the singleflight
+        #: window; entries leave on finish or full cancellation)
+        self._inflight: Dict[str, Computation] = {}
+        self._running: List[Computation] = []
+        self._dispatch_seq = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=parallel_jobs,
+            thread_name_prefix="wolves-compute")
+        self._io = ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="wolves-joblog")
+        self._joblog: Optional[JobLog] = None
+        self._listener: Optional[socket.socket] = None
+        self._accept_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+        self._dispatchers: List[asyncio.Task] = []
+        self._cond: Optional[asyncio.Condition] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping = False
+        #: test hook: when set, computations wait for this event before
+        #: computing (still honouring cancellation), which makes queue /
+        #: cancellation tests deterministic
+        self._gate = _gate
+        self.stats = {"submitted": 0, "computations": 0, "coalesced": 0,
+                      "done": 0, "failed": 0, "cancelled": 0,
+                      "resumed": 0}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, resume the durable job log, start the
+        dispatchers.  ``port=0`` picks a free port (read it back from
+        :attr:`port`)."""
+        self._loop = asyncio.get_running_loop()
+        self._cond = asyncio.Condition()
+        if self.db_path is not None:
+            self._joblog = await self._io_call(JobLog, self.db_path)
+            await self._resume()
+        # the accept loop is hand-rolled (loop.sock_accept) rather than
+        # asyncio.start_server: every accepted socket is then provably
+        # either handed to a handler task or closed right here, even
+        # mid-shutdown — start_server's internals can silently drop an
+        # accepted fd when the server closes in the same loop iteration,
+        # which leaves that client hanging instead of seeing EOF
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET,
+                                socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(128)
+            listener.setblocking(False)
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_task = self._loop.create_task(self._accept_loop())
+        self._dispatchers = [
+            self._loop.create_task(self._dispatch_loop())
+            for _ in range(self.parallel_jobs)]
+
+    async def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = await self._loop.sock_accept(
+                    self._listener)
+            except (OSError, asyncio.CancelledError):
+                return
+            if self._stopping:
+                conn.close()
+                continue
+            task = self._loop.create_task(self._conn_main(conn))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _conn_main(self, conn: socket.socket) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(
+                sock=conn, limit=protocol.MAX_FRAME_BYTES)
+        except OSError:
+            conn.close()
+            return
+        await self._handle_client(reader, writer)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, cancel dispatchers, let
+        running sweeps stop at their next shard, close the job log.
+        Unfinished jobs stay ``queued``/``running`` in the log and are
+        resumed by the next daemon on this database."""
+        self._stopping = True
+        if self._accept_task is not None:
+            self._accept_task.cancel()
+            await asyncio.gather(self._accept_task,
+                                 return_exceptions=True)
+            self._accept_task = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for computation in list(self._running):
+            computation.cancel_event.set()
+        async with self._cond:
+            self._cond.notify_all()
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        if self._joblog is not None:
+            await self._io_call(self._joblog.close)
+            self._joblog = None
+        self._io.shutdown(wait=True)
+        # close live client connections last and drain their handler
+        # tasks: blocked clients get EOF (never a timeout), handlers
+        # accepted in the shutdown window self-close on seeing
+        # _stopping, and no fd outlives this coroutine
+        for writer in list(self._writers):
+            writer.close()
+        for writer in list(self._writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+
+    def run(self, on_ready=None) -> None:
+        """Blocking entry point (the ``wolves serve`` body): serve until
+        SIGINT/SIGTERM."""
+        asyncio.run(self._run_async(on_ready))
+
+    async def _run_async(self, on_ready) -> None:
+        await self.start()
+        try:
+            if on_ready is not None:
+                on_ready(self)
+            stop_event = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            try:
+                import signal
+
+                loop.add_signal_handler(signal.SIGINT, stop_event.set)
+                loop.add_signal_handler(signal.SIGTERM, stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # no signal handlers here: Ctrl-C still works
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    async def _io_call(self, fn, *args):
+        """Run a job-log operation on the single I/O thread (the log's
+        SQLite connection is bound to it)."""
+        return await self._loop.run_in_executor(self._io, fn, *args)
+
+    async def _resume(self) -> None:
+        """Re-queue accepted-but-unfinished jobs from the log; register
+        finished ones for replay."""
+        for logged in await self._io_call(self._joblog.load_jobs):
+            job = Job(logged.manifest, job_id=logged.job_id)
+            job.submitted_at = logged.submitted_at
+            self._jobs[job.job_id] = job
+            if logged.finished:
+                job.state = logged.state
+                job.error = logged.error
+                job.finished_at = logged.finished_at
+                job.records_in_log = logged.state == DONE
+                job.records_total = logged.records
+                continue
+            self.stats["resumed"] += 1
+            self._enqueue(job, force=True)
+
+    # -- submission and the queue ------------------------------------------
+
+    def _enqueue(self, job: Job, force: bool = False) -> bool:
+        """Queue ``job``'s work, coalescing onto an in-flight identical
+        computation; returns whether it coalesced.  ``force`` bypasses
+        backpressure (resume: the jobs were already accepted once)."""
+        fingerprint = job.manifest.fingerprint()
+        computation = self._inflight.get(fingerprint)
+        if computation is not None:
+            before = computation.priority
+            computation.attach(job)
+            job.computation = computation
+            job.state = computation.live_template().state
+            if computation.priority < before and not computation.popped:
+                self._queue.reprioritize(computation)
+            self.stats["coalesced"] += 1
+            return True
+        computation = Computation(job.manifest, job)
+        if force:
+            self._queue.reprioritize(computation)  # unbounded push
+        else:
+            self._queue.put(computation)  # may raise QueueFullError
+        job.computation = computation
+        self._inflight[fingerprint] = computation
+        self.stats["computations"] += 1
+        return False
+
+    async def _handle_submit(self, frame: Dict[str, Any],
+                             conn: _Connection) -> None:
+        manifest = JobManifest.from_dict(frame.get("manifest"))
+        job = Job(manifest)
+        coalesced = self._enqueue(job)  # QueueFullError -> error frame
+        self._jobs[job.job_id] = job
+        self.stats["submitted"] += 1
+        if self._joblog is not None:
+            await self._io_call(self._joblog.record_submit, job.job_id,
+                                manifest)
+        async with self._cond:
+            self._cond.notify_all()
+        conn.send({"type": "accepted", "job": job.job_id,
+                   "state": job.state, "coalesced": coalesced})
+        if frame.get("stream", True):
+            self._watch(job, conn)
+
+    def _watch(self, job: Job, conn: _Connection) -> None:
+        """Replay what already streamed, then follow live (one
+        synchronous block: no record can slip between replay and
+        registration)."""
+        for seq, record in enumerate(job.records):
+            conn.send(self._record_frame(job, seq, record_to_wire(record)))
+        if job.finished:
+            conn.send(self._done_frame(job))
+        else:
+            job.watchers.append(conn.outbox)
+            conn.watched.append(job)
+
+    # -- frames about existing jobs ----------------------------------------
+
+    def _job(self, frame: Dict[str, Any]) -> Job:
+        job_id = frame.get("job")
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return job
+
+    async def _handle_attach(self, frame: Dict[str, Any],
+                             conn: _Connection) -> None:
+        job = self._job(frame)
+        if job.finished and job.records_in_log and not job.records:
+            # the records live in the durable log (finished under an
+            # earlier daemon, or released by the retention policy):
+            # stream them through without re-caching in memory
+            records = await self._io_call(self._joblog.load_records,
+                                          job.job_id)
+            for seq, record in enumerate(records):
+                conn.send(self._record_frame(job, seq,
+                                             record_to_wire(record)))
+            conn.send(self._done_frame(job))
+            return
+        self._watch(job, conn)
+
+    async def _handle_cancel(self, frame: Dict[str, Any],
+                             conn: _Connection) -> None:
+        job = self._job(frame)
+        if not job.finished:
+            job.state = CANCELLED
+            job.finished_at = utc_now()
+            self.stats["cancelled"] += 1
+            self._notify_done(job)
+            self._retain(job)
+            computation = job.computation
+            if computation is not None and computation.cancelled:
+                # last live job gone: stop the sweep at the next shard
+                computation.cancel_event.set()
+                self._drop_inflight(computation)
+            if self._joblog is not None:
+                await self._io_call(self._joblog.record_state,
+                                    job.job_id, CANCELLED, None)
+        conn.send({"type": "cancelled", "job": job.job_id,
+                   "state": job.state})
+
+    # -- dispatch and execution --------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            async with self._cond:
+                computation = self._queue.pop()
+                while computation is None:
+                    if self._stopping:
+                        return
+                    await self._cond.wait()
+                    computation = self._queue.pop()
+            await self._run_computation(computation)
+
+    def _drop_inflight(self, computation: Computation) -> None:
+        """Remove the singleflight entry only if it is still ours — a
+        cancelled-then-resubmitted fingerprint may already map to a
+        *newer* queued computation that must keep coalescing."""
+        if self._inflight.get(computation.fingerprint) is computation:
+            self._inflight.pop(computation.fingerprint)
+
+    async def _run_computation(self, computation: Computation) -> None:
+        live = computation.live_jobs()
+        if not live:
+            self._drop_inflight(computation)
+            return
+        self._running.append(computation)
+        self._dispatch_seq += 1
+        for job in live:
+            if job.state == CANCELLED:
+                continue  # cancelled while an earlier job was persisted
+            job.state = RUNNING
+            job.started_seq = self._dispatch_seq
+            if self._joblog is not None:
+                await self._io_call(self._joblog.record_state,
+                                    job.job_id, RUNNING, None)
+        try:
+            outcome, error = await self._loop.run_in_executor(
+                self._executor, self._execute, computation)
+        except Exception as exc:  # backstop: executor bug, not job code
+            outcome, error = FAILED, repr(exc)
+        finally:
+            self._running.remove(computation)
+            self._drop_inflight(computation)
+        if outcome == CANCELLED:
+            return  # each job was finalized by its cancel frame
+        records = computation.live_template().records
+        for job in computation.live_jobs():
+            if job.state == CANCELLED:
+                continue  # cancelled while we were persisting
+            job.state = outcome
+            job.error = error
+            job.finished_at = utc_now()
+            if self._joblog is not None:
+                # records + terminal state in ONE transaction, before
+                # the done frame: a client that saw "done" can replay
+                await self._io_call(self._joblog.record_finish,
+                                    job.job_id, outcome, records, error)
+            self._notify_done(job)
+            self._retain(job)
+        self.stats["done" if outcome == DONE else "failed"] += 1
+
+    def _retain(self, job: Job) -> None:
+        """Memory bound for a long-lived daemon: a finished job's
+        records are released to the durable log when there is one
+        (replay reloads them on attach), otherwise the job counts
+        against the in-memory retention window and the oldest finished
+        jobs are evicted once it overflows."""
+        if self._joblog is not None:
+            if job.state == DONE:
+                job.records_total = len(job.records)
+                job.records = []
+                job.records_in_log = True
+            return
+        self._finished_order.append(job.job_id)
+        while len(self._finished_order) > self.retain_jobs:
+            evicted = self._jobs.get(self._finished_order.popleft())
+            if evicted is not None and evicted.finished:
+                del self._jobs[evicted.job_id]
+
+    def _execute(self, computation: Computation):
+        """Runs on the compute executor; publishes records into the
+        loop as the sweep streams them."""
+        cancel = computation.cancel_event
+        if self._gate is not None:
+            while not self._gate.wait(timeout=0.02):
+                if cancel.is_set():
+                    return CANCELLED, None
+        manifest = computation.manifest
+        try:
+            records = self._record_stream(manifest, cancel)
+            try:
+                for record in records:
+                    if cancel.is_set():
+                        return CANCELLED, None
+                    self._loop.call_soon_threadsafe(
+                        self._publish, computation, record)
+            finally:
+                if hasattr(records, "close"):
+                    records.close()
+        except SweepCancelled:
+            return CANCELLED, None
+        except ReproError as exc:
+            return FAILED, f"{type(exc).__name__}: {exc}"
+        return DONE, None
+
+    def _record_stream(self, manifest: JobManifest,
+                       cancel: threading.Event):
+        if manifest.op == OP_VALIDATE:
+            return iter([self._validate_record(manifest)])
+        service = AnalysisService(workers=self.service_workers,
+                                  criterion=manifest.criterion,
+                                  db_path=self.db_path)
+        if manifest.op == "analyze":
+            return service.analyze_corpus(manifest.corpus,
+                                          should_stop=cancel.is_set)
+        if manifest.op == "correct":
+            return service.correct_corpus(manifest.corpus,
+                                          should_stop=cancel.is_set)
+        return service.lineage_audit(
+            manifest.corpus, queries_per_view=manifest.queries_per_view,
+            should_stop=cancel.is_set)
+
+    @staticmethod
+    def _validate_record(manifest: JobManifest):
+        from repro.system.session import WolvesSession
+        from repro.workflow.jsonio import spec_from_dict, view_from_dict
+
+        spec = spec_from_dict(manifest.spec_document)
+        view = view_from_dict(manifest.view_document, spec)
+        return WolvesSession(spec, view).analysis_record()
+
+    # -- publishing --------------------------------------------------------
+
+    def _publish(self, computation: Computation, record) -> None:
+        """Event-loop side of streaming: append the record to every
+        live attached job and push a frame to its watchers."""
+        wire = record_to_wire(record)
+        for job in computation.live_jobs():
+            seq = len(job.records)
+            job.records.append(record)
+            for outbox in job.watchers:
+                outbox.put_nowait(self._record_frame(job, seq, wire))
+
+    @staticmethod
+    def _record_frame(job: Job, seq: int,
+                      wire: Dict[str, str]) -> Dict[str, Any]:
+        return {"type": "record", "job": job.job_id, "seq": seq,
+                "record": wire}
+
+    @staticmethod
+    def _done_frame(job: Job) -> Dict[str, Any]:
+        return {"type": "done", "job": job.job_id, "state": job.state,
+                "records": job.record_count, "error": job.error}
+
+    def _notify_done(self, job: Job) -> None:
+        for outbox in job.watchers:
+            outbox.put_nowait(self._done_frame(job))
+        job.watchers.clear()
+
+    # -- the connection loop -----------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """One client.  Any failure here — bad frames, a vanished peer —
+        ends this connection only; the daemon keeps serving."""
+        if self._stopping:
+            # accepted in the shutdown race window: refuse politely
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
+        conn = _Connection()
+        self._writers.add(writer)
+        drain_task = self._loop.create_task(self._drain(conn, writer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError,
+                        asyncio.IncompleteReadError):
+                    break  # peer vanished or frame exceeded the limit
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                    await self._dispatch_frame(frame, conn)
+                except ServerError as exc:
+                    conn.send(error_frame(exc))
+        finally:
+            self._writers.discard(writer)
+            for job in conn.watched:
+                if conn.outbox in job.watchers:
+                    job.watchers.remove(conn.outbox)
+            conn.outbox.put_nowait(None)
+            await drain_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _drain(self, conn: _Connection,
+                     writer: asyncio.StreamWriter) -> None:
+        while True:
+            frame = await conn.outbox.get()
+            if frame is None:
+                return
+            try:
+                writer.write(encode_frame(frame))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return  # reader loop notices the dead peer and cleans up
+
+    async def _dispatch_frame(self, frame: Dict[str, Any],
+                              conn: _Connection) -> None:
+        kind = frame["type"]
+        if kind == "ping":
+            conn.send({"type": "pong",
+                       "protocol": protocol.PROTOCOL_VERSION})
+        elif kind == "submit":
+            await self._handle_submit(frame, conn)
+        elif kind == "attach":
+            await self._handle_attach(frame, conn)
+        elif kind == "cancel":
+            await self._handle_cancel(frame, conn)
+        elif kind == "jobs":
+            conn.send({"type": "jobs",
+                       "jobs": [job.describe()
+                                for job in self._jobs.values()]})
+        elif kind == "stats":
+            conn.send({"type": "stats",
+                       "protocol": protocol.PROTOCOL_VERSION,
+                       "queued": len(self._queue),
+                       "running": len(self._running), **self.stats})
+        else:
+            raise ServerError(f"unknown frame type {kind!r}",
+                              code="bad_frame")
+
+
+# -- the in-process harness ---------------------------------------------------
+
+
+class DaemonHandle:
+    """A daemon running on its own event loop in a background thread —
+    the harness tests, benchmarks and examples share."""
+
+    def __init__(self, daemon: AnalysisDaemon, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop,
+                 stop_request: asyncio.Event) -> None:
+        self.daemon = daemon
+        self._thread = thread
+        self._loop = loop
+        self._stop_request = stop_request
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self.daemon.host
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self._loop.call_soon_threadsafe(self._stop_request.set)
+        except RuntimeError:
+            pass  # loop already gone (boot failure path)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def start_in_thread(**kwargs) -> DaemonHandle:
+    """Start an :class:`AnalysisDaemon` on a fresh background event
+    loop; returns once the socket is bound (``handle.port`` is real).
+
+    The serving thread owns the loop end to end: on stop it runs
+    ``daemon.stop()`` *and drains every remaining task* before closing
+    the loop, so a connection accepted in the shutdown race window
+    still gets its handler's early-exit close — clients see EOF, never
+    a leaked half-open socket.
+    """
+    daemon = AnalysisDaemon(**kwargs)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    boot_error: List[BaseException] = []
+    stop_request = asyncio.Event()
+
+    async def _main() -> None:
+        try:
+            await daemon.start()
+        except BaseException as exc:  # surface bind/resume failures
+            boot_error.append(exc)
+            ready.set()
+            return
+        ready.set()
+        await stop_request.wait()
+        await daemon.stop()
+        # drain to quiescence: tasks can spawn tasks (asyncio's accept
+        # machinery spawns the connection handler, which early-exits
+        # and closes its socket because the daemon is stopping), so one
+        # pass is not enough — iterate until no task remains
+        for _ in range(10):
+            current = asyncio.current_task()
+            pending = [task for task in asyncio.all_tasks()
+                       if task is not current]
+            if not pending:
+                break
+            _done, rest = await asyncio.wait(pending, timeout=5.0)
+            for task in rest:
+                task.cancel()
+            await asyncio.gather(*rest, return_exceptions=True)
+
+    def _serve() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_serve, name="wolves-daemon",
+                              daemon=True)
+    thread.start()
+    ready.wait(timeout=30.0)
+    if boot_error:
+        thread.join(timeout=30.0)
+        raise boot_error[0]
+    return DaemonHandle(daemon, thread, loop, stop_request)

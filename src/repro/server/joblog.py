@@ -1,0 +1,161 @@
+"""The daemon's durable job log.
+
+Two tables of the shared persistence schema
+(:mod:`repro.persistence.schema`) back it: ``server_jobs`` (one row per
+submitted job: manifest JSON, state, error, timestamps) and
+``server_job_records`` (the pickled record stream of finished jobs).
+
+The transaction discipline is the crash-safety story:
+
+* **submit** commits the job row (state ``queued``) before the client's
+  ``accepted`` frame goes out, so an accepted job survives a daemon
+  crash;
+* **finish** writes the terminal state *and* every record in ONE
+  ``BEGIN IMMEDIATE`` transaction — a daemon killed mid-job (even
+  SIGKILL) leaves a record-less ``queued``/``running`` row and nothing
+  else, never a partially streamed job;
+* **resume** (on daemon start) lists the non-terminal rows so the new
+  daemon re-queues exactly the accepted-but-unfinished work, and serves
+  finished jobs' record streams to reconnecting clients.
+
+Connections follow the store discipline of :mod:`repro.persistence.db`
+(WAL, ``BEGIN IMMEDIATE`` batches, busy timeout); all calls are made
+from the daemon's single I/O executor thread, so the log needs no
+locking of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.persistence.db import open_checked
+from repro.persistence.db import transaction as _transaction
+from repro.server.protocol import (
+    TERMINAL_STATES,
+    JobManifest,
+    utc_now as _now,
+)
+
+
+@dataclass(frozen=True)
+class LoggedJob:
+    """One ``server_jobs`` row, manifest decoded."""
+
+    job_id: str
+    manifest: JobManifest
+    state: str
+    error: Optional[str]
+    submitted_at: str
+    finished_at: Optional[str]
+    #: committed record rows (0 for every non-``done`` state)
+    records: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobLog:
+    """Durable submit/finish/replay log on one writer connection."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._conn = open_checked(self.path)
+
+    # -- writes ------------------------------------------------------------
+
+    def record_submit(self, job_id: str, manifest: JobManifest) -> None:
+        with _transaction(self._conn):
+            self._conn.execute(
+                "INSERT OR REPLACE INTO server_jobs "
+                "(job_id, manifest, state, error, submitted_at, "
+                "finished_at) VALUES (?, ?, 'queued', NULL, ?, NULL)",
+                (job_id, json.dumps(manifest.to_dict(), sort_keys=True,
+                                    separators=(",", ":"), default=str),
+                 _now()))
+
+    def record_state(self, job_id: str, state: str,
+                     error: Optional[str] = None) -> None:
+        """A non-terminal transition (``running``) or a record-less
+        terminal one (``cancelled`` / ``failed``)."""
+        finished = _now() if state in TERMINAL_STATES else None
+        with _transaction(self._conn):
+            self._conn.execute(
+                "UPDATE server_jobs SET state = ?, error = ?, "
+                "finished_at = ? WHERE job_id = ?",
+                (state, error, finished, job_id))
+
+    def record_finish(self, job_id: str, state: str, records: List[Any],
+                      error: Optional[str] = None) -> None:
+        """Terminal state plus the full record stream, atomically."""
+        rows = [(job_id, seq, pickle.dumps(record, protocol=4))
+                for seq, record in enumerate(records)]
+        with _transaction(self._conn):
+            self._conn.execute(
+                "UPDATE server_jobs SET state = ?, error = ?, "
+                "finished_at = ? WHERE job_id = ?",
+                (state, error, _now(), job_id))
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO server_job_records "
+                "(job_id, seq, record) VALUES (?, ?, ?)", rows)
+
+    # -- reads -------------------------------------------------------------
+
+    def load_jobs(self) -> List[LoggedJob]:
+        """Every logged job, submission order (rowid order)."""
+        rows = self._conn.execute(
+            "SELECT j.job_id, j.manifest, j.state, j.error, "
+            "j.submitted_at, j.finished_at, "
+            "(SELECT COUNT(*) FROM server_job_records r "
+            " WHERE r.job_id = j.job_id) "
+            "FROM server_jobs j ORDER BY j.rowid").fetchall()
+        return [LoggedJob(job_id=job_id,
+                          manifest=JobManifest.from_dict(
+                              json.loads(manifest)),
+                          state=state, error=error,
+                          submitted_at=submitted_at,
+                          finished_at=finished_at, records=records)
+                for job_id, manifest, state, error, submitted_at,
+                finished_at, records in rows]
+
+    def load_records(self, job_id: str) -> List[Any]:
+        rows = self._conn.execute(
+            "SELECT record FROM server_job_records WHERE job_id = ? "
+            "ORDER BY seq", (job_id,)).fetchall()
+        return [pickle.loads(blob) for (blob,) in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """State -> job count (the stats frame's durable view)."""
+        rows = self._conn.execute(
+            "SELECT state, COUNT(*) FROM server_jobs "
+            "GROUP BY state").fetchall()
+        return dict(rows)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def inspect_job_log(path: str) -> List[Tuple[str, str, int]]:
+    """Read-only ``(job_id, state, stored records)`` listing — the crash
+    tests' view of a database no daemon currently owns."""
+    conn = open_checked(path, readonly=True)
+    try:
+        rows = conn.execute(
+            "SELECT j.job_id, j.state, "
+            "(SELECT COUNT(*) FROM server_job_records r "
+            " WHERE r.job_id = j.job_id) "
+            "FROM server_jobs j ORDER BY j.rowid").fetchall()
+    finally:
+        conn.close()
+    return [(job_id, state, n) for job_id, state, n in rows]

@@ -1,0 +1,183 @@
+"""Job runtime state: client-visible jobs, shared computations, and the
+bounded priority queue.
+
+The daemon separates what a client sees from what actually runs:
+
+* a :class:`Job` is one submission — it has an id, a state, the records
+  streamed so far, and the set of connection outboxes watching it;
+* a :class:`Computation` is one execution of a manifest's work.  Every
+  job with the same manifest :meth:`~repro.server.protocol.JobManifest.
+  fingerprint` that is submitted while the computation is still queued
+  or running **attaches** to it (request coalescing / singleflight): the
+  records are computed once and fanned out to every attached job.
+
+Cancellation is per-job: cancelling one attached job only detaches it;
+the computation itself is cancelled — cooperatively, between shards —
+only when its last live job is gone.  A queued computation whose jobs
+all cancelled is dropped lazily when the dispatcher pops it.
+
+:class:`JobQueue` is a bounded priority queue over computations: lower
+``priority`` runs sooner, FIFO within a priority.  ``put`` raises the
+typed :class:`~repro.errors.QueueFullError` when the bound is hit —
+backpressure the client sees as an ``error`` frame — while attaching to
+an existing computation never counts against the bound (it adds no
+work).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.errors import QueueFullError
+from repro.server.protocol import (
+    CANCELLED,
+    QUEUED,
+    TERMINAL_STATES,
+    JobManifest,
+    utc_now,
+)
+
+
+def new_job_id() -> str:
+    """Collision-free across daemon restarts (ids live in the durable
+    job log)."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+class Job:
+    """One client submission."""
+
+    def __init__(self, manifest: JobManifest,
+                 job_id: Optional[str] = None) -> None:
+        self.job_id = job_id or new_job_id()
+        self.manifest = manifest
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self.records: List[Any] = []
+        #: record count of a finished job whose in-memory records were
+        #: released to the durable log (see the daemon's retention
+        #: policy); ``None`` while the records list is authoritative
+        self.records_total: Optional[int] = None
+        self.submitted_at = utc_now()
+        self.finished_at: Optional[str] = None
+        #: True when this job attached to an already-submitted
+        #: computation instead of creating one
+        self.coalesced = False
+        #: connection outboxes streaming this job's frames
+        self.watchers: List = []
+        #: the computation running this job's work (None for jobs that
+        #: finished before this daemon started)
+        self.computation: Optional["Computation"] = None
+        #: dispatch order: the daemon-wide sequence number at which this
+        #: job's computation started running (None while queued)
+        self.started_seq: Optional[int] = None
+        #: finished under a previous daemon: records live in the job
+        #: log, loaded on first attach
+        self.records_in_log = False
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def record_count(self) -> int:
+        if self.records_total is not None:
+            return self.records_total
+        return len(self.records)
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``jobs`` listing entry."""
+        return {
+            "job": self.job_id,
+            "op": self.manifest.op,
+            "state": self.state,
+            "priority": self.manifest.priority,
+            "coalesced": self.coalesced,
+            "records": self.record_count,
+            "started_seq": self.started_seq,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class Computation:
+    """One execution of a manifest fingerprint, shared by its jobs."""
+
+    def __init__(self, manifest: JobManifest, leader: Job) -> None:
+        self.manifest = manifest
+        self.fingerprint = manifest.fingerprint()
+        self.jobs: List[Job] = [leader]
+        #: effective scheduling priority: the most urgent attached job
+        self.priority = manifest.priority
+        #: polled by the sweep between shards (and between records by the
+        #: executor loop); thread-safe because the executor thread only
+        #: reads it
+        self.cancel_event = threading.Event()
+        #: set by the dispatcher when it takes the computation; lets the
+        #: queue drop stale duplicate heap entries (reprioritization
+        #: re-pushes rather than re-heapifying)
+        self.popped = False
+
+    def attach(self, job: Job) -> None:
+        job.coalesced = True
+        job.records = list(self.live_template().records)
+        self.jobs.append(job)
+        self.priority = min(self.priority, job.manifest.priority)
+
+    def live_jobs(self) -> List[Job]:
+        return [job for job in self.jobs if job.state != CANCELLED]
+
+    def live_template(self) -> Job:
+        """Any non-cancelled job (the record list every job mirrors)."""
+        live = self.live_jobs()
+        return live[0] if live else self.jobs[0]
+
+    @property
+    def cancelled(self) -> bool:
+        return not self.live_jobs()
+
+
+class JobQueue:
+    """Bounded priority queue of computations (lower priority first,
+    FIFO within a priority; cancelled entries dropped lazily on pop)."""
+
+    def __init__(self, max_queued: int = 32) -> None:
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        self.max_queued = max_queued
+        self._heap: List = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len({id(comp) for _, _, comp in self._heap
+                    if not comp.cancelled and not comp.popped})
+
+    def put(self, computation: Computation) -> None:
+        if len(self) >= self.max_queued:
+            raise QueueFullError(
+                f"job queue is full ({self.max_queued} queued); "
+                f"retry after a job finishes")
+        self._push(computation)
+
+    def reprioritize(self, computation: Computation) -> None:
+        """Re-push after an attach made a queued computation more
+        urgent; the stale heap entry is dropped lazily on pop."""
+        self._push(computation)
+
+    def _push(self, computation: Computation) -> None:
+        heapq.heappush(self._heap, (computation.priority,
+                                    next(self._counter), computation))
+
+    def pop(self) -> Optional[Computation]:
+        """The most urgent live computation, or ``None`` when empty."""
+        while self._heap:
+            _, _, computation = heapq.heappop(self._heap)
+            if not computation.cancelled and not computation.popped:
+                computation.popped = True
+                return computation
+        return None

@@ -1,0 +1,237 @@
+"""The daemon's wire protocol: newline-delimited JSON frames.
+
+Every frame is one JSON object on one line (NDJSON), so any client that
+can read lines and parse JSON can talk to the daemon.  Client frames::
+
+    {"type": "submit", "manifest": {...}, "stream": true}
+    {"type": "attach", "job": "<job id>"}
+    {"type": "cancel", "job": "<job id>"}
+    {"type": "jobs"}
+    {"type": "stats"}
+    {"type": "ping"}
+
+Server frames::
+
+    {"type": "accepted", "job": id, "state": "queued", "coalesced": bool}
+    {"type": "record", "job": id, "seq": n, "record": {"kind", "pickle"}}
+    {"type": "done", "job": id, "state": "done"|"failed"|"cancelled",
+     "records": n, "error": null|str}
+    {"type": "jobs", "jobs": [...]}          (response to a jobs frame)
+    {"type": "stats", ...counters...}
+    {"type": "cancelled", "job": id, "state": ...}
+    {"type": "pong"}
+    {"type": "error", "code": "...", "message": "..."}
+
+Result records are the exact picklable dataclasses the
+:class:`~repro.service.service.AnalysisService` streams between
+processes; on the wire they travel as base64-encoded pickles tagged with
+the record class name, so a decoded record compares equal — byte-for-
+byte under re-pickling — with the record a direct in-process sweep
+yields.  The pickle payload means the protocol is for **trusted, local
+clients only** (the same trust boundary the process pool already has).
+
+:class:`JobManifest` is the picklable/JSON description of one job: the
+pipeline op, the corpus (for corpus-scale ops) or a spec+view document
+pair (for single-view ``validate`` jobs), the correction criterion, the
+lineage query cap, and a scheduling priority.  Its :meth:`fingerprint`
+deliberately excludes the priority: two submissions that ask for the
+same computation coalesce in the daemon regardless of how urgently each
+asked.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import (
+    ManifestError,
+    QueueFullError,
+    ServerError,
+    UnknownJobError,
+)
+from repro.repository.corpus import CorpusSpec
+
+#: protocol revision, carried by ``hello``-style consumers via stats
+PROTOCOL_VERSION = 1
+
+#: job states, in lifecycle order
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+#: states a job can no longer leave
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+#: the ops a manifest may request: the three corpus sweeps plus the
+#: single-view validation job
+OP_VALIDATE = "validate"
+CORPUS_OPS = ("analyze", "correct", "lineage")
+MANIFEST_OPS = CORPUS_OPS + (OP_VALIDATE,)
+
+#: default scheduling priority (lower runs sooner)
+DEFAULT_PRIORITY = 10
+
+#: longest frame the daemon/client will read (base64 pickles of large
+#: validation reports fit comfortably)
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def utc_now() -> str:
+    """The one timestamp format of the serving layer (job rows, job
+    listings, done frames)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass(frozen=True)
+class JobManifest:
+    """Everything the daemon needs to run one job, JSON-serializable and
+    picklable."""
+
+    op: str
+    corpus: Optional[CorpusSpec] = None
+    criterion: str = "strong"
+    queries_per_view: Optional[int] = None
+    priority: int = DEFAULT_PRIORITY
+    #: single-view ``validate`` jobs carry the workflow and view as the
+    #: portable JSON documents of :mod:`repro.workflow.jsonio`
+    spec_document: Optional[Dict[str, Any]] = None
+    view_document: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in MANIFEST_OPS:
+            raise ManifestError(
+                f"unknown op {self.op!r}; choose from {MANIFEST_OPS}")
+        if self.op == OP_VALIDATE:
+            if self.spec_document is None or self.view_document is None:
+                raise ManifestError(
+                    "validate jobs need spec_document and view_document")
+        elif self.corpus is None:
+            raise ManifestError(f"{self.op} jobs need a corpus")
+        if self.criterion not in ("weak", "strong", "optimal"):
+            raise ManifestError(
+                f"unknown criterion {self.criterion!r}")
+        if self.queries_per_view is not None and not (
+                isinstance(self.queries_per_view, int)
+                and self.queries_per_view >= 1):
+            raise ManifestError("queries_per_view must be an int >= 1")
+        # a non-int priority would poison the daemon's job heap (heapq
+        # comparisons raise mid-push, killing dispatchers) — reject it
+        # at the protocol boundary with the typed error instead
+        if not isinstance(self.priority, int) \
+                or isinstance(self.priority, bool):
+            raise ManifestError("priority must be an integer")
+
+    def to_dict(self) -> Dict[str, Any]:
+        document = dataclasses.asdict(self)
+        if self.corpus is not None:
+            corpus = document["corpus"]
+            corpus["shapes"] = list(corpus["shapes"])
+            corpus["scenarios"] = list(corpus["scenarios"])
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Any) -> "JobManifest":
+        if not isinstance(document, dict):
+            raise ManifestError("manifest must be a JSON object")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(document) - known
+        if unknown:
+            raise ManifestError(
+                f"unknown manifest fields {sorted(unknown)!r}")
+        fields = dict(document)
+        corpus = fields.get("corpus")
+        if corpus is not None:
+            if not isinstance(corpus, dict):
+                raise ManifestError("manifest corpus must be an object")
+            try:
+                fields["corpus"] = CorpusSpec(**{
+                    **corpus,
+                    "shapes": tuple(corpus.get("shapes", ())) or
+                    CorpusSpec.shapes,
+                    "scenarios": tuple(corpus.get("scenarios", ())) or
+                    CorpusSpec.scenarios,
+                })
+            except (TypeError, ValueError) as exc:
+                raise ManifestError(f"bad corpus: {exc}") from exc
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise ManifestError(f"bad manifest: {exc}") from exc
+
+    def fingerprint(self) -> str:
+        """Content identity of the *computation* this manifest asks for.
+
+        Priority is excluded: it affects when a job runs, not what it
+        computes, so equal-fingerprint submissions share one run.
+        """
+        document = self.to_dict()
+        document.pop("priority")
+        canonical = json.dumps(document, sort_keys=True,
+                               separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- frame encoding -----------------------------------------------------------
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """One NDJSON line, ready for the socket."""
+    return json.dumps(frame, separators=(",", ":"),
+                      default=str).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; typed error on garbage."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServerError(f"undecodable frame: {exc}",
+                          code="bad_frame") from exc
+    if not isinstance(frame, dict) or not isinstance(frame.get("type"),
+                                                     str):
+        raise ServerError("frame must be an object with a string 'type'",
+                          code="bad_frame")
+    return frame
+
+
+def record_to_wire(record: Any) -> Dict[str, str]:
+    """A result record as its wire form: class name + base64 pickle."""
+    return {"kind": type(record).__name__,
+            "pickle": base64.b64encode(
+                pickle.dumps(record, protocol=4)).decode("ascii")}
+
+
+def record_from_wire(payload: Dict[str, str]) -> Any:
+    """Rebuild the exact record object a sweep yielded.
+
+    Trusted-local protocol: the pickle is only ever produced by a daemon
+    the caller started (see the module docstring).
+    """
+    try:
+        return pickle.loads(base64.b64decode(payload["pickle"]))
+    except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
+        raise ServerError(f"undecodable record payload: {exc}",
+                          code="bad_frame") from exc
+
+
+def error_frame(exc: ServerError) -> Dict[str, str]:
+    return {"type": "error", "code": exc.code, "message": str(exc)}
+
+
+def raise_error_frame(frame: Dict[str, Any]) -> None:
+    """Client side: re-raise an ``error`` frame as its typed exception."""
+    code = frame.get("code", "server_error")
+    message = frame.get("message", "server error")
+    for cls in (ManifestError, QueueFullError, UnknownJobError):
+        if cls.code == code:
+            raise cls(message)
+    raise ServerError(message, code=code)

@@ -25,8 +25,9 @@ degraded mode on single-core hosts.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.errors import SweepCancelled
 from repro.repository.corpus import CorpusSpec
 from repro.service.results import CorpusReport, ShardFailure
 from repro.service.sharding import plan_shards
@@ -72,24 +73,39 @@ class AnalysisService:
 
     # -- public sweeps -----------------------------------------------------
 
-    def analyze_corpus(self, corpus: CorpusSpec) -> Iterator:
+    def analyze_corpus(self, corpus: CorpusSpec, *,
+                       should_stop: Optional[Callable[[], bool]] = None
+                       ) -> Iterator:
         """Validate every view; yields
-        :class:`~repro.service.results.ViewAnalysis` in entry order."""
-        return self._sweep(corpus, OP_ANALYZE)
+        :class:`~repro.service.results.ViewAnalysis` in entry order.
 
-    def correct_corpus(self, corpus: CorpusSpec) -> Iterator:
+        ``should_stop`` is polled at every shard boundary; when it
+        returns true the sweep raises
+        :class:`~repro.errors.SweepCancelled` instead of dispatching the
+        next shard — records already streamed (and, with a durable
+        database, already persisted) stay valid, so cancellation never
+        leaves half-written state.
+        """
+        return self._sweep(corpus, OP_ANALYZE, should_stop=should_stop)
+
+    def correct_corpus(self, corpus: CorpusSpec, *,
+                       should_stop: Optional[Callable[[], bool]] = None
+                       ) -> Iterator:
         """Validate and correct every view; yields
         :class:`~repro.service.results.CorrectionOutcome` in entry
         order."""
-        return self._sweep(corpus, OP_CORRECT)
+        return self._sweep(corpus, OP_CORRECT, should_stop=should_stop)
 
     def lineage_audit(self, corpus: CorpusSpec,
-                      queries_per_view: Optional[int] = None) -> Iterator:
+                      queries_per_view: Optional[int] = None, *,
+                      should_stop: Optional[Callable[[], bool]] = None
+                      ) -> Iterator:
         """Run the full pipeline — validate, correct when needed, execute,
         compare lineage — on every view; yields
         :class:`~repro.service.results.LineageAudit` in entry order."""
         return self._sweep(corpus, OP_LINEAGE,
-                           queries_per_view=queries_per_view)
+                           queries_per_view=queries_per_view,
+                           should_stop=should_stop)
 
     def report(self, corpus: CorpusSpec, op: str = OP_ANALYZE,
                **options) -> CorpusReport:
@@ -115,12 +131,14 @@ class AnalysisService:
                 for shard_id, indices in enumerate(shards)]
 
     def _sweep(self, corpus: CorpusSpec, op: str,
-               queries_per_view: Optional[int] = None) -> Iterator:
+               queries_per_view: Optional[int] = None,
+               should_stop: Optional[Callable[[], bool]] = None
+               ) -> Iterator:
         jobs = self._jobs(corpus, op, queries_per_view)
         self.last_report = CorpusReport()
         if self.workers <= 1 or len(jobs) <= 1:
-            return self._stream(self._run_serial(jobs))
-        return self._stream(self._run_parallel(jobs))
+            return self._stream(self._run_serial(jobs, should_stop))
+        return self._stream(self._run_parallel(jobs, should_stop))
 
     def _stream(self, shard_results: Iterator) -> Iterator:
         """Flatten shard results into the record stream, persisting each
@@ -145,11 +163,23 @@ class AnalysisService:
             if writer is not None:
                 writer.close()
 
-    def _run_serial(self, jobs: List[ShardJob]) -> Iterator:
+    @staticmethod
+    def _check_stop(should_stop: Optional[Callable[[], bool]],
+                    next_shard: int) -> None:
+        if should_stop is not None and should_stop():
+            raise SweepCancelled(
+                f"sweep cancelled before shard {next_shard}")
+
+    def _run_serial(self, jobs: List[ShardJob],
+                    should_stop: Optional[Callable[[], bool]] = None
+                    ) -> Iterator:
         for job in jobs:
+            self._check_stop(should_stop, job.shard_id)
             yield run_shard(job)
 
-    def _run_parallel(self, jobs: List[ShardJob]) -> Iterator:
+    def _run_parallel(self, jobs: List[ShardJob],
+                      should_stop: Optional[Callable[[], bool]] = None
+                      ) -> Iterator:
         """Fan shards out to a process pool, stream shard results back in
         shard order, and retry any failed shard serially in the parent."""
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
@@ -162,6 +192,7 @@ class AnalysisService:
             ready: Dict[int, ShardResult] = {}
             next_shard = 0
             while pending:
+                self._check_stop(should_stop, next_shard)
                 done, _ = wait_futures(pending, return_when=FIRST_COMPLETED)
                 poisoned: List[ShardJob] = []
                 for future in done:

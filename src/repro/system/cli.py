@@ -10,6 +10,11 @@ Subcommands mirror the GUI actions:
 * ``wolves catalog [NAME]`` — list or export the canned workflows;
 * ``wolves demo`` — the full Figure 1 walk-through (validate, explain the
   wrong provenance, correct, re-validate).
+
+The serving layer adds four daemon-shaped subcommands: ``wolves serve``
+(the long-lived analysis daemon), ``wolves submit`` (queue a job and
+stream its records), ``wolves jobs`` (list job states) and ``wolves
+cancel``.
 """
 
 from __future__ import annotations
@@ -108,6 +113,65 @@ def build_parser() -> argparse.ArgumentParser:
                                  "per task)")
     corpus_cmd.add_argument("--quiet", action="store_true",
                             help="print only the aggregate report")
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the long-lived analysis daemon (NDJSON socket protocol)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 = pick a free one and "
+                                "print it)")
+    serve_cmd.add_argument("--db", default=None,
+                           help="durable job log + analysis cache "
+                                "(SQLite); restarts resume unfinished "
+                                "jobs from it")
+    serve_cmd.add_argument("--max-queued", type=int, default=32,
+                           help="queued-job bound before submissions "
+                                "are rejected (backpressure)")
+    serve_cmd.add_argument("--parallel-jobs", type=int, default=2,
+                           help="jobs executed concurrently")
+    serve_cmd.add_argument("--service-workers", type=int, default=1,
+                           help="worker processes per corpus sweep")
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit a job to a running daemon and stream "
+                       "its records")
+    submit_cmd.add_argument(
+        "op", choices=["analyze", "correct", "lineage", "validate"],
+        help="corpus sweeps, or single-view validate")
+    submit_cmd.add_argument("spec", nargs="?",
+                            help="workflow file (validate only)")
+    submit_cmd.add_argument("--view", help="view file (validate only)")
+    submit_cmd.add_argument("--host", default="127.0.0.1")
+    submit_cmd.add_argument("--port", type=int, required=True)
+    submit_cmd.add_argument("--seed", type=int, default=2009)
+    submit_cmd.add_argument("--count", type=int, default=20)
+    submit_cmd.add_argument("--min-size", type=int, default=12)
+    submit_cmd.add_argument("--max-size", type=int, default=40)
+    submit_cmd.add_argument("--scenarios", nargs="+", default=None)
+    submit_cmd.add_argument("--criterion", default="strong",
+                            choices=["weak", "strong", "optimal"])
+    submit_cmd.add_argument("--queries", type=int, default=None,
+                            help="lineage queries per view")
+    submit_cmd.add_argument("--priority", type=int, default=None,
+                            help="scheduling priority (lower runs "
+                                 "sooner)")
+    submit_cmd.add_argument("--no-wait", action="store_true",
+                            help="enqueue and print the job id without "
+                                 "streaming")
+    submit_cmd.add_argument("--quiet", action="store_true",
+                            help="suppress per-record lines")
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="list a running daemon's jobs")
+    jobs_cmd.add_argument("--host", default="127.0.0.1")
+    jobs_cmd.add_argument("--port", type=int, required=True)
+
+    cancel_cmd = commands.add_parser(
+        "cancel", help="cancel a queued or running job")
+    cancel_cmd.add_argument("job", help="job id (wolves jobs lists them)")
+    cancel_cmd.add_argument("--host", default="127.0.0.1")
+    cancel_cmd.add_argument("--port", type=int, required=True)
 
     db_cmd = commands.add_parser(
         "db", help="administer a durable provenance/analysis database")
@@ -334,6 +398,104 @@ def _corpus_line(record) -> str:
     return f"{prefix}: {detail}"
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import AnalysisDaemon
+
+    daemon = AnalysisDaemon(host=args.host, port=args.port,
+                            db_path=args.db,
+                            max_queued=args.max_queued,
+                            parallel_jobs=args.parallel_jobs,
+                            service_workers=args.service_workers)
+    daemon.run(on_ready=lambda d: print(
+        f"serving on {d.host}:{d.port}"
+        + (f" (db {args.db})" if args.db else ""), flush=True))
+    return 0
+
+
+def _submit_manifest(args: argparse.Namespace):
+    from repro.repository.corpus import CorpusSpec
+    from repro.server import JobManifest
+    from repro.workflow.jsonio import spec_to_dict, view_to_dict
+
+    extra = {}
+    if args.priority is not None:
+        extra["priority"] = args.priority
+    if args.op == "validate":
+        if args.spec is None:
+            raise ValueError("validate needs a workflow file")
+        spec, view = _load(args.spec, args.view)
+        if view is None:
+            raise ValueError("validate needs a view (--view or an "
+                             "embedded MOML grouping)")
+        return JobManifest(op="validate",
+                           spec_document=spec_to_dict(spec),
+                           view_document=view_to_dict(view), **extra)
+    corpus = CorpusSpec(seed=args.seed, count=args.count,
+                        min_size=args.min_size, max_size=args.max_size,
+                        scenarios=tuple(args.scenarios)
+                        if args.scenarios else CorpusSpec.scenarios)
+    return JobManifest(op=args.op, corpus=corpus,
+                       criterion=args.criterion,
+                       queries_per_view=args.queries, **extra)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server import DaemonClient
+
+    try:
+        manifest = _submit_manifest(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    on_record = None
+    if not args.quiet:
+        on_record = lambda seq, record: print(_corpus_line(record))  # noqa: E731
+    with DaemonClient(args.port, host=args.host) as client:
+        result = client.submit(manifest, wait=not args.no_wait,
+                               on_record=on_record)
+        if args.no_wait:
+            print(f"accepted {result.job_id} ({result.state}"
+                  f"{', coalesced' if result.coalesced else ''})")
+            return 0
+    detail = f"{len(result.records)} record(s) in {result.wall_s:.2f}s"
+    if result.first_record_s is not None:
+        detail += f", first after {result.first_record_s:.3f}s"
+    if result.error:
+        detail += f"; error: {result.error}"
+    print(f"{result.job_id}: {result.state} ({detail})")
+    return 0 if result.ok else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.server import DaemonClient
+
+    with DaemonClient(args.port, host=args.host) as client:
+        jobs = client.jobs()
+        stats = client.stats()
+    if not jobs:
+        print("no jobs")
+    for entry in jobs:
+        flags = " coalesced" if entry["coalesced"] else ""
+        error = f" error={entry['error']}" if entry["error"] else ""
+        print(f"  {entry['job']}  {entry['op']:>8}  "
+              f"{entry['state']:>9}  prio={entry['priority']}  "
+              f"records={entry['records']}{flags}{error}")
+    print(f"queue: {stats['queued']} queued, {stats['running']} "
+          f"running; {stats['done']} done, {stats['failed']} failed, "
+          f"{stats['cancelled']} cancelled "
+          f"({stats['coalesced']} coalesced submissions)")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.server import DaemonClient
+
+    with DaemonClient(args.port, host=args.host) as client:
+        state = client.cancel(args.job)
+    print(f"{args.job}: {state}")
+    return 0 if state == "cancelled" else 1
+
+
 def cmd_db(args: argparse.Namespace) -> int:
     from repro.persistence import schema
     from repro.persistence.db import connect, journal_mode
@@ -412,6 +574,10 @@ _HANDLERS = {
     "audit": cmd_audit,
     "lineage": cmd_lineage,
     "corpus": cmd_corpus,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
+    "cancel": cmd_cancel,
     "db": cmd_db,
 }
 

@@ -98,6 +98,25 @@ class WolvesSession:
     def is_sound(self) -> bool:
         return self.analysis.validate(self.view).sound
 
+    def analysis_record(self, family: str = "user",
+                        shape: str = "imported"):
+        """The current view's validation as a corpus-style
+        :class:`~repro.service.results.ViewAnalysis` record.
+
+        This is the single-view unit the analysis daemon's ``validate``
+        jobs stream: the same picklable record shape a corpus sweep
+        emits, so one client-side decoder handles both, and the
+        daemon-vs-direct differential tests can compare byte-identical
+        payloads.
+        """
+        from repro.service.results import ViewAnalysis
+
+        report = self.analysis.validate(self.view)
+        return ViewAnalysis(
+            entry_index=0, workflow=self.spec.name, family=family,
+            shape=shape, scenario=None, tasks=len(self.spec),
+            composites=len(self.view), report=report)
+
     # -- corrector --------------------------------------------------------
 
     def estimates(self, label: CompositeLabel) -> Dict[str, Estimate]:

@@ -1,0 +1,117 @@
+"""Suite-wide fixtures.
+
+The daemon fixtures guarantee teardown: every daemon a test starts —
+whether in-process (``daemon_factory`` / ``daemon``) or as a subprocess
+(``daemon_process_factory``) — is stopped/killed and its port released
+when the test ends, pass or fail, so server tests cannot leak event-loop
+threads, child processes or sockets into the rest of the suite or CI.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+@pytest.fixture
+def daemon_factory():
+    """``factory(**AnalysisDaemon kwargs) -> DaemonHandle`` with
+    guaranteed stop of every started daemon."""
+    from repro.server import start_in_thread
+
+    handles = []
+
+    def factory(**kwargs):
+        handle = start_in_thread(**kwargs)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in reversed(handles):
+        handle.stop()
+
+
+@pytest.fixture
+def daemon(daemon_factory):
+    """A default in-process daemon (no database, 2 parallel jobs)."""
+    return daemon_factory()
+
+
+def _repro_env() -> dict:
+    """Subprocess environment with ``repro`` importable."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class DaemonProcess:
+    """A ``wolves serve`` subprocess the soak tests can SIGKILL."""
+
+    def __init__(self, port: int, args: list) -> None:
+        self.port = port
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.system.cli", "serve",
+             "--port", str(port)] + args,
+            env=_repro_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+
+    def wait_ready(self, timeout_s: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                out = self.proc.stdout.read()
+                raise RuntimeError(
+                    f"daemon died at startup "
+                    f"(rc={self.proc.returncode}): {out}")
+            try:
+                with socket.create_connection(("127.0.0.1", self.port),
+                                              timeout=0.2):
+                    return
+            except OSError:
+                time.sleep(0.02)
+        raise TimeoutError(f"daemon not accepting on :{self.port}")
+
+    def kill(self) -> None:
+        """SIGKILL — no cleanup, exactly like an OOM kill."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+@pytest.fixture
+def daemon_process_factory():
+    """``factory(*cli args) -> DaemonProcess`` (ready to accept), with
+    guaranteed kill on teardown."""
+    from tests.helpers import free_port
+
+    procs = []
+
+    def factory(*args, port: int = None):
+        proc = DaemonProcess(port or free_port(), list(args))
+        procs.append(proc)
+        proc.wait_ready()
+        return proc
+
+    yield factory
+    for proc in reversed(procs):
+        proc.terminate()

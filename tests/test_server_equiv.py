@@ -1,0 +1,216 @@
+"""The daemon-vs-direct differential battery.
+
+The serving layer must be a *transparent* transport: for any corpus and
+any pipeline op, the records a client receives from the daemon — over
+the socket protocol, through the queue, the executor, the coalescer and
+the wire encoding — are exactly the records a direct in-process
+``AnalysisService`` sweep yields, record for record, in the same order
+(dataclass equality, which is exact content identity for the picklable
+record types).  And that must stay true under concurrency: 1..4 clients
+submitting interleaved, partially identical jobs all receive their full,
+exact streams.
+
+Hypothesis drives the corpora, the op mix and the interleavings; one
+module-scoped daemon serves every example (jobs are independent, which
+is itself part of the property).
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.repository.corpus import CorpusSpec
+from repro.server import DaemonClient, JobManifest, start_in_thread
+from repro.service import AnalysisService
+
+MAX_ENTRIES = 4
+
+
+@st.composite
+def corpus_specs(draw):
+    min_size = draw(st.integers(min_value=6, max_value=10))
+    return CorpusSpec(
+        seed=draw(st.integers(min_value=0, max_value=10 ** 6)),
+        count=draw(st.integers(min_value=0, max_value=MAX_ENTRIES)),
+        min_size=min_size,
+        max_size=min_size + draw(st.integers(min_value=0, max_value=6)),
+    )
+
+
+@st.composite
+def manifests(draw):
+    op = draw(st.sampled_from(["analyze", "correct", "lineage"]))
+    kwargs = {}
+    if op == "lineage" and draw(st.booleans()):
+        kwargs["queries_per_view"] = draw(
+            st.integers(min_value=1, max_value=6))
+    return JobManifest(op=op, corpus=draw(corpus_specs()),
+                       criterion=draw(st.sampled_from(
+                           ["weak", "strong", "optimal"])),
+                       **kwargs)
+
+
+@pytest.fixture(scope="module")
+def shared_daemon():
+    handle = start_in_thread(parallel_jobs=2)
+    yield handle
+    handle.stop()
+
+
+#: manifest fingerprint -> direct records (the truth is deterministic,
+#: so recomputing it per example would only cost time)
+_TRUTH: dict = {}
+
+
+def direct_records(manifest: JobManifest):
+    key = manifest.fingerprint()
+    if key not in _TRUTH:
+        service = AnalysisService(workers=1,
+                                  criterion=manifest.criterion)
+        if manifest.op == "analyze":
+            records = service.analyze_corpus(manifest.corpus)
+        elif manifest.op == "correct":
+            records = service.correct_corpus(manifest.corpus)
+        else:
+            records = service.lineage_audit(
+                manifest.corpus,
+                queries_per_view=manifest.queries_per_view)
+        _TRUTH[key] = list(records)
+    return _TRUTH[key]
+
+
+class TestDaemonEqualsDirect:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(manifest=manifests())
+    def test_streamed_records_equal_direct_sweep(self, shared_daemon,
+                                                 manifest):
+        with DaemonClient(shared_daemon.port) as client:
+            result = client.submit(manifest)
+        assert result.state == "done"
+        assert result.records == direct_records(manifest)
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(manifest=manifests())
+    def test_replay_equals_stream_equals_direct(self, shared_daemon,
+                                                manifest):
+        with DaemonClient(shared_daemon.port) as client:
+            streamed = client.submit(manifest)
+        with DaemonClient(shared_daemon.port) as client:
+            replayed = client.attach(streamed.job_id)
+        truth = direct_records(manifest)
+        assert streamed.records == truth
+        assert replayed.records == truth
+
+
+class TestConcurrentClients:
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        pool=st.lists(manifests(), min_size=1, max_size=3),
+        clients=st.integers(min_value=1, max_value=4),
+        schedule=st.lists(st.integers(min_value=0, max_value=99),
+                          min_size=1, max_size=8),
+    )
+    def test_interleaved_submissions_all_receive_exact_streams(
+            self, shared_daemon, pool, clients, schedule):
+        """Each client walks its slice of a randomized schedule over a
+        shared manifest pool — duplicates across clients exercise the
+        coalescer — and every submission must stream the exact direct
+        records."""
+        assignments = [[] for _ in range(clients)]
+        for position, choice in enumerate(schedule):
+            assignments[position % clients].append(
+                pool[choice % len(pool)])
+        failures = []
+        barrier = threading.Barrier(clients)
+
+        def run_client(todo):
+            try:
+                with DaemonClient(shared_daemon.port) as client:
+                    barrier.wait(timeout=30)
+                    for manifest in todo:
+                        result = client.submit(manifest)
+                        if result.state != "done":
+                            failures.append(
+                                f"{result.job_id}: {result.state} "
+                                f"({result.error})")
+                        elif result.records != direct_records(manifest):
+                            failures.append(
+                                f"{result.job_id}: records diverged")
+            except Exception as exc:  # surfaced via the failures list
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=run_client, args=(todo,))
+                   for todo in assignments]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+
+    def test_four_clients_share_one_hot_manifest(self, shared_daemon):
+        """The singleflight path under real concurrency: four clients
+        race the same manifest; whoever coalesces still gets the full
+        exact stream."""
+        manifest = JobManifest(
+            op="analyze",
+            corpus=CorpusSpec(seed=555, count=3, min_size=8,
+                              max_size=12))
+        truth = direct_records(manifest)
+        results = []
+        failures = []
+        barrier = threading.Barrier(4)
+
+        def run_client():
+            try:
+                with DaemonClient(shared_daemon.port) as client:
+                    barrier.wait(timeout=30)
+                    results.append(client.submit(manifest))
+            except Exception as exc:
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=run_client)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+        assert len(results) == 4
+        for result in results:
+            assert result.state == "done"
+            assert result.records == truth
+
+
+class TestValidateJobEquivalence:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def test_validate_job_equals_direct_session_record(
+            self, shared_daemon, seed):
+        import random
+
+        from repro.system.session import WolvesSession
+        from repro.workflow.jsonio import spec_to_dict, view_to_dict
+        from tests.helpers import random_spec_and_view
+
+        spec, view = random_spec_and_view(random.Random(seed))
+        manifest = JobManifest(op="validate",
+                               spec_document=spec_to_dict(spec),
+                               view_document=view_to_dict(view))
+        with DaemonClient(shared_daemon.port) as client:
+            result = client.submit(manifest)
+        assert result.state == "done"
+        # the daemon rebuilt the spec/view from the JSON documents; its
+        # record must match a session over the rebuilt objects exactly
+        from repro.workflow.jsonio import spec_from_dict, view_from_dict
+
+        rebuilt_spec = spec_from_dict(spec_to_dict(spec))
+        rebuilt_view = view_from_dict(view_to_dict(view), rebuilt_spec)
+        expected = WolvesSession(rebuilt_spec,
+                                 rebuilt_view).analysis_record()
+        assert result.records == [expected]

@@ -1,0 +1,142 @@
+"""Soak/crash battery: SIGKILL a real daemon subprocess mid-job.
+
+Extends the fork-and-die harness pattern of
+``tests/test_persistence_crash.py`` up one layer: instead of killing a
+store writer inside a transaction, we SIGKILL the whole daemon process
+while it is streaming a job, then assert the durable job log's crash
+contract:
+
+* **no partial runs** — after any kill, every logged job is either
+  terminal with its full record stream committed, or non-terminal with
+  *zero* record rows (the finish transaction is all-or-nothing);
+* **resume** — a restarted daemon on the same database re-queues the
+  accepted-but-unfinished jobs and completes them with records exactly
+  equal to a direct in-process sweep, and replays them to reconnecting
+  clients.
+
+These tests run real subprocesses and multi-second corpora, so they are
+marked ``slow`` and excluded from tier-1 (run them with ``pytest -m
+slow``).
+"""
+
+import pytest
+
+from repro.errors import ServerError
+from repro.repository.corpus import CorpusSpec
+from repro.server import DaemonClient, JobManifest, inspect_job_log
+from repro.service import AnalysisService
+
+pytestmark = pytest.mark.slow
+
+CORPUS = CorpusSpec(seed=91, count=16, min_size=20, max_size=40)
+
+
+def direct_records(manifest: JobManifest):
+    service = AnalysisService(workers=1, criterion=manifest.criterion)
+    if manifest.op == "analyze":
+        return list(service.analyze_corpus(manifest.corpus))
+    if manifest.op == "correct":
+        return list(service.correct_corpus(manifest.corpus))
+    return list(service.lineage_audit(manifest.corpus))
+
+
+def assert_no_partial_jobs(db: str, truth_by_job=None) -> None:
+    """The crash contract: full stream or nothing."""
+    for job_id, state, stored in inspect_job_log(db):
+        if state == "done":
+            assert stored > 0, f"{job_id} done with no records"
+            if truth_by_job and job_id in truth_by_job:
+                assert stored == len(truth_by_job[job_id])
+        else:
+            assert stored == 0, (
+                f"{job_id} is {state} but has {stored} record rows "
+                f"(partial stream survived the crash)")
+
+
+class TestKillMidJob:
+    def test_sigkill_mid_stream_leaves_no_partial_rows_and_resumes(
+            self, daemon_process_factory, tmp_path):
+        db = str(tmp_path / "soak.db")
+        manifest = JobManifest(op="lineage", corpus=CORPUS)
+        proc = daemon_process_factory("--db", db)
+        streamed = []
+
+        def kill_after_two(seq, record):
+            streamed.append(record)
+            if seq >= 1:
+                proc.kill()
+
+        client = DaemonClient(proc.port)
+        job_id = None
+        try:
+            result = client.submit(manifest, on_record=kill_after_two)
+            job_id = result.job_id
+            completed = result.state == "done"
+        except (ServerError, ConnectionError, OSError):
+            completed = False  # the expected path: daemon died on us
+        finally:
+            client.close()
+        assert not completed, (
+            "daemon finished before the kill; grow CORPUS")
+        assert len(streamed) >= 2
+
+        # between death and restart: job row present, zero record rows
+        logged = inspect_job_log(db)
+        assert len(logged) == 1
+        job_id, state, stored = logged[0]
+        assert state in ("queued", "running")
+        assert stored == 0
+
+        # a restarted daemon resumes the job and completes it exactly
+        proc2 = daemon_process_factory("--db", db)
+        with DaemonClient(proc2.port) as client:
+            assert client.stats()["resumed"] == 1
+            entry = client.wait(job_id, timeout=300, poll_s=0.2)
+            assert entry["state"] == "done"
+            replay = client.attach(job_id)
+        truth = direct_records(manifest)
+        assert replay.records == truth
+        assert_no_partial_jobs(db, {job_id: truth})
+
+
+class TestKillRestartSoak:
+    CYCLES = 3
+
+    def test_repeated_kill_restart_cycles_stay_consistent(
+            self, daemon_process_factory, tmp_path):
+        """Accumulate jobs across kill/restart cycles; after every kill
+        the log obeys the crash contract, and a final daemon completes
+        everything with exact records."""
+        db = str(tmp_path / "cycles.db")
+        manifests = {
+            "analyze": JobManifest(op="analyze", corpus=CORPUS),
+            "correct": JobManifest(op="correct", corpus=CORPUS),
+            "lineage": JobManifest(op="lineage", corpus=CORPUS),
+        }
+        submitted = {}  # job_id -> op
+        ops = list(manifests)
+        for cycle in range(self.CYCLES):
+            proc = daemon_process_factory("--db", db)
+            with DaemonClient(proc.port) as client:
+                accepted = client.submit(manifests[ops[cycle]],
+                                         wait=False)
+                submitted[accepted.job_id] = ops[cycle]
+                # let it get going, then pull the plug
+                client.wait(accepted.job_id,
+                            states=("running", "done"), timeout=60,
+                            poll_s=0.05)
+            proc.kill()
+            assert_no_partial_jobs(db)
+
+        final = daemon_process_factory("--db", db)
+        truths = {op: direct_records(manifests[op]) for op in ops}
+        with DaemonClient(final.port) as client:
+            for job_id, op in submitted.items():
+                entry = client.wait(job_id, timeout=300, poll_s=0.2)
+                assert entry["state"] == "done", (job_id, entry)
+                replay = client.attach(job_id)
+                assert replay.records == truths[op], (
+                    f"{job_id} ({op}) diverged after resume")
+        assert_no_partial_jobs(
+            db, {job_id: truths[op]
+                 for job_id, op in submitted.items()})
