@@ -1,0 +1,260 @@
+"""E10 — the kernel tier: vectorized numpy bitsets vs the pure reference.
+
+PR 6's claim: routing the reachability/closure hot path through the
+packed-uint64 numpy backend makes every index build >= 10x faster at
+5000 tasks, with the pure-Python big-int backend kept bit-identical.
+Both builds that dominate the system are measured per backend:
+
+* the spec-level :class:`~repro.graphs.reachability.ReachabilityIndex`
+  (every validation/correction shares one per workflow);
+* the run-level :class:`~repro.provenance.index.ProvenanceIndex`
+  (``index_build_ms`` already dominated BENCH_provenance_index.json).
+
+The gated ``speedup`` of a sweep row is the *minimum* of the two build
+speedups — both paths must clear the bar.  Every measured pair is also
+asserted bit-identical (descendant and ancestor rows), so the benchmark
+doubles as a large-instance differential check the hypothesis battery
+(``tests/test_kernels.py``) cannot reach.
+
+A side micro-benchmark records what ``int.bit_count`` buys over the old
+``bin(mask).count("1")`` popcount fallback (satellite of the same PR).
+
+Runs two ways::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -s
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+        [--min-speedup X] [--out BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+import pytest
+
+import _bootstrap  # noqa: F401  (sys.path + output-path pinning)
+from repro.graphs.generators import layered_dag
+from repro.graphs.kernels import get_kernel, numpy_available
+from repro.graphs.kernels.bitops import popcount, popcount_binstr
+from repro.graphs.reachability import ReachabilityIndex
+from repro.provenance.execution import WorkflowRun, execute
+from repro.provenance.index import ProvenanceIndex
+from repro.workflow.spec import WorkflowSpec
+
+from conftest import print_table
+
+LAYER_WIDTH = 10
+#: stage-skip probability: the default 0.1 wires O(n^2) skip edges at
+#: 5000 tasks (~250 dependencies per task), which no real workflow has;
+#: 0.02 keeps per-task degree bounded (~7) while the *closure* stays
+#: dense — exactly the regime where the big-int transpose loop hurts.
+#: (The dense-edge variant stays covered by bench_provenance.)
+SKIP_PROB = 0.02
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed")
+
+
+def build_run(n_tasks: int, seed: int) -> WorkflowRun:
+    """Execute a layered scientific-workflow spec of ``n_tasks`` tasks."""
+    rng = random.Random(seed)
+    n_layers = max(2, n_tasks // LAYER_WIDTH)
+    graph = layered_dag(rng, n_layers, LAYER_WIDTH, skip_prob=SKIP_PROB,
+                        stage_sizes=[LAYER_WIDTH] * n_layers)
+    spec = WorkflowSpec.from_digraph(f"kernel-bench-{n_tasks}", graph)
+    return execute(spec, run_id=f"kernels-{n_tasks}")
+
+
+def _assert_identical(reference, candidate) -> None:
+    """Both index flavours expose their closure rows as big-int lists."""
+    assert reference._desc == candidate._desc, \
+        "descendant rows diverged between kernel backends"
+    assert reference._anc == candidate._anc, \
+        "ancestor rows diverged between kernel backends"
+
+
+def measure_builds(run: WorkflowRun,
+                   numpy_repeats: int = 3) -> Dict[str, float]:
+    """Build both indexes under both backends; best-of for the fast one.
+
+    The pure builds are measured once (they are seconds at the gated
+    size); the numpy builds take the best of ``numpy_repeats``.
+    """
+    py = get_kernel("python")
+    np_k = get_kernel("numpy")
+    graph = run.spec.graph
+
+    started = time.perf_counter()
+    reach_py = ReachabilityIndex(graph, kernel=py)
+    python_reach_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    prov_py = ProvenanceIndex(run.provenance, kernel=py)
+    python_prov_s = time.perf_counter() - started
+
+    numpy_reach_s = float("inf")
+    numpy_prov_s = float("inf")
+    for _ in range(numpy_repeats):
+        started = time.perf_counter()
+        reach_np = ReachabilityIndex(graph, kernel=np_k)
+        numpy_reach_s = min(numpy_reach_s, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        prov_np = ProvenanceIndex(run.provenance, kernel=np_k)
+        numpy_prov_s = min(numpy_prov_s, time.perf_counter() - started)
+
+    _assert_identical(reach_py, reach_np)
+    _assert_identical(prov_py, prov_np)
+
+    reach_speedup = python_reach_s / numpy_reach_s
+    prov_speedup = python_prov_s / numpy_prov_s
+    return {
+        "python_reach_ms": python_reach_s * 1e3,
+        "numpy_reach_ms": numpy_reach_s * 1e3,
+        "reach_speedup": reach_speedup,
+        "python_prov_ms": python_prov_s * 1e3,
+        "numpy_prov_ms": numpy_prov_s * 1e3,
+        "prov_speedup": prov_speedup,
+        # the gated figure: both builds must clear the bar
+        "speedup": min(reach_speedup, prov_speedup),
+    }
+
+
+def run_sweep(sizes: List[int]) -> List[Dict[str, object]]:
+    rows = []
+    for n_tasks in sizes:
+        run = build_run(n_tasks, seed=n_tasks)
+        result = measure_builds(run)
+        rows.append({"tasks": n_tasks,
+                     "opm_nodes": len(run.provenance), **result})
+    return rows
+
+
+def measure_popcount(bits: int = 5000, masks: int = 2000,
+                     seed: int = 9) -> Dict[str, float]:
+    """``int.bit_count`` vs the old ``bin().count`` fallback."""
+    rng = random.Random(seed)
+    workload = [rng.getrandbits(bits) | 1 for _ in range(masks)]
+
+    started = time.perf_counter()
+    total_fast = sum(popcount(mask) for mask in workload)
+    fast_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    total_slow = sum(popcount_binstr(mask) for mask in workload)
+    slow_s = time.perf_counter() - started
+
+    assert total_fast == total_slow
+    return {
+        "bits": bits,
+        "masks": masks,
+        "bit_count_ms": fast_s * 1e3,
+        "binstr_ms": slow_s * 1e3,
+        "speedup": slow_s / fast_s if fast_s else float("inf"),
+    }
+
+
+def _print_rows(rows: List[Dict[str, object]]) -> None:
+    print_table(
+        "kernel tier: index build, numpy packed-uint64 vs pure reference",
+        ["tasks", "OPM nodes", "reach py (ms)", "reach np (ms)",
+         "prov py (ms)", "prov np (ms)", "speedup (min)"],
+        [[r["tasks"], r["opm_nodes"],
+          f"{r['python_reach_ms']:.1f}", f"{r['numpy_reach_ms']:.1f}",
+          f"{r['python_prov_ms']:.1f}", f"{r['numpy_prov_ms']:.1f}",
+          f"{r['speedup']:.1f}x"] for r in rows])
+
+
+# -- pytest experiments -------------------------------------------------------
+
+
+@needs_numpy
+def test_backends_bit_identical_medium():
+    """Full desc/anc equality on an instance past the small-size cutover."""
+    run = build_run(400, seed=400)
+    result = measure_builds(run, numpy_repeats=1)
+    assert result["speedup"] > 0
+
+
+@needs_numpy
+def test_kernel_speedup_at_2000():
+    """A CI-sized echo of the 5000-task acceptance gate."""
+    run = build_run(2000, seed=42)
+    result = measure_builds(run)
+    _print_rows([{"tasks": 2000, "opm_nodes": len(run.provenance),
+                  **result}])
+    assert result["speedup"] >= 4.0, (
+        f"kernel speedup only {result['speedup']:.1f}x at 2000 tasks")
+
+
+def test_popcount_bit_count_not_slower():
+    micro = measure_popcount(bits=2000, masks=500)
+    assert micro["speedup"] >= 1.0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="two sizes only (still includes the gated "
+                             "5000-task point)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) if the largest size's speedup "
+                             "is below this")
+    parser.add_argument("--out", default=None,
+                        help="write a BENCH_*.json datapoint here")
+    args = parser.parse_args(argv)
+    if not numpy_available():
+        print("bench_kernels needs the numpy backend "
+              "(pip install 'repro-wolves[fast]'); the pure fallback "
+              "is covered by the test suite's no-numpy leg")
+        return 2
+    if args.sizes:
+        sizes = args.sizes
+    elif args.quick:
+        sizes = [500, 5000]
+    else:
+        sizes = [500, 1000, 2000, 5000]
+    rows = run_sweep(sizes)
+    _print_rows(rows)
+    micro = measure_popcount()
+    print(f"popcount micro-bench ({micro['masks']} masks x "
+          f"{micro['bits']} bits): int.bit_count {micro['bit_count_ms']:.2f}"
+          f"ms vs bin().count {micro['binstr_ms']:.2f}ms "
+          f"({micro['speedup']:.1f}x)")
+    if args.out:
+        args.out = _bootstrap.resolve_out(args.out)
+        payload = {
+            "benchmark": "bitset_kernels",
+            "unit": "ms_per_index_build",
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                        time.gmtime()),
+            "workload": ("layered DAG, width %d; ReachabilityIndex + "
+                         "ProvenanceIndex build, numpy packed-uint64 "
+                         "kernel vs pure-python reference; speedup = "
+                         "min(reach, prov); rows asserted bit-identical"
+                         % LAYER_WIDTH),
+            "popcount_micro": micro,
+            "results": rows,
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        largest = rows[-1]
+        if largest["speedup"] < args.min_speedup:
+            print(f"FAIL: kernel speedup {largest['speedup']:.1f}x at "
+                  f"{largest['tasks']} tasks is below the "
+                  f"{args.min_speedup:.1f}x gate")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -79,6 +79,16 @@ BENCHES = [
         quick_argv=["--quick"],
     ),
     Bench(
+        name="kernels",
+        module="bench_kernels",
+        out="BENCH_kernels.json",
+        metric=_largest_size_speedup,
+        metric_label="numpy vs pure-python index build, largest size "
+                     "(min of reach/prov)",
+        min_speedup=10.0,
+        quick_argv=["--quick"],
+    ),
+    Bench(
         name="persistence",
         module="bench_persistence",
         out="BENCH_persistence.json",

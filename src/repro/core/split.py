@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import CorrectionError
 from repro.graphs.convexity import is_convex
 from repro.graphs.dag import Digraph
+from repro.graphs.kernels import get_kernel
 from repro.graphs.reachability import (
     ReachabilityIndex,
     bit_indices,
@@ -66,14 +67,12 @@ class CompositeContext:
             restricted = restrict_index(full_index, self.order)
             self.reach = [restricted[node] for node in self.order]
         else:
-            # strict descendants, one reverse-topological pass
-            self.reach = [0] * n
-            for node in reversed(self.order):
-                i = self.local[node]
-                mask = 0
-                for j in bit_indices(self.succs[i]):
-                    mask |= (1 << j) | self.reach[j]
-                self.reach[i] = mask
+            # strict descendants over the local numbering, via whichever
+            # bitset kernel backend is active (the member set is small,
+            # but large standalone contexts ride the vectorized sweep)
+            succ_positions = [bit_indices(self.succs[i]) for i in range(n)]
+            self.reach, _ = get_kernel().closure(succ_positions,
+                                                 want_ancestors=False)
         self.ext_in = [bool(ext_in.get(node, False)) for node in self.order]
         self.ext_out = [bool(ext_out.get(node, False)) for node in self.order]
         self.ext_in_mask = sum(1 << i for i in range(n) if self.ext_in[i])

@@ -53,6 +53,11 @@ class CycleError(GraphError):
         self.cycle = list(cycle) if cycle is not None else None
 
 
+class KernelError(GraphError):
+    """A bitset kernel backend could not be resolved (unknown name, or an
+    explicitly requested backend whose dependency is not installed)."""
+
+
 class WorkflowError(ReproError):
     """A problem with a workflow specification."""
 

@@ -8,6 +8,9 @@ graph are all directed graphs; this package provides the shared machinery:
 * :mod:`~repro.graphs.reachability` — bitset transitive closure and the
   :class:`~repro.graphs.reachability.ReachabilityIndex` used by every
   soundness check.
+* :mod:`~repro.graphs.kernels` — the pluggable bitset kernel backends the
+  closure sweeps run on (pure big-int reference, vectorized numpy
+  packed-uint64).
 * :mod:`~repro.graphs.convexity` — convex sets and interval closures.
 * :mod:`~repro.graphs.generators` — random DAGs (layered, series-parallel,
   scientific-workflow motifs) for the synthetic repository.
@@ -22,9 +25,16 @@ from repro.graphs.topo import (
     layers,
     longest_path_length,
 )
+from repro.graphs.kernels import (
+    BitsetKernel,
+    active_kernel,
+    available_backends,
+    get_kernel,
+)
 from repro.graphs.reachability import (
     ReachabilityIndex,
     bit_indices,
+    closure_masks,
     popcount,
     restrict_index,
     transitive_closure,
@@ -40,8 +50,13 @@ __all__ = [
     "find_cycle",
     "layers",
     "longest_path_length",
+    "BitsetKernel",
     "ReachabilityIndex",
+    "active_kernel",
+    "available_backends",
     "bit_indices",
+    "closure_masks",
+    "get_kernel",
     "popcount",
     "restrict_index",
     "IntervalIndex",

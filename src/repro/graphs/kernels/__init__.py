@@ -1,0 +1,146 @@
+"""Pluggable bitset-kernel backends for the reachability/closure hot path.
+
+Every index build in the system — the spec-level
+:class:`~repro.graphs.reachability.ReachabilityIndex`, the run-level
+:class:`~repro.provenance.index.ProvenanceIndex`, the correctors'
+:class:`~repro.core.split.CompositeContext` — bottoms out in the two
+kernel operations of :class:`~repro.graphs.kernels.base.BitsetKernel`.
+This package selects which implementation runs them:
+
+* ``python`` — the pure big-int reference (always available, bit-exact
+  ground truth);
+* ``numpy`` — packed-uint64 row matrices with vectorized block sweeps
+  (installed via the ``[fast]`` extra).
+
+Selection, in priority order:
+
+1. an explicit ``kernel=`` argument (a name or a
+   :class:`~repro.graphs.kernels.base.BitsetKernel` instance) on
+   ``ReachabilityIndex``/``ProvenanceIndex``/``closure_masks``;
+2. the ``WOLVES_KERNEL`` environment variable (``numpy``, ``python``;
+   ``pure`` is an alias for ``python``, ``auto`` defers);
+3. automatic: ``numpy`` when importable, ``python`` otherwise.
+
+Masks stay plain Python integers across the API boundary, so indexes
+built by different backends are interchangeable and mixed workloads
+(e.g. a numpy-built index queried next to a pure-built one) need no
+conversion.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+from repro.errors import KernelError
+from repro.graphs.kernels.base import BitsetKernel
+from repro.graphs.kernels.bitops import bit_indices, popcount
+from repro.graphs.kernels.pure import PythonKernel
+
+#: environment variable forcing a backend for the whole process
+KERNEL_ENV_VAR = "WOLVES_KERNEL"
+
+_ALIASES = {"pure": "python", "py": "python"}
+_AUTO = ("auto", "")
+
+#: backend singletons, created on first use
+_instances: Dict[str, BitsetKernel] = {}
+#: memoized result of the one-time "does numpy import" probe
+_numpy_probe: Optional[bool] = None
+
+
+def _load(name: str) -> BitsetKernel:
+    kernel = _instances.get(name)
+    if kernel is not None:
+        return kernel
+    if name == "python":
+        kernel = PythonKernel()
+    elif name == "numpy":
+        try:
+            from repro.graphs.kernels.numpy_backend import NumpyKernel
+        except ImportError as exc:
+            raise KernelError(
+                "the numpy kernel backend needs numpy installed "
+                "(pip install 'repro-wolves[fast]'); set "
+                f"{KERNEL_ENV_VAR}=python to force the reference "
+                "backend") from exc
+        kernel = NumpyKernel()
+    else:
+        raise KernelError(
+            f"unknown kernel backend {name!r} "
+            f"(known: {', '.join(sorted(backend_names()))})")
+    _instances[name] = kernel
+    return kernel
+
+
+def backend_names() -> tuple:
+    """The registered backend names, fastest-preferred first."""
+    return ("numpy", "python")
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be imported (probed once)."""
+    global _numpy_probe
+    if _numpy_probe is None:
+        try:
+            import numpy  # noqa: F401
+            _numpy_probe = True
+        except ImportError:
+            _numpy_probe = False
+    return _numpy_probe
+
+
+def available_backends() -> Dict[str, bool]:
+    """``{backend name: importable}`` for every registered backend."""
+    return {"numpy": numpy_available(), "python": True}
+
+
+def get_kernel(kernel: Union[None, str, BitsetKernel] = None
+               ) -> BitsetKernel:
+    """Resolve a kernel request to a backend instance.
+
+    ``kernel`` may be an instance (returned as-is), a backend name, or
+    ``None`` — which consults ``WOLVES_KERNEL`` and falls back to the
+    automatic choice (numpy when importable).  Unknown names and an
+    explicit ``numpy`` without numpy installed raise
+    :class:`~repro.errors.KernelError`; an *automatic* numpy choice never
+    fails — it degrades to the reference backend.
+    """
+    if isinstance(kernel, BitsetKernel):
+        return kernel
+    name = kernel
+    if name is None:
+        name = os.environ.get(KERNEL_ENV_VAR, "auto")
+    name = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    if name in _AUTO:
+        return _load("numpy" if numpy_available() else "python")
+    return _load(name)
+
+
+def active_kernel() -> BitsetKernel:
+    """The backend an unparameterized index build would use right now."""
+    return get_kernel(None)
+
+
+def selection_source() -> str:
+    """How the active backend was chosen (for ``wolves kernels``)."""
+    raw = os.environ.get(KERNEL_ENV_VAR)
+    if raw is not None and raw.strip().lower() not in _AUTO:
+        return f"{KERNEL_ENV_VAR}={raw}"
+    return "automatic (numpy when importable)"
+
+
+__all__ = [
+    "BitsetKernel",
+    "KERNEL_ENV_VAR",
+    "KernelError",
+    "PythonKernel",
+    "active_kernel",
+    "available_backends",
+    "backend_names",
+    "bit_indices",
+    "get_kernel",
+    "numpy_available",
+    "popcount",
+    "selection_source",
+]

@@ -1,0 +1,63 @@
+"""The kernel backend contract for the bitset reachability hot path.
+
+Everything above this layer — :class:`~repro.graphs.reachability.\
+ReachabilityIndex`, :class:`~repro.provenance.index.ProvenanceIndex`, the
+correctors' :class:`~repro.core.split.CompositeContext` — speaks plain
+Python integers used as bitsets.  A :class:`BitsetKernel` only accelerates
+the two closed-form computations underneath:
+
+* :meth:`BitsetKernel.closure` — the transitive-closure sweep that
+  dominates every index build;
+* :meth:`BitsetKernel.restrict` — re-numbering global descendant rows onto
+  a node subset (the correctors' per-composite view of the full index).
+
+Inputs and outputs are backend-neutral (position lists in, big-int rows
+out), so backends are interchangeable bit-for-bit and the differential
+battery in ``tests/test_kernels.py`` can pin them against each other.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+
+class BitsetKernel(ABC):
+    """One interchangeable implementation of the bitset hot-path ops.
+
+    Nodes are identified by their position in a topological numbering
+    ``0..n-1`` (every edge points from a lower to a higher position);
+    masks are non-negative Python integers with bit ``i`` standing for
+    the node at position ``i``.
+    """
+
+    #: registry name (``wolves kernels``, ``WOLVES_KERNEL``, ``kernel=``)
+    name: str = "?"
+
+    @abstractmethod
+    def closure(self, succs: Sequence[Sequence[int]],
+                want_ancestors: bool = True
+                ) -> Tuple[List[int], Optional[List[int]]]:
+        """Strict transitive-closure rows of a topologically numbered DAG.
+
+        ``succs[i]`` lists the direct-successor positions of node ``i``
+        (all strictly greater than ``i``).  Returns ``(desc, anc)`` where
+        ``desc[i]`` is the strict-descendant bitset of node ``i`` and
+        ``anc`` is its transpose — or ``None`` when ``want_ancestors`` is
+        false (callers like the correctors only need one direction).
+        """
+
+    @abstractmethod
+    def restrict(self, rows: Sequence[int],
+                 positions: Sequence[int]) -> List[int]:
+        """Re-number global descendant rows onto a node subset.
+
+        ``rows[i]`` is the global descendant mask of the ``i``-th selected
+        node and ``positions[i]`` its global bit position.  Bit ``j`` of
+        ``result[i]`` is set iff bit ``positions[j]`` is set in
+        ``rows[i]`` — i.e. selected node ``i`` reaches selected node ``j``
+        in the full graph.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,60 @@
+"""Word-level big-int bit operations shared by every kernel backend.
+
+These are the only primitives that cross the kernel boundary: masks are
+plain Python integers everywhere in the public API, so decoding
+(:func:`bit_indices`) and counting (:func:`popcount`) must behave
+identically no matter which backend produced the mask.  They live here —
+below :mod:`repro.graphs.reachability` and below the backends — so the
+reference backend can use them without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_WORD_BITS = 64
+_WORD_BYTES = 8
+
+
+def bit_indices(mask: int) -> List[int]:
+    """Indices of the set bits of ``mask``, ascending, word-chunked.
+
+    The mask is serialised once (``int.to_bytes``) and scanned in 64-bit
+    words, so only non-zero words pay for bit extraction; each set bit costs
+    one small-int ``& -`` / ``bit_length`` pair instead of a shift of the
+    whole big integer.
+    """
+    if mask <= 0:
+        if mask == 0:
+            return []
+        raise ValueError("bit_indices needs a non-negative mask")
+    n_bytes = (mask.bit_length() + _WORD_BITS - 1) // _WORD_BITS * _WORD_BYTES
+    raw = mask.to_bytes(n_bytes, "little")
+    found: List[int] = []
+    append = found.append
+    for offset in range(0, n_bytes, _WORD_BYTES):
+        word = int.from_bytes(raw[offset:offset + _WORD_BYTES], "little")
+        if not word:
+            continue
+        base = offset * 8
+        while word:
+            low = word & -word
+            append(base + low.bit_length() - 1)
+            word ^= low
+    return found
+
+
+if hasattr(int, "bit_count"):
+    def popcount(mask: int) -> int:
+        """Number of set bits (``int.bit_count``, Python >= 3.10)."""
+        return mask.bit_count()
+else:  # pragma: no cover - Python < 3.10 shim
+    def popcount(mask: int) -> int:
+        """Number of set bits (``bin().count`` shim for old Pythons)."""
+        return bin(mask).count("1")
+
+
+def popcount_binstr(mask: int) -> int:
+    """The pre-3.10 fallback, kept importable so the kernel
+    micro-benchmark can quantify what ``int.bit_count`` buys."""
+    return bin(mask).count("1")

@@ -1,0 +1,58 @@
+"""The reference backend: pure-Python big-int bitsets.
+
+This is the word-chunked code the project ran on through PR 1-5, extracted
+verbatim from :mod:`repro.graphs.reachability` so it can serve as the
+always-available fallback and as the ground truth the vectorized backends
+are differential-tested against.  Python big-int ``|``/``&`` are C loops
+over 30-bit digits, so the rows themselves are cheap; what this backend
+pays for is the per-node, per-edge interpreter overhead that the numpy
+backend batches away.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.kernels.base import BitsetKernel
+from repro.graphs.kernels.bitops import bit_indices
+
+
+class PythonKernel(BitsetKernel):
+    """Big-int bitset kernels — no dependencies, bit-exact reference."""
+
+    name = "python"
+
+    def closure(self, succs: Sequence[Sequence[int]],
+                want_ancestors: bool = True
+                ) -> Tuple[List[int], Optional[List[int]]]:
+        n = len(succs)
+        desc = [0] * n
+        for i in range(n - 1, -1, -1):
+            mask = 0
+            for j in succs[i]:
+                mask |= (1 << j) | desc[j]
+            desc[i] = mask
+        if not want_ancestors:
+            return desc, None
+        # the ancestor matrix is the transpose; iterate set bits only, so
+        # a sparse row costs O(popcount) instead of O(V)
+        anc = [0] * n
+        for i in range(n):
+            bit = 1 << i
+            for j in bit_indices(desc[i]):
+                anc[j] |= bit
+        return desc, anc
+
+    def restrict(self, rows: Sequence[int],
+                 positions: Sequence[int]) -> List[int]:
+        global_to_local = {g: j for j, g in enumerate(positions)}
+        selector = 0
+        for g in positions:
+            selector |= 1 << g
+        out: List[int] = []
+        for row in rows:
+            local = 0
+            for g in bit_indices(row & selector):
+                local |= 1 << global_to_local[g]
+            out.append(local)
+        return out

@@ -7,11 +7,18 @@ is ``O(V * E / wordsize)`` and every subsequent query is one shift and one
 mask — fast enough that the validator and the three correctors all share one
 index per workflow.
 
+The closure pass itself is delegated to a pluggable
+:class:`~repro.graphs.kernels.base.BitsetKernel` (see
+:mod:`repro.graphs.kernels`): the pure-Python big-int reference backend, or
+a vectorized numpy packed-uint64 backend selected automatically when numpy
+is importable (override with ``WOLVES_KERNEL`` or the ``kernel=``
+parameters below).  Masks cross the kernel boundary as plain integers, so
+indexes from different backends are interchangeable bit-for-bit.
+
 Bitset decoding is word-chunked throughout: :func:`bit_indices` serialises a
 mask once and scans it 64 bits at a time, so iterating a sparse mask costs
 ``O(popcount + bits/64)`` instead of the ``O(bits)`` of a bit-by-bit shift
-loop.  The ancestor matrix is the transpose of the descendant matrix and is
-built by iterating only the set bits of each row.
+loop.  The ancestor matrix is the transpose of the descendant matrix.
 
 Indexes carry an optional *invalidation token* (see
 :attr:`ReachabilityIndex.token`): owners such as
@@ -23,53 +30,30 @@ holding a reference to the owning graph.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import NodeNotFoundError
 from repro.graphs.dag import Digraph, Node
+from repro.graphs.kernels import BitsetKernel, get_kernel
+from repro.graphs.kernels.bitops import bit_indices, popcount  # noqa: F401
 from repro.graphs.topo import topological_sort
 
-_WORD_BITS = 64
-_WORD_BYTES = 8
+#: accepted by every ``kernel=`` parameter: a backend name, an instance,
+#: or ``None`` for the process-wide selection (env var, then automatic)
+KernelLike = Union[None, str, BitsetKernel]
 
 
-def bit_indices(mask: int) -> List[int]:
-    """Indices of the set bits of ``mask``, ascending, word-chunked.
-
-    The mask is serialised once (``int.to_bytes``) and scanned in 64-bit
-    words, so only non-zero words pay for bit extraction; each set bit costs
-    one small-int ``& -`` / ``bit_length`` pair instead of a shift of the
-    whole big integer.
-    """
-    if mask <= 0:
-        if mask == 0:
-            return []
-        raise ValueError("bit_indices needs a non-negative mask")
-    n_bytes = (mask.bit_length() + _WORD_BITS - 1) // _WORD_BITS * _WORD_BYTES
-    raw = mask.to_bytes(n_bytes, "little")
-    found: List[int] = []
-    append = found.append
-    for offset in range(0, n_bytes, _WORD_BYTES):
-        word = int.from_bytes(raw[offset:offset + _WORD_BYTES], "little")
-        if not word:
-            continue
-        base = offset * 8
-        while word:
-            low = word & -word
-            append(base + low.bit_length() - 1)
-            word ^= low
-    return found
-
-
-def popcount(mask: int) -> int:
-    """Number of set bits (uses ``int.bit_count`` when available)."""
-    try:
-        return mask.bit_count()
-    except AttributeError:  # pragma: no cover - Python < 3.10
-        return bin(mask).count("1")
-
-
-def closure_masks(order: Sequence[Node], successors
+def closure_masks(order: Sequence[Node], successors,
+                  kernel: KernelLike = None
                   ) -> "Tuple[Dict[Node, int], List[int], List[int]]":
     """Descendant/ancestor bitset rows over any topologically ordered DAG.
 
@@ -79,31 +63,21 @@ def closure_masks(order: Sequence[Node], successors
     nodes to bit indices and ``desc[i]`` / ``anc[i]`` are the strict
     closure rows as big-int bitsets.
 
-    This is the word-chunked kernel :class:`ReachabilityIndex` is built on,
+    This is the kernel entry point :class:`ReachabilityIndex` is built on,
     factored out so closures over graphs that are *not* materialised as a
     :class:`Digraph` — e.g. the bipartite OPM provenance graph in
     :mod:`repro.provenance.index` — pay for the adjacency they already
-    have instead of a graph rebuild.
+    have instead of a graph rebuild.  ``kernel`` picks the backend
+    (default: the process-wide selection).
     """
     position: Dict[Node, int] = {n: i for i, n in enumerate(order)}
     n = len(position)
     if n != len(order):
         raise ValueError("closure_masks order contains duplicate nodes")
-    desc = [0] * n
-    for node in reversed(order):
-        i = position[node]
-        mask = 0
-        for succ in successors(node):
-            j = position[succ]
-            mask |= (1 << j) | desc[j]
-        desc[i] = mask
-    # the ancestor matrix is the transpose; iterate set bits only, so a
-    # sparse row costs O(popcount) instead of O(V)
-    anc = [0] * n
-    for i in range(n):
-        bit = 1 << i
-        for j in bit_indices(desc[i]):
-            anc[j] |= bit
+    succ_positions: List[List[int]] = [
+        [position[succ] for succ in successors(node)] for node in order]
+    desc, anc = get_kernel(kernel).closure(succ_positions,
+                                           want_ancestors=True)
     return position, desc, anc
 
 
@@ -113,16 +87,23 @@ class ReachabilityIndex:
     ``reaches(u, v)`` is True iff there is a directed path of length >= 1
     from ``u`` to ``v``.  The reflexive variant used by the soundness
     definitions is ``reaches_or_equal``.
+
+    ``kernel`` selects the bitset backend the closure is built with (and
+    that :func:`restrict_index` reuses); queries are backend-independent.
     """
 
     def __init__(self, graph: Digraph,
-                 token: Optional[Hashable] = None) -> None:
+                 token: Optional[Hashable] = None,
+                 kernel: KernelLike = None) -> None:
         #: Opaque invalidation token stamped by the index's owner (e.g. the
         #: spec's mutation counter); ``None`` for unowned indexes.
         self.token: Optional[Hashable] = token
+        #: The resolved :class:`~repro.graphs.kernels.base.BitsetKernel`
+        #: this index was built with.
+        self.kernel: BitsetKernel = get_kernel(kernel)
         self._order: List[Node] = topological_sort(graph)
         self._index, self._desc, self._anc = closure_masks(
-            self._order, graph.successors)
+            self._order, graph.successors, kernel=self.kernel)
 
     # -- node-level queries --------------------------------------------------
 
@@ -226,20 +207,11 @@ def restrict_index(index: ReachabilityIndex,
     bit ``j`` of ``result[nodes[i]]`` is set iff ``nodes[i]`` reaches
     ``nodes[j]`` in the full graph.
 
-    The global-bit -> local-bit mapping is computed once; each node then
-    pays one big-int AND to select the members it reaches plus
-    ``O(popcount)`` to re-number them, instead of a full scan of the
-    member list per node.
+    Delegates to the index's kernel: the reference backend pays one
+    big-int AND plus ``O(popcount)`` re-numbering per node, the numpy
+    backend re-packs the member sub-matrix in one vectorized pass.
     """
-    global_to_local = {index.index_of(node): j
-                       for j, node in enumerate(nodes)}
-    selector = 0
-    for g in global_to_local:
-        selector |= 1 << g
-    result: Dict[Node, int] = {}
-    for node in nodes:
-        out = 0
-        for g in bit_indices(index.descendants_mask(node) & selector):
-            out |= 1 << global_to_local[g]
-        result[node] = out
-    return result
+    positions = [index.index_of(node) for node in nodes]
+    rows = [index.descendants_mask(node) for node in nodes]
+    local = index.kernel.restrict(rows, positions)
+    return dict(zip(nodes, local))

@@ -5,8 +5,9 @@ The paper's headline use of views is making provenance queries tractable —
 run-level queries deserve the same treatment: instead of rebuilding the
 bipartite OPM digraph and BFS-walking it per query
 (``O(V + E)`` each time), a :class:`ProvenanceIndex` numbers every artifact
-and invocation once, closes the graph with the word-chunked bitset kernels
-of :mod:`repro.graphs.reachability`, and answers every lineage question as
+and invocation once, closes the graph with the pluggable bitset kernels
+of :mod:`repro.graphs.kernels` (numpy packed-uint64 rows when available,
+the big-int reference otherwise), and answers every lineage question as
 one big-int AND plus an ``O(popcount)`` decode.
 
 The index never materialises a :class:`~repro.graphs.dag.Digraph`: the
@@ -27,7 +28,13 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ProvenanceError
-from repro.graphs.reachability import bit_indices, closure_masks, popcount
+from repro.graphs.kernels import BitsetKernel, get_kernel
+from repro.graphs.reachability import (
+    KernelLike,
+    bit_indices,
+    closure_masks,
+    popcount,
+)
 from repro.provenance.model import ProvenanceGraph
 from repro.workflow.task import TaskId
 
@@ -46,9 +53,12 @@ class ProvenanceIndex:
     walking anything.
     """
 
-    def __init__(self, provenance: ProvenanceGraph) -> None:
+    def __init__(self, provenance: ProvenanceGraph,
+                 kernel: KernelLike = None) -> None:
         #: the :attr:`ProvenanceGraph.version` this closure was built from
         self.token: int = provenance.version
+        #: the resolved bitset backend the closure was built with
+        self.kernel: BitsetKernel = get_kernel(kernel)
         order = provenance.topological_order()
         outputs = provenance.outputs_of
         consumers = provenance.consumers
@@ -60,7 +70,8 @@ class ProvenanceIndex:
             return [("invocation", i) for i in consumers(node_id)]
 
         self._order: List[OpmNode] = order
-        self._pos, self._desc, self._anc = closure_masks(order, successors)
+        self._pos, self._desc, self._anc = closure_masks(
+            order, successors, kernel=self.kernel)
         artifact_selector = 0
         invocation_selector = 0
         task_at: List[Optional[TaskId]] = [None] * len(order)

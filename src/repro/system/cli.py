@@ -173,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_cmd.add_argument("--host", default="127.0.0.1")
     cancel_cmd.add_argument("--port", type=int, required=True)
 
+    commands.add_parser(
+        "kernels",
+        help="report the active bitset-kernel backend and availability")
+
     db_cmd = commands.add_parser(
         "db", help="administer a durable provenance/analysis database")
     db_sub = db_cmd.add_subparsers(dest="db_command", required=True)
@@ -496,6 +500,24 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     return 0 if state == "cancelled" else 1
 
 
+def cmd_kernels(_args: argparse.Namespace) -> int:
+    from repro.graphs.kernels import (
+        active_kernel,
+        available_backends,
+        backend_names,
+        selection_source,
+    )
+
+    print(f"active kernel backend: {active_kernel().name}")
+    print(f"selected via: {selection_source()}")
+    print("backends:")
+    for name in backend_names():
+        status = "available" if available_backends()[name] else \
+            "not installed (pip install 'repro-wolves[fast]')"
+        print(f"  {name:>8}: {status}")
+    return 0
+
+
 def cmd_db(args: argparse.Namespace) -> int:
     from repro.persistence import schema
     from repro.persistence.db import connect, journal_mode
@@ -578,6 +600,7 @@ _HANDLERS = {
     "submit": cmd_submit,
     "jobs": cmd_jobs,
     "cancel": cmd_cancel,
+    "kernels": cmd_kernels,
     "db": cmd_db,
 }
 

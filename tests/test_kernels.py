@@ -1,0 +1,259 @@
+"""The kernel tier: backend registry + numpy/pure differential battery.
+
+The vectorized numpy backend must be *bit-identical* to the pure big-int
+reference on every operation the system routes through a kernel.  The
+hypothesis battery drives both backends over randomized DAGs and random
+mask workloads; the numpy instance under test has its small-size cutover
+forced to 0 so the vectorized path (not the delegating fallback) is what
+gets exercised on hypothesis-sized inputs.
+
+Everything numpy-specific is skip-guarded on ``numpy_available()`` so the
+suite stays green on the CI leg that never installs numpy.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.graphs.dag import Digraph
+from repro.graphs.generators import layered_dag
+from repro.graphs.kernels import (
+    KERNEL_ENV_VAR,
+    BitsetKernel,
+    PythonKernel,
+    active_kernel,
+    available_backends,
+    backend_names,
+    get_kernel,
+    numpy_available,
+)
+from repro.graphs.kernels.bitops import bit_indices, popcount, popcount_binstr
+from repro.graphs.reachability import ReachabilityIndex, restrict_index
+from repro.provenance.execution import execute
+from repro.provenance.index import ProvenanceIndex
+from repro.workflow.spec import WorkflowSpec
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed")
+
+
+def forced_numpy() -> BitsetKernel:
+    """A numpy kernel that vectorizes even hypothesis-sized problems."""
+    from repro.graphs.kernels.numpy_backend import NumpyKernel
+    kernel = NumpyKernel()
+    kernel.small_cutover = 0
+    return kernel
+
+
+@st.composite
+def succ_lists(draw, max_nodes=24):
+    """A topologically numbered DAG as ascending successor-position lists."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    succs = []
+    for i in range(n):
+        later = list(range(i + 1, n))
+        succs.append(sorted(draw(st.lists(
+            st.sampled_from(later), unique=True, max_size=len(later))))
+            if later else [])
+    return succs
+
+
+@st.composite
+def dags(draw, max_nodes=12):
+    """Random DAGs as upper-triangular edge sets over 0..n-1."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                           max_size=len(pairs)) if pairs else st.just([]))
+    graph = Digraph()
+    for node in range(n):
+        graph.add_node(node)
+    for source, target in chosen:
+        graph.add_edge(source, target)
+    return graph
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_python_backend_always_resolves():
+    kernel = get_kernel("python")
+    assert isinstance(kernel, PythonKernel)
+    assert kernel.name == "python"
+    # aliases and case folding
+    assert get_kernel("pure") is kernel
+    assert get_kernel("PY") is kernel
+
+
+def test_kernel_instances_pass_through():
+    mine = PythonKernel()
+    assert get_kernel(mine) is mine
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KernelError):
+        get_kernel("fortran")
+
+
+def test_env_var_forces_backend(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+    assert isinstance(active_kernel(), PythonKernel)
+    monkeypatch.setenv(KERNEL_ENV_VAR, "auto")
+    assert active_kernel() is get_kernel(None)
+
+
+def test_automatic_selection_matches_probe():
+    expected = "numpy" if numpy_available() else "python"
+    assert active_kernel().name == expected
+
+
+def test_available_backends_matrix():
+    matrix = available_backends()
+    assert set(matrix) == set(backend_names())
+    assert matrix["python"] is True
+    assert matrix["numpy"] == numpy_available()
+
+
+def test_explicit_numpy_without_numpy_raises():
+    if numpy_available():
+        assert get_kernel("numpy").name == "numpy"
+    else:
+        with pytest.raises(KernelError):
+            get_kernel("numpy")
+
+
+# -- bitops -------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=1 << 200))
+@settings(max_examples=60, deadline=None)
+def test_popcount_matches_binstr(mask):
+    assert popcount(mask) == popcount_binstr(mask)
+    assert popcount(mask) == len(bit_indices(mask))
+
+
+def test_bit_indices_round_trip():
+    positions = [0, 1, 63, 64, 65, 127, 128, 300]
+    mask = sum(1 << p for p in positions)
+    assert bit_indices(mask) == positions
+
+
+# -- numpy vs pure: kernel level ----------------------------------------------
+
+
+@needs_numpy
+@given(succ_lists())
+@settings(max_examples=120, deadline=None)
+def test_closure_bit_identical(succs):
+    desc_py, anc_py = get_kernel("python").closure(succs, True)
+    desc_np, anc_np = forced_numpy().closure(succs, True)
+    assert desc_py == desc_np
+    assert anc_py == anc_np
+
+
+@needs_numpy
+@given(succ_lists())
+@settings(max_examples=60, deadline=None)
+def test_closure_without_ancestors_bit_identical(succs):
+    desc_py, anc_py = get_kernel("python").closure(succs, False)
+    desc_np, anc_np = forced_numpy().closure(succs, False)
+    assert desc_py == desc_np
+    assert anc_py is None and anc_np is None
+
+
+@needs_numpy
+@given(succ_lists(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_restrict_bit_identical(succs, data):
+    n = len(succs)
+    if n == 0:
+        assert forced_numpy().restrict([], []) == []
+        return
+    desc, _ = get_kernel("python").closure(succs, False)
+    positions = sorted(data.draw(st.lists(
+        st.sampled_from(range(n)), min_size=1, unique=True)))
+    rows = [desc[p] for p in positions]
+    assert (get_kernel("python").restrict(rows, positions)
+            == forced_numpy().restrict(rows, positions))
+
+
+# -- numpy vs pure: index level -----------------------------------------------
+
+
+@needs_numpy
+@given(dags(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_reachability_index_bit_identical(graph, data):
+    ref = ReachabilityIndex(graph, kernel="python")
+    vec = ReachabilityIndex(graph, kernel=forced_numpy())
+    assert ref._desc == vec._desc
+    assert ref._anc == vec._anc
+    nodes = graph.nodes()
+    subset = data.draw(st.lists(st.sampled_from(nodes), min_size=1,
+                                unique=True))
+    for node in subset:
+        assert ref.descendants_mask(node) == vec.descendants_mask(node)
+        assert ref.ancestors_mask(node) == vec.ancestors_mask(node)
+    # mask_of/nodes_of round-trips agree across backends
+    mask = vec.mask_of(subset)
+    assert mask == ref.mask_of(subset)
+    assert sorted(vec.nodes_of(mask)) == sorted(subset)
+
+
+@needs_numpy
+@given(dags(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_restrict_index_bit_identical(graph, data):
+    vec = ReachabilityIndex(graph, kernel=forced_numpy())
+    ref = ReachabilityIndex(graph, kernel="python")
+    subset = data.draw(st.lists(st.sampled_from(graph.nodes()), min_size=1,
+                                unique=True))
+    assert restrict_index(vec, subset) == restrict_index(ref, subset)
+
+
+# -- numpy vs pure: provenance lineage ----------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [3, 17, 91])
+def test_provenance_lineage_bit_identical(seed):
+    rng = random.Random(seed)
+    graph = layered_dag(rng, n_layers=8, width=5)
+    spec = WorkflowSpec.from_digraph(f"kern-prov-{seed}", graph)
+    run = execute(spec, run_id=f"kern-prov-{seed}")
+    ref = ProvenanceIndex(run.provenance, kernel="python")
+    vec = ProvenanceIndex(run.provenance, kernel=forced_numpy())
+    assert ref._desc == vec._desc
+    assert ref._anc == vec._anc
+    nodes = vec.order
+    artifacts = [node_id for kind, node_id in nodes if kind == "artifact"]
+    for artifact_id in artifacts:
+        assert (ref.lineage_artifacts(artifact_id)
+                == vec.lineage_artifacts(artifact_id))
+        assert (ref.lineage_tasks_of_artifact(artifact_id)
+                == vec.lineage_tasks_of_artifact(artifact_id))
+        assert (ref.downstream_tasks_of_artifact(artifact_id)
+                == vec.downstream_tasks_of_artifact(artifact_id))
+    probe = rng.sample(nodes, min(10, len(nodes)))
+    for ancestor in probe:
+        for node in probe:
+            if ancestor == node:
+                continue
+            assert (ref.in_lineage(ancestor, node)
+                    == vec.in_lineage(ancestor, node))
+
+
+# -- fallback sanity ----------------------------------------------------------
+
+
+def test_pure_backend_serves_index_builds():
+    """The reference backend works end-to-end (the no-numpy guarantee)."""
+    rng = random.Random(5)
+    graph = layered_dag(rng, n_layers=6, width=4)
+    index = ReachabilityIndex(graph, kernel="python")
+    assert index.kernel.name == "python"
+    for node in graph.nodes():
+        for succ in graph.successors(node):
+            assert index.reaches(node, succ)
