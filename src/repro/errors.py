@@ -104,6 +104,31 @@ class SweepCancelled(ReproError):
     ``should_stop`` hook fired (cooperative cancellation)."""
 
 
+class DeadlineExceeded(ReproError):
+    """A deadline attached to a job, request or sweep expired before the
+    work finished (see :class:`repro.resilience.policy.Deadline`)."""
+
+
+class StoreBusyError(PersistenceError):
+    """SQLite reported the database locked/busy even after the busy
+    timeout and the store's bounded retries — the typed, retryable form
+    of an exhausted ``SQLITE_BUSY`` storm."""
+
+
+class InjectedFault(ReproError):
+    """A failure raised by the fault-injection harness
+    (:mod:`repro.resilience.faults`).  Only ever seen when a fault
+    schedule is active; ``point`` names the fault point that fired and
+    ``action`` the configured failure mode."""
+
+    def __init__(self, point: str, action: str = "error",
+                 message: "str | None" = None) -> None:
+        super().__init__(
+            message or f"injected {action!r} fault at {point!r}")
+        self.point = point
+        self.action = action
+
+
 class ServerError(ReproError):
     """A typed failure of the analysis daemon's protocol layer.
 
@@ -127,12 +152,47 @@ class ManifestError(ServerError):
 
 class QueueFullError(ServerError):
     """The daemon's bounded job queue rejected a submission
-    (backpressure)."""
+    (backpressure).  ``retry_after`` is the daemon's hint, in seconds,
+    for when a retry is likely to be accepted (``None`` when the server
+    offered no hint)."""
 
     code = "queue_full"
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class UnknownJobError(ServerError):
     """A frame referenced a job id the daemon does not know."""
 
     code = "unknown_job"
+
+
+class JobTimeoutError(DeadlineExceeded, ServerError):
+    """A job (or a client-side wait on one) missed its deadline.
+
+    Doubles as a :class:`DeadlineExceeded` (the policy-layer family) and
+    a :class:`ServerError` (it crosses the wire as a typed ``timeout``
+    error frame / terminal job error).
+    """
+
+    code = "timeout"
+
+    def __init__(self, message: str) -> None:
+        ServerError.__init__(self, message)
+
+
+class QuarantinedError(ServerError):
+    """The manifest's fingerprint is quarantined (circuit breaker): it
+    repeatedly killed workers or failed, so the daemon parks it instead
+    of letting it break the pool again.  ``retry_after`` hints when the
+    quarantine is due to be reviewed."""
+
+    code = "quarantined"
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

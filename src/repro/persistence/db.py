@@ -10,38 +10,87 @@ a busy timeout so concurrent openers wait instead of failing.
 ``COMMIT`` so multi-table inserts (a run and its OPM rows) are atomic:
 a writer killed mid-batch leaves nothing visible to readers, which the
 crash-recovery tests pin down.
+
+Resilience wiring:
+
+* the busy timeout is configurable — ``timeout_ms`` keyword or the
+  ``WOLVES_DB_TIMEOUT_MS`` environment variable (default 30000);
+* ``BEGIN IMMEDIATE`` retries an exhausted ``SQLITE_BUSY`` under a
+  jittered :class:`~repro.resilience.policy.RetryPolicy` and surfaces
+  the typed :class:`~repro.errors.StoreBusyError` (retryable by
+  callers) instead of a raw ``sqlite3.OperationalError``;
+* the fault points ``db.connect``, ``db.busy``, ``db.commit.before``
+  and ``db.commit.after`` let the chaos harness inject busy storms,
+  disk-full errors and crash-before/after-commit at the exact
+  boundaries the crash contract is stated over.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, StoreBusyError
+from repro.resilience import faults
+from repro.resilience.policy import RetryPolicy
 
-#: pragma -> value applied to every connection
+#: default busy timeout (milliseconds), overridable per call or via env
+DEFAULT_TIMEOUT_MS = 30_000
+ENV_TIMEOUT_MS = "WOLVES_DB_TIMEOUT_MS"
+
+#: pragma -> value applied to every connection (busy_timeout is filled
+#: in per connection from the resolved timeout)
 PRAGMAS = {
     "journal_mode": "WAL",
     "foreign_keys": "ON",
     "synchronous": "NORMAL",
-    "busy_timeout": "30000",
 }
 
+#: bounded retry envelope for BEGIN IMMEDIATE after the busy timeout is
+#: exhausted: three more tries with jittered backoff, then the typed
+#: StoreBusyError
+BUSY_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.2,
+                         retryable=(sqlite3.OperationalError,))
 
-def connect(path: str, readonly: bool = False) -> sqlite3.Connection:
+
+def _is_busy(exc: BaseException) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def resolve_timeout_ms(timeout_ms: Optional[int] = None) -> int:
+    """Keyword beats environment beats default."""
+    if timeout_ms is not None:
+        return int(timeout_ms)
+    env = os.environ.get(ENV_TIMEOUT_MS)
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError as exc:
+            raise PersistenceError(
+                f"bad {ENV_TIMEOUT_MS}={env!r}: must be an integer "
+                f"millisecond count") from exc
+    return DEFAULT_TIMEOUT_MS
+
+
+def connect(path: str, readonly: bool = False,
+            timeout_ms: Optional[int] = None) -> sqlite3.Connection:
     """Open ``path`` with the store's pragmas applied.
 
     ``readonly=True`` opens through a ``mode=ro`` URI: the connection can
     never write (the per-worker discipline of the analysis service), but
     it still reads concurrently with one writer thanks to WAL.
     """
+    ms = resolve_timeout_ms(timeout_ms)
     try:
+        faults.fire("db.connect")
         if readonly:
             conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True,
-                                   timeout=30.0)
+                                   timeout=ms / 1000.0)
         else:
-            conn = sqlite3.connect(path, timeout=30.0)
+            conn = sqlite3.connect(path, timeout=ms / 1000.0)
     except sqlite3.Error as exc:
         raise PersistenceError(
             f"cannot open database {path!r}"
@@ -53,15 +102,17 @@ def connect(path: str, readonly: bool = False) -> sqlite3.Connection:
             # connection cannot (and need not) switch it
             continue
         conn.execute(f"PRAGMA {pragma}={value}")
+    conn.execute(f"PRAGMA busy_timeout={ms}")
     return conn
 
 
-def open_checked(path: str, readonly: bool = False) -> sqlite3.Connection:
+def open_checked(path: str, readonly: bool = False,
+                 timeout_ms: Optional[int] = None) -> sqlite3.Connection:
     """Open ``path``, create the schema (writers only), and verify the
     schema version — the shared front door of every store/cache class."""
     from repro.persistence import schema
 
-    conn = connect(path, readonly=readonly)
+    conn = connect(path, readonly=readonly, timeout_ms=timeout_ms)
     if not readonly:
         schema.initialize(conn)
     version = schema.schema_version(conn)
@@ -73,20 +124,37 @@ def open_checked(path: str, readonly: bool = False) -> sqlite3.Connection:
     return conn
 
 
+def _begin_immediate(conn: sqlite3.Connection) -> None:
+    faults.fire("db.busy")
+    conn.execute("BEGIN IMMEDIATE")
+
+
 @contextmanager
 def transaction(conn: sqlite3.Connection) -> Iterator[sqlite3.Connection]:
     """One atomic write batch: ``BEGIN IMMEDIATE`` ... ``COMMIT``,
-    rolled back on any exception."""
+    rolled back on any exception.
+
+    A busy database is retried under :data:`BUSY_RETRY` (the pragma's
+    busy timeout has already waited by the time SQLite reports busy);
+    exhaustion raises the typed, retryable :class:`StoreBusyError`,
+    every other operational failure the fatal :class:`PersistenceError`.
+    """
     try:
-        conn.execute("BEGIN IMMEDIATE")
+        BUSY_RETRY.call(_begin_immediate, conn, classify=_is_busy)
     except sqlite3.OperationalError as exc:
+        if _is_busy(exc):
+            raise StoreBusyError(
+                f"database busy after {BUSY_RETRY.max_attempts} "
+                f"attempts: {exc}") from exc
         raise PersistenceError(f"cannot start transaction: {exc}") from exc
     try:
         yield conn
+        faults.fire("db.commit.before")
     except BaseException:
         conn.execute("ROLLBACK")
         raise
     conn.execute("COMMIT")
+    faults.fire("db.commit.after")
 
 
 def journal_mode(conn: sqlite3.Connection) -> str:

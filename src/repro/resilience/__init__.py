@@ -1,0 +1,49 @@
+"""Failure handling as a subsystem, not an afterthought.
+
+This package is the substrate the serving and persistence stack stands
+on when things go wrong:
+
+* :mod:`repro.resilience.faults` — the fault-injection harness: named
+  fault points (``db.commit.before``, ``worker.shard``,
+  ``daemon.send``, ...) wired into the real code paths, armed by
+  seeded, deterministic schedules (programmatically or via
+  ``WOLVES_FAULTS``), provably free when disarmed;
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (exponential
+  backoff + full jitter, typed retryable-vs-fatal), :class:`Deadline`
+  (monotonic budgets propagated client -> queue -> sweep) and
+  :class:`Quarantine` (the poison-manifest circuit breaker);
+* :mod:`repro.resilience.chaos` — the ``wolves chaos`` engine: a seeded
+  fault schedule run against live daemon subprocesses, with invariant
+  checks (no partial record rows, exactly-once streams, bounded RSS)
+  reported as a :class:`ChaosReport`.
+"""
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultRule,
+    fire,
+    injected,
+    install,
+    install_from_env,
+    parse_schedule,
+)
+from repro.resilience.policy import (
+    Deadline,
+    Quarantine,
+    RetryPolicy,
+    stop_when,
+)
+
+__all__ = [
+    "Deadline",
+    "FaultInjector",
+    "FaultRule",
+    "Quarantine",
+    "RetryPolicy",
+    "fire",
+    "injected",
+    "install",
+    "install_from_env",
+    "parse_schedule",
+    "stop_when",
+]

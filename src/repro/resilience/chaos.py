@@ -1,0 +1,334 @@
+"""The ``wolves chaos`` harness: torture a live daemon, check the
+contracts.
+
+A chaos run is a seeded sequence of kill/restart cycles against real
+``wolves serve`` subprocesses on one durable database.  Each cycle arms
+the child with a fault schedule drawn from the seeded RNG (via the
+:data:`~repro.resilience.faults.ENV_FAULTS` environment variable, so
+the subprocess comes up injected), submits corpus work, rides the
+record stream, and then the daemon dies — either by its own injected
+crash or by our SIGKILL.  After every death the harness checks the
+durable log's **crash contract**, and a final clean daemon must resume
+and complete everything **exactly once**:
+
+* *no partial rows* — a ``queued``/``running`` row never has record
+  rows, a ``done`` row always has its full stream (the finish
+  transaction is all-or-nothing);
+* *exactly-once streams* — every ``done`` job's replayed records are
+  bit-identical to a direct in-process sweep of the same manifest
+  (no loss, no duplication, across any number of crashes);
+* *bounded memory* — no daemon's peak RSS (``VmHWM``) exceeds the
+  bound, faults or not.
+
+:class:`DaemonProcess` is also the subprocess handle the soak tests
+use: the child always binds port 0 and the harness reads the chosen
+port back from the ``serving on host:port`` ready line, which is
+race-free (no probe-close-rebind window for another process to steal
+the port).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import select
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.repository.corpus import CorpusSpec
+from repro.resilience.faults import ENV_FAULTS, ENV_SEED
+from repro.server.client import DaemonClient
+from repro.server.joblog import inspect_job_log
+from repro.server.protocol import TERMINAL_STATES, JobManifest
+
+#: the corpus ops a chaos cycle may submit
+CHAOS_OPS = ("analyze", "correct", "lineage")
+
+#: the fault schedules a cycle draws from — every named fault point of
+#: the stack is covered across a long enough run ("hang" is excluded:
+#: a chaos cycle must terminate)
+CHAOS_SCHEDULES = (
+    "joblog.finish.before:crash:count=1",
+    "joblog.finish.after:crash:count=1",
+    "worker.shard:crash:count=1",
+    "db.busy:busy:p=0.3",
+    "db.commit.before:busy:p=0.2",
+    "daemon.send:torn:count=1:after=3",
+    "daemon.send:drop:count=1:after=2",
+    "worker.shard:slow:p=0.5:duration=0.02",
+)
+
+
+def _repro_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Subprocess environment with ``repro`` importable and the given
+    overrides applied (an empty-string value disarms a variable)."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra or {})
+    return env
+
+
+class DaemonProcess:
+    """A ``wolves serve`` subprocess that binds port 0 and publishes
+    the chosen port through its ready line.  SIGKILL-able."""
+
+    def __init__(self, args: Sequence[str],
+                 env: Optional[Dict[str, str]] = None) -> None:
+        self.port: Optional[int] = None
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.system.cli", "serve",
+             "--port", "0"] + list(args),
+            env=_repro_env(env), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, bufsize=0)
+
+    def wait_ready(self, timeout_s: float = 30.0) -> int:
+        """Block until the child prints ``serving on host:port``;
+        returns (and stores) the port."""
+        fd = self.proc.stdout.fileno()
+        buffer = b""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            readable, _, _ = select.select([fd], [], [], 0.1)
+            if not readable:
+                if self.proc.poll() is not None:
+                    raise RuntimeError(
+                        f"daemon died at startup "
+                        f"(rc={self.proc.returncode}): "
+                        f"{buffer.decode('utf-8', 'replace')}")
+                continue
+            chunk = os.read(fd, 4096)
+            if not chunk:  # EOF: the child is gone
+                self.proc.wait(timeout=30)
+                raise RuntimeError(
+                    f"daemon died at startup "
+                    f"(rc={self.proc.returncode}): "
+                    f"{buffer.decode('utf-8', 'replace')}")
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith("serving on "):
+                    self.port = int(
+                        text.split()[2].rsplit(":", 1)[1])
+                    return self.port
+        raise TimeoutError("daemon never printed its ready line")
+
+    def rss_peak_kb(self) -> Optional[int]:
+        """The child's peak RSS (``VmHWM``) in kB, while it is alive;
+        ``None`` off Linux or once the process is reaped."""
+        try:
+            with open(f"/proc/{self.proc.pid}/status",
+                      encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1])
+        except (OSError, ValueError, IndexError):
+            return None
+        return None
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — no cleanup, exactly like an OOM kill."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=30)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+# -- the chaos run ------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """What a :func:`run_chaos` campaign did and found."""
+
+    seed: int
+    cycles: int = 0
+    kills: int = 0
+    #: job id -> op, everything any cycle got accepted
+    submitted: Dict[str, str] = field(default_factory=dict)
+    #: job id -> terminal state under the final clean daemon
+    completed: Dict[str, str] = field(default_factory=dict)
+    #: the fault schedule each cycle armed
+    schedules: List[str] = field(default_factory=list)
+    max_rss_kb: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        done = sum(1 for state in self.completed.values()
+                   if state == "done")
+        lines = [
+            f"chaos seed={self.seed}: {self.cycles} cycle(s), "
+            f"{self.kills} SIGKILL(s), {len(self.submitted)} job(s) "
+            f"submitted, {done} completed exactly-once, peak RSS "
+            f"{self.max_rss_kb // 1024} MiB",
+        ]
+        for cycle, schedule in enumerate(self.schedules):
+            lines.append(f"  cycle {cycle}: faults [{schedule}]")
+        if self.violations:
+            lines.append(f"  {len(self.violations)} INVARIANT "
+                         f"VIOLATION(S):")
+            lines.extend(f"    - {violation}"
+                         for violation in self.violations)
+        else:
+            lines.append("  all invariants held (no partial rows, "
+                         "exactly-once replay, bounded RSS)")
+        return "\n".join(lines)
+
+
+def direct_records(manifest: JobManifest) -> List:
+    """Ground truth: the same sweep, serial and in-process."""
+    from repro.service import AnalysisService
+
+    service = AnalysisService(workers=1, criterion=manifest.criterion)
+    if manifest.op == "analyze":
+        return list(service.analyze_corpus(manifest.corpus))
+    if manifest.op == "correct":
+        return list(service.correct_corpus(manifest.corpus))
+    return list(service.lineage_audit(
+        manifest.corpus, queries_per_view=manifest.queries_per_view))
+
+
+def check_crash_contract(db: str, report: ChaosReport,
+                         when: str) -> None:
+    """The durable log's all-or-nothing rule, checked after a death."""
+    for job_id, state, stored in inspect_job_log(db):
+        if state in ("queued", "running") and stored:
+            report.violations.append(
+                f"{when}: {job_id} is {state} with {stored} record "
+                f"row(s) (partial stream survived)")
+        if state == "done" and stored == 0:
+            report.violations.append(
+                f"{when}: {job_id} is done with no records")
+
+
+def run_chaos(db: str, seed: int = 0, cycles: int = 3,
+              corpus_count: int = 8, corpus_seed: int = 2009,
+              max_rss_mb: float = 512.0,
+              daemon_args: Sequence[str] = (),
+              emit=None) -> ChaosReport:
+    """Run a seeded chaos campaign against daemons on ``db``.
+
+    Deterministic given ``seed``: the schedules, ops, and kill points
+    all come from one RNG, and each child's injector is seeded from it
+    too, so a failing campaign replays exactly.
+    """
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed)
+    say = emit if emit is not None else (lambda _line: None)
+    corpus = CorpusSpec(seed=corpus_seed, count=corpus_count,
+                        min_size=12, max_size=24)
+    manifests = {op: JobManifest(op=op, corpus=corpus)
+                 for op in CHAOS_OPS}
+
+    def sample_rss(proc: DaemonProcess) -> None:
+        peak = proc.rss_peak_kb()
+        if peak is not None:
+            report.max_rss_kb = max(report.max_rss_kb, peak)
+
+    for cycle in range(cycles):
+        schedule = rng.choice(CHAOS_SCHEDULES)
+        fault_seed = rng.randrange(1 << 16)
+        op = rng.choice(CHAOS_OPS)
+        # sometimes past the corpus size: those cycles ride the stream
+        # to completion and die afterwards instead of mid-stream
+        kill_at = rng.randint(1, corpus_count * 2)
+        report.schedules.append(schedule)
+        say(f"cycle {cycle}: op={op} faults=[{schedule}] "
+            f"fault_seed={fault_seed} kill_at_record={kill_at}")
+        proc = DaemonProcess(
+            ["--db", db, *daemon_args],
+            env={ENV_FAULTS: schedule, ENV_SEED: str(fault_seed)})
+        try:
+            proc.wait_ready()
+
+            def on_record(sequence, _record, proc=proc,
+                          kill_at=kill_at):
+                sample_rss(proc)
+                if sequence + 1 >= kill_at:
+                    proc.kill()  # mid-stream, like an OOM kill
+
+            try:
+                with DaemonClient(proc.port, timeout=30.0) as client:
+                    accepted = client.submit(manifests[op], wait=False)
+                    report.submitted[accepted.job_id] = op
+                    sample_rss(proc)
+                    # ride the stream until the job ends, a fault tears
+                    # the connection, or the kill callback fires
+                    client.attach(accepted.job_id, on_record=on_record)
+            except (ReproError, ConnectionError, OSError):
+                pass  # torn frame / dropped peer / dead daemon
+            sample_rss(proc)
+            if proc.alive():
+                report.kills += 1
+                proc.kill()
+            report.cycles += 1
+        finally:
+            proc.terminate()
+        check_crash_contract(db, report, when=f"after cycle {cycle}")
+
+    # the clean final daemon: resume everything, verify exactly-once
+    say("final cycle: clean daemon, resuming unfinished jobs")
+    final = DaemonProcess(["--db", db, *daemon_args],
+                          env={ENV_FAULTS: "", ENV_SEED: ""})
+    try:
+        final.wait_ready()
+        truths: Dict[str, List] = {}
+        with DaemonClient(final.port, timeout=60.0) as client:
+            for job_id, op in report.submitted.items():
+                try:
+                    entry = client.wait(job_id, states=TERMINAL_STATES,
+                                        timeout=300, poll_s=0.1)
+                except ReproError as exc:
+                    report.violations.append(
+                        f"{job_id} never reached a terminal state "
+                        f"under the clean daemon: {exc}")
+                    continue
+                state = entry["state"]
+                report.completed[job_id] = state
+                if state == "done":
+                    replay = client.attach(job_id)
+                    truth = truths.setdefault(
+                        op, direct_records(manifests[op]))
+                    if replay.records != truth:
+                        report.violations.append(
+                            f"{job_id} ({op}) replay diverged from the "
+                            f"direct sweep ({len(replay.records)} vs "
+                            f"{len(truth)} record(s))")
+                elif state == "failed" and not entry.get("error"):
+                    report.violations.append(
+                        f"{job_id} failed without a typed error")
+                sample_rss(final)
+    finally:
+        final.terminate()
+    check_crash_contract(db, report, when="after the final daemon")
+    if report.max_rss_kb > max_rss_mb * 1024:
+        report.violations.append(
+            f"peak RSS {report.max_rss_kb} kB exceeded the "
+            f"{max_rss_mb} MiB bound")
+    say(report.summary())
+    return report

@@ -1,0 +1,284 @@
+"""The fault-injection harness: named fault points on real code paths.
+
+The serving and persistence stack calls :func:`fire` at its **fault
+points** — places where the real world fails: the SQLite connect/commit
+path (``db.connect``, ``db.busy``, ``db.commit.before``,
+``db.commit.after``), the durable job log's finish transaction
+(``joblog.finish.before`` / ``joblog.finish.after``), the shard workers
+(``worker.shard``) and the daemon's I/O loop (``daemon.accept``,
+``daemon.send``).  With no schedule installed, :func:`fire` is one
+module-global load and an ``is None`` check — the disabled cost the
+benchmark gates hold to zero.
+
+A :class:`FaultRule` arms one point with one failure *action*:
+
+========== ==============================================================
+``error``   raise :class:`~repro.errors.InjectedFault`
+``busy``    raise ``sqlite3.OperationalError('database is locked ...')``
+            (an injected ``SQLITE_BUSY`` storm)
+``disk``    raise ``sqlite3.OperationalError('database or disk is full
+            ...')``
+``crash``   ``os._exit`` — the process dies like a SIGKILL/OOM would.
+            Call sites that must never take down a shared process pass
+            ``allow_exit=False`` and get an ``error`` instead
+``hang``    sleep ``duration`` seconds (default 30), in slices, honouring
+            a ``cancel`` event passed by the call site
+``slow``    sleep ``duration`` seconds (default 0.05)
+``drop``    raise ``ConnectionResetError`` (a vanished peer)
+``torn``    raise :class:`~repro.errors.InjectedFault` with
+            ``action='torn'`` — the daemon's send path turns it into a
+            half-written frame
+========== ==============================================================
+
+Rules trigger **deterministically given a seed**: each rule draws from
+the injector's seeded RNG only when ``p < 1``, skips its first ``after``
+passes, and disarms after ``count`` firings (``count=1`` is
+trigger-once).  Activation is programmatic (:func:`install`, or the
+:func:`injected` context manager the tests use) or environment-driven:
+``WOLVES_FAULTS="worker.shard:crash:count=1;db.busy:busy:p=0.5"``
+(``WOLVES_FAULT_SEED`` seeds the RNG), which is how ``wolves chaos``
+arms a daemon *subprocess* it is about to torture.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import InjectedFault, ReproError
+
+#: actions a rule may take at its point
+ACTIONS = ("error", "busy", "disk", "crash", "hang", "slow", "drop",
+           "torn")
+
+#: environment variables the harness reads at import (and on
+#: :func:`install_from_env`)
+ENV_FAULTS = "WOLVES_FAULTS"
+ENV_SEED = "WOLVES_FAULT_SEED"
+
+_DEFAULT_DURATIONS = {"hang": 30.0, "slow": 0.05}
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: where, what, and how often."""
+
+    point: str
+    action: str
+    #: fire probability per pass (1.0 = every pass); draws come from the
+    #: owning injector's seeded RNG, so schedules replay exactly
+    p: float = 1.0
+    #: disarm after this many firings (None = never)
+    count: Optional[int] = None
+    #: skip the first ``after`` passes through the point
+    after: int = 0
+    #: sleep length for ``hang``/``slow``
+    duration: Optional[float] = None
+    #: bookkeeping (mutated under the injector's lock)
+    passes: int = 0
+    fires: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ReproError(
+                f"unknown fault action {self.action!r}; "
+                f"choose from {ACTIONS}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ReproError(f"fault probability must be in [0, 1], "
+                             f"got {self.p}")
+        if self.duration is None:
+            self.duration = _DEFAULT_DURATIONS.get(self.action, 0.0)
+
+    @property
+    def armed(self) -> bool:
+        return self.count is None or self.fires < self.count
+
+
+class FaultInjector:
+    """A seeded schedule of :class:`FaultRule` entries, by point name.
+
+    Thread-safe: rules fire from the daemon's event loop, executor
+    threads and forked pool workers alike (a forked worker inherits the
+    installed schedule; a spawned one re-reads the environment).
+    """
+
+    def __init__(self, rules: Optional[List[FaultRule]] = None,
+                 seed: int = 0) -> None:
+        import random
+
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._rules: Dict[str, List[FaultRule]] = {}
+        for rule in rules or []:
+            self.add(rule)
+
+    def add(self, rule: FaultRule) -> "FaultInjector":
+        with self._lock:
+            self._rules.setdefault(rule.point, []).append(rule)
+        return self
+
+    def rules(self) -> List[FaultRule]:
+        with self._lock:
+            return [rule for rules in self._rules.values()
+                    for rule in rules]
+
+    def snapshot(self) -> Dict[str, int]:
+        """point -> total fires (the chaos report's schedule audit)."""
+        counts: Dict[str, int] = {}
+        for rule in self.rules():
+            counts[rule.point] = counts.get(rule.point, 0) + rule.fires
+        return counts
+
+    # -- firing ------------------------------------------------------------
+
+    def _select(self, point: str) -> Optional[FaultRule]:
+        with self._lock:
+            for rule in self._rules.get(point, ()):
+                if not rule.armed:
+                    continue
+                rule.passes += 1
+                if rule.passes <= rule.after:
+                    continue
+                if rule.p < 1.0 and self._rng.random() >= rule.p:
+                    continue
+                rule.fires += 1
+                return rule
+        return None
+
+    def fire(self, point: str, allow_exit: bool = True,
+             cancel: Optional[threading.Event] = None) -> None:
+        rule = self._select(point)
+        if rule is None:
+            return
+        action = rule.action
+        if action == "crash" and not allow_exit:
+            action = "error"  # degraded: this process must survive
+        if action == "error" or action == "torn":
+            raise InjectedFault(point, action)
+        if action == "busy":
+            raise sqlite3.OperationalError(
+                f"database is locked (injected at {point})")
+        if action == "disk":
+            raise sqlite3.OperationalError(
+                f"database or disk is full (injected at {point})")
+        if action == "drop":
+            raise ConnectionResetError(f"injected drop at {point}")
+        if action == "crash":
+            os._exit(23)
+        # hang / slow: sleep in slices so a cooperative cancel (the
+        # computation's cancel_event) still stops a hung worker
+        deadline = time.monotonic() + rule.duration
+        while time.monotonic() < deadline:
+            if cancel is not None and cancel.is_set():
+                return
+            time.sleep(min(0.01, max(0.0, deadline - time.monotonic())))
+
+
+# -- module-level activation --------------------------------------------------
+
+_active: Optional[FaultInjector] = None
+
+
+def fire(point: str, allow_exit: bool = True,
+         cancel: Optional[threading.Event] = None) -> None:
+    """The call sites' entry point.  Disabled cost: one global load and
+    one ``is None`` test."""
+    injector = _active
+    if injector is not None:
+        injector.fire(point, allow_exit=allow_exit, cancel=cancel)
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def active() -> Optional[FaultInjector]:
+    return _active
+
+
+def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install a schedule (or clear with ``None``); returns the previous
+    one."""
+    global _active
+    previous = _active
+    _active = injector
+    return previous
+
+
+def clear() -> None:
+    install(None)
+
+
+class injected:
+    """``with injected(FaultRule(...), ..., seed=7):`` — scoped
+    activation for tests; restores the previous schedule on exit and
+    exposes the injector as the context value."""
+
+    def __init__(self, *rules: FaultRule, seed: int = 0) -> None:
+        self.injector = FaultInjector(list(rules), seed=seed)
+        self._previous: Optional[FaultInjector] = None
+
+    def __enter__(self) -> FaultInjector:
+        self._previous = install(self.injector)
+        return self.injector
+
+    def __exit__(self, *_exc) -> None:
+        install(self._previous)
+
+
+# -- environment activation ---------------------------------------------------
+
+
+def parse_rule(text: str) -> FaultRule:
+    """``point:action[:key=value...]`` — the one-rule grammar of
+    :data:`ENV_FAULTS` (keys: ``p``, ``count``, ``after``,
+    ``duration``)."""
+    parts = [part.strip() for part in text.split(":") if part.strip()]
+    if len(parts) < 2:
+        raise ReproError(
+            f"bad fault spec {text!r}: need at least point:action")
+    options: Dict[str, float] = {}
+    for part in parts[2:]:
+        if "=" not in part:
+            raise ReproError(f"bad fault option {part!r} in {text!r}")
+        key, value = part.split("=", 1)
+        if key not in ("p", "count", "after", "duration"):
+            raise ReproError(f"unknown fault option {key!r} in {text!r}")
+        try:
+            options[key] = float(value)
+        except ValueError as exc:
+            raise ReproError(
+                f"bad fault option value {part!r} in {text!r}") from exc
+    return FaultRule(
+        point=parts[0], action=parts[1],
+        p=options.get("p", 1.0),
+        count=int(options["count"]) if "count" in options else None,
+        after=int(options.get("after", 0)),
+        duration=options.get("duration"))
+
+
+def parse_schedule(spec: str, seed: int = 0) -> FaultInjector:
+    """A whole ``;``-separated schedule as one injector."""
+    rules = [parse_rule(part) for part in spec.split(";")
+             if part.strip()]
+    return FaultInjector(rules, seed=seed)
+
+
+def install_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """Arm the schedule named by :data:`ENV_FAULTS`, if any; returns
+    whether one was installed.  Called at import so daemon/worker
+    *subprocesses* started with the variable set come up armed."""
+    env = os.environ if environ is None else environ
+    spec = env.get(ENV_FAULTS)
+    if not spec:
+        return False
+    install(parse_schedule(spec, seed=int(env.get(ENV_SEED, "0"))))
+    return True
+
+
+install_from_env()

@@ -1,0 +1,205 @@
+"""The resilience policy layer: retries, deadlines, quarantine.
+
+Three small, composable mechanisms the serving and persistence stack
+shares (instead of one ad-hoc loop per call site):
+
+* :class:`RetryPolicy` — bounded retries with **exponential backoff and
+  full jitter** (the AWS-architecture classic: sleep a uniform draw
+  from ``[0, min(cap, base * 2**attempt)]``, which decorrelates
+  stampeding retriers) plus a typed retryable-vs-fatal classification,
+  so a ``SQLITE_BUSY`` storm retries while a schema mismatch fails
+  fast;
+* :class:`Deadline` — a monotonic-clock budget that propagates: a
+  client attaches ``deadline_s`` to a manifest, the daemon arms a
+  :class:`Deadline` at acceptance, its reaper fails the job when it
+  expires, and the sweep's ``should_stop`` hook observes the same
+  deadline at every shard boundary.  Expiry is always the typed
+  :class:`~repro.errors.DeadlineExceeded` family;
+* :class:`Quarantine` — a strike-counting circuit breaker keyed by
+  manifest fingerprint: work that keeps killing workers (or keeps
+  failing) is **parked** with a typed terminal answer and a
+  ``retry_after`` hint instead of being allowed to re-break the pool.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A point on the monotonic clock work must finish by."""
+
+    __slots__ = ("expires_at", "label")
+
+    def __init__(self, expires_at: float, label: str = "work") -> None:
+        self.expires_at = expires_at
+        self.label = label
+
+    @classmethod
+    def after(cls, seconds: float, label: str = "work") -> "Deadline":
+        return cls(time.monotonic() + seconds, label=label)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise the typed :class:`DeadlineExceeded` once expired."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline for {self.label} exceeded "
+                f"({-self.remaining():.3f}s past)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline({self.label!r}, remaining={self.remaining():.3f}s)"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + full jitter over a typed retryable set.
+
+    ``max_attempts`` counts *tries*, not retries: ``max_attempts=4`` is
+    one initial try plus up to three retries.  ``seed`` makes the jitter
+    sequence reproducible (chaos schedules replay exactly); the default
+    seeds from the system RNG.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    retryable: Tuple[Type[BaseException], ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delay_cap(self, attempt: int) -> float:
+        """The backoff envelope: ``min(max_delay, base * 2**attempt)``
+        for the sleep after try number ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+    def delays(self, rng: Optional[random.Random] = None
+               ) -> Iterator[float]:
+        """The jittered sleep sequence (one entry per retry)."""
+        rng = rng or random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            yield rng.uniform(0.0, self.delay_cap(attempt))
+
+    def is_retryable(self, exc: BaseException,
+                     classify: Optional[Callable[[BaseException], bool]]
+                     = None) -> bool:
+        """Typed check first, then the optional per-call refinement
+        (e.g. "only *locked/busy* OperationalErrors")."""
+        if not isinstance(exc, self.retryable):
+            return False
+        return classify(exc) if classify is not None else True
+
+    def call(self, fn: Callable, *args,
+             classify: Optional[Callable[[BaseException], bool]] = None,
+             deadline: Optional[Deadline] = None,
+             on_retry: Optional[Callable[[int, BaseException, float],
+                                         None]] = None,
+             sleep: Callable[[float], None] = time.sleep, **kwargs):
+        """Run ``fn`` under this policy.
+
+        Fatal (non-retryable) errors propagate immediately; retryable
+        ones are retried with jittered backoff until the attempts — or
+        the optional ``deadline`` — run out, at which point the *last*
+        retryable error propagates.  ``on_retry(attempt, exc, delay)``
+        observes each retry (logging, counters).
+        """
+        rng = random.Random(self.seed)
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None and attempt > 0:
+                deadline.check()
+            try:
+                return fn(*args, **kwargs)
+            except Exception as exc:
+                if not self.is_retryable(exc, classify):
+                    raise
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    break
+                delay = rng.uniform(0.0, self.delay_cap(attempt))
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining()))
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise last  # type: ignore[misc]  (always set on this path)
+
+
+@dataclass
+class Quarantine:
+    """Strike-counting circuit breaker over opaque keys.
+
+    ``record_strike(key, n)`` accumulates; once a key's strikes reach
+    ``threshold`` it is parked — :meth:`is_quarantined` turns true and
+    :meth:`check` raises the caller's typed error.  Parking is sticky
+    until :meth:`release` (the operator's lever); ``retry_after`` is the
+    hint handed to rejected callers.
+    """
+
+    threshold: int = 3
+    retry_after: float = 60.0
+    _strikes: Dict[str, int] = field(default_factory=dict)
+    _parked: Dict[str, str] = field(default_factory=dict)
+
+    def record_strike(self, key: str, n: int = 1,
+                      reason: str = "repeated failure") -> bool:
+        """Count ``n`` strikes; returns True when this call parked the
+        key (the caller's cue to emit the terminal record)."""
+        if n <= 0 or key in self._parked:
+            return False
+        total = self._strikes.get(key, 0) + n
+        self._strikes[key] = total
+        if total >= self.threshold:
+            self._parked[key] = (
+                f"{reason} ({total} strike(s), threshold "
+                f"{self.threshold})")
+            return True
+        return False
+
+    def is_quarantined(self, key: str) -> bool:
+        return key in self._parked
+
+    def reason(self, key: str) -> Optional[str]:
+        return self._parked.get(key)
+
+    def strikes(self, key: str) -> int:
+        return self._strikes.get(key, 0)
+
+    def release(self, key: str) -> bool:
+        """Un-park (and reset strikes); returns whether it was parked."""
+        self._strikes.pop(key, None)
+        return self._parked.pop(key, None) is not None
+
+    @property
+    def parked(self) -> Dict[str, str]:
+        return dict(self._parked)
+
+
+def stop_when(*conditions: Optional[Callable[[], bool]]
+              ) -> Callable[[], bool]:
+    """Fold cancel events and deadlines into one ``should_stop`` hook
+    (``None`` entries are skipped): the form the sweep polls at shard
+    boundaries."""
+    checks = [cond for cond in conditions if cond is not None]
+
+    def should_stop() -> bool:
+        return any(check() for check in checks)
+
+    return should_stop

@@ -16,12 +16,15 @@ unit of fairness anyway.
 
 from __future__ import annotations
 
+import dataclasses
+import random
 import socket
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ServerError
+from repro.errors import JobTimeoutError, QueueFullError, ServerError
+from repro.resilience.policy import RetryPolicy
 from repro.server.protocol import (
     TERMINAL_STATES,
     JobManifest,
@@ -52,6 +55,12 @@ class JobResult:
     @property
     def ok(self) -> bool:
         return self.state == "done"
+
+    @property
+    def timed_out(self) -> bool:
+        """The daemon's reaper failed this job on its deadline."""
+        return self.state == "failed" and \
+            (self.error or "").startswith("JobTimeoutError")
 
 
 class DaemonClient:
@@ -100,10 +109,40 @@ class DaemonClient:
         return self._expect("pong")["protocol"]
 
     def submit(self, manifest: JobManifest, wait: bool = True,
-               on_record: Optional[OnRecord] = None) -> JobResult:
+               on_record: Optional[OnRecord] = None,
+               deadline_s: Optional[float] = None,
+               retry: Optional[RetryPolicy] = None,
+               sleep: Callable[[float], None] = time.sleep) -> JobResult:
         """Submit a job; with ``wait`` stream its records to completion,
         otherwise return right after the ``accepted`` frame (use
-        :meth:`attach` later)."""
+        :meth:`attach` later).
+
+        ``deadline_s`` stamps the manifest with a job deadline: the
+        daemon fails the job with the typed timeout once that budget is
+        spent.  ``retry`` applies a :class:`RetryPolicy` to queue-full
+        rejections, with the daemon's ``retry_after`` hint as the floor
+        of each backoff sleep (the hint means "not before").
+        """
+        if deadline_s is not None:
+            manifest = dataclasses.replace(manifest,
+                                           deadline_s=deadline_s)
+        if retry is None:
+            return self._submit_once(manifest, wait, on_record)
+        rng = random.Random(retry.seed)
+        for attempt in range(retry.max_attempts):
+            try:
+                return self._submit_once(manifest, wait, on_record)
+            except QueueFullError as exc:
+                if attempt == retry.max_attempts - 1:
+                    raise
+                delay = rng.uniform(0.0, retry.delay_cap(attempt))
+                if exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _submit_once(self, manifest: JobManifest, wait: bool,
+                     on_record: Optional[OnRecord]) -> JobResult:
         started = time.perf_counter()
         self._send({"type": "submit", "manifest": manifest.to_dict(),
                     "stream": bool(wait)})
@@ -185,7 +224,7 @@ class DaemonClient:
                 if entry["job"] == job_id and entry["state"] in states:
                     return entry
             if time.monotonic() > deadline:
-                raise TimeoutError(
+                raise JobTimeoutError(
                     f"job {job_id} did not reach {states} in {timeout}s")
             time.sleep(poll_s)
 

@@ -47,11 +47,16 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
 
 from repro.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    QuarantinedError,
     ReproError,
     ServerError,
     SweepCancelled,
     UnknownJobError,
 )
+from repro.resilience import faults
+from repro.resilience.policy import Deadline, Quarantine
 from repro.server import protocol
 from repro.server.jobs import Computation, Job, JobQueue
 from repro.server.joblog import JobLog
@@ -73,12 +78,16 @@ from repro.service.service import AnalysisService
 
 class _Connection:
     """Per-client context: the outbox its writer task drains and the
-    jobs it watches (deregistered on disconnect)."""
+    jobs it watches (deregistered on disconnect or when shed)."""
 
     def __init__(self) -> None:
         self.outbox: "asyncio.Queue[Optional[Dict[str, Any]]]" = \
             asyncio.Queue()
         self.watched: List[Job] = []
+        #: set when the daemon dropped this connection's stream
+        #: subscriptions because it could not keep up (see
+        #: ``AnalysisDaemon.max_outbox``); request/response still works
+        self.shed = False
 
     def send(self, frame: Dict[str, Any]) -> None:
         self.outbox.put_nowait(frame)
@@ -93,11 +102,17 @@ class AnalysisDaemon:
                  parallel_jobs: int = 2,
                  service_workers: int = 1,
                  retain_jobs: int = 512,
+                 max_outbox: int = 1024,
+                 quarantine_strikes: int = 3,
+                 quarantine_retry_after: float = 60.0,
+                 reaper_interval: float = 0.05,
                  _gate: Optional[threading.Event] = None) -> None:
         if parallel_jobs < 1:
             raise ValueError("parallel_jobs must be >= 1")
         if retain_jobs < 1:
             raise ValueError("retain_jobs must be >= 1")
+        if max_outbox < 1:
+            raise ValueError("max_outbox must be >= 1")
         self.host = host
         self.port = port
         self.db_path = db_path
@@ -108,6 +123,15 @@ class AnalysisDaemon:
         #: must not grow without bound; with a database the records are
         #: released to the job log instead and replay survives anyway)
         self.retain_jobs = retain_jobs
+        #: per-connection outbox bound: a stream subscriber whose outbox
+        #: grows past this is shed (graceful degradation) instead of
+        #: ballooning daemon memory behind a stalled client
+        self.max_outbox = max_outbox
+        #: poison-manifest circuit breaker: a fingerprint that breaks
+        #: the pool / fails this many times is parked
+        self._quarantine = Quarantine(threshold=quarantine_strikes,
+                                      retry_after=quarantine_retry_after)
+        self.reaper_interval = reaper_interval
         self._queue = JobQueue(max_queued=max_queued)
         #: every job this daemon knows, submission order
         self._jobs: Dict[str, Job] = {}
@@ -135,9 +159,11 @@ class AnalysisDaemon:
         #: computing (still honouring cancellation), which makes queue /
         #: cancellation tests deterministic
         self._gate = _gate
+        self._reaper_task: Optional[asyncio.Task] = None
         self.stats = {"submitted": 0, "computations": 0, "coalesced": 0,
                       "done": 0, "failed": 0, "cancelled": 0,
-                      "resumed": 0}
+                      "resumed": 0, "timed_out": 0, "shed": 0,
+                      "quarantined": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -172,6 +198,7 @@ class AnalysisDaemon:
         self._dispatchers = [
             self._loop.create_task(self._dispatch_loop())
             for _ in range(self.parallel_jobs)]
+        self._reaper_task = self._loop.create_task(self._reaper_loop())
 
     async def _accept_loop(self) -> None:
         while True:
@@ -182,6 +209,11 @@ class AnalysisDaemon:
                 return
             if self._stopping:
                 conn.close()
+                continue
+            try:
+                faults.fire("daemon.accept")
+            except (ReproError, ConnectionError, OSError):
+                conn.close()  # injected: the client sees a dropped dial
                 continue
             task = self._loop.create_task(self._conn_main(conn))
             self._conn_tasks.add(task)
@@ -202,6 +234,11 @@ class AnalysisDaemon:
         Unfinished jobs stay ``queued``/``running`` in the log and are
         resumed by the next daemon on this database."""
         self._stopping = True
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            await asyncio.gather(self._reaper_task,
+                                 return_exceptions=True)
+            self._reaper_task = None
         if self._accept_task is not None:
             self._accept_task.cancel()
             await asyncio.gather(self._accept_task,
@@ -282,6 +319,36 @@ class AnalysisDaemon:
             self.stats["resumed"] += 1
             self._enqueue(job, force=True)
 
+    # -- the deadline reaper -----------------------------------------------
+
+    async def _reaper_loop(self) -> None:
+        """Fail jobs whose deadline expired with the typed timeout; when
+        that was the computation's last live job, the sweep is told to
+        stop at its next shard boundary."""
+        while True:
+            await asyncio.sleep(self.reaper_interval)
+            for job in list(self._jobs.values()):
+                if job.finished or job.deadline is None \
+                        or not job.deadline.expired():
+                    continue
+                await self._expire_job(job)
+
+    async def _expire_job(self, job: Job) -> None:
+        job.state = FAILED
+        job.error = (f"JobTimeoutError: deadline of "
+                     f"{job.manifest.deadline_s}s exceeded")
+        job.finished_at = utc_now()
+        self.stats["timed_out"] += 1
+        self._notify_done(job)
+        self._retain(job)
+        computation = job.computation
+        if computation is not None and computation.cancelled:
+            computation.cancel_event.set()
+            self._drop_inflight(computation)
+        if self._joblog is not None:
+            await self._io_call(self._joblog.record_state, job.job_id,
+                                FAILED, job.error)
+
     # -- submission and the queue ------------------------------------------
 
     def _enqueue(self, job: Job, force: bool = False) -> bool:
@@ -312,6 +379,14 @@ class AnalysisDaemon:
     async def _handle_submit(self, frame: Dict[str, Any],
                              conn: _Connection) -> None:
         manifest = JobManifest.from_dict(frame.get("manifest"))
+        reason = self._quarantine.reason(manifest.fingerprint())
+        if reason is not None:
+            # circuit breaker: this manifest keeps killing workers —
+            # park the request instead of re-breaking the pool
+            self.stats["quarantined"] += 1
+            raise QuarantinedError(
+                f"manifest is quarantined: {reason}",
+                retry_after=self._quarantine.retry_after)
         job = Job(manifest)
         coalesced = self._enqueue(job)  # QueueFullError -> error frame
         self._jobs[job.job_id] = job
@@ -335,7 +410,7 @@ class AnalysisDaemon:
         if job.finished:
             conn.send(self._done_frame(job))
         else:
-            job.watchers.append(conn.outbox)
+            job.watchers.append(conn)
             conn.watched.append(job)
 
     # -- frames about existing jobs ----------------------------------------
@@ -411,30 +486,42 @@ class AnalysisDaemon:
         self._running.append(computation)
         self._dispatch_seq += 1
         for job in live:
-            if job.state == CANCELLED:
-                continue  # cancelled while an earlier job was persisted
+            if job.finished:
+                continue  # finalized while an earlier job was persisted
             job.state = RUNNING
             job.started_seq = self._dispatch_seq
             if self._joblog is not None:
                 await self._io_call(self._joblog.record_state,
                                     job.job_id, RUNNING, None)
         try:
-            outcome, error = await self._loop.run_in_executor(
+            outcome, error, strikes = await self._loop.run_in_executor(
                 self._executor, self._execute, computation)
         except Exception as exc:  # backstop: executor bug, not job code
-            outcome, error = FAILED, repr(exc)
+            outcome, error, strikes = FAILED, repr(exc), 1
         finally:
             self._running.remove(computation)
             self._drop_inflight(computation)
+        timed_out = error is not None \
+            and error.startswith("JobTimeoutError")
+        if outcome == FAILED and not timed_out:
+            # a missed deadline is the submitter's budget, not evidence
+            # the manifest is poisonous — no quarantine strike for it
+            strikes += 1
+        if strikes:
+            self._quarantine.record_strike(
+                computation.fingerprint, strikes,
+                reason=error or "pool-breaking worker crashes")
         if outcome == CANCELLED:
-            return  # each job was finalized by its cancel frame
+            return  # each job was finalized by its cancel/expiry frame
         records = computation.live_template().records
         for job in computation.live_jobs():
-            if job.state == CANCELLED:
-                continue  # cancelled while we were persisting
+            if job.finished:
+                continue  # cancelled or timed out while we persisted
             job.state = outcome
             job.error = error
             job.finished_at = utc_now()
+            if timed_out:
+                self.stats["timed_out"] += 1
             if self._joblog is not None:
                 # records + terminal state in ONE transaction, before
                 # the done frame: a client that saw "done" can replay
@@ -464,46 +551,71 @@ class AnalysisDaemon:
 
     def _execute(self, computation: Computation):
         """Runs on the compute executor; publishes records into the
-        loop as the sweep streams them."""
+        loop as the sweep streams them.  Returns ``(outcome, error,
+        strikes)`` — strikes are the quarantine's evidence (pool breaks
+        this computation caused)."""
         cancel = computation.cancel_event
         if self._gate is not None:
             while not self._gate.wait(timeout=0.02):
                 if cancel.is_set():
-                    return CANCELLED, None
-        manifest = computation.manifest
+                    return CANCELLED, None, 0
+        deadlines = [job.deadline for job in computation.live_jobs()
+                     if job.deadline is not None]
+        deadline = min(deadlines, key=lambda d: d.expires_at) \
+            if deadlines else None
+        service = None
         try:
-            records = self._record_stream(manifest, cancel)
+            records, service = self._record_stream(
+                computation.manifest, cancel, deadline)
             try:
                 for record in records:
                     if cancel.is_set():
-                        return CANCELLED, None
+                        return CANCELLED, None, self._strikes(service)
                     self._loop.call_soon_threadsafe(
                         self._publish, computation, record)
             finally:
                 if hasattr(records, "close"):
                     records.close()
         except SweepCancelled:
-            return CANCELLED, None
+            return CANCELLED, None, self._strikes(service)
+        except DeadlineExceeded as exc:
+            # the sweep hit the job deadline at a shard boundary before
+            # the reaper's tick did — same typed terminal error either
+            # way, so clients see one timeout shape
+            return (FAILED, f"JobTimeoutError: {exc}",
+                    self._strikes(service))
         except ReproError as exc:
-            return FAILED, f"{type(exc).__name__}: {exc}"
-        return DONE, None
+            return (FAILED, f"{type(exc).__name__}: {exc}",
+                    self._strikes(service))
+        return DONE, None, self._strikes(service)
+
+    @staticmethod
+    def _strikes(service: Optional[AnalysisService]) -> int:
+        """Pool breaks this sweep caused — each one killed a worker
+        process, which is exactly the evidence quarantine counts."""
+        if service is None or service.last_report is None:
+            return 0
+        return service.last_report.pool_breaks
 
     def _record_stream(self, manifest: JobManifest,
-                       cancel: threading.Event):
+                       cancel: threading.Event,
+                       deadline: Optional[Deadline] = None):
         if manifest.op == OP_VALIDATE:
-            return iter([self._validate_record(manifest)])
+            return iter([self._validate_record(manifest)]), None
         service = AnalysisService(workers=self.service_workers,
                                   criterion=manifest.criterion,
                                   db_path=self.db_path)
         if manifest.op == "analyze":
-            return service.analyze_corpus(manifest.corpus,
-                                          should_stop=cancel.is_set)
+            return service.analyze_corpus(
+                manifest.corpus, should_stop=cancel.is_set,
+                deadline=deadline), service
         if manifest.op == "correct":
-            return service.correct_corpus(manifest.corpus,
-                                          should_stop=cancel.is_set)
+            return service.correct_corpus(
+                manifest.corpus, should_stop=cancel.is_set,
+                deadline=deadline), service
         return service.lineage_audit(
             manifest.corpus, queries_per_view=manifest.queries_per_view,
-            should_stop=cancel.is_set)
+            should_stop=cancel.is_set, deadline=deadline), service
 
     @staticmethod
     def _validate_record(manifest: JobManifest):
@@ -518,13 +630,40 @@ class AnalysisDaemon:
 
     def _publish(self, computation: Computation, record) -> None:
         """Event-loop side of streaming: append the record to every
-        live attached job and push a frame to its watchers."""
+        live attached job and push a frame to its watchers — shedding
+        any watcher whose outbox the client is not draining."""
         wire = record_to_wire(record)
         for job in computation.live_jobs():
             seq = len(job.records)
             job.records.append(record)
-            for outbox in job.watchers:
-                outbox.put_nowait(self._record_frame(job, seq, wire))
+            for conn in list(job.watchers):
+                self._stream_to(conn, self._record_frame(job, seq, wire))
+
+    def _stream_to(self, conn: _Connection,
+                   frame: Dict[str, Any]) -> None:
+        """Push a stream frame, unless the connection's outbox is past
+        the bound — then shed the subscriber instead of ballooning."""
+        if conn.outbox.qsize() >= self.max_outbox:
+            self._shed(conn)
+            return
+        conn.send(frame)
+
+    def _shed(self, conn: _Connection) -> None:
+        """Graceful degradation for a client that stopped draining: drop
+        every stream subscription (records stay replayable via attach)
+        and tell the client once, past the bound, why."""
+        if conn.shed:
+            return
+        conn.shed = True
+        self.stats["shed"] += 1
+        for job in conn.watched:
+            if conn in job.watchers:
+                job.watchers.remove(conn)
+        conn.watched.clear()
+        conn.send({"type": "error", "code": "overloaded",
+                   "message": "stream subscriber shed: outbox exceeded "
+                              f"{self.max_outbox} frames; re-attach to "
+                              "replay", "retry_after": 1.0})
 
     @staticmethod
     def _record_frame(job: Job, seq: int,
@@ -538,8 +677,10 @@ class AnalysisDaemon:
                 "records": job.record_count, "error": job.error}
 
     def _notify_done(self, job: Job) -> None:
-        for outbox in job.watchers:
-            outbox.put_nowait(self._done_frame(job))
+        for conn in job.watchers:
+            conn.send(self._done_frame(job))
+            if job in conn.watched:
+                conn.watched.remove(job)
         job.watchers.clear()
 
     # -- the connection loop -----------------------------------------------
@@ -573,11 +714,16 @@ class AnalysisDaemon:
                     await self._dispatch_frame(frame, conn)
                 except ServerError as exc:
                     conn.send(error_frame(exc))
+                except ReproError as exc:
+                    # e.g. a persistence error under an injected BUSY
+                    # storm: fail the request, keep the connection
+                    conn.send({"type": "error", "code": "server_error",
+                               "message": f"{type(exc).__name__}: {exc}"})
         finally:
             self._writers.discard(writer)
             for job in conn.watched:
-                if conn.outbox in job.watchers:
-                    job.watchers.remove(conn.outbox)
+                if conn in job.watchers:
+                    job.watchers.remove(conn)
             conn.outbox.put_nowait(None)
             await drain_task
             writer.close()
@@ -592,8 +738,23 @@ class AnalysisDaemon:
             frame = await conn.outbox.get()
             if frame is None:
                 return
+            data = encode_frame(frame)
             try:
-                writer.write(encode_frame(frame))
+                faults.fire("daemon.send")
+            except InjectedFault as exc:
+                if exc.action == "torn":
+                    # half a frame, then sever: the client's reader sees
+                    # a torn NDJSON line and must fail typed, not hang
+                    writer.write(data[: max(1, len(data) // 2)])
+                writer.close()  # torn: the connection dies here
+                return
+            except (ConnectionError, OSError):
+                # an injected "drop" (vanished peer): close so the
+                # client sees EOF instead of waiting on a dead drain
+                writer.close()
+                return
+            try:
+                writer.write(data)
                 await writer.drain()
             except (ConnectionError, OSError):
                 return  # reader loop notices the dead peer and cleans up
@@ -618,7 +779,9 @@ class AnalysisDaemon:
             conn.send({"type": "stats",
                        "protocol": protocol.PROTOCOL_VERSION,
                        "queued": len(self._queue),
-                       "running": len(self._running), **self.stats})
+                       "running": len(self._running),
+                       "parked": len(self._quarantine.parked),
+                       **self.stats})
         else:
             raise ServerError(f"unknown frame type {kind!r}",
                               code="bad_frame")

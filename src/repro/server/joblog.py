@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.persistence.db import open_checked
 from repro.persistence.db import transaction as _transaction
+from repro.resilience import faults
 from repro.server.protocol import (
     TERMINAL_STATES,
     JobManifest,
@@ -93,6 +94,10 @@ class JobLog:
         """Terminal state plus the full record stream, atomically."""
         rows = [(job_id, seq, pickle.dumps(record, protocol=4))
                 for seq, record in enumerate(records)]
+        # the crash-contract fault points: a `crash` injected at
+        # `.before` must leave a record-less non-terminal row, one at
+        # `.after` a terminal row with the full stream — never between
+        faults.fire("joblog.finish.before")
         with _transaction(self._conn):
             self._conn.execute(
                 "UPDATE server_jobs SET state = ?, error = ?, "
@@ -101,6 +106,7 @@ class JobLog:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO server_job_records "
                 "(job_id, seq, record) VALUES (?, ?, ?)", rows)
+        faults.fire("joblog.finish.after")
 
     # -- reads -------------------------------------------------------------
 

@@ -33,13 +33,17 @@ import uuid
 from typing import Any, Dict, List, Optional
 
 from repro.errors import QueueFullError
+from repro.resilience.policy import Deadline
 from repro.server.protocol import (
-    CANCELLED,
     QUEUED,
     TERMINAL_STATES,
     JobManifest,
     utc_now,
 )
+
+#: the retry-after hint (seconds) a queue_full rejection carries — the
+#: order of one job's service time on a loaded daemon
+QUEUE_RETRY_AFTER_S = 1.0
 
 
 def new_job_id() -> str:
@@ -78,6 +82,12 @@ class Job:
         #: finished under a previous daemon: records live in the job
         #: log, loaded on first attach
         self.records_in_log = False
+        #: armed at acceptance from ``manifest.deadline_s``; the daemon's
+        #: reaper fails the job with the typed timeout when it expires
+        self.deadline: Optional[Deadline] = None
+        if manifest.deadline_s is not None:
+            self.deadline = Deadline.after(manifest.deadline_s,
+                                           label=f"job {self.job_id}")
 
     @property
     def finished(self) -> bool:
@@ -130,10 +140,12 @@ class Computation:
         self.priority = min(self.priority, job.manifest.priority)
 
     def live_jobs(self) -> List[Job]:
-        return [job for job in self.jobs if job.state != CANCELLED]
+        """Jobs still waiting on this computation — anything not already
+        finalized (cancelled, or failed early by the deadline reaper)."""
+        return [job for job in self.jobs if not job.finished]
 
     def live_template(self) -> Job:
-        """Any non-cancelled job (the record list every job mirrors)."""
+        """Any live job (the record list every job mirrors)."""
         live = self.live_jobs()
         return live[0] if live else self.jobs[0]
 
@@ -161,7 +173,8 @@ class JobQueue:
         if len(self) >= self.max_queued:
             raise QueueFullError(
                 f"job queue is full ({self.max_queued} queued); "
-                f"retry after a job finishes")
+                f"retry after a job finishes",
+                retry_after=QUEUE_RETRY_AFTER_S)
         self._push(computation)
 
     def reprioritize(self, computation: Computation) -> None:

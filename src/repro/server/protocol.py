@@ -51,7 +51,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.errors import (
+    JobTimeoutError,
     ManifestError,
+    QuarantinedError,
     QueueFullError,
     ServerError,
     UnknownJobError,
@@ -105,6 +107,11 @@ class JobManifest:
     #: portable JSON documents of :mod:`repro.workflow.jsonio`
     spec_document: Optional[Dict[str, Any]] = None
     view_document: Optional[Dict[str, Any]] = None
+    #: seconds from acceptance the submitter gives this job; the daemon
+    #: arms a :class:`~repro.resilience.policy.Deadline` at acceptance,
+    #: fails the job with the typed ``timeout`` error when it expires,
+    #: and propagates the deadline into the sweep's ``should_stop``
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.op not in MANIFEST_OPS:
@@ -129,6 +136,11 @@ class JobManifest:
         if not isinstance(self.priority, int) \
                 or isinstance(self.priority, bool):
             raise ManifestError("priority must be an integer")
+        if self.deadline_s is not None and not (
+                isinstance(self.deadline_s, (int, float))
+                and not isinstance(self.deadline_s, bool)
+                and self.deadline_s > 0):
+            raise ManifestError("deadline_s must be a positive number")
 
     def to_dict(self) -> Dict[str, Any]:
         document = dataclasses.asdict(self)
@@ -170,11 +182,13 @@ class JobManifest:
     def fingerprint(self) -> str:
         """Content identity of the *computation* this manifest asks for.
 
-        Priority is excluded: it affects when a job runs, not what it
-        computes, so equal-fingerprint submissions share one run.
+        Priority and deadline are excluded: they affect when a job runs
+        (and when the submitter gives up), not what it computes, so
+        equal-fingerprint submissions share one run.
         """
         document = self.to_dict()
         document.pop("priority")
+        document.pop("deadline_s")
         canonical = json.dumps(document, sort_keys=True,
                                separators=(",", ":"), default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -223,15 +237,25 @@ def record_from_wire(payload: Dict[str, str]) -> Any:
                           code="bad_frame") from exc
 
 
-def error_frame(exc: ServerError) -> Dict[str, str]:
-    return {"type": "error", "code": exc.code, "message": str(exc)}
+def error_frame(exc: ServerError) -> Dict[str, Any]:
+    frame = {"type": "error", "code": exc.code, "message": str(exc)}
+    # graceful-degradation hint: queue_full / quarantined responses tell
+    # the client when a retry is worth attempting
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        frame["retry_after"] = retry_after
+    return frame
 
 
 def raise_error_frame(frame: Dict[str, Any]) -> None:
     """Client side: re-raise an ``error`` frame as its typed exception."""
     code = frame.get("code", "server_error")
     message = frame.get("message", "server error")
-    for cls in (ManifestError, QueueFullError, UnknownJobError):
+    retry_after = frame.get("retry_after")
+    for cls in (QueueFullError, QuarantinedError):
+        if cls.code == code:
+            raise cls(message, retry_after=retry_after)
+    for cls in (ManifestError, UnknownJobError, JobTimeoutError):
         if cls.code == code:
             raise cls(message)
     raise ServerError(message, code=code)

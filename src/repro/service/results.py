@@ -120,6 +120,10 @@ class CorpusReport:
     provenance_mismatches: int = 0
     by_scenario: Dict[str, int] = field(default_factory=dict)
     shard_failures: List[ShardFailure] = field(default_factory=list)
+    #: times a dead worker broke the whole pool during this sweep
+    pool_breaks: int = 0
+    #: the sweep judged the pool unrecoverable and finished serially
+    degraded: bool = False
 
     def add(self, record) -> None:
         self.views += 1
@@ -181,4 +185,7 @@ class CorpusReport:
         if self.shard_failures:
             parts.append(f"{len(self.shard_failures)} shard(s) retried "
                          f"serially")
+        if self.degraded:
+            parts.append(f"pool unrecoverable after {self.pool_breaks} "
+                         f"break(s); finished serially")
         return "; ".join(parts)

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import SweepCancelled
 from repro.repository.corpus import CorpusSpec
+from repro.resilience.policy import Deadline
 from repro.service.results import CorpusReport, ShardFailure
 from repro.service.sharding import plan_shards
 from repro.service.worker import (
@@ -54,6 +55,7 @@ class AnalysisService:
                  shards_per_worker: int = 4,
                  criterion: str = "strong",
                  db_path: Optional[str] = None,
+                 max_pool_rebuilds: int = 3,
                  _fail_shards: Optional[Dict[int, str]] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -62,6 +64,10 @@ class AnalysisService:
         self.workers = max(1, workers)
         self.shards_per_worker = shards_per_worker
         self.criterion = criterion
+        #: pool breakages tolerated per sweep before the service stops
+        #: rebuilding and degrades to serial in-process execution (the
+        #: pool is judged unrecoverable)
+        self.max_pool_rebuilds = max_pool_rebuilds
         #: durable analysis-cache database: workers read it (read-only
         #: connections), this parent process is the single writer — a
         #: sweep over an already-analyzed corpus becomes a warm restart
@@ -74,8 +80,8 @@ class AnalysisService:
     # -- public sweeps -----------------------------------------------------
 
     def analyze_corpus(self, corpus: CorpusSpec, *,
-                       should_stop: Optional[Callable[[], bool]] = None
-                       ) -> Iterator:
+                       should_stop: Optional[Callable[[], bool]] = None,
+                       deadline: Optional[Deadline] = None) -> Iterator:
         """Validate every view; yields
         :class:`~repro.service.results.ViewAnalysis` in entry order.
 
@@ -84,28 +90,32 @@ class AnalysisService:
         :class:`~repro.errors.SweepCancelled` instead of dispatching the
         next shard — records already streamed (and, with a durable
         database, already persisted) stay valid, so cancellation never
-        leaves half-written state.
+        leaves half-written state.  A ``deadline`` is checked at the
+        same boundaries and raises the typed
+        :class:`~repro.errors.DeadlineExceeded` instead.
         """
-        return self._sweep(corpus, OP_ANALYZE, should_stop=should_stop)
+        return self._sweep(corpus, OP_ANALYZE, should_stop=should_stop,
+                           deadline=deadline)
 
     def correct_corpus(self, corpus: CorpusSpec, *,
-                       should_stop: Optional[Callable[[], bool]] = None
-                       ) -> Iterator:
+                       should_stop: Optional[Callable[[], bool]] = None,
+                       deadline: Optional[Deadline] = None) -> Iterator:
         """Validate and correct every view; yields
         :class:`~repro.service.results.CorrectionOutcome` in entry
         order."""
-        return self._sweep(corpus, OP_CORRECT, should_stop=should_stop)
+        return self._sweep(corpus, OP_CORRECT, should_stop=should_stop,
+                           deadline=deadline)
 
     def lineage_audit(self, corpus: CorpusSpec,
                       queries_per_view: Optional[int] = None, *,
-                      should_stop: Optional[Callable[[], bool]] = None
-                      ) -> Iterator:
+                      should_stop: Optional[Callable[[], bool]] = None,
+                      deadline: Optional[Deadline] = None) -> Iterator:
         """Run the full pipeline — validate, correct when needed, execute,
         compare lineage — on every view; yields
         :class:`~repro.service.results.LineageAudit` in entry order."""
         return self._sweep(corpus, OP_LINEAGE,
                            queries_per_view=queries_per_view,
-                           should_stop=should_stop)
+                           should_stop=should_stop, deadline=deadline)
 
     def report(self, corpus: CorpusSpec, op: str = OP_ANALYZE,
                **options) -> CorpusReport:
@@ -114,6 +124,8 @@ class AnalysisService:
         report = CorpusReport.collect(records)
         if self.last_report is not None:
             report.shard_failures = self.last_report.shard_failures
+            report.pool_breaks = self.last_report.pool_breaks
+            report.degraded = self.last_report.degraded
         self.last_report = report
         return report
 
@@ -132,13 +144,15 @@ class AnalysisService:
 
     def _sweep(self, corpus: CorpusSpec, op: str,
                queries_per_view: Optional[int] = None,
-               should_stop: Optional[Callable[[], bool]] = None
-               ) -> Iterator:
+               should_stop: Optional[Callable[[], bool]] = None,
+               deadline: Optional[Deadline] = None) -> Iterator:
         jobs = self._jobs(corpus, op, queries_per_view)
         self.last_report = CorpusReport()
         if self.workers <= 1 or len(jobs) <= 1:
-            return self._stream(self._run_serial(jobs, should_stop))
-        return self._stream(self._run_parallel(jobs, should_stop))
+            return self._stream(
+                self._run_serial(jobs, should_stop, deadline))
+        return self._stream(
+            self._run_parallel(jobs, should_stop, deadline))
 
     def _stream(self, shard_results: Iterator) -> Iterator:
         """Flatten shard results into the record stream, persisting each
@@ -165,21 +179,24 @@ class AnalysisService:
 
     @staticmethod
     def _check_stop(should_stop: Optional[Callable[[], bool]],
+                    deadline: Optional[Deadline],
                     next_shard: int) -> None:
+        if deadline is not None:
+            deadline.check()  # typed DeadlineExceeded
         if should_stop is not None and should_stop():
             raise SweepCancelled(
                 f"sweep cancelled before shard {next_shard}")
 
     def _run_serial(self, jobs: List[ShardJob],
-                    should_stop: Optional[Callable[[], bool]] = None
-                    ) -> Iterator:
+                    should_stop: Optional[Callable[[], bool]] = None,
+                    deadline: Optional[Deadline] = None) -> Iterator:
         for job in jobs:
-            self._check_stop(should_stop, job.shard_id)
+            self._check_stop(should_stop, deadline, job.shard_id)
             yield run_shard(job)
 
     def _run_parallel(self, jobs: List[ShardJob],
-                      should_stop: Optional[Callable[[], bool]] = None
-                      ) -> Iterator:
+                      should_stop: Optional[Callable[[], bool]] = None,
+                      deadline: Optional[Deadline] = None) -> Iterator:
         """Fan shards out to a process pool, stream shard results back in
         shard order, and retry any failed shard serially in the parent."""
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
@@ -192,7 +209,7 @@ class AnalysisService:
             ready: Dict[int, ShardResult] = {}
             next_shard = 0
             while pending:
-                self._check_stop(should_stop, next_shard)
+                self._check_stop(should_stop, deadline, next_shard)
                 done, _ = wait_futures(pending, return_when=FIRST_COMPLETED)
                 poisoned: List[ShardJob] = []
                 for future in done:
@@ -216,6 +233,7 @@ class AnalysisService:
                     # crasher), which keeps the sweep parallel and bounds
                     # pool rebuilds by the shard count even if one shard
                     # reliably kills its worker
+                    self.last_report.pool_breaks += 1
                     crashed, innocent = poisoned[0], poisoned[1:]
                     self.last_report.shard_failures.append(
                         ShardFailure(shard_id=crashed.shard_id,
@@ -225,10 +243,24 @@ class AnalysisService:
                     ready[result.shard_id] = result
                     resubmit = innocent + list(pending.values())
                     executor.shutdown(wait=False, cancel_futures=True)
-                    executor = ProcessPoolExecutor(
-                        max_workers=self.workers)
-                    pending = {executor.submit(run_shard, job): job
-                               for job in resubmit}
+                    if self.last_report.pool_breaks >= \
+                            self.max_pool_rebuilds:
+                        # graceful degradation: the pool is judged
+                        # unrecoverable — finish every remaining shard
+                        # serially in-process instead of feeding more
+                        # workers to whatever is killing them
+                        self.last_report.degraded = True
+                        for job in resubmit:
+                            self._check_stop(should_stop, deadline,
+                                             job.shard_id)
+                            result = run_shard(job)
+                            ready[result.shard_id] = result
+                        pending = {}
+                    else:
+                        executor = ProcessPoolExecutor(
+                            max_workers=self.workers)
+                        pending = {executor.submit(run_shard, job): job
+                                   for job in resubmit}
                 # stream in shard order with bounded buffering: a shard's
                 # results are released as soon as every earlier shard has
                 # arrived

@@ -44,6 +44,7 @@ from repro.persistence.cache import (
 from repro.provenance.execution import execute
 from repro.provenance.viewlevel import run_lineage_comparisons
 from repro.repository.corpus import CorpusEntry, CorpusSpec, materialize_entry
+from repro.resilience import faults
 from repro.service.results import (
     ALREADY_SOUND,
     CORRECTED,
@@ -120,6 +121,12 @@ def _maybe_fail(job: ShardJob) -> None:
             os._exit(3)
         raise RuntimeError(
             f"injected failure in shard {job.shard_id}")
+    # the chaos harness's fault point: hang/crash/slow this shard.  A
+    # "crash" only _exits inside a pool worker — the serial retry path
+    # runs in the parent (possibly the daemon), which must survive, so
+    # there it degrades to a raised InjectedFault.
+    faults.fire("worker.shard",
+                allow_exit=multiprocessing.parent_process() is not None)
 
 
 def run_shard(job: ShardJob) -> ShardResult:

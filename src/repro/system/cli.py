@@ -173,6 +173,27 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_cmd.add_argument("--host", default="127.0.0.1")
     cancel_cmd.add_argument("--port", type=int, required=True)
 
+    chaos_cmd = commands.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against real "
+             "daemon subprocesses and check the crash contracts")
+    chaos_cmd.add_argument("--db", default=None,
+                           help="durable database the cycles share "
+                                "(default: a temporary one)")
+    chaos_cmd.add_argument("--seed", type=int, default=0,
+                           help="campaign seed (schedules, kill points "
+                                "and injector seeds all derive from it)")
+    chaos_cmd.add_argument("--cycles", type=int, default=3,
+                           help="kill/restart cycles before the clean "
+                                "verification daemon")
+    chaos_cmd.add_argument("--count", type=int, default=8,
+                           help="corpus entries per submitted job")
+    chaos_cmd.add_argument("--max-rss-mb", type=float, default=512.0,
+                           help="peak-RSS bound any daemon must stay "
+                                "under")
+    chaos_cmd.add_argument("--quiet", action="store_true",
+                           help="print only the final report")
+
     commands.add_parser(
         "kernels",
         help="report the active bitset-kernel backend and availability")
@@ -500,6 +521,28 @@ def cmd_cancel(args: argparse.Namespace) -> int:
     return 0 if state == "cancelled" else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.resilience.chaos import run_chaos
+
+    emit = None if args.quiet else print
+
+    def campaign(db: str):
+        return run_chaos(db, seed=args.seed, cycles=args.cycles,
+                         corpus_count=args.count,
+                         max_rss_mb=args.max_rss_mb, emit=emit)
+
+    if args.db is not None:
+        report = campaign(args.db)
+    else:
+        with tempfile.TemporaryDirectory(prefix="wolves-chaos-") as tmp:
+            report = campaign(os.path.join(tmp, "chaos.db"))
+    if args.quiet:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_kernels(_args: argparse.Namespace) -> int:
     from repro.graphs.kernels import (
         active_kernel,
@@ -600,6 +643,7 @@ _HANDLERS = {
     "submit": cmd_submit,
     "jobs": cmd_jobs,
     "cancel": cmd_cancel,
+    "chaos": cmd_chaos,
     "kernels": cmd_kernels,
     "db": cmd_db,
 }

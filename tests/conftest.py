@@ -9,13 +9,6 @@ threads, child processes or sockets into the rest of the suite or CI.
 
 from __future__ import annotations
 
-import os
-import signal
-import socket
-import subprocess
-import sys
-import time
-
 import pytest
 
 
@@ -43,71 +36,21 @@ def daemon(daemon_factory):
     return daemon_factory()
 
 
-def _repro_env() -> dict:
-    """Subprocess environment with ``repro`` importable."""
-    import repro
-
-    src = os.path.dirname(os.path.dirname(os.path.abspath(
-        repro.__file__)))
-    env = dict(os.environ)
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-class DaemonProcess:
-    """A ``wolves serve`` subprocess the soak tests can SIGKILL."""
-
-    def __init__(self, port: int, args: list) -> None:
-        self.port = port
-        self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.system.cli", "serve",
-             "--port", str(port)] + args,
-            env=_repro_env(), stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT, text=True)
-
-    def wait_ready(self, timeout_s: float = 30.0) -> None:
-        deadline = time.monotonic() + timeout_s
-        while time.monotonic() < deadline:
-            if self.proc.poll() is not None:
-                out = self.proc.stdout.read()
-                raise RuntimeError(
-                    f"daemon died at startup "
-                    f"(rc={self.proc.returncode}): {out}")
-            try:
-                with socket.create_connection(("127.0.0.1", self.port),
-                                              timeout=0.2):
-                    return
-            except OSError:
-                time.sleep(0.02)
-        raise TimeoutError(f"daemon not accepting on :{self.port}")
-
-    def kill(self) -> None:
-        """SIGKILL — no cleanup, exactly like an OOM kill."""
-        if self.proc.poll() is None:
-            self.proc.send_signal(signal.SIGKILL)
-            self.proc.wait(timeout=30)
-
-    def terminate(self) -> None:
-        if self.proc.poll() is None:
-            self.proc.terminate()
-            try:
-                self.proc.wait(timeout=30)
-            except subprocess.TimeoutExpired:
-                self.kill()
-        if self.proc.stdout is not None:
-            self.proc.stdout.close()
-
-
 @pytest.fixture
 def daemon_process_factory():
-    """``factory(*cli args) -> DaemonProcess`` (ready to accept), with
-    guaranteed kill on teardown."""
-    from tests.helpers import free_port
+    """``factory(*cli args, env=...) -> DaemonProcess`` (ready to
+    accept, ``proc.port`` real), with guaranteed kill on teardown.
+
+    The subprocess binds port 0 and the harness reads the chosen port
+    back from the ready line — no free-port probing, so no window for
+    another process to steal the port between probe and bind.
+    """
+    from repro.resilience.chaos import DaemonProcess
 
     procs = []
 
-    def factory(*args, port: int = None):
-        proc = DaemonProcess(port or free_port(), list(args))
+    def factory(*args, env: dict = None):
+        proc = DaemonProcess(list(args), env=env)
         procs.append(proc)
         proc.wait_ready()
         return proc

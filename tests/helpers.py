@@ -7,7 +7,6 @@ tests build composite-correction problems the same way.
 from __future__ import annotations
 
 import random
-import socket
 from typing import Tuple
 
 from repro.core.split import CompositeContext
@@ -77,15 +76,3 @@ def random_spec_and_view(rng: random.Random, max_nodes: int = 14
 
 def graph_from_edges(edges) -> Digraph:
     return Digraph(edges)
-
-
-def free_port() -> int:
-    """A currently-free TCP port on localhost.
-
-    For handing to a daemon *subprocess* (the soak tests); in-process
-    daemons should bind port 0 and read the chosen port back instead,
-    which is race-free.
-    """
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        return probe.getsockname()[1]

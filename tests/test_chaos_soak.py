@@ -1,0 +1,147 @@
+"""The chaos soak battery (``-m chaos``): real daemon subprocesses,
+injected faults, SIGKILLs, and the durable-log contracts.
+
+Excluded from the default run (see ``pyproject.toml``); CI's nightly
+soak lane runs it across a seed matrix.  Two layers:
+
+* targeted crash tests — a daemon armed (via the environment, the way
+  ``wolves chaos`` arms its children) to die exactly *before* or
+  *after* the finish transaction, with the crash contract checked on
+  each side of that boundary and exactly-once replay checked after a
+  clean restart;
+* seeded campaigns — :func:`repro.resilience.chaos.run_chaos` end to
+  end, the same entry point as ``wolves chaos``.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.repository.corpus import CorpusSpec
+from repro.resilience.chaos import direct_records, run_chaos
+from repro.resilience.faults import ENV_FAULTS, ENV_SEED
+from repro.server import DaemonClient, JobManifest
+from repro.server.joblog import inspect_job_log
+
+pytestmark = pytest.mark.chaos
+
+CORPUS = CorpusSpec(seed=5, count=4, min_size=10, max_size=16)
+MANIFEST = JobManifest(op="analyze", corpus=CORPUS)
+
+
+def submit_and_ride(port):
+    """Submit the manifest and ride its stream until the daemon dies or
+    the job finishes; returns the accepted job id."""
+    with DaemonClient(port, timeout=60.0) as client:
+        accepted = client.submit(MANIFEST, wait=False)
+        try:
+            client.attach(accepted.job_id)
+        except (ReproError, ConnectionError, OSError):
+            pass  # the daemon died mid-stream, as arranged
+        return accepted.job_id
+
+
+def resume_and_replay(factory, db, job_id):
+    """A clean daemon on ``db`` must finish ``job_id`` and replay its
+    records bit-identical to a direct in-process sweep."""
+    clean = factory("--db", db)
+    with DaemonClient(clean.port, timeout=60.0) as client:
+        entry = client.wait(job_id, timeout=300, poll_s=0.1)
+        assert entry["state"] == "done", entry
+        replay = client.attach(job_id)
+    assert replay.records == direct_records(MANIFEST)
+
+
+class TestFinishBoundaryCrashes:
+    """The crash contract on both sides of the one finish transaction."""
+
+    def test_crash_before_finish_leaves_no_partial_rows(
+            self, tmp_path, daemon_process_factory):
+        db = str(tmp_path / "wolves.db")
+        proc = daemon_process_factory(
+            "--db", db,
+            env={ENV_FAULTS: "joblog.finish.before:crash:count=1",
+                 ENV_SEED: "1"})
+        job_id = submit_and_ride(proc.port)
+        proc.proc.wait(timeout=60)
+        assert proc.proc.returncode == 23  # the injected os._exit
+        rows = {jid: (state, stored)
+                for jid, state, stored in inspect_job_log(db)}
+        state, stored = rows[job_id]
+        assert state in ("queued", "running")
+        assert stored == 0, "partial records survived the crash"
+        resume_and_replay(daemon_process_factory, db, job_id)
+
+    def test_crash_after_finish_keeps_the_committed_stream(
+            self, tmp_path, daemon_process_factory):
+        db = str(tmp_path / "wolves.db")
+        proc = daemon_process_factory(
+            "--db", db,
+            env={ENV_FAULTS: "joblog.finish.after:crash:count=1",
+                 ENV_SEED: "1"})
+        job_id = submit_and_ride(proc.port)
+        proc.proc.wait(timeout=60)
+        assert proc.proc.returncode == 23
+        rows = {jid: (state, stored)
+                for jid, state, stored in inspect_job_log(db)}
+        state, stored = rows[job_id]
+        assert state == "done"
+        assert stored == CORPUS.count, \
+            "the finish transaction was not all-or-nothing"
+        # replay works without recomputation: the records are durable
+        clean = daemon_process_factory("--db", db)
+        with DaemonClient(clean.port, timeout=60.0) as client:
+            replay = client.attach(job_id)
+        assert replay.records == direct_records(MANIFEST)
+
+    def test_sigkill_mid_stream_never_loses_the_job(
+            self, tmp_path, daemon_process_factory):
+        db = str(tmp_path / "wolves.db")
+        # stretch the stream (0.5s per shard) so the kill provably
+        # lands mid-sweep rather than after the finish transaction
+        proc = daemon_process_factory(
+            "--db", db,
+            env={ENV_FAULTS: "worker.shard:slow:duration=0.5",
+                 ENV_SEED: "1"})
+        killed = []
+        with DaemonClient(proc.port, timeout=60.0) as client:
+            accepted = client.submit(MANIFEST, wait=False)
+
+            def on_record(seq, _record):
+                if seq >= 1 and not killed:
+                    killed.append(seq)
+                    proc.kill()  # like an OOM kill, mid-stream
+
+            try:
+                client.attach(accepted.job_id, on_record=on_record)
+            except (ReproError, ConnectionError, OSError):
+                pass
+        assert killed, "the stream never reached the kill point"
+        rows = {jid: (state, stored)
+                for jid, state, stored in inspect_job_log(db)}
+        state, stored = rows[accepted.job_id]
+        assert state in ("queued", "running")
+        assert stored == 0
+        resume_and_replay(daemon_process_factory, db,
+                          accepted.job_id)
+
+
+class TestChaosCampaign:
+    """The full ``wolves chaos`` entry point, seeded."""
+
+    @pytest.mark.parametrize("seed", [7, 2009])
+    def test_campaign_invariants_hold(self, tmp_path, seed):
+        report = run_chaos(str(tmp_path / "chaos.db"), seed=seed,
+                           cycles=3, corpus_count=6)
+        assert report.ok, report.summary()
+        assert report.cycles == 3
+        assert report.submitted, "no cycle got a job accepted"
+        assert set(report.completed) == set(report.submitted)
+
+    def test_campaign_is_deterministic_in_its_plan(self, tmp_path):
+        first = run_chaos(str(tmp_path / "a.db"), seed=11, cycles=2,
+                          corpus_count=4)
+        second = run_chaos(str(tmp_path / "b.db"), seed=11, cycles=2,
+                          corpus_count=4)
+        assert first.schedules == second.schedules
+        assert first.ok, first.summary()
+        assert second.ok, second.summary()

@@ -1,0 +1,625 @@
+"""The resilience layer, tier-1: harness, policies, and their wiring.
+
+Four layers under test, fast and deterministic (no subprocesses — the
+subprocess chaos battery lives in ``test_chaos_soak.py`` behind the
+``chaos`` marker):
+
+* the fault harness itself — rule grammar, seeded determinism,
+  scoped/env activation, zero-cost disablement;
+* the policy primitives — :class:`RetryPolicy` (backoff envelope,
+  retryable-vs-fatal, deadline interaction), :class:`Deadline`,
+  :class:`Quarantine`;
+* the persistence wiring — configurable busy timeout, the typed
+  :class:`StoreBusyError`, commit fault points and their rollback
+  semantics;
+* the serving wiring — job deadlines end to end, queue-full
+  backpressure with ``retry_after`` (and the client's retrying
+  submit), stream shedding, the poison-manifest quarantine, torn
+  frames, and the service's serial degradation when the pool is
+  unrecoverable.
+"""
+
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    InjectedFault,
+    JobTimeoutError,
+    PersistenceError,
+    QuarantinedError,
+    QueueFullError,
+    ReproError,
+    ServerError,
+    StoreBusyError,
+)
+from repro.persistence.db import (
+    DEFAULT_TIMEOUT_MS,
+    ENV_TIMEOUT_MS,
+    connect,
+    resolve_timeout_ms,
+    transaction,
+)
+from repro.repository.corpus import CorpusSpec
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjector, FaultRule, injected
+from repro.resilience.policy import (
+    Deadline,
+    Quarantine,
+    RetryPolicy,
+    stop_when,
+)
+from repro.server import DaemonClient, JobManifest
+from repro.server.daemon import AnalysisDaemon, _Connection
+from repro.server.jobs import Job
+from repro.service import AnalysisService
+
+SMALL = CorpusSpec(seed=41, count=3, min_size=8, max_size=12)
+MEDIUM = CorpusSpec(seed=47, count=8, min_size=10, max_size=18)
+
+BAD_VALIDATE = dict(op="validate", spec_document={"format": "nonsense"},
+                    view_document={"composites": {}})
+
+
+def manifest(op="analyze", corpus=SMALL, **kwargs):
+    return JobManifest(op=op, corpus=corpus, **kwargs)
+
+
+# -- the harness itself -------------------------------------------------------
+
+
+class TestFaultHarness:
+    def test_disabled_fire_is_a_noop(self):
+        assert not faults.enabled()
+        faults.fire("nothing.is.armed")  # must not raise
+
+    def test_injected_scopes_and_restores(self):
+        with injected(FaultRule("p.x", "error")):
+            assert faults.enabled()
+            with pytest.raises(InjectedFault) as err:
+                faults.fire("p.x")
+            assert err.value.point == "p.x"
+            faults.fire("p.other")  # unarmed point: silent
+        assert not faults.enabled()
+
+    def test_count_disarms_and_after_skips(self):
+        with injected(FaultRule("p.x", "error", count=2, after=1)):
+            faults.fire("p.x")  # pass 1: skipped by after
+            for _ in range(2):  # passes 2-3: the two firings
+                with pytest.raises(InjectedFault):
+                    faults.fire("p.x")
+            faults.fire("p.x")  # disarmed
+
+    def test_probability_is_deterministic_under_a_seed(self):
+        def pattern(seed):
+            injector = FaultInjector(
+                [FaultRule("p.x", "error", p=0.5)], seed=seed)
+            fired = []
+            for _ in range(32):
+                try:
+                    injector.fire("p.x")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_crash_degrades_to_error_when_exit_is_forbidden(self):
+        with injected(FaultRule("p.x", "crash")):
+            with pytest.raises(InjectedFault) as err:
+                faults.fire("p.x", allow_exit=False)
+            assert err.value.action == "error"
+
+    def test_hang_honours_the_cancel_event(self):
+        cancel = threading.Event()
+        cancel.set()
+        with injected(FaultRule("p.x", "hang", duration=30.0)):
+            started = time.monotonic()
+            faults.fire("p.x", cancel=cancel)
+            assert time.monotonic() - started < 1.0
+
+    def test_busy_and_disk_raise_operational_errors(self):
+        with injected(FaultRule("p.b", "busy"),
+                      FaultRule("p.d", "disk")):
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                faults.fire("p.b")
+            with pytest.raises(sqlite3.OperationalError, match="full"):
+                faults.fire("p.d")
+
+    def test_parse_rule_grammar(self):
+        rule = faults.parse_rule(
+            "db.busy:busy:p=0.25:count=3:after=2:duration=0.5")
+        assert (rule.point, rule.action) == ("db.busy", "busy")
+        assert (rule.p, rule.count, rule.after, rule.duration) == \
+            (0.25, 3, 2, 0.5)
+        for bad in ("justapoint", "p:unknown-action", "p:error:bogus",
+                    "p:error:tries=3", "p:error:p=lots"):
+            with pytest.raises(ReproError):
+                faults.parse_rule(bad)
+
+    def test_env_activation_installs_a_schedule(self):
+        try:
+            assert not faults.install_from_env({})
+            assert faults.install_from_env({
+                faults.ENV_FAULTS: "p.x:error:count=1;p.y:slow",
+                faults.ENV_SEED: "9",
+            })
+            points = {rule.point for rule in faults.active().rules()}
+            assert points == {"p.x", "p.y"}
+            assert faults.active().seed == 9
+        finally:
+            faults.clear()
+
+    def test_snapshot_counts_fires_by_point(self):
+        with injected(FaultRule("p.x", "error", count=2)) as injector:
+            for _ in range(2):
+                with pytest.raises(InjectedFault):
+                    faults.fire("p.x")
+            assert injector.snapshot() == {"p.x": 2}
+
+
+# -- policy primitives --------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_delay_envelope_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1,
+                             max_delay=0.5)
+        assert [policy.delay_cap(a) for a in range(5)] == \
+            [0.1, 0.2, 0.4, 0.5, 0.5]
+        for seed in (1, 2):
+            delays = list(RetryPolicy(max_attempts=6, base_delay=0.1,
+                                      max_delay=0.5, seed=seed).delays())
+            assert len(delays) == 5
+            assert all(0.0 <= d <= cap for d, cap in
+                       zip(delays, [0.1, 0.2, 0.4, 0.5, 0.5]))
+
+    def test_jitter_is_reproducible_per_seed(self):
+        fixed = RetryPolicy(seed=13)
+        assert list(fixed.delays()) == list(fixed.delays())
+
+    def test_retries_retryable_until_success(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0,
+                             retryable=(KeyError,), seed=0)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise KeyError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_fatal_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=4, retryable=(KeyError,))
+        attempts = []
+
+        def fatal():
+            attempts.append(1)
+            raise ValueError("schema mismatch")
+
+        with pytest.raises(ValueError):
+            policy.call(fatal)
+        assert len(attempts) == 1
+
+    def test_exhaustion_raises_the_last_retryable(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0,
+                             retryable=(KeyError,), seed=0)
+        attempts = []
+
+        def always():
+            attempts.append(1)
+            raise KeyError(f"attempt {len(attempts)}")
+
+        with pytest.raises(KeyError, match="attempt 3"):
+            policy.call(always)
+
+    def test_classify_refines_the_retryable_set(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0,
+                             retryable=(RuntimeError,), seed=0)
+        with pytest.raises(RuntimeError):
+            policy.call(lambda: (_ for _ in ()).throw(
+                RuntimeError("fatal kind")),
+                classify=lambda exc: "transient" in str(exc))
+
+    def test_deadline_stops_the_retry_loop(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.0,
+                             retryable=(KeyError,), seed=0)
+        attempts = []
+
+        def always():
+            attempts.append(1)
+            raise KeyError("busy")
+
+        with pytest.raises(DeadlineExceeded):
+            policy.call(always, deadline=Deadline.after(0.0))
+        assert len(attempts) == 1  # checked before every retry
+
+
+class TestDeadline:
+    def test_remaining_expired_check(self):
+        deadline = Deadline.after(60.0, label="job j-1")
+        assert 0 < deadline.remaining() <= 60.0
+        assert not deadline.expired()
+        expired = Deadline.after(0.0, label="job j-2")
+        assert expired.expired()
+        with pytest.raises(DeadlineExceeded, match="job j-2"):
+            expired.check()
+
+    def test_job_timeout_error_is_both_families(self):
+        err = JobTimeoutError("too slow")
+        assert isinstance(err, DeadlineExceeded)
+        assert isinstance(err, ServerError)
+        assert err.code == "timeout"
+
+    def test_stop_when_folds_conditions(self):
+        event = threading.Event()
+        should_stop = stop_when(None, event.is_set,
+                                Deadline.after(60.0).expired)
+        assert not should_stop()
+        event.set()
+        assert should_stop()
+
+
+class TestQuarantine:
+    def test_strikes_park_at_the_threshold(self):
+        quarantine = Quarantine(threshold=3, retry_after=5.0)
+        assert not quarantine.record_strike("fp", 2, reason="crash")
+        assert not quarantine.is_quarantined("fp")
+        assert quarantine.record_strike("fp", 1, reason="crash")
+        assert quarantine.is_quarantined("fp")
+        assert "crash" in quarantine.reason("fp")
+        assert "3 strike(s)" in quarantine.reason("fp")
+        # further strikes on a parked key are ignored (already parked)
+        assert not quarantine.record_strike("fp", 5)
+        assert quarantine.strikes("fp") == 3
+        assert not quarantine.is_quarantined("other")
+
+    def test_release_resets(self):
+        quarantine = Quarantine(threshold=1)
+        assert quarantine.record_strike("fp")
+        assert quarantine.release("fp")
+        assert not quarantine.is_quarantined("fp")
+        assert quarantine.strikes("fp") == 0
+        assert not quarantine.release("fp")
+
+
+# -- persistence wiring -------------------------------------------------------
+
+
+class TestDbTimeouts:
+    def test_kwarg_beats_env_beats_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_TIMEOUT_MS, raising=False)
+        assert resolve_timeout_ms() == DEFAULT_TIMEOUT_MS
+        monkeypatch.setenv(ENV_TIMEOUT_MS, "1500")
+        assert resolve_timeout_ms() == 1500
+        assert resolve_timeout_ms(250) == 250
+
+    def test_bad_env_value_is_typed(self, monkeypatch):
+        monkeypatch.setenv(ENV_TIMEOUT_MS, "soon")
+        with pytest.raises(PersistenceError, match=ENV_TIMEOUT_MS):
+            resolve_timeout_ms()
+
+    def test_busy_timeout_pragma_is_applied(self, tmp_path):
+        conn = connect(str(tmp_path / "t.db"), timeout_ms=1234)
+        try:
+            assert conn.execute(
+                "PRAGMA busy_timeout").fetchone()[0] == 1234
+        finally:
+            conn.close()
+
+
+class TestDbFaultPoints:
+    @pytest.fixture
+    def conn(self, tmp_path):
+        conn = connect(str(tmp_path / "f.db"))
+        conn.execute("CREATE TABLE t (v INTEGER)")
+        yield conn
+        conn.close()
+
+    def test_persistent_busy_storm_becomes_store_busy_error(self, conn):
+        with injected(FaultRule("db.busy", "busy")):
+            with pytest.raises(StoreBusyError):
+                with transaction(conn):
+                    pass
+
+    def test_relenting_busy_storm_is_retried_through(self, conn):
+        with injected(FaultRule("db.busy", "busy", count=2)):
+            with transaction(conn):
+                conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchone()[0] == 1
+
+    def test_fault_before_commit_rolls_back(self, conn):
+        with injected(FaultRule("db.commit.before", "error", count=1)):
+            with pytest.raises(InjectedFault):
+                with transaction(conn):
+                    conn.execute("INSERT INTO t VALUES (2)")
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchone()[0] == 0
+        with transaction(conn):  # the connection survived the rollback
+            conn.execute("INSERT INTO t VALUES (3)")
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchone()[0] == 1
+
+    def test_fault_after_commit_keeps_the_data(self, conn):
+        with injected(FaultRule("db.commit.after", "error", count=1)):
+            with pytest.raises(InjectedFault):
+                with transaction(conn):
+                    conn.execute("INSERT INTO t VALUES (4)")
+        assert conn.execute("SELECT COUNT(*) FROM t").fetchone()[0] == 1
+
+    def test_injected_disk_full_at_connect_is_typed(self, tmp_path):
+        with injected(FaultRule("db.connect", "disk")):
+            with pytest.raises(PersistenceError, match="full"):
+                connect(str(tmp_path / "d.db"))
+
+
+# -- service wiring -----------------------------------------------------------
+
+
+class TestServiceResilience:
+    def test_expired_deadline_stops_at_the_first_shard(self):
+        service = AnalysisService(workers=1)
+        with pytest.raises(DeadlineExceeded):
+            list(service.analyze_corpus(SMALL,
+                                        deadline=Deadline.after(0.0)))
+
+    def test_worker_fault_point_reaches_the_caller_typed(self):
+        service = AnalysisService(workers=1)
+        with injected(FaultRule("worker.shard", "error", count=1)):
+            with pytest.raises(InjectedFault):
+                list(service.analyze_corpus(SMALL))
+
+    def test_unrecoverable_pool_degrades_to_serial_exactly(self):
+        baseline = list(AnalysisService(workers=1).analyze_corpus(MEDIUM))
+        service = AnalysisService(workers=2, max_pool_rebuilds=1,
+                                  _fail_shards={0: "exit"})
+        records = list(service.analyze_corpus(MEDIUM))
+        assert records == baseline
+        assert service.last_report.degraded
+        assert service.last_report.pool_breaks == 1
+
+    def test_degraded_sweep_says_so_in_the_report(self):
+        service = AnalysisService(workers=2, max_pool_rebuilds=1,
+                                  _fail_shards={0: "exit"})
+        report = service.report(MEDIUM)
+        assert report.degraded
+        assert "finished serially" in report.summary()
+
+
+# -- serving wiring -----------------------------------------------------------
+
+
+class TestJobDeadlines:
+    def test_deadline_expires_a_held_job_with_the_typed_timeout(
+            self, daemon_factory):
+        gate = threading.Event()
+        handle = daemon_factory(_gate=gate, reaper_interval=0.01)
+        try:
+            with DaemonClient(handle.port) as client:
+                result = client.submit(manifest(), deadline_s=0.15)
+                assert result.state == "failed"
+                assert result.timed_out
+                assert "JobTimeoutError" in result.error
+                assert "0.15" in result.error
+                assert client.stats()["timed_out"] == 1
+        finally:
+            gate.set()  # release the compute thread
+
+    def test_deadline_expiring_mid_sweep_is_the_same_typed_timeout(
+            self, daemon_factory):
+        """Whichever side notices first — the reaper's tick or the
+        sweep's shard-boundary check — the terminal answer is the one
+        ``JobTimeoutError`` shape, it counts in ``timed_out``, and it
+        earns no quarantine strike."""
+        handle = daemon_factory(quarantine_strikes=1)
+        with DaemonClient(handle.port) as client:
+            result = client.submit(
+                manifest(corpus=CorpusSpec(seed=44, count=12,
+                                           min_size=20, max_size=30)),
+                deadline_s=0.001)
+            assert result.state == "failed"
+            assert result.timed_out
+            assert result.error.startswith("JobTimeoutError")
+            stats = client.stats()
+            assert stats["timed_out"] == 1
+            assert stats["parked"] == 0, \
+                "a missed deadline must not quarantine the manifest"
+
+    def test_deadline_is_not_part_of_the_fingerprint(self):
+        fast = manifest(deadline_s=0.5)
+        slow = manifest()
+        assert fast.fingerprint() == slow.fingerprint()
+        with pytest.raises(Exception):
+            manifest(deadline_s=-1)
+
+    def test_client_wait_raises_the_typed_timeout(self, daemon_factory):
+        gate = threading.Event()
+        handle = daemon_factory(_gate=gate)
+        try:
+            with DaemonClient(handle.port) as client:
+                accepted = client.submit(manifest(), wait=False)
+                with pytest.raises(JobTimeoutError):
+                    client.wait(accepted.job_id, timeout=0.1,
+                                poll_s=0.02)
+        finally:
+            gate.set()
+
+
+class TestBackpressure:
+    def test_queue_full_carries_the_retry_after_hint(
+            self, daemon_factory):
+        gate = threading.Event()
+        handle = daemon_factory(_gate=gate, max_queued=1,
+                                parallel_jobs=1)
+        try:
+            with DaemonClient(handle.port) as client:
+                first = client.submit(manifest(corpus=SMALL),
+                                      wait=False)
+                # wait for dispatch so the queue slot is really free
+                client.wait(first.job_id, states=("running",),
+                            timeout=30)
+                client.submit(
+                    manifest(corpus=CorpusSpec(seed=42, count=3)),
+                    wait=False)
+                with pytest.raises(QueueFullError) as err:
+                    client.submit(
+                        manifest(corpus=CorpusSpec(seed=43, count=3)),
+                        wait=False)
+                assert err.value.retry_after == pytest.approx(1.0)
+        finally:
+            gate.set()
+
+    def test_client_retry_rides_out_a_full_queue(self, daemon_factory):
+        gate = threading.Event()
+        handle = daemon_factory(_gate=gate, max_queued=1,
+                                parallel_jobs=1)
+        sleeps = []
+
+        def fast_sleep(seconds):
+            sleeps.append(seconds)
+            gate.set()  # capacity frees while the client backs off
+            time.sleep(0.1)
+
+        try:
+            with DaemonClient(handle.port) as client:
+                first = client.submit(manifest(corpus=SMALL),
+                                      wait=False)
+                client.wait(first.job_id, states=("running",),
+                            timeout=30)
+                client.submit(
+                    manifest(corpus=CorpusSpec(seed=42, count=3)),
+                    wait=False)
+                result = client.submit(
+                    manifest(corpus=CorpusSpec(seed=43, count=3)),
+                    wait=False,
+                    retry=RetryPolicy(max_attempts=60, base_delay=0.01,
+                                      seed=3),
+                    sleep=fast_sleep)
+            assert result.job_id
+            assert sleeps, "the retry path was never exercised"
+            # the daemon's hint floors every backoff sleep
+            assert all(s >= 1.0 for s in sleeps)
+        finally:
+            gate.set()
+
+    def test_concurrent_submitters_never_lose_or_duplicate_accepts(
+            self, daemon_factory):
+        """Backpressure property: under N racing submitters, the jobs
+        the daemon accepted are exactly the jobs it knows, each exactly
+        once, and all of them finish once capacity frees."""
+        gate = threading.Event()
+        handle = daemon_factory(_gate=gate, max_queued=3,
+                                parallel_jobs=1)
+        accepted, rejected, errors = [], [], []
+        lock = threading.Lock()
+
+        def submitter(i):
+            try:
+                with DaemonClient(handle.port) as client:
+                    result = client.submit(
+                        manifest(corpus=CorpusSpec(seed=100 + i,
+                                                   count=2)),
+                        wait=False)
+                    with lock:
+                        accepted.append(result.job_id)
+            except QueueFullError:
+                with lock:
+                    rejected.append(i)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    errors.append(repr(exc))
+
+        threads = [threading.Thread(target=submitter, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(accepted) + len(rejected) == 8
+        assert len(accepted) >= 1
+        assert len(set(accepted)) == len(accepted), "duplicate job ids"
+        gate.set()
+        with DaemonClient(handle.port) as client:
+            listed = {entry["job"] for entry in client.jobs()}
+            assert listed == set(accepted), \
+                "accepted jobs and known jobs diverged"
+            for job_id in accepted:
+                assert client.wait(job_id, timeout=60)["state"] == "done"
+
+
+class TestShedding:
+    def test_slow_subscriber_is_shed_not_buffered(self):
+        """White-box: a watcher whose outbox sits at the bound loses its
+        subscriptions and gets one typed ``overloaded`` frame."""
+        daemon = AnalysisDaemon(max_outbox=2)
+        conn = _Connection()
+        job = Job(manifest())
+        daemon._watch(job, conn)
+        assert job.watchers == [conn]
+        frame = {"type": "record", "job": job.job_id, "seq": 0}
+        daemon._stream_to(conn, frame)
+        daemon._stream_to(conn, frame)  # at the bound now (qsize 2)
+        daemon._stream_to(conn, frame)  # over: shed instead of send
+        assert conn.shed
+        assert job.watchers == []
+        assert conn.watched == []
+        assert daemon.stats["shed"] == 1
+        frames = []
+        while not conn.outbox.empty():
+            frames.append(conn.outbox.get_nowait())
+        assert [f["type"] for f in frames] == \
+            ["record", "record", "error"]
+        assert frames[-1]["code"] == "overloaded"
+        assert frames[-1]["retry_after"] == pytest.approx(1.0)
+        # shedding is idempotent: no second overloaded frame
+        daemon._shed(conn)
+        assert conn.outbox.empty()
+        assert daemon.stats["shed"] == 1
+
+    def test_max_outbox_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnalysisDaemon(max_outbox=0)
+
+
+class TestQuarantineEndToEnd:
+    def test_repeatedly_failing_manifest_is_parked(self, daemon_factory):
+        handle = daemon_factory(quarantine_strikes=2,
+                                quarantine_retry_after=9.5)
+        bad = JobManifest(**BAD_VALIDATE)
+        with DaemonClient(handle.port) as client:
+            for _ in range(2):
+                result = client.submit(bad)
+                assert result.state == "failed"
+            with pytest.raises(QuarantinedError) as err:
+                client.submit(bad)
+            assert err.value.retry_after == pytest.approx(9.5)
+            stats = client.stats()
+            assert stats["quarantined"] == 1
+            assert stats["parked"] == 1
+            # a different manifest is unaffected (keyed by fingerprint)
+            assert client.submit(manifest()).ok
+
+
+class TestTornFrames:
+    def test_torn_send_fails_typed_never_hangs(self, daemon_factory):
+        handle = daemon_factory()
+        with DaemonClient(handle.port) as client:
+            with injected(FaultRule("daemon.send", "torn", count=1)):
+                with pytest.raises(ServerError):
+                    client.ping()
+
+    def test_dropped_send_reads_as_disconnect(self, daemon_factory):
+        handle = daemon_factory()
+        with DaemonClient(handle.port) as client:
+            with injected(FaultRule("daemon.send", "drop", count=1)):
+                with pytest.raises((ServerError, ConnectionError,
+                                    OSError)):
+                    client.ping()
