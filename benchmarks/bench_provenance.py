@@ -41,7 +41,7 @@ from repro.graphs.generators import layered_dag
 from repro.graphs.reachability import ReachabilityIndex
 from repro.graphs.topo import ancestors_of
 from repro.provenance.execution import WorkflowRun, execute
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.facade import hydrated_lineage_tasks as lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness
 from repro.repository.synthetic import synthetic_workflow
 from repro.workflow.spec import WorkflowSpec

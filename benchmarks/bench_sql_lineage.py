@@ -1,0 +1,289 @@
+"""Cold-store SQL lineage vs the hydrate-everything path.
+
+The tentpole claim of the persisted reachability-labeling layer: a
+durable store holding thousands of recorded runs answers ``lineage_tasks``
+**cold** — straight off the interval/spill label tables, through SQL
+range predicates — without loading a single run into memory.  Before the
+labels, the only way to answer anything was PR 4's hydrate-everything
+path: replay every run out of SQLite and build per-run bitset
+``ProvenanceIndex`` structures, which costs seconds of setup and O(store)
+RSS before the first answer.
+
+Three phases, each in its **own subprocess** so resident memory is
+attributable and neither path warms the other's caches:
+
+* ``ingest`` — record N distinct runs (labels written inside the same
+  ``add_run`` transaction);
+* ``sql`` — open the store read-only, answer Q ``lineage_tasks`` queries
+  through the :class:`~repro.provenance.facade.LineageQueryEngine`
+  (asserting every answer came via ``source == "sql"`` and the store
+  never hydrated), recording per-query latency;
+* ``hydrated`` — open the same store, hydrate **everything** (the
+  pre-label strategy), answer the same queries from the in-memory
+  indexes.  Its per-query cost is ``query + hydration/Q`` — the
+  amortization is *generous* to the baseline (it assumes all Q queries
+  share one hydration), and it still loses by an order of magnitude.
+
+Both phases emit a digest over the full answer set; the driver asserts
+the digests are equal (SQL == ProvenanceIndex, bit for bit) and gates
+
+* ``speedup`` = hydrated p50 / SQL p50  (``--min-speedup``, default 10)
+* ``rss``     — the SQL phase's resident set (stores still open) must
+  stay under half the hydrated phase's (bounded memory: no full
+  hydration happened).
+
+Runs two ways::
+
+    python -m pytest -q -s benchmarks/bench_sql_lineage.py   # small E2E
+    python benchmarks/bench_sql_lineage.py [--quick|--full]  # the gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from statistics import median
+from typing import Dict, List
+
+import _bootstrap
+from repro.persistence import DurableProvenanceStore
+from repro.provenance.execution import execute
+from repro.provenance.facade import LineageQueryEngine
+from repro.repository.synthetic import synthetic_workflow
+
+SEED = 20090931
+TASKS = 40
+QUICK_RUNS, QUICK_QUERIES = 1500, 64
+FULL_RUNS, FULL_QUERIES = 10000, 128
+
+
+def bench_spec():
+    return synthetic_workflow(SEED, TASKS, shape="layered").spec
+
+
+def query_plan(runs: int, queries: int) -> List[tuple]:
+    """The deterministic (run_id, task_id) probe sequence both phases
+    answer — spread across the whole store, seeded, identical."""
+    spec = bench_spec()
+    tasks = list(spec.task_ids())
+    rng = random.Random(SEED)
+    return [(f"run-{rng.randrange(runs)}", rng.choice(tasks))
+            for _ in range(queries)]
+
+
+def phase_rss_bytes() -> int:
+    """Resident set at the end of a phase, stores still open.
+
+    Current ``VmRSS``, not ``ru_maxrss``: the peak counter survives
+    ``exec`` on Linux, so a child spawned by a large parent (run_all
+    after the kernels bench) inherits the parent's high-water mark and
+    both phases would report the same floor."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # linux reports KiB, macOS bytes
+    return rss * 1024 if sys.platform != "darwin" else rss
+
+
+def answers_digest(answers: List[tuple]) -> str:
+    canonical = json.dumps([[run_id, str(task_id),
+                             sorted(str(t) for t in tasks)]
+                            for run_id, task_id, tasks in answers])
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- the three phases (each runs in its own subprocess) -----------------------
+
+
+def phase_ingest(path: str, runs: int) -> Dict[str, object]:
+    spec = bench_spec()
+    store = DurableProvenanceStore(path, spec)
+    started = time.perf_counter()
+    for i in range(runs):
+        store.add_run(execute(
+            spec, run_id=f"run-{i}",
+            inputs={task: f"batch-{i}" for task in spec.entry_tasks()}))
+    elapsed = time.perf_counter() - started
+    labeled, total = store.label_coverage()
+    store.close()
+    assert labeled == total == runs
+    return {"runs": runs, "ingest_s": elapsed,
+            "db_bytes": os.path.getsize(path)}
+
+
+def phase_sql(path: str, runs: int, queries: int) -> Dict[str, object]:
+    store = DurableProvenanceStore(path, readonly=True)
+    engine = LineageQueryEngine(store=store)
+    latencies, answers = [], []
+    for run_id, task_id in query_plan(runs, queries):
+        started = time.perf_counter()
+        answer = engine.lineage_tasks(task_id, run_id=run_id)
+        latencies.append(time.perf_counter() - started)
+        assert answer.source == "sql"
+        answers.append((run_id, task_id, answer.tasks))
+    assert not store.is_hydrated  # the whole point
+    rss = phase_rss_bytes()
+    store.close()
+    return {"p50_s": median(latencies), "total_s": sum(latencies),
+            "setup_s": 0.0, "rss_bytes": rss,
+            "digest": answers_digest(answers)}
+
+
+def phase_hydrated(path: str, runs: int, queries: int) -> Dict[str, object]:
+    store = DurableProvenanceStore(path, readonly=True)
+    started = time.perf_counter()
+    run_ids = store.run_ids()  # hydrates the full log
+    assert len(run_ids) == runs
+    setup = time.perf_counter() - started
+    engine = LineageQueryEngine(store=store, prefer="hydrated")
+    latencies, answers = [], []
+    for run_id, task_id in query_plan(runs, queries):
+        query_started = time.perf_counter()
+        answer = engine.lineage_tasks(task_id, run_id=run_id)
+        latencies.append(time.perf_counter() - query_started)
+        assert answer.source == "hydrated"
+        answers.append((run_id, task_id, answer.tasks))
+    rss = phase_rss_bytes()
+    store.close()
+    # per-query cost of the hydrate-everything strategy: the query plus
+    # its (generously amortized) share of the mandatory full hydration
+    amortized = [latency + setup / queries for latency in latencies]
+    return {"p50_s": median(amortized), "total_s": sum(latencies) + setup,
+            "setup_s": setup, "rss_bytes": rss,
+            "digest": answers_digest(answers)}
+
+
+PHASES = {"ingest": phase_ingest, "sql": phase_sql,
+          "hydrated": phase_hydrated}
+
+
+def run_phase(name: str, path: str, runs: int,
+              queries: int) -> Dict[str, object]:
+    """One phase in a fresh interpreter; returns its JSON report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _bootstrap._SRC + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    argv = [sys.executable, os.path.abspath(__file__), "--phase", name,
+            "--path", path, "--runs", str(runs),
+            "--queries", str(queries)]
+    proc = subprocess.run(argv, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"phase {name} failed:\n{proc.stdout}\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# -- the pytest-visible small end-to-end --------------------------------------
+
+
+def test_small_store_sql_equals_hydrated_and_stays_cold():
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "small.db")
+        phase_ingest(path, 60)
+        sql = phase_sql(path, 60, 32)
+        hydrated = phase_hydrated(path, 60, 32)
+        assert sql["digest"] == hydrated["digest"]
+        assert sql["p50_s"] > 0 and hydrated["p50_s"] > 0
+
+
+# -- the gated sweep ----------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--runs", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--max-rss-ratio", type=float, default=0.5)
+    parser.add_argument("--out", default="BENCH_sql_lineage.json")
+    parser.add_argument("--phase", choices=sorted(PHASES),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--path", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    runs = args.runs if args.runs is not None else (
+        FULL_RUNS if args.full else QUICK_RUNS)
+    queries = args.queries if args.queries is not None else (
+        FULL_QUERIES if args.full else QUICK_QUERIES)
+
+    if args.phase:  # subprocess mode: one phase, JSON on stdout
+        if args.phase == "ingest":
+            report = phase_ingest(args.path, runs)
+        else:
+            report = PHASES[args.phase](args.path, runs, queries)
+        print(json.dumps(report))
+        return 0
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "lineage.db")
+        print(f"ingesting {runs} runs x {TASKS} tasks ...", flush=True)
+        ingest = run_phase("ingest", path, runs, queries)
+        print(f"  {ingest['ingest_s']:.1f}s, "
+              f"{ingest['db_bytes'] / 1e6:.1f} MB on disk", flush=True)
+        sql = run_phase("sql", path, runs, queries)
+        hydrated = run_phase("hydrated", path, runs, queries)
+
+    if sql["digest"] != hydrated["digest"]:
+        print("FAIL: SQL answers diverge from the hydrated index",
+              file=sys.stderr)
+        return 1
+
+    speedup = hydrated["p50_s"] / sql["p50_s"]
+    rss_ratio = sql["rss_bytes"] / hydrated["rss_bytes"]
+    print(f"lineage_tasks p50 cold store ({runs} runs, {queries} "
+          f"queries):")
+    print(f"  sql       {sql['p50_s'] * 1e3:9.3f} ms  "
+          f"rss {sql['rss_bytes'] / 1e6:7.1f} MB")
+    print(f"  hydrated  {hydrated['p50_s'] * 1e3:9.3f} ms  "
+          f"rss {hydrated['rss_bytes'] / 1e6:7.1f} MB  "
+          f"(setup {hydrated['setup_s']:.1f}s)")
+    print(f"  speedup {speedup:.1f}x, rss ratio {rss_ratio:.2f}")
+
+    payload = {
+        "benchmark": "sql_lineage",
+        "workload": (f"{runs} runs x {TASKS}-task layered workflow; "
+                     f"{queries} lineage_tasks probes on a cold store: "
+                     f"label-backed SQL vs hydrate-everything "
+                     f"(hydration amortized over all probes)"),
+        "runs": runs,
+        "queries": queries,
+        "ingest": ingest,
+        "sql": sql,
+        "hydrated": hydrated,
+        "speedup": speedup,
+        "rss_ratio": rss_ratio,
+    }
+    with open(_bootstrap.resolve_out(args.out), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    failed = False
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x < {args.min_speedup}x",
+              file=sys.stderr)
+        failed = True
+    if rss_ratio > args.max_rss_ratio:
+        print(f"FAIL: sql rss is {rss_ratio:.2f} of hydrated "
+              f"(> {args.max_rss_ratio}): store was not cold",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

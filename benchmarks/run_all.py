@@ -98,6 +98,17 @@ BENCHES = [
         quick_argv=["--quick"],
     ),
     Bench(
+        name="sql_lineage",
+        module="bench_sql_lineage",
+        out="BENCH_sql_lineage.json",
+        metric=lambda payload: payload["speedup"],
+        metric_label="cold-store SQL lineage vs hydrate-everything, "
+                     "p50 lineage_tasks",
+        min_speedup=10.0,
+        quick_argv=["--quick"],
+        full_argv=["--full"],
+    ),
+    Bench(
         name="server",
         module="bench_server",
         out="BENCH_server.json",

@@ -36,6 +36,7 @@ from repro import (  # noqa: E402
     DurableProvenanceStore,
 )
 from repro.provenance.execution import execute  # noqa: E402
+from repro.provenance.facade import LineageQueryEngine  # noqa: E402
 from repro.workflow import catalog  # noqa: E402
 
 
@@ -53,15 +54,22 @@ def provenance_half(path: str) -> None:
           f"(journal_mode={store.stats()['journal_mode']})")
     store.close()
 
-    # a new process would start exactly here: open the file, ask away —
-    # the secondary indexes rebuild lazily from the logged rows
+    # a new process would start exactly here: open the file, ask away.
+    # Lineage goes through the unified façade, which notices the store
+    # is cold and label-backed and answers from SQL range predicates
+    # without hydrating a single run
     reopened = DurableProvenanceStore(path)
-    print(f"reopened: {reopened.run_ids()}")
+    queries = LineageQueryEngine(store=reopened)
+    through = queries.runs_with_lineage_through(4)
+    print(f"reopened; runs whose outputs depend on task 4: "
+          f"{list(through)} (answered via {through.source})")
+    cone = queries.exit_lineage("tuesday")
+    print(f"  tuesday's exit lineage: {sorted(cone)} "
+          f"(via {cone.source}, hydrated={reopened.is_hydrated})")
+    # divergence/blame still hydrate: they compare full payloads
     print(f"  tuesday vs monday diverges at: "
           f"{reopened.divergence('monday', 'tuesday')}")
     print(f"  ...blamed on: {reopened.blame('monday', 'tuesday')}")
-    print(f"  runs whose outputs depend on task 4: "
-          f"{reopened.runs_with_lineage_through(4)}")
     reopened.close()
 
 

@@ -15,7 +15,7 @@ Run with ``python examples/phylogenomics.py``.
 
 from repro import Criterion, correct_view, validate_view
 from repro.provenance.execution import execute
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.facade import hydrated_lineage_tasks as lineage_tasks
 from repro.provenance.viewlevel import (
     compare_lineage,
     view_implied_task_lineage,

@@ -20,7 +20,7 @@ import random
 from repro import Criterion, correct_view
 from repro.graphs.reachability import ReachabilityIndex
 from repro.provenance.execution import execute
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.facade import hydrated_lineage_tasks as lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness, view_lineage
 from repro.repository.synthetic import expert_view, synthetic_workflow
 

@@ -50,10 +50,13 @@ from repro.core import (
     Estimator,
 )
 from repro.provenance import (
+    LineageAnswer,
+    LineageQueryEngine,
     execute,
     lineage_tasks,
     lineage_correctness,
 )
+from repro.options import ResolvedOptions, resolve_options
 from repro.repository import build_corpus
 from repro.repository.corpus import CorpusSpec, materialize_corpus
 from repro.service import AnalysisService, CorpusReport
@@ -87,6 +90,10 @@ __all__ = [
     "execute",
     "lineage_tasks",
     "lineage_correctness",
+    "LineageQueryEngine",
+    "LineageAnswer",
+    "ResolvedOptions",
+    "resolve_options",
     "build_corpus",
     "CorpusSpec",
     "materialize_corpus",

@@ -1,0 +1,83 @@
+"""One resolved option set for the layers that open stores and kernels.
+
+Before this module, the same three knobs were accepted at different
+layers under different spellings and different precedence rules:
+
+* ``db_path=`` — :class:`~repro.system.session.WolvesSession`,
+  :class:`~repro.service.service.AnalysisService` and the daemon took a
+  ``db_path`` keyword while the stores took a positional ``path``;
+* ``timeout_ms=`` — :func:`repro.persistence.db.connect` honoured a
+  keyword and the ``WOLVES_DB_TIMEOUT_MS`` environment variable, but no
+  higher layer exposed it, so a session could not raise the busy budget
+  of the store it owned;
+* ``kernel=`` — the bitset backend override existed on the graph indexes
+  (and the ``WOLVES_KERNEL`` variable process-wide), but not on the
+  session/service/store constructors whose work it accelerates.
+
+:func:`resolve_options` is the single normalization point: **keyword
+beats environment beats default**, resolved once at the outermost layer
+and threaded down unchanged, so every layer below sees the same resolved
+values and none of them re-reads the environment mid-stack.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: the environment variable the kernel registry honours; mirrored here so
+#: the resolved option records which backend the environment selected
+ENV_KERNEL = "WOLVES_KERNEL"
+
+
+@dataclass(frozen=True)
+class ResolvedOptions:
+    """The normalized (db_path, timeout_ms, kernel) triple.
+
+    ``db_path`` is ``None`` for volatile (in-memory) operation;
+    ``timeout_ms`` is always a concrete integer (the SQLite busy budget);
+    ``kernel`` is an explicit backend name or ``None`` for the
+    registry's automatic selection.
+    """
+
+    db_path: Optional[str] = None
+    timeout_ms: int = 0
+    kernel: Optional[str] = None
+
+
+def resolve_options(db_path: Optional[str] = None,
+                    timeout_ms: Optional[int] = None,
+                    kernel: Optional[str] = None,
+                    base: Optional[ResolvedOptions] = None
+                    ) -> ResolvedOptions:
+    """Resolve the three store/kernel knobs once, keyword-first.
+
+    * ``db_path``: keyword, else ``base``, else ``None`` (volatile);
+    * ``timeout_ms``: keyword, else ``base``, else
+      ``WOLVES_DB_TIMEOUT_MS``, else the store default;
+    * ``kernel``: keyword, else ``base``, else ``WOLVES_KERNEL``, else
+      ``None`` (automatic backend selection).
+
+    ``base`` lets an outer layer's resolved options flow through an
+    inner layer that only overrides a subset (session → service →
+    store all call this same helper).
+    """
+    # deferred: repro.persistence.store imports this module at class
+    # definition time, and importing repro.persistence.db here would
+    # close that cycle through the package __init__
+    from repro.persistence.db import resolve_timeout_ms
+
+    if base is not None:
+        if db_path is None:
+            db_path = base.db_path
+        if timeout_ms is None:
+            timeout_ms = base.timeout_ms or None
+        if kernel is None:
+            kernel = base.kernel
+    if kernel is None:
+        kernel = os.environ.get(ENV_KERNEL) or None
+    return ResolvedOptions(
+        db_path=str(db_path) if db_path is not None else None,
+        timeout_ms=resolve_timeout_ms(timeout_ms),
+        kernel=kernel)

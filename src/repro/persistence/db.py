@@ -108,15 +108,25 @@ def connect(path: str, readonly: bool = False,
 
 def open_checked(path: str, readonly: bool = False,
                  timeout_ms: Optional[int] = None) -> sqlite3.Connection:
-    """Open ``path``, create the schema (writers only), and verify the
-    schema version — the shared front door of every store/cache class."""
+    """Open ``path``, create/migrate the schema (writers only), and
+    verify the schema version — the shared front door of every
+    store/cache class.
+
+    Writers always land on the current version (``initialize`` is the
+    additive migration).  Read-only opens accept any version in
+    :data:`~repro.persistence.schema.SUPPORTED_VERSIONS` — an old v1
+    file just has no label tables, which the query planner treats as
+    zero label coverage rather than an error.
+    """
     from repro.persistence import schema
 
     conn = connect(path, readonly=readonly, timeout_ms=timeout_ms)
     if not readonly:
         schema.initialize(conn)
     version = schema.schema_version(conn)
-    if version != schema.SCHEMA_VERSION:
+    accepted = (schema.SUPPORTED_VERSIONS if readonly
+                else (schema.SCHEMA_VERSION,))
+    if version not in accepted:
         conn.close()
         raise PersistenceError(
             f"database {path!r} has schema version {version}, "

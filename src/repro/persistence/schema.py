@@ -29,6 +29,17 @@ is the analysis daemon's durable job log (:mod:`repro.server.joblog`):
 submitted jobs survive a daemon crash and finished jobs can replay
 their record streams to reconnecting clients.
 
+Schema version 2 adds the **reachability labels** (``opm_labels`` /
+``run_labels``): per-node spanning-forest interval labels (pre/post DFS
+numbers) plus spill bitsets for the non-tree edges, computed by
+:mod:`repro.graphs.labeling` inside the ``add_run`` transaction.  They
+let :mod:`repro.persistence.sqlqueries` answer lineage / downstream /
+cone queries as indexed range scans on a cold store — the run is never
+hydrated.  The v1→v2 migration is purely additive: ``initialize`` (all
+DDL is ``IF NOT EXISTS``) creates the new tables and bumps the recorded
+version; v1 runs simply have no label rows until ``backfill_labels``
+(or ``wolves db backfill``) writes them.
+
 Payloads and params are stored as canonical JSON text; artifacts whose
 payloads cannot be represented in JSON are rejected with a
 :class:`~repro.errors.PersistenceError` at ``add_run`` time (the same
@@ -39,8 +50,14 @@ from __future__ import annotations
 
 import sqlite3
 
-#: bump when the DDL below changes incompatibly
-SCHEMA_VERSION = 1
+#: bump when the DDL below changes; migrations so far are additive, so
+#: ``initialize`` doubles as the migration and readers may accept any
+#: version in SUPPORTED_VERSIONS
+SCHEMA_VERSION = 2
+
+#: versions a read-only open may encounter and still serve correctly
+#: (v1 = no label tables; every v1 table is a prefix of v2's)
+SUPPORTED_VERSIONS = (1, 2)
 
 #: table name -> CREATE TABLE statement, in creation order
 TABLES = {
@@ -144,6 +161,38 @@ TABLES = {
             record BLOB NOT NULL,
             PRIMARY KEY (job_id, seq)
         )""",
+    # -- v2: persisted reachability labels (one row per OPM node).
+    # ``position`` is the node's topological index in the run (the bit
+    # index every spill bitset refers to); pre/post are DFS entry/exit
+    # numbers on the spanning forest, so "u reaches v through the forest"
+    # is the range predicate pre(u) < pre(v) AND post(u) > post(v);
+    # anc_spill/desc_spill hold the closure the forest misses as
+    # little-endian bitset blobs (NULL when empty — the common case).
+    "opm_labels": """
+        CREATE TABLE IF NOT EXISTS opm_labels (
+            run_id     TEXT NOT NULL REFERENCES runs(run_id)
+                       ON DELETE CASCADE,
+            position   INTEGER NOT NULL,
+            kind       TEXT NOT NULL,
+            node_id    TEXT NOT NULL,
+            task_id    TEXT,
+            pre        INTEGER NOT NULL,
+            post       INTEGER NOT NULL,
+            anc_spill  BLOB,
+            desc_spill BLOB,
+            PRIMARY KEY (run_id, position)
+        )""",
+    # summary row per labeled run: label coverage reporting and the
+    # planner's "is this run SQL-answerable?" residency check
+    "run_labels": """
+        CREATE TABLE IF NOT EXISTS run_labels (
+            run_id      TEXT PRIMARY KEY REFERENCES runs(run_id)
+                        ON DELETE CASCADE,
+            nodes       INTEGER NOT NULL,
+            tree_edges  INTEGER NOT NULL,
+            spill_bits  INTEGER NOT NULL,
+            labeled_at  TEXT NOT NULL
+        )""",
 }
 
 INDEXES = [
@@ -152,12 +201,24 @@ INDEXES = [
     "ON artifacts(run_id, payload)",
     "CREATE INDEX IF NOT EXISTS idx_exit_lineage_task "
     "ON exit_lineage(task_id)",
+    # range scans over one run's intervals, and node -> label lookups
+    "CREATE INDEX IF NOT EXISTS idx_opm_labels_pre "
+    "ON opm_labels(run_id, pre)",
+    "CREATE INDEX IF NOT EXISTS idx_opm_labels_node "
+    "ON opm_labels(run_id, kind, node_id)",
+    "CREATE INDEX IF NOT EXISTS idx_run_outputs_task "
+    "ON run_outputs(task_id, artifact_id)",
 ]
 
 
 def initialize(conn: sqlite3.Connection) -> None:
     """Create every table and index (idempotent) and pin the schema
-    version in ``meta``."""
+    version in ``meta``.
+
+    Because every migration so far is additive (new tables only), this
+    is also the v1→v2 migration: reopening an old store for writing
+    creates the missing label tables and records the current version.
+    """
     with conn:
         for statement in TABLES.values():
             conn.execute(statement)
@@ -166,6 +227,10 @@ def initialize(conn: sqlite3.Connection) -> None:
         conn.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)))
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version' "
+            "AND CAST(value AS INTEGER) < ?",
+            (str(SCHEMA_VERSION), SCHEMA_VERSION))
 
 
 def schema_version(conn: sqlite3.Connection) -> int:

@@ -23,6 +23,16 @@ worth materializing: computed cones are written behind
 (``exit_lineage`` rows) so the next open loads them instead of
 recomputing.
 
+Since schema v2 the hydrate-on-open path is no longer the only read
+path: ``add_run`` also persists the run's reachability labels
+(:mod:`repro.graphs.labeling`) in the same transaction, and the cold
+accessors (:meth:`DurableProvenanceStore.sql_queries`,
+:meth:`~DurableProvenanceStore.cold_run_ids`,
+:meth:`~DurableProvenanceStore.load_run_cold`) let the
+:class:`~repro.provenance.facade.LineageQueryEngine` answer lineage
+queries as SQL range scans without hydrating anything —
+:meth:`~DurableProvenanceStore.backfill_labels` migrates pre-v2 stores.
+
 Payloads and params are stored as canonical JSON (the same restriction
 the portable OPM JSON export has); a run with a non-JSON payload is
 rejected with :class:`~repro.errors.PersistenceError` before anything is
@@ -33,11 +43,15 @@ from __future__ import annotations
 
 import json
 import os
+from datetime import datetime, timezone
 from typing import Any, FrozenSet, List, Optional, Tuple
 
 from repro.errors import PersistenceError, ProvenanceError
+from repro.graphs.labeling import label_provenance, spill_to_blob
+from repro.options import resolve_options
 from repro.persistence import schema
 from repro.persistence.db import journal_mode, open_checked, transaction
+from repro.persistence.sqlqueries import SqlLineageQueries
 from repro.provenance.execution import WorkflowRun
 from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
 from repro.provenance.store import ProvenanceStore
@@ -80,10 +94,16 @@ class DurableProvenanceStore(ProvenanceStore):
     """
 
     def __init__(self, path: str, spec: Optional[WorkflowSpec] = None,
-                 readonly: bool = False) -> None:
-        self.path = str(path)
+                 readonly: bool = False, *,
+                 timeout_ms: Optional[int] = None,
+                 kernel: Optional[str] = None) -> None:
+        self.options = resolve_options(db_path=path, timeout_ms=timeout_ms,
+                                       kernel=kernel)
+        self.path = self.options.db_path
         self.readonly = readonly
-        self._conn = open_checked(self.path, readonly=readonly)
+        self.kernel = self.options.kernel
+        self._conn = open_checked(self.path, readonly=readonly,
+                                  timeout_ms=self.options.timeout_ms)
         spec = self._resolve_spec(spec)
         super().__init__(spec)
         self._task_by_str = {str(t): t for t in spec.task_ids()}
@@ -152,8 +172,10 @@ class DurableProvenanceStore(ProvenanceStore):
             raise ProvenanceError(
                 "run belongs to a different workflow than the store's")
         rows = self._stage_rows(run)
+        labels = self._stage_labels(run)
         with transaction(self._conn):
             self._write_rows(run.run_id, rows)
+            self._write_labels(run.run_id, labels)
             if self._crash_before_commit:
                 os._exit(3)
         # disk is committed; mirror into the in-memory indexes (validated
@@ -198,6 +220,37 @@ class DurableProvenanceStore(ProvenanceStore):
                    in enumerate(run.outputs.items())]
         return {"invocations": invocations, "uses": uses,
                 "artifacts": artifacts, "outputs": outputs}
+
+    def _stage_labels(self, run: WorkflowRun) -> dict:
+        """The run's reachability labels (:mod:`repro.graphs.labeling`)
+        in relational form, computed before the transaction opens."""
+        labeling = label_provenance(run.provenance, kernel=self.kernel)
+        graph = run.provenance
+        rows = []
+        for label in labeling.labels:
+            kind, node_id = label.node
+            task_id = (_scalar_str(graph.invocation(node_id).task_id)
+                       if kind == "invocation" else None)
+            rows.append((label.position, kind, node_id, task_id,
+                         label.pre, label.post,
+                         spill_to_blob(label.anc_spill),
+                         spill_to_blob(label.desc_spill)))
+        return {"rows": rows,
+                "summary": (len(labeling.labels), labeling.tree_edges,
+                            labeling.spill_bits)}
+
+    def _write_labels(self, run_id: str, labels: dict) -> None:
+        self._conn.executemany(
+            "INSERT INTO opm_labels "
+            "(run_id, position, kind, node_id, task_id, pre, post, "
+            " anc_spill, desc_spill) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(run_id, *row) for row in labels["rows"]])
+        self._conn.execute(
+            "INSERT INTO run_labels "
+            "(run_id, nodes, tree_edges, spill_bits, labeled_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (run_id, *labels["summary"],
+             datetime.now(timezone.utc).isoformat()))
 
     def _write_rows(self, run_id: str, rows: dict) -> None:
         conn = self._conn
@@ -340,15 +393,15 @@ class DurableProvenanceStore(ProvenanceStore):
         self._ensure_hydrated()
         return super().runs_producing(payload)
 
-    def runs_of_task(self, task_id: TaskId) -> List[str]:
+    def _runs_of_task(self, task_id: TaskId) -> List[str]:
         self._ensure_hydrated()
-        return super().runs_of_task(task_id)
+        return super()._runs_of_task(task_id)
 
-    def runs_consuming(self, payload: Any) -> List[str]:
+    def _runs_consuming(self, payload: Any) -> List[str]:
         self._ensure_hydrated()
-        return super().runs_consuming(payload)
+        return super()._runs_consuming(payload)
 
-    def runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
+    def _runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
         # the index sweep may fill many cones at once; compute them all
         # through the in-memory path, then write behind in ONE
         # transaction instead of one commit per run
@@ -367,16 +420,81 @@ class DurableProvenanceStore(ProvenanceStore):
         self._ensure_hydrated()
         return super().to_json()
 
+    # -- cold (label-backed) access ----------------------------------------
+    #
+    # the LineageQueryEngine façade's SQL path: everything here answers
+    # from the database without triggering the full hydration above
+
+    @property
+    def is_hydrated(self) -> bool:
+        """Whether the in-memory indexes have been rebuilt this open —
+        the façade planner's residency check."""
+        return self._hydrated
+
+    def sql_queries(self) -> SqlLineageQueries:
+        """A label-backed query view over this store's connection."""
+        return SqlLineageQueries(self._conn, self.spec)
+
+    def cold_run_ids(self) -> List[str]:
+        """Every stored run id in recording order, without hydrating."""
+        return [run_id for (run_id,) in self._conn.execute(
+            "SELECT run_id FROM runs ORDER BY position")]
+
+    def load_run_cold(self, run_id: str) -> WorkflowRun:
+        """Load ONE run from the log without hydrating the store — the
+        façade's fallback for unlabeled (pre-v2) runs."""
+        if self._conn.execute(
+                "SELECT 1 FROM runs WHERE run_id = ?",
+                (run_id,)).fetchone() is None:
+            raise ProvenanceError(f"unknown run {run_id!r}")
+        return self._load_run(run_id)
+
+    def has_labels(self, run_id: str) -> bool:
+        return self.sql_queries().has_labels(run_id)
+
+    def label_coverage(self) -> Tuple[int, int]:
+        """``(labeled_runs, total_runs)`` on disk."""
+        return self.sql_queries().label_coverage()
+
+    def backfill_labels(self, batch: int = 64) -> int:
+        """Label every stored run that predates the label tables.
+
+        Runs are loaded cold one at a time and their label rows written
+        in transactions of ``batch`` runs, so a 10k-run v1 store is
+        migrated with bounded memory.  Returns the number of runs
+        labeled.  Idempotent: already-labeled runs are skipped.
+        """
+        if self.readonly:
+            raise PersistenceError(
+                "cannot backfill labels on a read-only store")
+        missing = [run_id for (run_id,) in self._conn.execute(
+            "SELECT r.run_id FROM runs r "
+            "LEFT JOIN run_labels l ON l.run_id = r.run_id "
+            "WHERE l.run_id IS NULL ORDER BY r.position")]
+        labeled = 0
+        for start in range(0, len(missing), max(1, batch)):
+            chunk = missing[start:start + max(1, batch)]
+            staged = [(run_id,
+                       self._stage_labels(self._load_run(run_id)))
+                      for run_id in chunk]
+            with transaction(self._conn):
+                for run_id, labels in staged:
+                    self._write_labels(run_id, labels)
+            labeled += len(chunk)
+        return labeled
+
     # -- maintenance -------------------------------------------------------
 
     def stats(self) -> dict:
         """Table row counts plus file-level facts (``wolves db stats``)."""
+        labeled, total = self.label_coverage()
         info = {
             "path": self.path,
             "schema_version": schema.schema_version(self._conn),
             "journal_mode": journal_mode(self._conn),
             "workflow": None,
             "tables": schema.table_counts(self._conn),
+            "labels": {"labeled_runs": labeled, "total_runs": total},
         }
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'workflow_name'").fetchone()

@@ -10,8 +10,11 @@ motivation end to end:
   provenance;
 * :mod:`~repro.provenance.index` — the per-run bitset lineage closure
   (:class:`ProvenanceIndex`) every query below runs on;
-* :mod:`~repro.provenance.queries` — lineage (transitive-closure) queries
-  over the provenance graph, with batched multi-query variants;
+* :mod:`~repro.provenance.facade` — the unified
+  :class:`LineageQueryEngine` query façade (typed answers; hydrated or
+  SQL execution path) — the supported query surface;
+* :mod:`~repro.provenance.queries` — the legacy module-function query
+  surface, now deprecated shims over the façade's implementations;
 * :mod:`~repro.provenance.viewlevel` — view-level provenance analysis and
   its correctness metrics: a sound view answers lineage queries exactly;
   an unsound view produces the spurious dependencies of Figure 1.
@@ -23,6 +26,12 @@ from repro.provenance.model import (
     ProvenanceGraph,
 )
 from repro.provenance.execution import execute, WorkflowRun
+from repro.provenance.facade import (
+    ArtifactAnswer,
+    LineageAnswer,
+    LineageQueryEngine,
+    RunsAnswer,
+)
 from repro.provenance.index import ProvenanceIndex
 from repro.provenance.queries import (
     cone_of_change,
@@ -49,6 +58,10 @@ __all__ = [
     "execute",
     "WorkflowRun",
     "ProvenanceIndex",
+    "LineageQueryEngine",
+    "LineageAnswer",
+    "ArtifactAnswer",
+    "RunsAnswer",
     "lineage_artifacts",
     "lineage_invocations",
     "lineage_tasks",

@@ -1,111 +1,96 @@
-"""Lineage queries: transitive closures over provenance.
+"""Deprecated module-function lineage queries.
 
-"The provenance of a data item is the sequence of steps used to produce the
-data, together with the intermediate data and parameters used as input to
-those steps" — i.e. the ancestor set in the OPM graph.  These functions
-answer the task-level questions the demo walks through ("is the output of
-task 14 part of the provenance of the output of task 18?").
+This was the original query surface ("is the output of task 14 part of
+the provenance of the output of task 18?").  It survives as thin shims
+over the shared ``hydrated_*`` implementations so existing callers keep
+working, but every function emits :class:`DeprecationWarning` — use the
+:class:`~repro.provenance.facade.LineageQueryEngine` façade instead,
+which adds typed answers (``.tasks`` / ``.source`` / ``.run_id``) and
+the cold-store SQL path these module functions can never take:
 
-Every query runs on the run's memoized
-:class:`~repro.provenance.index.ProvenanceIndex`: one bitset AND plus an
-``O(popcount)`` decode, instead of the digraph rebuild + BFS the naive
-traversal pays.  Results are identical to that traversal (list-valued
-queries additionally come back in topological order, which the equivalence
-property tests pin) — the batched variants (:func:`lineage_many`,
-:func:`lineage_tasks_many`, :func:`cone_of_change`) answer N related
-queries from the same closure in one pass.
+================================  =====================================
+old                               new
+================================  =====================================
+``lineage_artifacts(run, a)``     ``engine.lineage_artifacts(a).ids``
+``lineage_invocations(run, a)``   ``engine.lineage_invocations(a).ids``
+``lineage_tasks(run, t)``         ``engine.lineage_tasks(t).tasks``
+``downstream_tasks(run, t)``      ``engine.downstream_tasks(t).tasks``
+``lineage_many(run, ids)``        ``engine.lineage_many(ids)``
+``lineage_tasks_many(run, ts)``   ``engine.lineage_tasks_many(ts)``
+``downstream_tasks_many(run,ts)`` ``engine.downstream_tasks_many(ts)``
+``cone_of_change(run, ts)``       ``engine.cone_of_change(ts).tasks``
+================================  =====================================
+
+with ``engine = LineageQueryEngine(run=run)``.  Return shapes here are
+unchanged (bare sets / lists / dicts, identical ordering), so migration
+is mechanical.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Set
 
+from repro.provenance import facade
 from repro.provenance.execution import WorkflowRun
+from repro.provenance.facade import warn_deprecated
 from repro.workflow.task import TaskId
 
 
 def lineage_artifacts(run: WorkflowRun, artifact_id: str) -> List[str]:
-    """Every artifact in the provenance of ``artifact_id`` (itself excluded)."""
-    return run.provenance_index().lineage_artifacts(artifact_id)
+    """Deprecated: use ``LineageQueryEngine.lineage_artifacts``."""
+    warn_deprecated("queries.lineage_artifacts",
+                    "LineageQueryEngine.lineage_artifacts")
+    return facade.hydrated_lineage_artifacts(run, artifact_id)
 
 
 def lineage_invocations(run: WorkflowRun, artifact_id: str) -> List[str]:
-    """Every invocation in the provenance of ``artifact_id``."""
-    return run.provenance_index().lineage_invocations(artifact_id)
+    """Deprecated: use ``LineageQueryEngine.lineage_invocations``."""
+    warn_deprecated("queries.lineage_invocations",
+                    "LineageQueryEngine.lineage_invocations")
+    return facade.hydrated_lineage_invocations(run, artifact_id)
 
 
 def lineage_tasks(run: WorkflowRun, task_id: TaskId) -> Set[TaskId]:
-    """Tasks whose output is in the provenance of ``task_id``'s output.
-
-    This is the ground-truth answer to the paper's provenance question; the
-    view-level answer (:mod:`repro.provenance.viewlevel`) is compared
-    against it.  The producing task itself is excluded.
-    """
-    artifact = run.output_artifact(task_id)
-    producing = run.provenance_index().lineage_tasks_of_artifact(
-        artifact.artifact_id)
-    producing.discard(task_id)
-    return producing
+    """Deprecated: use ``LineageQueryEngine.lineage_tasks``."""
+    warn_deprecated("queries.lineage_tasks",
+                    "LineageQueryEngine.lineage_tasks")
+    return facade.hydrated_lineage_tasks(run, task_id)
 
 
 def downstream_tasks(run: WorkflowRun, task_id: TaskId) -> Set[TaskId]:
-    """Tasks whose output depends on ``task_id``'s output (impact set)."""
-    artifact = run.output_artifact(task_id)
-    found = run.provenance_index().downstream_tasks_of_artifact(
-        artifact.artifact_id)
-    found.discard(task_id)
-    return found
-
-
-# -- batched queries ---------------------------------------------------------
+    """Deprecated: use ``LineageQueryEngine.downstream_tasks``."""
+    warn_deprecated("queries.downstream_tasks",
+                    "LineageQueryEngine.downstream_tasks")
+    return facade.hydrated_downstream_tasks(run, task_id)
 
 
 def lineage_many(run: WorkflowRun, artifact_ids: Iterable[str]
                  ) -> Dict[str, List[str]]:
-    """Artifact lineage for many artifacts off one shared closure."""
-    index = run.provenance_index()
-    return {artifact_id: index.lineage_artifacts(artifact_id)
-            for artifact_id in artifact_ids}
+    """Deprecated: use ``LineageQueryEngine.lineage_many``."""
+    warn_deprecated("queries.lineage_many",
+                    "LineageQueryEngine.lineage_many")
+    return facade.hydrated_lineage_many(run, artifact_ids)
 
 
 def lineage_tasks_many(run: WorkflowRun, task_ids: Iterable[TaskId]
                        ) -> Dict[TaskId, Set[TaskId]]:
-    """:func:`lineage_tasks` for many tasks off one shared closure."""
-    index = run.provenance_index()
-    found: Dict[TaskId, Set[TaskId]] = {}
-    for task_id in task_ids:
-        artifact = run.output_artifact(task_id)
-        tasks = index.lineage_tasks_of_artifact(artifact.artifact_id)
-        tasks.discard(task_id)
-        found[task_id] = tasks
-    return found
+    """Deprecated: use ``LineageQueryEngine.lineage_tasks_many``."""
+    warn_deprecated("queries.lineage_tasks_many",
+                    "LineageQueryEngine.lineage_tasks_many")
+    return facade.hydrated_lineage_tasks_many(run, task_ids)
 
 
 def downstream_tasks_many(run: WorkflowRun, task_ids: Iterable[TaskId]
                           ) -> Dict[TaskId, Set[TaskId]]:
-    """:func:`downstream_tasks` for many tasks off one shared closure."""
-    index = run.provenance_index()
-    found: Dict[TaskId, Set[TaskId]] = {}
-    for task_id in task_ids:
-        artifact = run.output_artifact(task_id)
-        tasks = index.downstream_tasks_of_artifact(artifact.artifact_id)
-        tasks.discard(task_id)
-        found[task_id] = tasks
-    return found
+    """Deprecated: use ``LineageQueryEngine.downstream_tasks_many``."""
+    warn_deprecated("queries.downstream_tasks_many",
+                    "LineageQueryEngine.downstream_tasks_many")
+    return facade.hydrated_downstream_tasks_many(run, task_ids)
 
 
 def cone_of_change(run: WorkflowRun, task_ids: Iterable[TaskId]
                    ) -> Set[TaskId]:
-    """The affected cone: ``task_ids`` plus every provenance-dependent task.
-
-    One union of descendant masks answers the question the incremental
-    engine asks before re-execution ("what must re-run if these tasks
-    change?"), instead of one traversal per changed task.
-    """
-    index = run.provenance_index()
-    changed = list(task_ids)
-    mask = index.descendants_mask_of_artifacts(
-        run.output_artifact(task_id).artifact_id for task_id in changed)
-    affected = index.tasks_of_mask(mask)
-    affected.update(changed)
-    return affected
+    """Deprecated: use ``LineageQueryEngine.cone_of_change``."""
+    warn_deprecated("queries.cone_of_change",
+                    "LineageQueryEngine.cone_of_change")
+    return facade.hydrated_cone_of_change(run, task_ids)

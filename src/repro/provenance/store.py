@@ -31,8 +31,8 @@ from typing import Any, Dict, FrozenSet, List, Set
 
 from repro.errors import ProvenanceError
 from repro.provenance.execution import WorkflowRun
+from repro.provenance.facade import hydrated_exit_lineage, warn_deprecated
 from repro.provenance.model import Artifact, Invocation, ProvenanceGraph
-from repro.provenance.queries import lineage_tasks_many
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import TaskId
 
@@ -92,13 +92,7 @@ class ProvenanceStore:
         """The run's exit-lineage cone, computed at most once per run."""
         cone = self._exit_lineage.get(run_id)
         if cone is None:
-            run = self._runs[run_id]
-            exit_tasks = [task_id for task_id in run.spec.exit_tasks()
-                          if task_id in run.outputs]
-            tasks: Set[TaskId] = set(exit_tasks)
-            for lineage in lineage_tasks_many(run, exit_tasks).values():
-                tasks |= lineage
-            cone = frozenset(tasks)
+            cone = hydrated_exit_lineage(self._runs[run_id])
             self._exit_lineage[run_id] = cone
         return cone
 
@@ -115,26 +109,30 @@ class ProvenanceStore:
         return list(self._runs)
 
     # -- cross-run queries ------------------------------------------------------
+    #
+    # the underscore methods are the real implementations, called by the
+    # LineageQueryEngine façade; the public names are deprecated shims
+    # kept for callers that predate the façade
 
     def runs_producing(self, payload: Any) -> List[tuple]:
         """``(run_id, task_id)`` pairs whose output had this payload."""
         return sorted(self._by_payload.get(payload, ()))
 
-    def runs_of_task(self, task_id: TaskId) -> List[str]:
+    def _runs_of_task(self, task_id: TaskId) -> List[str]:
         """Runs that executed ``task_id``, in insertion order."""
         return list(self._runs_by_task.get(task_id, ()))
 
-    def runs_consuming(self, payload: Any) -> List[str]:
+    def _runs_consuming(self, payload: Any) -> List[str]:
         """Runs in which some invocation consumed data with this payload."""
         return list(self._consumed_by.get(payload, ()))
 
-    def exit_lineage(self, run_id: str) -> FrozenSet[TaskId]:
+    def _exit_lineage_query(self, run_id: str) -> FrozenSet[TaskId]:
         """Tasks in the provenance cone of the run's final outputs
         (exit tasks included); computed once per immutable run."""
         self.run(run_id)
         return self._exit_lineage_of(run_id)
 
-    def runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
+    def _runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
         """Runs whose final outputs transitively depend on ``task_id``.
 
         An index sweep over the exit-lineage cones — no per-run graph
@@ -142,6 +140,35 @@ class ProvenanceStore:
         """
         return [run_id for run_id in self._runs
                 if task_id in self._exit_lineage_of(run_id)]
+
+    # -- deprecated query surface (use LineageQueryEngine) ----------------
+
+    def runs_of_task(self, task_id: TaskId) -> List[str]:
+        """Deprecated: use ``LineageQueryEngine(store=...).runs_of_task``."""
+        warn_deprecated("ProvenanceStore.runs_of_task",
+                        "LineageQueryEngine.runs_of_task")
+        return self._runs_of_task(task_id)
+
+    def runs_consuming(self, payload: Any) -> List[str]:
+        """Deprecated: use
+        ``LineageQueryEngine(store=...).runs_consuming``."""
+        warn_deprecated("ProvenanceStore.runs_consuming",
+                        "LineageQueryEngine.runs_consuming")
+        return self._runs_consuming(payload)
+
+    def exit_lineage(self, run_id: str) -> FrozenSet[TaskId]:
+        """Deprecated: use
+        ``LineageQueryEngine(store=...).exit_lineage``."""
+        warn_deprecated("ProvenanceStore.exit_lineage",
+                        "LineageQueryEngine.exit_lineage")
+        return self._exit_lineage_query(run_id)
+
+    def runs_with_lineage_through(self, task_id: TaskId) -> List[str]:
+        """Deprecated: use
+        ``LineageQueryEngine(store=...).runs_with_lineage_through``."""
+        warn_deprecated("ProvenanceStore.runs_with_lineage_through",
+                        "LineageQueryEngine.runs_with_lineage_through")
+        return self._runs_with_lineage_through(task_id)
 
     def runs_depending_on_output_of(self, run_id: str,
                                     task_id: TaskId) -> List[str]:

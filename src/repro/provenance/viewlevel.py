@@ -199,15 +199,14 @@ def run_lineage_comparisons(view: WorkflowView, run,
 
     :func:`compare_lineage` takes its truth from the specification's
     reachability index; this variant takes it from the recorded provenance
-    of ``run`` (one batched
-    :func:`~repro.provenance.queries.lineage_tasks_many` sweep off the
+    of ``run`` (one batched ``lineage_tasks_many`` sweep off the
     run's bitset :class:`~repro.provenance.index.ProvenanceIndex`), which
     is the scenario the paper actually describes — analysts querying the
     view against provenance captured by the workflow engine.  For a
     faithful simulator execution the two truths coincide, and the corpus
     lineage audit asserts exactly that.
     """
-    from repro.provenance.queries import lineage_tasks_many
+    from repro.provenance.facade import hydrated_lineage_tasks_many
 
     assert_well_formed(view)
     ids = list(task_ids) if task_ids is not None else view.spec.task_ids()
@@ -216,7 +215,7 @@ def run_lineage_comparisons(view: WorkflowView, run,
     # only answer at composite granularity, so the fair ground truth for a
     # query on task ``t`` is the union of recorded lineage over ``t``'s
     # whole composite (mirrors :func:`true_composite_lineage`)
-    member_truth = lineage_tasks_many(
+    member_truth = hydrated_lineage_tasks_many(
         run, {member for home in homes for member in view.members(home)})
     true_by_home: Dict[CompositeLabel, frozenset] = {}
     view_by_home: Dict[CompositeLabel, frozenset] = {}

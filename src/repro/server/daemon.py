@@ -64,6 +64,7 @@ from repro.server.protocol import (
     CANCELLED,
     DONE,
     FAILED,
+    OP_STORE_AUDIT,
     OP_VALIDATE,
     RUNNING,
     JobManifest,
@@ -602,6 +603,8 @@ class AnalysisDaemon:
                        deadline: Optional[Deadline] = None):
         if manifest.op == OP_VALIDATE:
             return iter([self._validate_record(manifest)]), None
+        if manifest.op == OP_STORE_AUDIT:
+            return self._store_audit_records(manifest, deadline), None
         service = AnalysisService(workers=self.service_workers,
                                   criterion=manifest.criterion,
                                   db_path=self.db_path)
@@ -616,6 +619,46 @@ class AnalysisDaemon:
         return service.lineage_audit(
             manifest.corpus, queries_per_view=manifest.queries_per_view,
             should_stop=cancel.is_set, deadline=deadline), service
+
+    @staticmethod
+    def _store_audit_records(manifest: JobManifest,
+                             deadline: Optional[Deadline]):
+        """Streaming generator for ``store_audit`` jobs: one
+        :class:`~repro.service.results.StoreLineageRecord` per audited
+        (run, task) pair, answered from the cold durable store — opened
+        read-only and never hydrated, so a multi-thousand-run store
+        streams with bounded memory.  Cancellation is handled by the
+        caller between yields; the deadline is checked per item."""
+        from repro.persistence.store import DurableProvenanceStore
+        from repro.provenance.facade import LineageQueryEngine
+        from repro.service.results import StoreLineageRecord
+
+        def records():
+            store = DurableProvenanceStore(manifest.db_path,
+                                           readonly=True)
+            try:
+                engine = LineageQueryEngine(store=store)
+                sql = store.sql_queries()
+                wanted = None if manifest.tasks is None else \
+                    {str(task) for task in manifest.tasks}
+                for run_id in store.cold_run_ids():
+                    for task_id in sql.run_task_ids(run_id):
+                        if wanted is not None \
+                                and str(task_id) not in wanted:
+                            continue
+                        if deadline is not None:
+                            deadline.check()
+                        answer = engine.lineage_tasks(task_id,
+                                                      run_id=run_id)
+                        yield StoreLineageRecord(
+                            db_path=manifest.db_path, run_id=run_id,
+                            task_id=task_id,
+                            tasks=tuple(sorted(answer.tasks, key=str)),
+                            source=answer.source)
+            finally:
+                store.close()
+
+        return records()
 
     @staticmethod
     def _validate_record(manifest: JobManifest):

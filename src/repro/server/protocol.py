@@ -73,11 +73,12 @@ JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
 #: states a job can no longer leave
 TERMINAL_STATES = (DONE, FAILED, CANCELLED)
 
-#: the ops a manifest may request: the three corpus sweeps plus the
-#: single-view validation job
+#: the ops a manifest may request: the three corpus sweeps, the
+#: single-view validation job, and the cold-store lineage audit
 OP_VALIDATE = "validate"
+OP_STORE_AUDIT = "store_audit"
 CORPUS_OPS = ("analyze", "correct", "lineage")
-MANIFEST_OPS = CORPUS_OPS + (OP_VALIDATE,)
+MANIFEST_OPS = CORPUS_OPS + (OP_VALIDATE, OP_STORE_AUDIT)
 
 #: default scheduling priority (lower runs sooner)
 DEFAULT_PRIORITY = 10
@@ -107,6 +108,12 @@ class JobManifest:
     #: portable JSON documents of :mod:`repro.workflow.jsonio`
     spec_document: Optional[Dict[str, Any]] = None
     view_document: Optional[Dict[str, Any]] = None
+    #: ``store_audit`` jobs name a durable provenance database to audit
+    #: cold (the daemon opens it read-only and answers through the
+    #: label-backed SQL path — the store is never hydrated) and,
+    #: optionally, the task ids to audit (default: every task)
+    db_path: Optional[str] = None
+    tasks: Optional[tuple] = None
     #: seconds from acceptance the submitter gives this job; the daemon
     #: arms a :class:`~repro.resilience.policy.Deadline` at acceptance,
     #: fails the job with the typed ``timeout`` error when it expires,
@@ -121,6 +128,17 @@ class JobManifest:
             if self.spec_document is None or self.view_document is None:
                 raise ManifestError(
                     "validate jobs need spec_document and view_document")
+        elif self.op == OP_STORE_AUDIT:
+            if not isinstance(self.db_path, str) or not self.db_path:
+                raise ManifestError(
+                    "store_audit jobs need db_path (a durable provenance "
+                    "database)")
+            if self.tasks is not None:
+                if not isinstance(self.tasks, (tuple, list)) \
+                        or not self.tasks:
+                    raise ManifestError(
+                        "tasks must be a non-empty list of task ids")
+                object.__setattr__(self, "tasks", tuple(self.tasks))
         elif self.corpus is None:
             raise ManifestError(f"{self.op} jobs need a corpus")
         if self.criterion not in ("weak", "strong", "optimal"):

@@ -96,6 +96,28 @@ class LineageAudit:
 
 
 @dataclass(frozen=True)
+class StoreLineageRecord:
+    """One task's lineage answer from a cold durable store.
+
+    Streamed by the daemon's ``store_audit`` jobs: the store is opened
+    read-only and never hydrated, so each record carries the answer the
+    label-backed SQL path produced (``source == "sql"``) — or, for
+    stores recorded before the labeling schema, the per-run hydrated
+    fallback (``source == "hydrated"``)."""
+
+    db_path: str
+    run_id: str
+    task_id: object
+    tasks: Tuple[object, ...]
+    source: str  #: "sql" or "hydrated" (see LineageAnswer.source)
+
+    @property
+    def scenario(self) -> Optional[str]:
+        # CorpusReport buckets records by scenario; store audits have none
+        return None
+
+
+@dataclass(frozen=True)
 class ShardFailure:
     """A shard whose worker died; the service retried it serially, so this
     record only appears via :attr:`CorpusReport.shard_failures`."""

@@ -376,10 +376,10 @@ def _provenance_mismatches(view, run, task_ids) -> int:
     means provenance capture itself is broken and the audit's numbers
     cannot be trusted.
     """
-    from repro.provenance.queries import lineage_tasks_many
+    from repro.provenance.facade import LineageQueryEngine
 
     index = view.spec.reachability()
-    truth = lineage_tasks_many(run, task_ids)
+    truth = LineageQueryEngine(run=run).lineage_tasks_many(task_ids)
     return sum(
         1 for task_id in task_ids
-        if truth[task_id] != set(index.ancestors(task_id)))
+        if truth[task_id].tasks != frozenset(index.ancestors(task_id)))

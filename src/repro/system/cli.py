@@ -137,11 +137,20 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a job to a running daemon and stream "
                        "its records")
     submit_cmd.add_argument(
-        "op", choices=["analyze", "correct", "lineage", "validate"],
-        help="corpus sweeps, or single-view validate")
+        "op",
+        choices=["analyze", "correct", "lineage", "validate",
+                 "store-audit"],
+        help="corpus sweeps, single-view validate, or a cold-store "
+             "lineage audit over a durable database")
     submit_cmd.add_argument("spec", nargs="?",
                             help="workflow file (validate only)")
     submit_cmd.add_argument("--view", help="view file (validate only)")
+    submit_cmd.add_argument("--db", default=None,
+                            help="durable provenance database "
+                                 "(store-audit only)")
+    submit_cmd.add_argument("--tasks", nargs="*", default=None,
+                            help="task ids to audit lineage through "
+                                 "(store-audit; default: every task)")
     submit_cmd.add_argument("--host", default="127.0.0.1")
     submit_cmd.add_argument("--port", type=int, required=True)
     submit_cmd.add_argument("--seed", type=int, default=2009)
@@ -208,8 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="workflow file (MOML or JSON) to pin; "
                               "required before runs can be stored")
     db_stats = db_sub.add_parser(
-        "stats", help="schema version, journal mode, table row counts")
+        "stats", help="schema version, journal mode, table row counts, "
+                      "reachability-label coverage")
     db_stats.add_argument("path", help="SQLite database file")
+    db_backfill = db_sub.add_parser(
+        "backfill", help="compute reachability labels for runs stored "
+                         "before schema v2 (enables SQL-path lineage)")
+    db_backfill.add_argument("path", help="SQLite database file")
+    db_backfill.add_argument("--batch", type=int, default=64,
+                             help="runs labeled per transaction")
     db_vacuum = db_sub.add_parser(
         "vacuum", help="checkpoint the WAL and compact the file")
     db_vacuum.add_argument("path", help="SQLite database file")
@@ -343,7 +359,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_lineage(args: argparse.Namespace) -> int:
     from repro.provenance.execution import execute
-    from repro.provenance.queries import downstream_tasks, lineage_tasks
+    from repro.provenance.facade import LineageQueryEngine
     from repro.provenance.viewlevel import compare_lineage
 
     spec, view = _load(args.spec, args.view)
@@ -353,8 +369,9 @@ def cmd_lineage(args: argparse.Namespace) -> int:
         print(f"error: unknown task {args.task!r}", file=sys.stderr)
         return 2
     run = execute(spec, run_id="cli")
-    upstream = sorted(lineage_tasks(run, task), key=str)
-    downstream = sorted(downstream_tasks(run, task), key=str)
+    engine = LineageQueryEngine(run=run)
+    upstream = sorted(engine.lineage_tasks(task).tasks, key=str)
+    downstream = sorted(engine.downstream_tasks(task).tasks, key=str)
     print(f"provenance of task {task} ({spec.task(task).label}):")
     print(f"  upstream tasks:   {upstream if upstream else '(none)'}")
     print(f"  downstream tasks: {downstream if downstream else '(none)'}")
@@ -402,8 +419,16 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _corpus_line(record) -> str:
-    from repro.service.results import LineageAudit, ViewAnalysis
+    from repro.service.results import (
+        LineageAudit,
+        StoreLineageRecord,
+        ViewAnalysis,
+    )
 
+    if isinstance(record, StoreLineageRecord):
+        tasks = ", ".join(str(task) for task in record.tasks) or "(none)"
+        return (f"  [{record.run_id}] lineage({record.task_id}) "
+                f"via {record.source}: {tasks}")
     prefix = (f"  [{record.entry_index:>4}] {record.workflow} "
               f"({record.scenario})")
     if isinstance(record, ViewAnalysis):
@@ -455,6 +480,13 @@ def _submit_manifest(args: argparse.Namespace):
         return JobManifest(op="validate",
                            spec_document=spec_to_dict(spec),
                            view_document=view_to_dict(view), **extra)
+    if args.op == "store-audit":
+        if args.db is None:
+            raise ValueError("store-audit needs --db (a durable "
+                             "provenance database)")
+        return JobManifest(op="store_audit", db_path=args.db,
+                           tasks=tuple(args.tasks) if args.tasks else None,
+                           **extra)
     corpus = CorpusSpec(seed=args.seed, count=args.count,
                         min_size=args.min_size, max_size=args.max_size,
                         scenarios=tuple(args.scenarios)
@@ -604,6 +636,23 @@ def cmd_db(args: argparse.Namespace) -> int:
               f"workflow={row[0] if row else '(none)'}")
         for table, count in info["tables"].items():
             print(f"  {table:>16}: {count} row(s)")
+        labeled = info["tables"].get("run_labels", 0)
+        total = info["tables"].get("runs", 0)
+        coverage = f"{labeled}/{total}" if total else "0/0"
+        hint = ("" if labeled >= total or not total
+                else " (wolves db backfill enables SQL-path lineage "
+                     "for the rest)")
+        print(f"  label coverage: {coverage} run(s) SQL-queryable{hint}")
+        return 0
+    if args.db_command == "backfill":
+        store = DurableProvenanceStore(args.path)
+        try:
+            labeled = store.backfill_labels(batch=args.batch)
+            covered, total = store.label_coverage()
+        finally:
+            store.close()
+        print(f"backfilled {labeled} run(s) in {args.path}; "
+              f"label coverage now {covered}/{total}")
         return 0
     if args.db_command == "vacuum":
         before = os.path.getsize(args.path)

@@ -31,9 +31,9 @@ from repro.core.incremental import AnalysisCache
 from repro.core.soundness import ValidationReport
 from repro.core.split import SplitResult
 from repro.errors import CorrectionError, ProvenanceError, ViewError
+from repro.options import resolve_options
 from repro.provenance.execution import WorkflowRun
-from repro.provenance.queries import downstream_tasks as _downstream_tasks
-from repro.provenance.queries import lineage_tasks as _lineage_tasks
+from repro.provenance.facade import LineageQueryEngine, warn_deprecated
 from repro.provenance.store import ProvenanceStore
 from repro.provenance.viewlevel import (
     LineageComparison,
@@ -73,17 +73,31 @@ class WolvesSession:
     #: explicit ``store``), runs recorded in this session survive
     #: restarts — a later session with the same path sees them
     db_path: Optional[str] = None
+    #: SQLite busy budget for the session's durable store (keyword beats
+    #: the WOLVES_DB_TIMEOUT_MS environment variable beats the default)
+    timeout_ms: Optional[int] = None
+    #: bitset-kernel backend override threaded into the store's label
+    #: computation (keyword beats WOLVES_KERNEL beats auto-selection)
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.view.spec is not self.spec:
             raise ViewError("view does not belong to this session's spec")
         if self.analysis is None:
             self.analysis = AnalysisCache(self.spec)
+        # resolve the store/kernel knobs ONCE at the outermost layer;
+        # everything below receives the resolved values
+        self.options = resolve_options(db_path=self.db_path,
+                                       timeout_ms=self.timeout_ms,
+                                       kernel=self.kernel)
         if self.store is None:
-            if self.db_path is not None:
+            if self.options.db_path is not None:
                 from repro.persistence.store import DurableProvenanceStore
 
-                self.store = DurableProvenanceStore(self.db_path, self.spec)
+                self.store = DurableProvenanceStore(
+                    self.options.db_path, self.spec,
+                    timeout_ms=self.options.timeout_ms,
+                    kernel=self.options.kernel)
             else:
                 self.store = ProvenanceStore(self.spec)
 
@@ -200,15 +214,26 @@ class WolvesSession:
                 "no run recorded in this session; call record_run() first")
         return self.store.run(run_ids[-1])
 
+    @property
+    def queries(self) -> LineageQueryEngine:
+        """The unified lineage query façade over the session's store."""
+        return LineageQueryEngine(store=self.store)
+
     def lineage_tasks(self, task_id,
                       run_id: Optional[str] = None) -> set:
-        """Ground-truth provenance of ``task_id``'s output (latest run)."""
-        return _lineage_tasks(self._resolve_run(run_id), task_id)
+        """Deprecated: use ``session.queries.lineage_tasks(...).tasks``."""
+        warn_deprecated("WolvesSession.lineage_tasks",
+                        "WolvesSession.queries.lineage_tasks")
+        return set(self.queries.lineage_tasks(task_id, run_id=run_id).tasks)
 
     def downstream_tasks(self, task_id,
                          run_id: Optional[str] = None) -> set:
-        """Impact set of ``task_id``'s output (latest run)."""
-        return _downstream_tasks(self._resolve_run(run_id), task_id)
+        """Deprecated: use
+        ``session.queries.downstream_tasks(...).tasks``."""
+        warn_deprecated("WolvesSession.downstream_tasks",
+                        "WolvesSession.queries.downstream_tasks")
+        return set(
+            self.queries.downstream_tasks(task_id, run_id=run_id).tasks)
 
     def compare_lineage(self, task_id) -> LineageComparison:
         """View answer vs truth for one provenance query on the current

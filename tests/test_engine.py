@@ -105,6 +105,8 @@ class TestProvenanceOfIncrementalRuns:
         # even reused tasks have invocations and artifacts in the new run
         assert len(result.run.provenance.invocations()) == len(spec)
         assert len(result.run.provenance.artifacts()) == len(spec)
-        from repro.provenance.queries import lineage_tasks
+        from repro.provenance.facade import (
+            hydrated_lineage_tasks as lineage_tasks,
+        )
 
         assert lineage_tasks(result.run, 4) == {1, 2, 3}

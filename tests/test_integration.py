@@ -5,7 +5,7 @@ import random
 from repro.core.corrector import Criterion, correct_view
 from repro.core.soundness import is_sound_view, unsound_composites
 from repro.provenance.execution import execute
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.facade import hydrated_lineage_tasks as lineage_tasks
 from repro.provenance.viewlevel import lineage_correctness
 from repro.repository.corpus import build_corpus
 from repro.system.session import WolvesSession

@@ -64,6 +64,62 @@ class TestValidation:
             IntervalIndex(Digraph(), traversals=0)
 
 
+class TestEdgeCases:
+    def test_single_node_graph(self):
+        g = Digraph()
+        g.add_node("only")
+        index = IntervalIndex(g)
+        assert not index.reaches("only", "only")
+        assert index.reaches_or_equal("only", "only")
+
+    def test_disconnected_components(self):
+        g = graph_from_edges([(1, 2), (3, 4)])
+        g.add_node(5)  # an isolated node on top
+        index = IntervalIndex(g, traversals=2, rng=random.Random(0))
+        for u in (1, 2):
+            for v in (3, 4, 5):
+                assert not index.reaches(u, v)
+                assert not index.reaches(v, u)
+                assert not index.reaches_or_equal(u, v)
+        assert index.reaches(1, 2)
+        assert index.reaches_or_equal(1, 2)
+        assert index.reaches_or_equal(5, 5)
+        assert not index.reaches(5, 5)
+
+    def test_reaches_or_equal_agrees_with_reaches_off_diagonal(self):
+        rng = random.Random(13)
+        g = random_dag(rng, 12, 0.25)
+        index = IntervalIndex(g, rng=random.Random(1))
+        for u in g.nodes():
+            for v in g.nodes():
+                if u == v:
+                    assert index.reaches_or_equal(u, v)
+                else:
+                    assert (index.reaches_or_equal(u, v)
+                            == index.reaches(u, v))
+
+    def test_refutation_rate_on_disconnected_pairs(self):
+        """Cross-component negatives are exactly what the labels should
+        refute without a traversal."""
+        g = graph_from_edges([(1, 2), (3, 4)])
+        index = IntervalIndex(g, traversals=3, rng=random.Random(2))
+        for u, v in [(1, 3), (1, 4), (2, 3), (2, 4),
+                     (3, 1), (3, 2), (4, 1), (4, 2)]:
+            assert not index.reaches(u, v)
+        assert index.queries == 8
+        assert index.refutation_rate == 1.0
+
+    def test_refutation_rate_counts_only_queries(self):
+        index = IntervalIndex(graph_from_edges([(1, 2), (2, 3)]))
+        assert index.refutation_rate == 0.0  # no queries yet
+        index.reaches(1, 3)  # a positive: never a refutation
+        assert index.queries == 1
+        assert index.refutation_rate == 0.0
+        index.reaches(3, 1)
+        assert index.queries == 2
+        assert 0.0 <= index.refutation_rate <= 0.5
+
+
 class TestPruning:
     def test_labels_refute_most_negative_queries(self):
         # on a wide layered DAG most pairs are unreachable and the labels

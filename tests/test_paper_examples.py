@@ -19,7 +19,7 @@ from repro.core.soundness import (
 )
 from repro.core.split import CompositeContext
 from repro.provenance.execution import execute
-from repro.provenance.queries import lineage_tasks
+from repro.provenance.facade import hydrated_lineage_tasks as lineage_tasks
 from repro.provenance.viewlevel import view_implied_task_lineage
 from repro.workflow.catalog import (
     FIG3_OPTIMAL_PARTS,

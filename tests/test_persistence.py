@@ -192,13 +192,14 @@ class TestRejectedWritesAtomic:
     def test_rejected_add_leaves_indexes_intact(self, db_path):
         spec, store = filled_store(db_path)
         # force the lazily-filled run -> exit-lineage index to exist
-        cones_before = {r: store.exit_lineage(r) for r in store.run_ids()}
+        cones_before = {r: store._exit_lineage_query(r)
+                        for r in store.run_ids()}
         payload = store.run("r1").output_artifact(1).payload
         producing_before = store.runs_producing(payload)
         rows_before = store.stats()["tables"]
         with pytest.raises(ProvenanceError):
             store.add_run(execute(spec, run_id="r2"))
-        assert {r: store.exit_lineage(r)
+        assert {r: store._exit_lineage_query(r)
                 for r in store.run_ids()} == cones_before
         assert store.runs_producing(payload) == producing_before
         assert store.stats()["tables"] == rows_before
@@ -209,11 +210,11 @@ class TestRejectedWritesAtomic:
         spec = two_track_spec()
         store = ProvenanceStore(spec)
         store.add_run(execute(spec, run_id="a"))
-        cone = store.exit_lineage("a")
+        cone = store._exit_lineage_query("a")
         with pytest.raises(ProvenanceError):
             store.add_run(execute(spec, run_id="a",
                                   overrides={2: {"x": 1}}))
-        assert store.exit_lineage("a") == cone
+        assert store._exit_lineage_query("a") == cone
         assert store.run_ids() == ["a"]
 
     def test_foreign_workflow_rejected_without_rows(self, db_path):
@@ -227,7 +228,7 @@ class TestRejectedWritesAtomic:
 class TestExitLineagePersistence:
     def test_cones_written_behind_and_reloaded(self, db_path):
         spec, store = filled_store(db_path)
-        cones = {r: store.exit_lineage(r) for r in store.run_ids()}
+        cones = {r: store._exit_lineage_query(r) for r in store.run_ids()}
         rows = store._conn.execute(
             "SELECT COUNT(*) FROM exit_lineage").fetchone()[0]
         assert rows == sum(len(c) for c in cones.values())
@@ -236,7 +237,7 @@ class TestExitLineagePersistence:
         # preloaded: the memo is filled during hydration, no recomputation
         reopened.run_ids()  # hydrate
         assert dict(reopened._exit_lineage) == cones
-        assert {r: reopened.exit_lineage(r)
+        assert {r: reopened._exit_lineage_query(r)
                 for r in reopened.run_ids()} == cones
         reopened.close()
 
@@ -244,7 +245,7 @@ class TestExitLineagePersistence:
         """One runs_with_lineage_through call leaves every run's cone
         materialized for the next open (batched write-behind)."""
         spec, store = filled_store(db_path)
-        store.runs_with_lineage_through(1)
+        store._runs_with_lineage_through(1)
         flags = [row[0] for row in store._conn.execute(
             "SELECT exit_lineage_cached FROM runs ORDER BY position")]
         assert flags == [1, 1, 1]
@@ -256,14 +257,14 @@ class TestExitLineagePersistence:
 
     def test_readonly_store_answers_without_writing(self, db_path):
         spec, store = filled_store(db_path)
-        expected = store.exit_lineage("r1")
+        expected = store._exit_lineage_query("r1")
         store.close()
         fresh_db = db_path + ".fresh"
         _, fresh = filled_store(fresh_db, spec)
         fresh.close()
         # fresh DB has no cached cones; a read-only open must still answer
         reader = DurableProvenanceStore(fresh_db, readonly=True)
-        assert reader.exit_lineage("r1") == expected
+        assert reader._exit_lineage_query("r1") == expected
         assert reader.stats()["tables"]["exit_lineage"] == 0
         reader.close()
 
@@ -336,14 +337,14 @@ class TestSessionWiring:
         view = WorkflowView(spec, {"A": [1, 2], "B": [3, 4]})
         session = WolvesSession(spec, view, db_path=path)
         session.record_run(execute(spec, run_id="gui-1"))
-        lineage = session.lineage_tasks(4)
+        lineage = session.queries.lineage_tasks(4).tasks
         session.store.close()
 
         spec2 = diamond_spec()
         view2 = WorkflowView(spec2, {"A": [1, 2], "B": [3, 4]})
         revived = WolvesSession(spec2, view2, db_path=path)
         assert revived.store.run_ids() == ["gui-1"]
-        assert revived.lineage_tasks(4) == lineage
+        assert revived.queries.lineage_tasks(4).tasks == lineage
         revived.store.close()
 
 

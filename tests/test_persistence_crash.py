@@ -63,13 +63,13 @@ class TestCrashRecovery:
         reopened = DurableProvenanceStore(path, spec)
         # the partial run is invisible: not in the log, not in any index
         assert reopened.run_ids() == ["r1", "r2"]
-        assert reopened.runs_of_task(1) == ["r1", "r2"]
+        assert reopened._runs_of_task(1) == ["r1", "r2"]
         assert reopened.stats()["tables"]["invocations"] == 8
         assert reopened.divergence("r1", "r2") == [2, 4]
         # ...and the id is free: the lost run can be re-recorded
         reopened.add_run(execute(spec, run_id="r3"))
         assert reopened.run_ids() == ["r1", "r2", "r3"]
-        assert reopened.exit_lineage("r3") == {1, 2, 3, 4}
+        assert reopened._exit_lineage_query("r3") == {1, 2, 3, 4}
         reopened.close()
 
         # a fresh open replays the recovered log consistently
@@ -85,7 +85,7 @@ class TestCrashRecovery:
         path = str(tmp_path / "cones.db")
         store = DurableProvenanceStore(path, spec)
         store.add_run(execute(spec, run_id="a"))
-        cone = store.exit_lineage("a")  # persists the write-behind rows
+        cone = store._exit_lineage_query("a")  # persists write-behind rows
         store.close()
 
         pid = os.fork()
@@ -101,7 +101,7 @@ class TestCrashRecovery:
         reopened = DurableProvenanceStore(path, spec)
         assert reopened.run_ids() == ["a"]
         assert reopened._exit_lineage == {"a": cone}  # loaded, not rebuilt
-        assert reopened.runs_with_lineage_through(2) == ["a"]
+        assert reopened._runs_with_lineage_through(2) == ["a"]
         reopened.close()
 
 

@@ -23,15 +23,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.persistence import DurableProvenanceStore
 from repro.provenance.execution import execute
-from repro.provenance.queries import (
-    cone_of_change,
-    downstream_tasks,
-    downstream_tasks_many,
-    lineage_artifacts,
-    lineage_invocations,
-    lineage_many,
-    lineage_tasks,
-    lineage_tasks_many,
+from repro.provenance.facade import (
+    LineageQueryEngine,
+    hydrated_cone_of_change as cone_of_change,
+    hydrated_downstream_tasks as downstream_tasks,
+    hydrated_downstream_tasks_many as downstream_tasks_many,
+    hydrated_lineage_artifacts as lineage_artifacts,
+    hydrated_lineage_invocations as lineage_invocations,
+    hydrated_lineage_many as lineage_many,
+    hydrated_lineage_tasks as lineage_tasks,
+    hydrated_lineage_tasks_many as lineage_tasks_many,
 )
 from repro.provenance.store import ProvenanceStore
 from repro.workflow.builder import spec_from_edges
@@ -115,21 +116,27 @@ def assert_query_equivalence(spec, volatile, durable):
             assert (cone_of_change(d_run, tasks[:k])
                     == cone_of_change(v_run, tasks[:k]))
 
-    # -- store-level index queries ---------------------------------------
+    # -- store-level index queries (via the unified façade: the durable
+    # engine routes cold stores through labelled SQL, the volatile one
+    # hydrates — so this doubles as a hydrated-vs-SQL equivalence check) --
+    q_volatile = LineageQueryEngine(store=volatile)
+    q_durable = LineageQueryEngine(store=durable)
     payloads = {volatile.run(r).output_artifact(t).payload
                 for r in run_ids for t in tasks}
     for payload in payloads:
         assert (durable.runs_producing(payload)
                 == volatile.runs_producing(payload))
-        assert (durable.runs_consuming(payload)
-                == volatile.runs_consuming(payload))
+        assert (list(q_durable.runs_consuming(payload))
+                == list(q_volatile.runs_consuming(payload)))
     assert durable.runs_producing("no-such-payload") == []
     for task in tasks:
-        assert durable.runs_of_task(task) == volatile.runs_of_task(task)
-        assert (durable.runs_with_lineage_through(task)
-                == volatile.runs_with_lineage_through(task))
+        assert (list(q_durable.runs_of_task(task))
+                == list(q_volatile.runs_of_task(task)))
+        assert (list(q_durable.runs_with_lineage_through(task))
+                == list(q_volatile.runs_with_lineage_through(task)))
     for run_id in run_ids:
-        assert durable.exit_lineage(run_id) == volatile.exit_lineage(run_id)
+        assert (q_durable.exit_lineage(run_id).tasks
+                == q_volatile.exit_lineage(run_id).tasks)
         for task in tasks:
             assert (durable.runs_depending_on_output_of(run_id, task)
                     == volatile.runs_depending_on_output_of(run_id, task))
@@ -182,15 +189,18 @@ def test_exit_lineage_warm_cones_match_cold_recomputation(data):
     writer = DurableProvenanceStore(path, spec)
     for run in runs:
         writer.add_run(run)
-    warm = {r: writer.exit_lineage(r) for r in writer.run_ids()}
+    q_writer = LineageQueryEngine(store=writer)
+    warm = {r: q_writer.exit_lineage(r).tasks for r in writer.run_ids()}
     writer.close()
     reopened = DurableProvenanceStore(path)
     cold = ProvenanceStore(spec)
     for run in runs:
         cold.add_run(run)
     try:
+        q_reopened = LineageQueryEngine(store=reopened)
+        q_cold = LineageQueryEngine(store=cold)
         for run_id in cold.run_ids():
-            assert reopened.exit_lineage(run_id) == warm[run_id]
-            assert cold.exit_lineage(run_id) == warm[run_id]
+            assert q_reopened.exit_lineage(run_id).tasks == warm[run_id]
+            assert q_cold.exit_lineage(run_id).tasks == warm[run_id]
     finally:
         reopened.close()

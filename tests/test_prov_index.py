@@ -19,15 +19,16 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ProvenanceError, ViewError
 from repro.graphs.topo import ancestors_of, descendants_of, topological_sort
 from repro.provenance.execution import execute
-from repro.provenance.queries import (
-    cone_of_change,
-    downstream_tasks,
-    downstream_tasks_many,
-    lineage_artifacts,
-    lineage_invocations,
-    lineage_many,
-    lineage_tasks,
-    lineage_tasks_many,
+from repro.provenance.facade import (
+    LineageQueryEngine,
+    hydrated_cone_of_change as cone_of_change,
+    hydrated_downstream_tasks as downstream_tasks,
+    hydrated_downstream_tasks_many as downstream_tasks_many,
+    hydrated_lineage_artifacts as lineage_artifacts,
+    hydrated_lineage_invocations as lineage_invocations,
+    hydrated_lineage_many as lineage_many,
+    hydrated_lineage_tasks as lineage_tasks,
+    hydrated_lineage_tasks_many as lineage_tasks_many,
 )
 from repro.provenance.store import ProvenanceStore
 from repro.repository.corpus import build_corpus
@@ -258,7 +259,9 @@ def test_store_task_index_matches_scan():
     for task_id in spec.task_ids():
         expected = [rid for rid in store.run_ids()
                     if task_id in store.run(rid).outputs]
-        assert store.runs_of_task(task_id) == expected
+        assert list(
+            LineageQueryEngine(store=store).runs_of_task(task_id)
+        ) == expected
 
 
 def test_store_consumption_index_matches_scan():
@@ -277,21 +280,25 @@ def test_store_consumption_index_matches_scan():
                         for a in graph.used(inv.invocation_id)}
             if payload in consumed:
                 expected.append(rid)
-        assert store.runs_consuming(payload) == expected
+        assert list(
+            LineageQueryEngine(store=store).runs_consuming(payload)
+        ) == expected
 
 
 def test_store_exit_lineage_index_matches_brute_force():
     spec, store = interleaved_store()
+    queries = LineageQueryEngine(store=store)
     for rid in store.run_ids():
         run = store.run(rid)
         expected = set(spec.exit_tasks())
         for exit_task in spec.exit_tasks():
             expected |= naive_lineage_tasks(run, exit_task)
-        assert store.exit_lineage(rid) == expected
+        assert queries.exit_lineage(rid).tasks == expected
     for task_id in spec.task_ids():
         expected_runs = [rid for rid in store.run_ids()
-                         if task_id in store.exit_lineage(rid)]
-        assert store.runs_with_lineage_through(task_id) == expected_runs
+                         if task_id in queries.exit_lineage(rid)]
+        assert list(
+            queries.runs_with_lineage_through(task_id)) == expected_runs
 
 
 def test_store_depending_query_matches_naive():

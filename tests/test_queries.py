@@ -1,11 +1,15 @@
-"""Unit tests for repro.provenance.queries."""
+"""Unit tests for the hydrated lineage query implementations.
+
+These were born as tests of ``repro.provenance.queries``; the bodies now
+live in :mod:`repro.provenance.facade` (the old module is a deprecated
+shim layer — see test_query_facade for the shim contract)."""
 
 from repro.provenance.execution import execute
-from repro.provenance.queries import (
-    downstream_tasks,
-    lineage_artifacts,
-    lineage_invocations,
-    lineage_tasks,
+from repro.provenance.facade import (
+    hydrated_downstream_tasks as downstream_tasks,
+    hydrated_lineage_artifacts as lineage_artifacts,
+    hydrated_lineage_invocations as lineage_invocations,
+    hydrated_lineage_tasks as lineage_tasks,
 )
 from repro.workflow.catalog import phylogenomics
 from tests.helpers import diamond_spec

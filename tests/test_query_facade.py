@@ -1,0 +1,171 @@
+"""The unified query façade and the deprecation of the old surfaces.
+
+Every pre-façade entry point — the :mod:`repro.provenance.queries`
+module functions, the cross-run ``ProvenanceStore`` methods, and the
+``WolvesSession`` passthroughs — must still answer exactly as before
+*and* raise a :class:`DeprecationWarning` naming its replacement, so
+downstream code keeps working while the ``-W error::DeprecationWarning``
+CI leg keeps this repository itself honest.
+"""
+
+import pytest
+
+from repro.provenance import queries
+from repro.provenance.execution import execute
+from repro.provenance.facade import (
+    ArtifactAnswer,
+    LineageAnswer,
+    LineageQueryEngine,
+    RunsAnswer,
+    hydrated_cone_of_change,
+    hydrated_downstream_tasks,
+    hydrated_downstream_tasks_many,
+    hydrated_exit_lineage,
+    hydrated_lineage_artifacts,
+    hydrated_lineage_invocations,
+    hydrated_lineage_many,
+    hydrated_lineage_tasks,
+    hydrated_lineage_tasks_many,
+)
+from repro.provenance.store import ProvenanceStore
+from repro.system.session import WolvesSession
+from repro.views.view import WorkflowView
+from tests.helpers import diamond_spec, two_track_spec
+
+
+@pytest.fixture
+def run():
+    return execute(diamond_spec(), run_id="r")
+
+
+@pytest.fixture
+def store():
+    spec = two_track_spec()
+    store = ProvenanceStore(spec)
+    for i in range(2):
+        store.add_run(execute(spec, run_id=f"r{i}",
+                              overrides={2: {"knob": i}}))
+    return store
+
+
+class TestDeprecatedQueryFunctions:
+    """queries.<fn> == facade.hydrated_<fn>, plus the warning."""
+
+    def test_every_shim_warns_and_delegates(self, run):
+        artifact = run.outputs[4]
+        cases = [
+            (queries.lineage_tasks, hydrated_lineage_tasks, (run, 4)),
+            (queries.downstream_tasks, hydrated_downstream_tasks,
+             (run, 1)),
+            (queries.lineage_artifacts, hydrated_lineage_artifacts,
+             (run, artifact)),
+            (queries.lineage_invocations, hydrated_lineage_invocations,
+             (run, artifact)),
+            (queries.lineage_many, hydrated_lineage_many,
+             (run, [artifact])),
+            (queries.lineage_tasks_many, hydrated_lineage_tasks_many,
+             (run, [1, 4])),
+            (queries.downstream_tasks_many,
+             hydrated_downstream_tasks_many, (run, [1, 4])),
+            (queries.cone_of_change, hydrated_cone_of_change,
+             (run, [2])),
+        ]
+        for shim, hydrated, args in cases:
+            with pytest.warns(DeprecationWarning,
+                              match="LineageQueryEngine"):
+                answer = shim(*args)
+            assert answer == hydrated(*args)
+
+    def test_warning_names_the_old_entry_point(self, run):
+        with pytest.warns(DeprecationWarning, match="lineage_tasks"):
+            queries.lineage_tasks(run, 4)
+
+
+class TestDeprecatedStoreMethods:
+    def test_cross_run_shims_warn_and_match_engine(self, store):
+        engine = LineageQueryEngine(store=store)
+        payload = store.run("r0").output_artifact(1).payload
+        with pytest.warns(DeprecationWarning):
+            assert store.runs_of_task(1) == \
+                list(engine.runs_of_task(1))
+        with pytest.warns(DeprecationWarning):
+            assert store.runs_consuming(payload) == \
+                list(engine.runs_consuming(payload))
+        with pytest.warns(DeprecationWarning):
+            assert store.exit_lineage("r0") == \
+                engine.exit_lineage("r0").tasks
+        with pytest.warns(DeprecationWarning):
+            assert store.runs_with_lineage_through(2) == \
+                list(engine.runs_with_lineage_through(2))
+
+    def test_non_deprecated_store_surface_is_quiet(self, store,
+                                                   recwarn):
+        payload = store.run("r0").output_artifact(1).payload
+        store.runs_producing(payload)
+        store.divergence("r0", "r1")
+        store.blame("r0", "r1")
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestSessionSurface:
+    def session(self):
+        spec = diamond_spec()
+        view = WorkflowView(spec, {"A": [1, 2], "B": [3, 4]})
+        session = WolvesSession(spec, view)
+        session.record_run(execute(spec, run_id="gui-1"))
+        return session
+
+    def test_queries_property_routes_through_engine(self):
+        session = self.session()
+        answer = session.queries.lineage_tasks(4)
+        assert isinstance(answer, LineageAnswer)
+        assert answer.run_id == "gui-1"
+        assert answer.tasks == frozenset({1, 2, 3})
+
+    def test_passthrough_shims_warn_and_match(self):
+        session = self.session()
+        with pytest.warns(DeprecationWarning, match="queries"):
+            assert session.lineage_tasks(4) == {1, 2, 3}
+        with pytest.warns(DeprecationWarning, match="queries"):
+            assert session.downstream_tasks(1) == \
+                set(session.queries.downstream_tasks(1).tasks)
+
+
+class TestAnswerTypes:
+    def test_lineage_answer_is_frozen_set_like(self, run):
+        answer = LineageQueryEngine(run=run).lineage_tasks(4)
+        assert isinstance(answer, LineageAnswer)
+        assert answer.query == "lineage_tasks"
+        assert answer.source == "hydrated"
+        assert 1 in answer and 4 not in answer
+        assert set(answer) == {1, 2, 3}
+        assert len(answer) == 3
+        with pytest.raises(AttributeError):
+            answer.tasks = frozenset()
+
+    def test_artifact_answer_preserves_order(self, run):
+        engine = LineageQueryEngine(run=run)
+        answer = engine.lineage_artifacts(run.outputs[4])
+        assert isinstance(answer, ArtifactAnswer)
+        assert list(answer) == list(
+            hydrated_lineage_artifacts(run, run.outputs[4]))
+        with pytest.raises(AttributeError):
+            answer.ids = ()
+
+    def test_runs_answer_is_ordered_and_frozen(self, store):
+        answer = LineageQueryEngine(store=store).runs_of_task(1)
+        assert isinstance(answer, RunsAnswer)
+        assert answer.run_ids == ("r0", "r1")
+        assert list(answer) == ["r0", "r1"]
+        assert len(answer) == 2
+        with pytest.raises(AttributeError):
+            answer.run_ids = ()
+
+    def test_engine_pins_wrapped_run_id(self, run):
+        engine = LineageQueryEngine(run=run)
+        assert engine.lineage_tasks(4, run_id="r").run_id == "r"
+        from repro.errors import ProvenanceError
+
+        with pytest.raises(ProvenanceError):
+            engine.lineage_tasks(4, run_id="other")

@@ -101,18 +101,19 @@ class TestSessionProvenance:
 
     def test_record_and_query_latest_run(self):
         from repro.provenance.execution import execute
-        from repro.provenance.queries import lineage_tasks
+        from repro.provenance.facade import hydrated_lineage_tasks
 
         session = make_session()
         run = execute(session.spec, run_id="s1")
         session.record_run(run)
         assert session.history[-1].kind == "record_run"
         assert session.store.run("s1") is run
-        # the Figure 1 crux, answered through the session
-        assert 3 not in session.lineage_tasks(8)
-        assert 6 in session.lineage_tasks(8)
-        assert session.lineage_tasks(8) == lineage_tasks(run, 8)
-        assert 8 in session.downstream_tasks(6)
+        # the Figure 1 crux, answered through the session's façade
+        answer = session.queries.lineage_tasks(8)
+        assert 3 not in answer
+        assert 6 in answer
+        assert answer.tasks == hydrated_lineage_tasks(run, 8)
+        assert 8 in session.queries.downstream_tasks(6)
 
     def test_latest_run_is_default(self):
         from repro.provenance.execution import execute
@@ -121,15 +122,16 @@ class TestSessionProvenance:
         session.record_run(execute(session.spec, run_id="s1"))
         session.record_run(execute(session.spec, run_id="s2",
                                    overrides={6: {"knob": 1}}))
-        assert session.lineage_tasks(8) == \
-            session.lineage_tasks(8, run_id="s2")
+        assert session.queries.lineage_tasks(8).run_id == "s2"
+        assert session.queries.lineage_tasks(8).tasks == \
+            session.queries.lineage_tasks(8, run_id="s2").tasks
 
     def test_query_without_run_raises(self):
         from repro.errors import ProvenanceError
 
         session = make_session()
         with pytest.raises(ProvenanceError):
-            session.lineage_tasks(8)
+            session.queries.lineage_tasks(8)
 
     def test_view_level_comparison_through_session(self):
         session = make_session()

@@ -1,0 +1,407 @@
+"""The persisted-label SQL lineage path: bit-identical to the index.
+
+The tentpole contract: a durable store labels every run's OPM digraph at
+``add_run`` (spanning-forest intervals + spill bitsets), and a *cold*
+reopened store answers every lineage query shape through SQL range
+predicates — without hydrating a single run — **exactly** like the
+hydrated bitset :class:`~repro.provenance.index.ProvenanceIndex` path:
+same sets, same lists, same order.  Randomized run sequences pin that,
+plus the labeling algebra itself, the planner's residency rules, the
+pre-v2 backfill, and the daemon's ``store_audit`` job.
+"""
+
+import random
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PersistenceError, ProvenanceError
+from repro.graphs.dag import Digraph
+from repro.graphs.generators import random_dag
+from repro.graphs.labeling import (
+    blob_to_positions,
+    forest_reaches,
+    label_dag,
+    label_provenance,
+    positions_to_mask,
+    spill_to_blob,
+)
+from repro.graphs.topo import ancestors_of, topological_sort
+from repro.persistence import DurableProvenanceStore
+from repro.persistence.sqlqueries import LabelsMissingError
+from repro.provenance.execution import execute
+from repro.provenance.facade import LineageQueryEngine
+from repro.provenance.store import ProvenanceStore
+from repro.server.protocol import JobManifest, ManifestError
+from tests.helpers import chain_spec, diamond_spec, two_track_spec
+from tests.test_persistence_equiv import run_sequences
+
+
+# -- the labeling algebra ----------------------------------------------------
+
+
+def labeling_of(graph: Digraph):
+    order = topological_sort(graph)
+    return order, label_dag(order, graph.successors, graph.predecessors)
+
+
+class TestLabelDag:
+    def test_chain_needs_no_spill(self):
+        order, labeling = labeling_of(Digraph([(1, 2), (2, 3), (3, 4)]))
+        assert labeling.tree_edges == 3
+        assert labeling.spill_bits == 0
+        for label in labeling.labels:
+            assert label.anc_spill == 0 and label.desc_spill == 0
+
+    def test_diamond_spills_the_non_tree_parent(self):
+        # 4 has two predecessors; only one becomes its tree parent, the
+        # other's reachability must be carried by the spill bitsets
+        _, labeling = labeling_of(
+            Digraph([(1, 2), (1, 3), (2, 4), (3, 4)]))
+        assert labeling.spill_bits > 0
+
+    def test_single_node_graph(self):
+        graph = Digraph()
+        graph.add_node("only")
+        order, labeling = labeling_of(graph)
+        (label,) = labeling.labels
+        assert label.parent is None
+        assert label.pre < label.post
+        assert labeling.tree_edges == 0 and labeling.spill_bits == 0
+        assert not forest_reaches(labeling, 0, 0)
+
+    def test_disconnected_components_get_disjoint_intervals(self):
+        graph = Digraph([(1, 2)])
+        graph.add_node(3)
+        order, labeling = labeling_of(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for u in (1, 2):
+            assert not forest_reaches(labeling, position[u], position[3])
+            assert not forest_reaches(labeling, position[3], position[u])
+        assert forest_reaches(labeling, position[1], position[2])
+
+    def test_labels_answer_exactly_on_random_dags(self):
+        """range-scan ∪ spill == true strict reachability, every pair."""
+        rng = random.Random(11)
+        for trial in range(30):
+            graph = random_dag(rng, rng.randint(1, 18),
+                               rng.uniform(0.0, 0.5))
+            order, labeling = labeling_of(graph)
+            position = {node: i for i, node in enumerate(order)}
+            for v in graph.nodes():
+                true_anc = {position[u] for u in ancestors_of(graph, v)}
+                label = labeling.labels[position[v]]
+                decoded = set(blob_to_positions(
+                    spill_to_blob(label.anc_spill)))
+                ranged = {p for p in range(len(order))
+                          if labeling.labels[p].pre < label.pre
+                          and labeling.labels[p].post > label.post}
+                assert ranged | decoded == true_anc
+                # and the spill carries nothing the intervals already say
+                assert not ranged & decoded
+
+    def test_blob_round_trip(self):
+        assert spill_to_blob(0) is None
+        assert blob_to_positions(None) == []
+        for mask in (1, 0b1010, 1 << 200 | 1 << 3):
+            blob = spill_to_blob(mask)
+            assert positions_to_mask(blob_to_positions(blob)) == mask
+
+    def test_provenance_positions_match_index_bits(self):
+        run = execute(diamond_spec(), run_id="r")
+        labeling = label_provenance(run.provenance)
+        order = run.provenance.topological_order()
+        assert [label.node for label in labeling.labels] == list(order)
+
+
+# -- SQL == hydrated, every query shape --------------------------------------
+
+
+def assert_sql_equals_hydrated(spec, volatile, cold):
+    q_sql = LineageQueryEngine(store=cold)
+    q_hyd = LineageQueryEngine(store=volatile)
+    tasks = list(spec.task_ids())
+    for run_id in volatile.run_ids():
+        run = volatile.run(run_id)
+        artifact_ids = [run.outputs[t] for t in tasks]
+        for task in tasks:
+            answer = q_sql.lineage_tasks(task, run_id=run_id)
+            assert answer.source == "sql"
+            assert answer.tasks == q_hyd.lineage_tasks(
+                task, run_id=run_id).tasks
+            answer = q_sql.downstream_tasks(task, run_id=run_id)
+            assert answer.source == "sql"
+            assert answer.tasks == q_hyd.downstream_tasks(
+                task, run_id=run_id).tasks
+        for artifact_id in artifact_ids:
+            answer = q_sql.lineage_artifacts(artifact_id, run_id=run_id)
+            assert answer.source == "sql"
+            assert answer.ids == q_hyd.lineage_artifacts(
+                artifact_id, run_id=run_id).ids
+            answer = q_sql.lineage_invocations(artifact_id, run_id=run_id)
+            assert answer.source == "sql"
+            assert answer.ids == q_hyd.lineage_invocations(
+                artifact_id, run_id=run_id).ids
+        for sql_many, hyd_many in (
+                (q_sql.lineage_tasks_many(tasks, run_id=run_id),
+                 q_hyd.lineage_tasks_many(tasks, run_id=run_id)),
+                (q_sql.downstream_tasks_many(tasks, run_id=run_id),
+                 q_hyd.downstream_tasks_many(tasks, run_id=run_id))):
+            assert set(sql_many) == set(hyd_many)
+            for key, answer in sql_many.items():
+                assert answer.source == "sql"
+                assert answer.tasks == hyd_many[key].tasks
+        sql_art = q_sql.lineage_many(artifact_ids, run_id=run_id)
+        hyd_art = q_hyd.lineage_many(artifact_ids, run_id=run_id)
+        assert set(sql_art) == set(hyd_art)
+        for key, answer in sql_art.items():
+            assert answer.source == "sql"
+            assert answer.ids == hyd_art[key].ids
+        for k in (1, max(1, len(tasks) // 2), len(tasks)):
+            answer = q_sql.cone_of_change(tasks[:k], run_id=run_id)
+            assert answer.source == "sql"
+            assert answer.tasks == q_hyd.cone_of_change(
+                tasks[:k], run_id=run_id).tasks
+        answer = q_sql.exit_lineage(run_id)
+        assert answer.source == "sql"
+        assert answer.tasks == q_hyd.exit_lineage(run_id).tasks
+
+    payloads = {volatile.run(r).output_artifact(t).payload
+                for r in volatile.run_ids() for t in tasks}
+    for payload in payloads:
+        answer = q_sql.runs_consuming(payload)
+        assert answer.source == "sql"
+        assert answer.run_ids == q_hyd.runs_consuming(payload).run_ids
+    for task in tasks:
+        answer = q_sql.runs_of_task(task)
+        assert answer.source == "sql"
+        assert answer.run_ids == q_hyd.runs_of_task(task).run_ids
+        answer = q_sql.runs_with_lineage_through(task)
+        assert answer.source == "sql"
+        assert answer.run_ids == \
+            q_hyd.runs_with_lineage_through(task).run_ids
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=run_sequences())
+def test_cold_sql_answers_are_bit_identical_to_hydrated(data):
+    spec, runs = data
+    with tempfile.TemporaryDirectory() as directory:
+        path = f"{directory}/labels.db"
+        volatile = ProvenanceStore(spec)
+        writer = DurableProvenanceStore(path, spec)
+        for run in runs:
+            volatile.add_run(run)
+            writer.add_run(run)
+        writer.close()
+        cold = DurableProvenanceStore(path, readonly=True)
+        try:
+            assert_sql_equals_hydrated(spec, volatile, cold)
+            # the whole battery ran without hydrating the cold store
+            assert not cold.is_hydrated
+            labeled, total = cold.label_coverage()
+            assert labeled == total == len(runs)
+        finally:
+            cold.close()
+
+
+# -- planner / residency rules ----------------------------------------------
+
+
+def labeled_store(directory, spec, count=2):
+    path = f"{directory}/planner.db"
+    writer = DurableProvenanceStore(path, spec)
+    for i in range(count):
+        writer.add_run(execute(spec, run_id=f"r{i}"))
+    writer.close()
+    return path
+
+
+def strip_labels(path, run_ids=None):
+    """Simulate pre-v2 rows: delete the label rows for some runs."""
+    store = DurableProvenanceStore(path)
+    where, params = "", ()
+    if run_ids is not None:
+        marks = ",".join("?" * len(run_ids))
+        where, params = f" WHERE run_id IN ({marks})", tuple(run_ids)
+    with store._conn:
+        store._conn.execute(f"DELETE FROM opm_labels{where}", params)
+        store._conn.execute(f"DELETE FROM run_labels{where}", params)
+    store.close()
+
+
+class TestPlanner:
+    def test_run_wrapped_engine_is_hydrated(self):
+        run = execute(diamond_spec(), run_id="r")
+        answer = LineageQueryEngine(run=run).lineage_tasks(4)
+        assert answer.source == "hydrated"
+        assert answer.run_id == "r"
+
+    def test_warm_writer_store_stays_hydrated(self, tmp_path):
+        spec = diamond_spec()
+        path = labeled_store(str(tmp_path), spec)
+        store = DurableProvenanceStore(path)
+        store.run_ids()  # hydrate
+        try:
+            assert store.is_hydrated
+            answer = LineageQueryEngine(store=store).lineage_tasks(4)
+            assert answer.source == "hydrated"
+        finally:
+            store.close()
+
+    def test_cold_labeled_store_routes_to_sql(self, tmp_path):
+        path = labeled_store(str(tmp_path), diamond_spec())
+        with DurableProvenanceStore(path, readonly=True) as cold:
+            answer = LineageQueryEngine(store=cold).lineage_tasks(4)
+            assert answer.source == "sql"
+            assert answer.run_id == "r1"  # latest run by default
+            assert not cold.is_hydrated
+
+    def test_unlabeled_cold_run_falls_back_to_single_hydration(
+            self, tmp_path):
+        spec = diamond_spec()
+        path = labeled_store(str(tmp_path), spec)
+        strip_labels(path, run_ids=["r0"])
+        with DurableProvenanceStore(path, readonly=True) as cold:
+            engine = LineageQueryEngine(store=cold)
+            old = engine.lineage_tasks(4, run_id="r0")
+            new = engine.lineage_tasks(4, run_id="r1")
+            assert old.source == "hydrated"
+            assert new.source == "sql"
+            assert old.tasks == new.tasks
+            # only the unlabeled run was loaded, never the whole store
+            assert not cold.is_hydrated
+
+    def test_prefer_sql_raises_on_unlabeled_run(self, tmp_path):
+        spec = diamond_spec()
+        path = labeled_store(str(tmp_path), spec)
+        strip_labels(path)
+        with DurableProvenanceStore(path, readonly=True) as cold:
+            engine = LineageQueryEngine(store=cold, prefer="sql")
+            with pytest.raises(LabelsMissingError):
+                engine.lineage_tasks(4, run_id="r0")
+            with pytest.raises(LabelsMissingError):
+                engine.runs_with_lineage_through(1)
+
+    def test_prefer_sql_rejects_volatile_store(self):
+        spec = diamond_spec()
+        volatile = ProvenanceStore(spec)
+        volatile.add_run(execute(spec, run_id="r"))
+        engine = LineageQueryEngine(store=volatile, prefer="sql")
+        with pytest.raises(PersistenceError):
+            engine.lineage_tasks(4)
+
+    def test_prefer_hydrated_forces_hydration_on_cold_store(
+            self, tmp_path):
+        path = labeled_store(str(tmp_path), diamond_spec())
+        with DurableProvenanceStore(path, readonly=True) as cold:
+            engine = LineageQueryEngine(store=cold, prefer="hydrated")
+            answer = engine.lineage_tasks(4)
+            assert answer.source == "hydrated"
+
+    def test_unlabeled_sweep_falls_back_and_still_matches(self, tmp_path):
+        spec = two_track_spec()
+        path = labeled_store(str(tmp_path), spec, count=3)
+        strip_labels(path, run_ids=["r1"])
+        with DurableProvenanceStore(path) as mixed:
+            engine = LineageQueryEngine(store=mixed)
+            answer = engine.runs_with_lineage_through(2)
+            assert answer.source == "hydrated"  # fell back, exact anyway
+            assert answer.run_ids == ("r0", "r1", "r2")
+
+    def test_engine_requires_exactly_one_backend(self):
+        run = execute(diamond_spec(), run_id="r")
+        with pytest.raises(ValueError):
+            LineageQueryEngine()
+        with pytest.raises(ValueError):
+            LineageQueryEngine(store=ProvenanceStore(diamond_spec()),
+                               run=run)
+        with pytest.raises(ValueError):
+            LineageQueryEngine(run=run, prefer="fastest")
+
+    def test_empty_store_is_a_clean_error(self):
+        engine = LineageQueryEngine(store=ProvenanceStore(diamond_spec()))
+        with pytest.raises(ProvenanceError):
+            engine.lineage_tasks(4)
+
+
+# -- backfill ----------------------------------------------------------------
+
+
+class TestBackfill:
+    def test_backfill_labels_pre_v2_rows(self, tmp_path):
+        spec = chain_spec(5)
+        path = labeled_store(str(tmp_path), spec, count=3)
+        strip_labels(path)
+        volatile = ProvenanceStore(spec)
+        for i in range(3):
+            volatile.add_run(execute(spec, run_id=f"r{i}"))
+        with DurableProvenanceStore(path) as store:
+            assert store.label_coverage() == (0, 3)
+            assert store.backfill_labels(batch=2) == 3
+            assert store.label_coverage() == (3, 3)
+            assert store.backfill_labels() == 0  # idempotent
+        with DurableProvenanceStore(path, readonly=True) as cold:
+            assert_sql_equals_hydrated(spec, volatile, cold)
+            assert not cold.is_hydrated
+
+    def test_backfill_on_readonly_store_raises(self, tmp_path):
+        path = labeled_store(str(tmp_path), diamond_spec())
+        with DurableProvenanceStore(path, readonly=True) as reader:
+            with pytest.raises(PersistenceError):
+                reader.backfill_labels()
+
+    def test_stats_report_label_coverage(self, tmp_path):
+        path = labeled_store(str(tmp_path), diamond_spec(), count=2)
+        strip_labels(path, run_ids=["r0"])
+        with DurableProvenanceStore(path, readonly=True) as store:
+            assert store.stats()["labels"] == {"labeled_runs": 1,
+                                               "total_runs": 2}
+
+
+# -- the daemon's store_audit job --------------------------------------------
+
+
+class TestStoreAuditJob:
+    def audit(self, manifest):
+        from repro.server.daemon import AnalysisDaemon
+
+        return list(AnalysisDaemon._store_audit_records(manifest, None))
+
+    def test_streams_sql_answers_for_every_run_and_task(self, tmp_path):
+        spec = two_track_spec()
+        path = labeled_store(str(tmp_path), spec, count=2)
+        records = self.audit(JobManifest(op="store_audit", db_path=path))
+        assert {r.run_id for r in records} == {"r0", "r1"}
+        assert all(r.source == "sql" for r in records)
+        volatile = ProvenanceStore(spec)
+        for i in range(2):
+            volatile.add_run(execute(spec, run_id=f"r{i}"))
+        engine = LineageQueryEngine(store=volatile)
+        for record in records:
+            truth = engine.lineage_tasks(record.task_id,
+                                         run_id=record.run_id).tasks
+            assert set(record.tasks) == truth
+
+    def test_task_filter_restricts_the_sweep(self, tmp_path):
+        spec = two_track_spec()
+        path = labeled_store(str(tmp_path), spec, count=2)
+        records = self.audit(JobManifest(op="store_audit", db_path=path,
+                                         tasks=["5"]))
+        assert len(records) == 2
+        assert all(str(r.task_id) == "5" for r in records)
+
+    def test_manifest_validation(self, tmp_path):
+        with pytest.raises(ManifestError):
+            JobManifest(op="store_audit")  # no db_path
+        with pytest.raises(ManifestError):
+            JobManifest(op="store_audit", db_path="x.db", tasks=[])
+        a = JobManifest(op="store_audit", db_path="x.db", tasks=["1"])
+        b = JobManifest(op="store_audit", db_path="x.db", tasks=["2"])
+        c = JobManifest(op="store_audit", db_path="y.db", tasks=["1"])
+        assert len({a.fingerprint(), b.fingerprint(),
+                    c.fingerprint()}) == 3
+        round_tripped = JobManifest.from_dict(a.to_dict())
+        assert round_tripped.tasks == ("1",)
+        assert round_tripped.fingerprint() == a.fingerprint()
