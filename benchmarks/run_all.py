@@ -118,6 +118,17 @@ BENCHES = [
         min_speedup=2.0,
         quick_argv=["--quick"],
     ),
+    Bench(
+        name="cluster",
+        module="bench_cluster",
+        out="BENCH_cluster.json",
+        metric=lambda payload: payload["gated_speedup"],
+        metric_label="1 -> 4 cluster workers, gateway jobs/s "
+                     "(floor-normalized to the runner's cpu_count; "
+                     "raw scaling recorded in the payload)",
+        min_speedup=2.0,
+        quick_argv=["--quick"],
+    ),
 ]
 
 

@@ -115,6 +115,15 @@ class StoreBusyError(PersistenceError):
     of an exhausted ``SQLITE_BUSY`` storm."""
 
 
+class StaleJobLogError(PersistenceError):
+    """A job-log write was fenced: another :class:`~repro.server.joblog.
+    JobLog` has taken ownership of this database since we opened it.
+
+    This is the cluster's one-writer-per-shard guarantee made typed — a
+    zombie worker whose replacement already owns the shard must stop
+    persisting, not corrupt the new owner's log."""
+
+
 class InjectedFault(ReproError):
     """A failure raised by the fault-injection harness
     (:mod:`repro.resilience.faults`).  Only ever seen when a fault
@@ -191,6 +200,39 @@ class QuarantinedError(ServerError):
     quarantine is due to be reviewed."""
 
     code = "quarantined"
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UnauthorizedError(ServerError):
+    """The gateway rejected a request's bearer token (missing, malformed
+    or unknown).  HTTP 401 on the wire."""
+
+    code = "unauthorized"
+
+
+class QuotaExceededError(ServerError):
+    """The gateway's per-client in-flight quota rejected a submission.
+    ``retry_after`` hints when capacity is likely back (HTTP 429)."""
+
+    code = "quota_exceeded"
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WorkerUnavailableError(ServerError):
+    """The shard's worker stayed unreachable for the whole retry budget
+    (down, quarantined by health checks, or restarting too slowly).
+    ``retry_after`` hints when the supervisor expects it back
+    (HTTP 503)."""
+
+    code = "worker_unavailable"
 
     def __init__(self, message: str,
                  retry_after: "float | None" = None) -> None:

@@ -167,5 +167,19 @@ def transaction(conn: sqlite3.Connection) -> Iterator[sqlite3.Connection]:
     faults.fire("db.commit.after")
 
 
+def open_replica(path: str,
+                 timeout_ms: Optional[int] = None) -> sqlite3.Connection:
+    """A read-only WAL replica connection for serving query traffic.
+
+    The cluster gateway answers ``/v1/replica/*`` requests through
+    these: same schema checks as :func:`open_checked` in read-only
+    mode, never the shard's writer connection, and — thanks to WAL —
+    never blocking (or blocked by) that writer.  A replica connection
+    sees every *committed* transaction, so it reflects exactly the
+    durable truth the crash contract is stated over.
+    """
+    return open_checked(path, readonly=True, timeout_ms=timeout_ms)
+
+
 def journal_mode(conn: sqlite3.Connection) -> str:
     return conn.execute("PRAGMA journal_mode").fetchone()[0]

@@ -18,11 +18,30 @@ Entry points:
 * :class:`DaemonClient` — the blocking client (``wolves submit`` /
   ``jobs`` / ``cancel``);
 * :class:`JobManifest` and :mod:`repro.server.protocol` — the wire
-  format.
+  format;
+* :mod:`repro.server.cluster` / :mod:`repro.server.gateway` — the
+  multi-worker tier (``wolves cluster``): N daemons sharded by manifest
+  fingerprint behind an HTTP/JSON gateway
+  (:class:`ClusterSupervisor`, :class:`ClusterGateway`,
+  :class:`GatewayClient`).
 """
 
 from repro.server.client import DaemonClient, JobResult
+from repro.server.cluster import (
+    ClusterHandle,
+    ClusterMap,
+    ClusterSupervisor,
+    WorkerEndpoint,
+    shard_of,
+)
 from repro.server.daemon import AnalysisDaemon, DaemonHandle, start_in_thread
+from repro.server.gateway import (
+    ClusterGateway,
+    GatewayClient,
+    GatewayHandle,
+    GatewayJobResult,
+    start_gateway_in_thread,
+)
 from repro.server.joblog import JobLog, inspect_job_log
 from repro.server.protocol import (
     CANCELLED,
@@ -42,11 +61,21 @@ __all__ = [
     "QUEUED",
     "RUNNING",
     "AnalysisDaemon",
+    "ClusterGateway",
+    "ClusterHandle",
+    "ClusterMap",
+    "ClusterSupervisor",
     "DaemonClient",
     "DaemonHandle",
+    "GatewayClient",
+    "GatewayHandle",
+    "GatewayJobResult",
     "JobLog",
     "JobManifest",
     "JobResult",
+    "WorkerEndpoint",
     "inspect_job_log",
+    "shard_of",
+    "start_gateway_in_thread",
     "start_in_thread",
 ]

@@ -52,6 +52,7 @@ from repro.errors import (
     QuarantinedError,
     ReproError,
     ServerError,
+    StaleJobLogError,
     SweepCancelled,
     UnknownJobError,
 )
@@ -161,10 +162,14 @@ class AnalysisDaemon:
         #: cancellation tests deterministic
         self._gate = _gate
         self._reaper_task: Optional[asyncio.Task] = None
+        #: set once a job-log write reports the lease was taken over
+        #: (another daemon owns this shard database now); this daemon
+        #: keeps serving from memory but stops persisting
+        self._log_fenced = False
         self.stats = {"submitted": 0, "computations": 0, "coalesced": 0,
                       "done": 0, "failed": 0, "cancelled": 0,
                       "resumed": 0, "timed_out": 0, "shed": 0,
-                      "quarantined": 0}
+                      "quarantined": 0, "fenced": 0}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -303,6 +308,25 @@ class AnalysisDaemon:
         SQLite connection is bound to it)."""
         return await self._loop.run_in_executor(self._io, fn, *args)
 
+    async def _log_safe(self, method: str, *args) -> None:
+        """A job-log write that tolerates losing the ownership lease.
+
+        When another daemon takes over this shard's database (the
+        cluster supervisor restarted a worker the old process outlived),
+        the first fenced write flips :attr:`_log_fenced`: this daemon
+        keeps answering its connected clients from memory — the records
+        are deterministic, so they match what the new owner recomputes —
+        but never writes to the log again.  Durable truth belongs to
+        the new owner.
+        """
+        if self._joblog is None or self._log_fenced:
+            return
+        try:
+            await self._io_call(getattr(self._joblog, method), *args)
+        except StaleJobLogError:
+            self._log_fenced = True
+            self.stats["fenced"] = 1
+
     async def _resume(self) -> None:
         """Re-queue accepted-but-unfinished jobs from the log; register
         finished ones for replay."""
@@ -346,9 +370,8 @@ class AnalysisDaemon:
         if computation is not None and computation.cancelled:
             computation.cancel_event.set()
             self._drop_inflight(computation)
-        if self._joblog is not None:
-            await self._io_call(self._joblog.record_state, job.job_id,
-                                FAILED, job.error)
+        await self._log_safe("record_state", job.job_id, FAILED,
+                             job.error)
 
     # -- submission and the queue ------------------------------------------
 
@@ -392,9 +415,7 @@ class AnalysisDaemon:
         coalesced = self._enqueue(job)  # QueueFullError -> error frame
         self._jobs[job.job_id] = job
         self.stats["submitted"] += 1
-        if self._joblog is not None:
-            await self._io_call(self._joblog.record_submit, job.job_id,
-                                manifest)
+        await self._log_safe("record_submit", job.job_id, manifest)
         async with self._cond:
             self._cond.notify_all()
         conn.send({"type": "accepted", "job": job.job_id,
@@ -453,9 +474,8 @@ class AnalysisDaemon:
                 # last live job gone: stop the sweep at the next shard
                 computation.cancel_event.set()
                 self._drop_inflight(computation)
-            if self._joblog is not None:
-                await self._io_call(self._joblog.record_state,
-                                    job.job_id, CANCELLED, None)
+            await self._log_safe("record_state", job.job_id, CANCELLED,
+                                 None)
         conn.send({"type": "cancelled", "job": job.job_id,
                    "state": job.state})
 
@@ -491,9 +511,8 @@ class AnalysisDaemon:
                 continue  # finalized while an earlier job was persisted
             job.state = RUNNING
             job.started_seq = self._dispatch_seq
-            if self._joblog is not None:
-                await self._io_call(self._joblog.record_state,
-                                    job.job_id, RUNNING, None)
+            await self._log_safe("record_state", job.job_id, RUNNING,
+                                 None)
         try:
             outcome, error, strikes = await self._loop.run_in_executor(
                 self._executor, self._execute, computation)
@@ -523,11 +542,10 @@ class AnalysisDaemon:
             job.finished_at = utc_now()
             if timed_out:
                 self.stats["timed_out"] += 1
-            if self._joblog is not None:
-                # records + terminal state in ONE transaction, before
-                # the done frame: a client that saw "done" can replay
-                await self._io_call(self._joblog.record_finish,
-                                    job.job_id, outcome, records, error)
+            # records + terminal state in ONE transaction, before the
+            # done frame: a client that saw "done" can replay
+            await self._log_safe("record_finish", job.job_id, outcome,
+                                 records, error)
             self._notify_done(job)
             self._retain(job)
         self.stats["done" if outcome == DONE else "failed"] += 1
@@ -538,7 +556,7 @@ class AnalysisDaemon:
         (replay reloads them on attach), otherwise the job counts
         against the in-memory retention window and the oldest finished
         jobs are evicted once it overflows."""
-        if self._joblog is not None:
+        if self._joblog is not None and not self._log_fenced:
             if job.state == DONE:
                 job.records_total = len(job.records)
                 job.records = []

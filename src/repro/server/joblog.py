@@ -22,15 +22,29 @@ Connections follow the store discipline of :mod:`repro.persistence.db`
 (WAL, ``BEGIN IMMEDIATE`` batches, busy timeout); all calls are made
 from the daemon's single I/O executor thread, so the log needs no
 locking of its own.
+
+**Ownership lease (the cluster's one-writer-per-shard fence).**  Every
+:class:`JobLog` stamps a fresh owner token into the shared ``meta``
+table when it opens, taking the log over from any previous owner; each
+write transaction re-reads the token and raises the typed
+:class:`~repro.errors.StaleJobLogError` when it no longer matches.  The
+scenario this fences: the cluster supervisor SIGKILLs (or loses) a
+worker, restarts a replacement on the same shard database, and the
+*old* process turns out to still be alive — its next write must fail
+typed instead of interleaving with the new owner's resume.  The check
+runs inside the same ``BEGIN IMMEDIATE`` transaction as the write it
+guards, so a fenced writer can never commit anything.
 """
 
 from __future__ import annotations
 
 import json
 import pickle
+import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import StaleJobLogError
 from repro.persistence.db import open_checked
 from repro.persistence.db import transaction as _transaction
 from repro.resilience import faults
@@ -39,6 +53,9 @@ from repro.server.protocol import (
     JobManifest,
     utc_now as _now,
 )
+
+#: the ``meta`` key the ownership lease lives under
+OWNER_KEY = "joblog_owner"
 
 
 @dataclass(frozen=True)
@@ -60,16 +77,46 @@ class LoggedJob:
 
 
 class JobLog:
-    """Durable submit/finish/replay log on one writer connection."""
+    """Durable submit/finish/replay log on one writer connection.
+
+    Opening the log **takes ownership**: the fresh ``owner`` token is
+    written to the ``meta`` table, fencing any earlier :class:`JobLog`
+    still holding a connection to the same file (its next write raises
+    :class:`~repro.errors.StaleJobLogError`).
+    """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
+        #: this log's lease token; whoever last wrote it owns the file
+        self.owner = f"joblog-{uuid.uuid4().hex}"
         self._conn = open_checked(self.path)
+        with _transaction(self._conn):
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (OWNER_KEY, self.owner))
+
+    def _check_owner(self) -> None:
+        """Runs *inside* a write transaction: fenced writers roll back.
+
+        ``BEGIN IMMEDIATE`` already holds the write lock here, so the
+        read is serialized against any competing takeover — either we
+        still own the lease (and the guarded write commits before the
+        usurper can stamp its token) or we observe theirs and abort.
+        """
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (OWNER_KEY,)
+        ).fetchone()
+        if row is None or row[0] != self.owner:
+            raise StaleJobLogError(
+                f"job log {self.path!r} was taken over by "
+                f"{row[0] if row else '<nobody>'!r}; this writer "
+                f"({self.owner!r}) is fenced")
 
     # -- writes ------------------------------------------------------------
 
     def record_submit(self, job_id: str, manifest: JobManifest) -> None:
         with _transaction(self._conn):
+            self._check_owner()
             self._conn.execute(
                 "INSERT OR REPLACE INTO server_jobs "
                 "(job_id, manifest, state, error, submitted_at, "
@@ -84,6 +131,7 @@ class JobLog:
         terminal one (``cancelled`` / ``failed``)."""
         finished = _now() if state in TERMINAL_STATES else None
         with _transaction(self._conn):
+            self._check_owner()
             self._conn.execute(
                 "UPDATE server_jobs SET state = ?, error = ?, "
                 "finished_at = ? WHERE job_id = ?",
@@ -99,6 +147,7 @@ class JobLog:
         # `.after` a terminal row with the full stream — never between
         faults.fire("joblog.finish.before")
         with _transaction(self._conn):
+            self._check_owner()
             self._conn.execute(
                 "UPDATE server_jobs SET state = ?, error = ?, "
                 "finished_at = ? WHERE job_id = ?",

@@ -55,8 +55,11 @@ from repro.errors import (
     ManifestError,
     QuarantinedError,
     QueueFullError,
+    QuotaExceededError,
     ServerError,
+    UnauthorizedError,
     UnknownJobError,
+    WorkerUnavailableError,
 )
 from repro.repository.corpus import CorpusSpec
 
@@ -270,10 +273,12 @@ def raise_error_frame(frame: Dict[str, Any]) -> None:
     code = frame.get("code", "server_error")
     message = frame.get("message", "server error")
     retry_after = frame.get("retry_after")
-    for cls in (QueueFullError, QuarantinedError):
+    for cls in (QueueFullError, QuarantinedError, QuotaExceededError,
+                WorkerUnavailableError):
         if cls.code == code:
             raise cls(message, retry_after=retry_after)
-    for cls in (ManifestError, UnknownJobError, JobTimeoutError):
+    for cls in (ManifestError, UnknownJobError, JobTimeoutError,
+                UnauthorizedError):
         if cls.code == code:
             raise cls(message)
     raise ServerError(message, code=code)

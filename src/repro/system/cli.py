@@ -133,6 +133,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--service-workers", type=int, default=1,
                            help="worker processes per corpus sweep")
 
+    cluster_cmd = commands.add_parser(
+        "cluster",
+        help="run N daemon workers sharded by manifest fingerprint "
+             "behind an HTTP/JSON gateway (supervised, drain on "
+             "SIGINT/SIGTERM)")
+    cluster_cmd.add_argument("--workers", type=int, default=2,
+                             help="daemon worker processes (= shards; "
+                                  "each owns one shard-NN.db)")
+    cluster_cmd.add_argument("--db-dir", required=True,
+                             help="directory holding the shard "
+                                  "databases (created if missing)")
+    cluster_cmd.add_argument("--host", default="127.0.0.1")
+    cluster_cmd.add_argument("--port", type=int, default=0,
+                             help="gateway HTTP port (0 = pick a free "
+                                  "one and print it)")
+    cluster_cmd.add_argument("--token", action="append", default=None,
+                             metavar="TOKEN=CLIENT",
+                             help="bearer token mapped to a client "
+                                  "name (repeatable; omit for open "
+                                  "access)")
+    cluster_cmd.add_argument("--quota-inflight", type=int, default=8,
+                             help="in-flight jobs allowed per client "
+                                  "(0 = unlimited)")
+    cluster_cmd.add_argument("--max-queued", type=int, default=32,
+                             help="per-worker queued-job bound")
+    cluster_cmd.add_argument("--parallel-jobs", type=int, default=2,
+                             help="jobs each worker executes "
+                                  "concurrently")
+    cluster_cmd.add_argument("--service-workers", type=int, default=1,
+                             help="worker processes per corpus sweep")
+
     submit_cmd = commands.add_parser(
         "submit", help="submit a job to a running daemon and stream "
                        "its records")
@@ -202,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "under")
     chaos_cmd.add_argument("--quiet", action="store_true",
                            help="print only the final report")
+    chaos_cmd.add_argument("--gateway", action="store_true",
+                           help="torture a gateway-fronted cluster "
+                                "instead of a single daemon (faults "
+                                "armed through the gateway hop)")
+    chaos_cmd.add_argument("--workers", type=int, default=2,
+                           help="cluster workers (--gateway only)")
 
     commands.add_parser(
         "kernels",
@@ -462,6 +499,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.server.cluster import run_cluster
+
+    tokens = None
+    if args.token:
+        tokens = {}
+        for entry in args.token:
+            token, sep, client = entry.partition("=")
+            if not sep or not token or not client:
+                print(f"error: bad --token {entry!r} "
+                      f"(expected TOKEN=CLIENT)", file=sys.stderr)
+                return 2
+            tokens[token] = client
+    quota = args.quota_inflight if args.quota_inflight > 0 else None
+    worker_args = ["--max-queued", str(args.max_queued),
+                   "--parallel-jobs", str(args.parallel_jobs),
+                   "--service-workers", str(args.service_workers)]
+    return run_cluster(
+        args.workers, args.db_dir, host=args.host, port=args.port,
+        tokens=tokens, quota_inflight=quota, worker_args=worker_args,
+        on_ready=lambda cluster: print(
+            f"gateway on http://{cluster.host}:{cluster.port} "
+            f"({args.workers} worker(s), shards in {args.db_dir})",
+            flush=True))
+
+
 def _submit_manifest(args: argparse.Namespace):
     from repro.repository.corpus import CorpusSpec
     from repro.server import JobManifest
@@ -556,11 +619,16 @@ def cmd_cancel(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
-    from repro.resilience.chaos import run_chaos
+    from repro.resilience.chaos import run_chaos, run_gateway_chaos
 
     emit = None if args.quiet else print
 
     def campaign(db: str):
+        if args.gateway:
+            return run_gateway_chaos(
+                os.path.dirname(db) or ".", seed=args.seed,
+                cycles=args.cycles, workers=args.workers,
+                corpus_count=args.count, emit=emit)
         return run_chaos(db, seed=args.seed, cycles=args.cycles,
                          corpus_count=args.count,
                          max_rss_mb=args.max_rss_mb, emit=emit)
@@ -689,6 +757,7 @@ _HANDLERS = {
     "lineage": cmd_lineage,
     "corpus": cmd_corpus,
     "serve": cmd_serve,
+    "cluster": cmd_cluster,
     "submit": cmd_submit,
     "jobs": cmd_jobs,
     "cancel": cmd_cancel,

@@ -58,3 +58,22 @@ def daemon_process_factory():
     yield factory
     for proc in reversed(procs):
         proc.terminate()
+
+
+@pytest.fixture
+def cluster_factory():
+    """``factory(workers, **ClusterSupervisor kwargs) -> ClusterHandle``
+    with guaranteed stop of every started cluster (gateway + workers,
+    thread or process mode)."""
+    from repro.server import ClusterSupervisor
+
+    handles = []
+
+    def factory(workers=2, **kwargs):
+        handle = ClusterSupervisor(workers, **kwargs).start()
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in reversed(handles):
+        handle.stop()

@@ -1,0 +1,214 @@
+"""The cluster-vs-direct differential battery.
+
+``tests/test_server_equiv.py`` pinned the single daemon as a
+transparent transport; this battery pins the whole cluster path — HTTP
+gateway, shard routing, N workers, re-encode through the wire form —
+as equally transparent: for any manifest and any worker count in
+{1, 2, 4}, the records a :class:`~repro.server.gateway.GatewayClient`
+receives are exactly the records a direct in-process
+``AnalysisService`` sweep yields, record for record, in the same order.
+
+And under concurrency: interleaved, partially identical submissions
+from several clients all receive their full exact streams, while equal
+manifests land on the same shard (the routing invariant singleflight
+coalescing depends on).
+
+Hypothesis drives the corpora, op mix and interleavings; one
+module-scoped cluster per size serves every example (jobs are
+independent, which is itself part of the property).
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.repository.corpus import CorpusSpec
+from repro.server import ClusterSupervisor, GatewayClient, JobManifest
+from repro.server.cluster import shard_of
+from repro.service import AnalysisService
+
+MAX_ENTRIES = 4
+CLUSTER_SIZES = (1, 2, 4)
+
+
+@st.composite
+def corpus_specs(draw):
+    min_size = draw(st.integers(min_value=6, max_value=10))
+    return CorpusSpec(
+        seed=draw(st.integers(min_value=0, max_value=10 ** 6)),
+        count=draw(st.integers(min_value=0, max_value=MAX_ENTRIES)),
+        min_size=min_size,
+        max_size=min_size + draw(st.integers(min_value=0, max_value=6)),
+    )
+
+
+@st.composite
+def manifests(draw):
+    op = draw(st.sampled_from(["analyze", "correct", "lineage"]))
+    kwargs = {}
+    if op == "lineage" and draw(st.booleans()):
+        kwargs["queries_per_view"] = draw(
+            st.integers(min_value=1, max_value=6))
+    return JobManifest(op=op, corpus=draw(corpus_specs()),
+                       criterion=draw(st.sampled_from(
+                           ["weak", "strong", "optimal"])),
+                       **kwargs)
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    """One in-process (thread-mode) cluster per size in
+    :data:`CLUSTER_SIZES`, shared by every example in the module."""
+    handles = {}
+    for size in CLUSTER_SIZES:
+        handles[size] = ClusterSupervisor(size, mode="thread").start()
+    yield handles
+    for handle in handles.values():
+        handle.stop()
+
+
+#: manifest fingerprint -> direct records (deterministic truth cache)
+_TRUTH: dict = {}
+
+
+def direct_records(manifest: JobManifest):
+    key = manifest.fingerprint()
+    if key not in _TRUTH:
+        service = AnalysisService(workers=1,
+                                  criterion=manifest.criterion)
+        if manifest.op == "analyze":
+            records = service.analyze_corpus(manifest.corpus)
+        elif manifest.op == "correct":
+            records = service.correct_corpus(manifest.corpus)
+        else:
+            records = service.lineage_audit(
+                manifest.corpus,
+                queries_per_view=manifest.queries_per_view)
+        _TRUTH[key] = list(records)
+    return _TRUTH[key]
+
+
+class TestGatewayEqualsDirect:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(manifest=manifests())
+    def test_gateway_records_equal_direct_sweep_at_every_size(
+            self, clusters, manifest):
+        """The same manifest through 1-, 2- and 4-worker clusters: all
+        three streams equal the direct sweep (and each other), and each
+        lands on the shard the fingerprint names."""
+        truth = direct_records(manifest)
+        fingerprint = manifest.fingerprint()
+        for size in CLUSTER_SIZES:
+            client = GatewayClient(clusters[size].port)
+            result = client.submit(manifest)
+            assert result.state == "done", (size, result.error)
+            assert result.records == truth, f"diverged at size {size}"
+            assert result.shard == shard_of(fingerprint, size)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(manifest=manifests())
+    def test_replay_equals_stream_equals_direct(self, clusters,
+                                                manifest):
+        cluster = clusters[2]
+        client = GatewayClient(cluster.port)
+        streamed = client.submit(manifest)
+        replayed = client.records(streamed.job_id)
+        truth = direct_records(manifest)
+        assert streamed.records == truth
+        assert replayed.records == truth
+        assert replayed.shard == streamed.shard
+
+
+class TestConcurrentGatewayClients:
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        pool=st.lists(manifests(), min_size=1, max_size=3),
+        clients=st.integers(min_value=1, max_value=4),
+        schedule=st.lists(st.integers(min_value=0, max_value=99),
+                          min_size=1, max_size=8),
+    )
+    def test_interleaved_submissions_all_receive_exact_streams(
+            self, clusters, pool, clients, schedule):
+        """Each client walks its slice of a randomized schedule over a
+        shared manifest pool — duplicates across clients exercise the
+        coalescer behind the router — and every submission must stream
+        the exact direct records through the 4-worker gateway."""
+        cluster = clusters[4]
+        assignments = [[] for _ in range(clients)]
+        for position, choice in enumerate(schedule):
+            assignments[position % clients].append(
+                pool[choice % len(pool)])
+        failures = []
+        barrier = threading.Barrier(clients)
+
+        def run_client(todo):
+            try:
+                client = GatewayClient(cluster.port)
+                barrier.wait(timeout=30)
+                for manifest in todo:
+                    result = client.submit(manifest)
+                    if result.state != "done":
+                        failures.append(f"{result.job_id}: "
+                                        f"{result.state} "
+                                        f"({result.error})")
+                    elif result.records != direct_records(manifest):
+                        failures.append(
+                            f"{result.job_id}: records diverged")
+                    elif result.shard != shard_of(
+                            manifest.fingerprint(), 4):
+                        failures.append(
+                            f"{result.job_id}: routed to shard "
+                            f"{result.shard}, fingerprint says "
+                            f"{shard_of(manifest.fingerprint(), 4)}")
+            except Exception as exc:  # surfaced via the failures list
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=run_client, args=(todo,))
+                   for todo in assignments]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+
+    def test_four_clients_share_one_hot_manifest(self, clusters):
+        """The singleflight path through the router: four gateway
+        clients race the same manifest; routing sends all four to one
+        worker, so whoever coalesces still gets the full exact
+        stream."""
+        cluster = clusters[4]
+        manifest = JobManifest(
+            op="analyze",
+            corpus=CorpusSpec(seed=555, count=3, min_size=8,
+                              max_size=12))
+        truth = direct_records(manifest)
+        results = []
+        failures = []
+        barrier = threading.Barrier(4)
+
+        def run_client():
+            try:
+                client = GatewayClient(cluster.port)
+                barrier.wait(timeout=30)
+                results.append(client.submit(manifest))
+            except Exception as exc:
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=run_client)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures
+        assert len(results) == 4
+        expected_shard = shard_of(manifest.fingerprint(), 4)
+        for result in results:
+            assert result.state == "done"
+            assert result.records == truth
+            assert result.shard == expected_shard

@@ -1,0 +1,329 @@
+"""Shard routing, the ownership lease, and the gateway's admission
+policies.
+
+The routing function is the cluster's one load-bearing pure function:
+``shard_of(fingerprint, N)`` must be deterministic (equal computations
+MUST share a worker, or singleflight coalescing and one-writer-per-
+shard both break), reasonably balanced across shards, and stable under
+worker *restarts* (a replacement worker serves the same shard, so
+routing never moves).  The lease (:mod:`repro.server.joblog`) is the
+enforcement half of one-writer-per-shard: a log taken over by a new
+owner fences the old writer with the typed
+:class:`~repro.errors.StaleJobLogError` inside the write transaction.
+
+The gateway admission tests pin the typed boundary: bearer auth (401),
+per-client in-flight quotas (429 with a retry hint), and the typed 503
+when a shard's worker stays unreachable past the re-route window.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    QuotaExceededError,
+    StaleJobLogError,
+    UnauthorizedError,
+    WorkerUnavailableError,
+)
+from repro.repository.corpus import CorpusSpec
+from repro.server import (
+    ClusterMap,
+    GatewayClient,
+    JobManifest,
+    WorkerEndpoint,
+    shard_of,
+    start_gateway_in_thread,
+)
+from repro.server.joblog import JobLog, inspect_job_log
+
+fingerprints = st.text(alphabet="0123456789abcdef", min_size=16,
+                       max_size=64)
+
+
+def manifest(seed, count=2):
+    return JobManifest(op="analyze", corpus=CorpusSpec(
+        seed=seed, count=count, min_size=8, max_size=12))
+
+
+class TestShardOf:
+    @given(fingerprint=fingerprints,
+           num_shards=st.integers(min_value=1, max_value=16))
+    def test_deterministic_and_in_range(self, fingerprint, num_shards):
+        first = shard_of(fingerprint, num_shards)
+        assert first == shard_of(fingerprint, num_shards)
+        assert 0 <= first < num_shards
+
+    @given(seed_a=st.integers(min_value=0, max_value=10 ** 6),
+           num_shards=st.integers(min_value=1, max_value=8))
+    def test_equal_manifests_route_together(self, seed_a, num_shards):
+        """Fingerprint equality → shard equality, including across
+        priority/deadline differences (excluded from the
+        fingerprint)."""
+        base = manifest(seed_a)
+        hot = JobManifest(op="analyze", corpus=base.corpus,
+                          priority=1, deadline_s=60.0)
+        assert base.fingerprint() == hot.fingerprint()
+        assert shard_of(base.fingerprint(), num_shards) == \
+            shard_of(hot.fingerprint(), num_shards)
+
+    def test_distribution_is_roughly_balanced(self):
+        """400 distinct manifests over 4 shards: sha256 routing keeps
+        every shard busy and none pathologically hot (deterministic —
+        the fingerprints are fixed by the corpus seeds)."""
+        shards = [shard_of(manifest(seed).fingerprint(), 4)
+                  for seed in range(400)]
+        counts = [shards.count(shard) for shard in range(4)]
+        assert all(count > 0 for count in counts)
+        assert max(counts) <= 2 * (400 // 4)
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            shard_of("ab" * 8, 0)
+
+
+class TestClusterMapStability:
+    def test_replace_keeps_shard_and_bumps_generation(self):
+        cluster_map = ClusterMap([
+            WorkerEndpoint(shard=0, host="127.0.0.1", port=1000),
+            WorkerEndpoint(shard=1, host="127.0.0.1", port=1001),
+        ])
+        cluster_map.mark_down(1)
+        assert not cluster_map.endpoint(1).healthy
+        cluster_map.replace(1, "127.0.0.1", 2001)
+        replaced = cluster_map.endpoint(1)
+        assert (replaced.port, replaced.healthy,
+                replaced.generation) == (2001, True, 1)
+        # the other shard is untouched: routing never moves on restart
+        assert cluster_map.endpoint(0).port == 1000
+        assert cluster_map.endpoint(0).generation == 0
+
+    def test_rejects_gapped_or_duplicate_shards(self):
+        with pytest.raises(ValueError):
+            ClusterMap([WorkerEndpoint(shard=1, host="h", port=1)])
+        with pytest.raises(ValueError):
+            ClusterMap([WorkerEndpoint(shard=0, host="h", port=1),
+                        WorkerEndpoint(shard=0, host="h", port=2)])
+        with pytest.raises(ValueError):
+            ClusterMap([])
+
+    def test_unknown_shard_lookup_is_typed(self):
+        from repro.errors import ServerError
+
+        cluster_map = ClusterMap(
+            [WorkerEndpoint(shard=0, host="h", port=1)])
+        with pytest.raises(ServerError) as excinfo:
+            cluster_map.endpoint(7)
+        assert excinfo.value.code == "unknown_shard"
+
+    def test_supervisor_rejects_bad_configurations(self):
+        from repro.server import ClusterSupervisor
+
+        with pytest.raises(ValueError):
+            ClusterSupervisor(0)
+        with pytest.raises(ValueError):
+            ClusterSupervisor(2, mode="fiber")
+        with pytest.raises(ValueError):
+            # process mode without durable shard logs cannot give the
+            # restart-with-resume guarantee, so it is refused outright
+            ClusterSupervisor(2, mode="process", db_dir=None)
+
+    def test_thread_workers_cannot_be_killed(self, cluster_factory):
+        from repro.errors import ServerError
+
+        cluster = cluster_factory(1, mode="thread")
+        with pytest.raises(ServerError):
+            cluster.kill_worker(0)
+
+
+class TestCoalescingThroughRouter:
+    def test_equal_manifests_coalesce_on_their_shard(
+            self, cluster_factory):
+        """Two equal submissions through the gateway while the compute
+        gate is held: both land on the fingerprint's shard and the
+        second coalesces onto the first's computation (the worker's
+        counter proves it went through one singleflight entry)."""
+        gate = threading.Event()
+        cluster = cluster_factory(
+            2, mode="thread",
+            daemon_kwargs={"_gate": gate, "parallel_jobs": 1})
+        try:
+            client = GatewayClient(cluster.port)
+            hot = manifest(seed=808)
+            shard = shard_of(hot.fingerprint(), 2)
+            first = client.submit(hot, wait=False)
+            second = client.submit(hot, wait=False)
+            assert first.shard == second.shard == shard
+            assert not first.coalesced
+            assert second.coalesced
+            assert second.job_id != first.job_id
+        finally:
+            gate.set()
+        for job_id in (first.job_id, second.job_id):
+            replay = client.records(job_id)
+            assert replay.state == "done"
+        stats = client.stats()
+        assert stats["workers"][str(shard)]["coalesced"] == 1
+
+
+class TestJobLogLease:
+    def test_takeover_fences_the_old_writer(self, tmp_path):
+        db = str(tmp_path / "lease.db")
+        first = JobLog(db)
+        first.record_submit("job-a", manifest(seed=1))
+        second = JobLog(db)  # takes the lease over
+        with pytest.raises(StaleJobLogError):
+            first.record_submit("job-b", manifest(seed=2))
+        with pytest.raises(StaleJobLogError):
+            first.record_state("job-a", "running")
+        with pytest.raises(StaleJobLogError):
+            first.record_finish("job-a", "done", ["r0"])
+        # the new owner writes freely, and nothing of the fenced
+        # writer's attempts leaked into the log
+        second.record_state("job-a", "running")
+        second.record_finish("job-a", "done", ["r0", "r1"])
+        assert inspect_job_log(db) == [("job-a", "done", 2)]
+        first.close()
+        second.close()
+
+    def test_fenced_daemon_keeps_serving_from_memory(
+            self, daemon_factory, tmp_path):
+        """A daemon whose log is usurped (a supervisor restarted a
+        replacement on its shard) must not die or corrupt: it flags
+        itself fenced, stops persisting, and still answers from
+        memory."""
+        from repro.server import DaemonClient
+
+        db = str(tmp_path / "fenced.db")
+        daemon = daemon_factory(db_path=db, parallel_jobs=1)
+        usurper = JobLog(db)  # the replacement worker's takeover
+        with DaemonClient(daemon.port) as client:
+            result = client.submit(manifest(seed=3))
+            assert result.state == "done"
+            assert len(result.records) == 2
+            assert client.stats()["fenced"] == 1
+            # records never hit the usurped log, but memory replays
+            replay = client.attach(result.job_id)
+            assert replay.records == result.records
+        assert inspect_job_log(db) == []
+        usurper.close()
+
+
+class TestRunClusterBody:
+    def test_run_cluster_serves_supervises_and_stops(self, tmp_path):
+        """The blocking ``wolves cluster`` body end to end, in-process:
+        spawn real workers + gateway, serve a job, survive a worker
+        SIGKILL (supervised restart), then stop via the test harness's
+        stand-in for SIGTERM."""
+        import time
+
+        from repro.server.cluster import run_cluster
+
+        stop = threading.Event()
+        outcome = {}
+
+        def body():
+            outcome["rc"] = run_cluster(
+                1, str(tmp_path / "shards"), stop_event=stop,
+                on_ready=lambda handle:
+                    outcome.setdefault("handle", handle))
+
+        thread = threading.Thread(target=body, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 60
+            while "handle" not in outcome:
+                assert time.monotonic() < deadline, "never came ready"
+                time.sleep(0.05)
+            handle = outcome["handle"]
+            client = GatewayClient(handle.port)
+            assert client.submit(manifest(seed=900)).state == "done"
+            handle.kill_worker(0)
+            while handle.stats["restarts"] < 1:
+                assert time.monotonic() < deadline, "never restarted"
+                time.sleep(0.05)
+            handle.wait_healthy(timeout_s=60)
+            assert client.submit(manifest(seed=901)).state == "done"
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert outcome["rc"] == 0
+
+
+class TestGatewayAdmission:
+    def test_bearer_auth_rejects_missing_and_unknown_tokens(
+            self, cluster_factory):
+        cluster = cluster_factory(1, mode="thread",
+                                  tokens={"good-token": "alice"})
+        anonymous = GatewayClient(cluster.port)
+        with pytest.raises(UnauthorizedError):
+            anonymous.stats()
+        intruder = GatewayClient(cluster.port, token="wrong")
+        with pytest.raises(UnauthorizedError):
+            intruder.submit(manifest(seed=4))
+        alice = GatewayClient(cluster.port, token="good-token")
+        result = alice.submit(manifest(seed=4))
+        assert result.state == "done"
+        # /healthz stays open: liveness probes don't carry credentials
+        assert anonymous.health()["workers"]
+
+    def test_quota_bounds_inflight_jobs_per_client(
+            self, cluster_factory):
+        gate = threading.Event()
+        cluster = cluster_factory(
+            1, mode="thread", quota_inflight=2,
+            daemon_kwargs={"_gate": gate, "parallel_jobs": 1})
+        try:
+            client = GatewayClient(cluster.port)
+            held = [client.submit(manifest(seed=seed), wait=False)
+                    for seed in (10, 11)]
+            with pytest.raises(QuotaExceededError) as excinfo:
+                client.submit(manifest(seed=12), wait=False)
+            assert excinfo.value.retry_after is not None
+        finally:
+            gate.set()
+        # completion frees quota (the refresh path sees terminal jobs)
+        for accepted in held:
+            client.wait(accepted.job_id, timeout=60)
+        result = client.submit(manifest(seed=12))
+        assert result.state == "done"
+
+    def test_unreachable_worker_yields_typed_503(self):
+        """A gateway whose only worker is a dead port answers the
+        typed worker_unavailable (with a retry hint) once the re-route
+        window closes — not a hang, not a raw socket error."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()  # nothing listens there now
+        gateway = start_gateway_in_thread(
+            ClusterMap([WorkerEndpoint(shard=0, host="127.0.0.1",
+                                       port=dead_port)]),
+            worker_wait_s=0.5, health_interval=30.0)
+        try:
+            client = GatewayClient(gateway.port)
+            with pytest.raises(WorkerUnavailableError) as excinfo:
+                client.submit(manifest(seed=5))
+            assert excinfo.value.retry_after is not None
+        finally:
+            gateway.stop()
+
+    def test_draining_gateway_rejects_new_submissions(
+            self, cluster_factory):
+        cluster = cluster_factory(1, mode="thread")
+        client = GatewayClient(cluster.port)
+        before = client.submit(manifest(seed=6))
+        assert before.state == "done"
+        cluster.drain()
+        from repro.errors import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.submit(manifest(seed=7))
+        assert excinfo.value.code == "draining"
+        # reads still work while draining
+        assert client.records(before.job_id).records == before.records

@@ -14,10 +14,18 @@ contract:
   equal to a direct in-process sweep, and replays them to reconnecting
   clients.
 
+The cluster battery extends the same contract up one more layer: a
+SIGKILLed *worker* behind the gateway is restarted by the supervisor,
+the gateway re-routes mid-stream, and the client still receives exactly
+one complete stream while every shard database stays partial-row free.
+
 These tests run real subprocesses and multi-second corpora, so they are
 marked ``slow`` and excluded from tier-1 (run them with ``pytest -m
 slow``).
 """
+
+import threading
+import time
 
 import pytest
 
@@ -140,3 +148,69 @@ class TestKillRestartSoak:
         assert_no_partial_jobs(
             db, {job_id: truths[op]
                  for job_id, op in submitted.items()})
+
+
+class TestClusterKillWorkerSoak:
+    """The cluster-grade extension: SIGKILL a *worker* (not the whole
+    deployment) mid-job, three cycles, while clients keep talking to
+    the gateway.  The supervisor must restart the shard's worker, the
+    gateway must re-route mid-stream, and exactly-once must hold: every
+    stream completes bit-identical to a direct sweep, and no shard
+    database ever holds a partial record stream."""
+
+    CYCLES = 3
+
+    def test_sigkill_random_worker_mid_job_three_cycles(
+            self, cluster_factory, tmp_path):
+        import random
+
+        from repro.resilience.faults import ENV_FAULTS
+        from repro.server import GatewayClient
+        from repro.server.cluster import shard_db_path, shard_of
+
+        rng = random.Random(91)
+        workers = 2
+        db_dir = str(tmp_path / "shards")
+        # stretch every job so the SIGKILL reliably lands mid-stream
+        cluster = cluster_factory(
+            workers, mode="process", db_dir=db_dir, restart=True,
+            worker_env={ENV_FAULTS:
+                        "worker.shard:slow:duration=0.35"})
+        client = GatewayClient(cluster.port)
+        truths = {}
+        for cycle in range(self.CYCLES):
+            manifest = JobManifest(op="analyze", corpus=CorpusSpec(
+                seed=600 + cycle, count=10, min_size=12, max_size=20))
+            target = shard_of(manifest.fingerprint(), workers)
+            outcome = {}
+
+            def run(manifest=manifest, outcome=outcome):
+                outcome["result"] = client.submit(manifest)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            time.sleep(0.8 + rng.random() * 0.5)  # let it get going
+            cluster.kill_worker(target)
+            thread.join(timeout=180)
+            assert not thread.is_alive(), (
+                f"cycle {cycle}: gateway submit hung after the kill")
+            result = outcome["result"]
+            assert result.state == "done", (cycle, result.error)
+            truth = direct_records(manifest)
+            assert result.records == truth, (
+                f"cycle {cycle}: stream diverged across the kill")
+            truths[result.job_id] = truth
+            # crash contract on every shard after every kill
+            for shard in range(workers):
+                assert_no_partial_jobs(shard_db_path(db_dir, shard))
+            cluster.wait_healthy(timeout_s=60)
+
+        assert cluster.stats["restarts"] >= self.CYCLES
+        # replays through the (re-routed) gateway stay exactly-once
+        for job_id, truth in truths.items():
+            replay = client.records(job_id)
+            assert replay.state == "done"
+            assert replay.records == truth
+        gateway_stats = client.stats()["gateway"]
+        assert gateway_stats["rerouted"] >= 1, (
+            "the kills never exercised the mid-stream re-route path")
