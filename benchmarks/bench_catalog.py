@@ -1,0 +1,297 @@
+"""Catalog report queries vs unpickle-and-refold-everything.
+
+The tentpole claim of the queryable analysis catalog: "which views
+regressed since <t>" on a populated shard is **one indexed scan** over
+``catalog_views`` — not a sweep that unpickles every stored record
+blob and refolds verdict transitions in Python.  Before the catalog,
+the sweep was the only way to answer, and it is paid per answer: each
+``wolves report`` invocation is a fresh process, so nothing amortizes.
+
+Two phases over the same synthesized job log (N finished jobs, each
+streaming analysis/correction/audit records over a shared view pool so
+verdict transitions — and therefore regressions — actually occur):
+
+* ``catalog`` — a read-only :class:`AnalysisCatalog` answers Q
+  ``regressions(since=<t>)`` queries from the summary tables,
+  per-query latency recorded;
+* ``fold`` — each answer does what the pre-catalog code had to do:
+  read every ``server_jobs`` row, unpickle every record blob from
+  ``server_job_records``, replay the verdict-transition fold, then
+  filter for regressions.
+
+The driver asserts both phases report the **same regression set and
+the same census totals** (the differential battery pins the fold
+itself), then gates ``speedup = fold p50 / catalog p50``
+(``--min-speedup``, default 10 — the observed figure is orders of
+magnitude higher).
+
+Runs two ways::
+
+    python -m pytest -q -s benchmarks/bench_catalog.py   # small E2E
+    python benchmarks/bench_catalog.py [--quick|--full]  # the gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import random
+import tempfile
+import time
+from statistics import median
+from typing import Dict, List, Tuple
+
+import _bootstrap
+from repro.core.soundness import ValidationReport
+from repro.persistence.catalog import (
+    VERDICT_RANK,
+    AnalysisCatalog,
+    elapsed_s,
+    verdict_of,
+)
+from repro.persistence.db import connect
+from repro.repository.corpus import CorpusSpec
+from repro.server.joblog import JobLog
+from repro.server.protocol import JobManifest
+from repro.service.results import (
+    CorrectionOutcome,
+    LineageAudit,
+    ViewAnalysis,
+)
+
+SEED = 20090931
+WORKFLOWS = 24
+FAMILIES = 4
+QUICK_JOBS, QUICK_QUERIES = 400, 64
+FULL_JOBS, FULL_QUERIES = 2000, 128
+SINCE = "2000-01-01T00:00:00Z"  # before every run: all regressions count
+
+
+def synthesize_record(rng: random.Random):
+    workflow = f"wf-{rng.randrange(WORKFLOWS)}"
+    family = f"fam-{rng.randrange(FAMILIES)}"
+    scenario = rng.choice(("motif", "layered"))
+    kind = rng.randrange(3)
+    if kind == 0:
+        well_formed = rng.random() < 0.8
+        sound = well_formed and rng.random() < 0.6
+        return ViewAnalysis(
+            entry_index=0, workflow=workflow, family=family,
+            shape=scenario, scenario=scenario, tasks=6, composites=2,
+            report=ValidationReport(
+                family, well_formed,
+                None if well_formed else ["t1", "t2"],
+                {} if sound else {"label": ("t1", "t2")}))
+    outcome = rng.choice(("corrected", "already_sound", "uncorrectable"))
+    if kind == 1:
+        parts = rng.randrange(4) if outcome == "corrected" else 0
+        return CorrectionOutcome(
+            entry_index=0, workflow=workflow, family=family,
+            scenario=scenario, outcome=outcome, composites_before=2,
+            composites_after=2 + parts,
+            splits=((("c", parts, "weak"),) if parts else ()))
+    queries = rng.randrange(32)
+    return LineageAudit(
+        entry_index=0, workflow=workflow, family=family,
+        scenario=scenario, outcome=outcome, run_id="r",
+        queries=queries, divergent_queries=rng.randrange(queries + 1),
+        precision=1.0, recall=1.0)
+
+
+def populate(path: str, jobs: int) -> Dict[str, object]:
+    """N finished jobs through the real write-behind path."""
+    rng = random.Random(SEED)
+    manifest = JobManifest(op="analyze", corpus=CorpusSpec(
+        seed=SEED, count=2, min_size=8, max_size=12))
+    log = JobLog(path)
+    total_records = 0
+    started = time.perf_counter()
+    try:
+        for index in range(jobs):
+            records = [synthesize_record(rng)
+                       for _ in range(rng.randrange(3, 9))]
+            total_records += len(records)
+            job_id = f"job-{index}"
+            log.record_submit(job_id, manifest)
+            log.record_finish(job_id, "done", records)
+    finally:
+        log.close()
+    return {"jobs": jobs, "records": total_records,
+            "ingest_s": time.perf_counter() - started,
+            "db_bytes": os.path.getsize(path)}
+
+
+# -- the two answer paths -----------------------------------------------------
+
+
+def fold_from_records(conn) -> Tuple[Dict, Dict]:
+    """The pre-catalog sweep: unpickle + refold everything."""
+    job_rows = conn.execute(
+        "SELECT job_id, submitted_at, finished_at FROM server_jobs "
+        "WHERE finished_at IS NOT NULL ORDER BY rowid").fetchall()
+    views: Dict[Tuple[str, str], Dict] = {}
+    census: Dict[str, Dict[str, int]] = {}
+    for job_id, submitted_at, finished_at in job_rows:
+        elapsed_s(submitted_at, finished_at)  # the latency fold
+        blobs = conn.execute(
+            "SELECT record FROM server_job_records WHERE job_id = ? "
+            "ORDER BY seq", (job_id,)).fetchall()
+        for (blob,) in blobs:
+            record = pickle.loads(blob)
+            verdict = verdict_of(record)
+            if verdict is None:
+                continue
+            key = (record.workflow, record.family)
+            view = views.get(key)
+            if view is None:
+                views[key] = {"verdict": verdict, "regressed": 0,
+                              "changed_at": None}
+            elif verdict != view["verdict"]:
+                view["regressed"] = int(
+                    VERDICT_RANK[verdict] > VERDICT_RANK[view["verdict"]])
+                view["changed_at"] = finished_at
+                view["verdict"] = verdict
+            slot = census.setdefault(str(record.scenario), {
+                "views": 0, "divergent_queries": 0})
+            slot["views"] += 1
+            slot["divergent_queries"] += int(
+                getattr(record, "divergent_queries", 0) or 0)
+    return views, census
+
+
+def regression_set_from_fold(views: Dict, since: str) -> frozenset:
+    return frozenset(key for key, view in views.items()
+                     if view["regressed"]
+                     and view["changed_at"] is not None
+                     and view["changed_at"] >= since)
+
+
+def phase_catalog(path: str, queries: int) -> Dict[str, object]:
+    conn = connect(path, readonly=True)
+    catalog = AnalysisCatalog(conn)
+    latencies: List[float] = []
+    answer: frozenset = frozenset()
+    for _ in range(queries):
+        started = time.perf_counter()
+        rows = catalog.regressions(since=SINCE)
+        latencies.append(time.perf_counter() - started)
+        answer = frozenset((row["workflow"], row["family"])
+                           for row in rows)
+    census = catalog.census()
+    conn.close()
+    return {"p50_s": median(latencies), "total_s": sum(latencies),
+            "regressions": sorted(answer),
+            "census_views": sum(c["views"] for c in census.values()),
+            "census_divergent": sum(c["divergent_queries"]
+                                    for c in census.values())}
+
+
+def phase_fold(path: str, queries: int,
+               sweeps: int) -> Dict[str, object]:
+    """Every answer pays a full sweep; we *measure* ``sweeps`` of them
+    (they are identical — the median stands in for all Q)."""
+    conn = connect(path, readonly=True)
+    latencies: List[float] = []
+    views: Dict = {}
+    census: Dict = {}
+    for _ in range(sweeps):
+        started = time.perf_counter()
+        views, census = fold_from_records(conn)
+        regression_set_from_fold(views, SINCE)
+        latencies.append(time.perf_counter() - started)
+    conn.close()
+    p50 = median(latencies)
+    return {"p50_s": p50, "total_s": p50 * queries, "sweeps": sweeps,
+            "regressions": sorted(regression_set_from_fold(views, SINCE)),
+            "census_views": sum(c["views"] for c in census.values()),
+            "census_divergent": sum(c["divergent_queries"]
+                                    for c in census.values())}
+
+
+# -- the pytest-visible small end-to-end --------------------------------------
+
+
+def test_small_log_catalog_equals_fold():
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "small.db")
+        populate(path, 40)
+        catalog = phase_catalog(path, 8)
+        fold = phase_fold(path, 8, sweeps=2)
+        assert catalog["regressions"] == fold["regressions"]
+        assert catalog["regressions"]  # the pool is small: some worsen
+        assert catalog["census_views"] == fold["census_views"]
+        assert catalog["census_divergent"] == fold["census_divergent"]
+
+
+# -- the gated sweep ----------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument("--out", default="BENCH_catalog.json")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (
+        FULL_JOBS if args.full else QUICK_JOBS)
+    queries = args.queries if args.queries is not None else (
+        FULL_QUERIES if args.full else QUICK_QUERIES)
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "bench.db")
+        ingest = populate(path, jobs)
+        catalog = phase_catalog(path, queries)
+        fold = phase_fold(path, queries, sweeps=min(queries, 8))
+
+    if catalog["regressions"] != fold["regressions"]:
+        print("FAIL: catalog and fold disagree on the regression set")
+        return 1
+    if (catalog["census_views"] != fold["census_views"]
+            or catalog["census_divergent"] != fold["census_divergent"]):
+        print("FAIL: catalog and fold disagree on the census totals")
+        return 1
+
+    speedup = fold["p50_s"] / max(catalog["p50_s"], 1e-9)
+    payload = {
+        "benchmark": "catalog",
+        "workload": (f"{jobs} finished jobs ({ingest['records']} "
+                     f"records, {WORKFLOWS * FAMILIES}-view pool); "
+                     f"{queries} 'regressions since <t>' answers: "
+                     f"catalog_views indexed scan vs per-answer "
+                     f"unpickle-and-refold sweep"),
+        "jobs": jobs,
+        "queries": queries,
+        "regressions": len(catalog["regressions"]),
+        "ingest": ingest,
+        "catalog": {key: catalog[key]
+                    for key in ("p50_s", "total_s", "census_views",
+                                "census_divergent")},
+        "fold": {key: fold[key]
+                 for key in ("p50_s", "total_s", "sweeps",
+                             "census_views", "census_divergent")},
+        "speedup": speedup,
+    }
+    out = _bootstrap.resolve_out(args.out)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"catalog p50 {catalog['p50_s'] * 1e3:.3f} ms, "
+          f"fold p50 {fold['p50_s'] * 1e3:.1f} ms "
+          f"-> speedup {speedup:.1f}x "
+          f"({len(catalog['regressions'])} regressions agree)")
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x under the "
+              f"{args.min_speedup:.0f}x gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    _bootstrap.ensure_repro_importable()
+    raise SystemExit(main())

@@ -119,6 +119,17 @@ BENCHES = [
         quick_argv=["--quick"],
     ),
     Bench(
+        name="catalog",
+        module="bench_catalog",
+        out="BENCH_catalog.json",
+        metric=lambda payload: payload["speedup"],
+        metric_label="catalog regressions scan vs per-answer "
+                     "unpickle-and-refold sweep, p50",
+        min_speedup=10.0,
+        quick_argv=["--quick"],
+        full_argv=["--full"],
+    ),
+    Bench(
         name="cluster",
         module="bench_cluster",
         out="BENCH_cluster.json",

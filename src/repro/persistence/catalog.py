@@ -1,0 +1,593 @@
+"""The queryable analysis catalog over the durable store.
+
+Durable analysis records used to be write-only: the job log stored every
+record stream, but answering "which views regressed since yesterday"
+meant unpickling and re-folding all of them.  Following the
+materialized-listing + FTS pattern (Paper-Scanner) and LogBase's
+index-over-log design, this module maintains **summary tables fed
+write-behind from the existing transactions** — the catalog commits or
+rolls back atomically with the state it summarizes:
+
+* :func:`apply_job_finish` runs inside the job log's terminal-state
+  transaction (:meth:`repro.server.joblog.JobLog.record_finish` /
+  ``record_state``): it folds the job's record stream into
+  ``catalog_views`` (per-view verdict summaries + regression flags),
+  ``catalog_census`` (the per-scenario divergent-query census),
+  ``catalog_jobs`` / ``catalog_latency`` (job listing + log2-bucketed
+  latency histogram) and ``catalog_text`` (the search corpus);
+* :func:`apply_run` runs inside the store's ``add_run`` transaction and
+  maintains the per-task execution census;
+* :func:`backfill` rebuilds everything from the raw log rows — the
+  ``wolves db backfill --catalog`` migration for pre-v3 stores (it also
+  rebuilds the FTS mirror, healing an index that went stale while the
+  database was served by an FTS5-less build).
+
+Every column is a **deterministic fold** over the raw rows, so
+``catalog == recompute-from-records`` is a checkable property (the
+differential battery pins it, including under concurrent writers — all
+writes are single-row upserts inside ``BEGIN IMMEDIATE`` transactions,
+so folds from distinct connections serialize and commute).
+
+Reads never touch record dataclasses or runs: :class:`AnalysisCatalog`
+answers from indexed scans on a read-only connection — a COLD store
+stays cold (the zero-hydration tests assert this).  Search prefers the
+``catalog_fts`` FTS5 mirror and falls back to a LIKE scan over
+``catalog_text`` when the SQLite build lacks FTS5 (or ``WOLVES_NO_FTS``
+is set); the plain table is always the source of truth, so both paths
+agree on membership.
+
+Verdicts rank ``sound < unsound < ill_formed``; a view's latest verdict
+*worsening* sets ``regressed = 1`` and stamps ``verdict_changed_at``,
+making "regressions since <t>" one indexed range scan.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+import sqlite3
+from datetime import datetime, timezone
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PersistenceError
+from repro.persistence.db import connect, transaction
+from repro.persistence.schema import fts_available
+
+#: verdict rank order; a transition to a higher rank is a regression
+VERDICTS = ("sound", "unsound", "ill_formed")
+VERDICT_RANK = {verdict: rank for rank, verdict in enumerate(VERDICTS)}
+
+#: correction-stage outcome tags (mirrors repro.service.results; the
+#: catalog duck-types records rather than importing the service layer)
+_CORRECTED = "corrected"
+_UNCORRECTABLE = "uncorrectable"
+
+#: summed (vs replaced) catalog_views columns when shards merge
+_VIEW_COUNTERS = ("sightings", "corrections", "uncorrectable",
+                  "parts_added", "queries", "divergent_queries")
+
+_CENSUS_COUNTERS = ("views", "sound", "unsound", "ill_formed",
+                    "corrected", "uncorrectable", "parts_added",
+                    "queries", "divergent_queries")
+
+#: every plain catalog table, in backfill-wipe order
+CATALOG_TABLES = ("catalog_views", "catalog_jobs", "catalog_latency",
+                  "catalog_census", "catalog_tasks", "catalog_text")
+
+
+def utc_now() -> str:
+    """Sortable second-resolution UTC timestamps, the job-log format."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _parse_ts(text: str) -> Optional[datetime]:
+    try:
+        return datetime.strptime(text, "%Y-%m-%dT%H:%M:%SZ")
+    except (TypeError, ValueError):
+        return None
+
+
+def elapsed_s(started_at: str, finished_at: str) -> float:
+    """``finished - started`` in seconds; 0.0 when either timestamp is
+    unparseable or the clock stepped backwards."""
+    started, finished = _parse_ts(started_at), _parse_ts(finished_at)
+    if started is None or finished is None:
+        return 0.0
+    return max(0.0, (finished - started).total_seconds())
+
+
+# -- the deterministic fold ----------------------------------------------------
+
+
+def verdict_of(record: Any) -> Optional[str]:
+    """The verdict a record pins on its view, or ``None`` for records
+    that are not view-shaped (store-audit lineage rows, foreign types).
+
+    Validate-stage records carry a report; correction/audit-stage
+    records carry the correction outcome (``corrected`` means the
+    validator found the view unsound, ``uncorrectable`` means
+    ill-formed, anything else sound).
+    """
+    if not hasattr(record, "workflow") or not hasattr(record, "family"):
+        return None
+    report = getattr(record, "report", None)
+    if report is not None:
+        if not report.well_formed:
+            return "ill_formed"
+        return "sound" if report.sound else "unsound"
+    outcome = getattr(record, "outcome", None)
+    if outcome is None:
+        return None
+    if outcome == _UNCORRECTABLE:
+        return "ill_formed"
+    if outcome == _CORRECTED:
+        return "unsound"
+    return "sound"
+
+
+def latency_bucket(latency_s: float) -> int:
+    """The log2 bucket a latency falls in: bucket ``b`` covers
+    ``(2**(b-1), 2**b]`` seconds, bucket 0 everything up to 1s."""
+    if latency_s <= 0:
+        return 0
+    mantissa, exponent = math.frexp(latency_s)
+    # an exact power of two sits at the top of the bucket below
+    return max(0, exponent - 1 if mantissa == 0.5 else exponent)
+
+
+def bucket_upper_s(bucket: int) -> float:
+    """The bucket's inclusive upper bound (the percentile estimate)."""
+    return float(2 ** bucket) if bucket > 0 else 1.0
+
+
+def percentiles_from_buckets(
+        buckets: Iterable[Tuple[str, int, int]],
+        quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+) -> Dict[str, Dict[str, float]]:
+    """Fold ``(op, bucket, count)`` rows into per-op percentile
+    estimates (each quantile answered by a bucket walk, upper-bound
+    biased — the histogram never under-reports a latency)."""
+    by_op: Dict[str, Dict[int, int]] = {}
+    for op, bucket, count in buckets:
+        slot = by_op.setdefault(op, {})
+        slot[bucket] = slot.get(bucket, 0) + count
+    out: Dict[str, Dict[str, float]] = {}
+    for op, histogram in sorted(by_op.items()):
+        total = sum(histogram.values())
+        summary: Dict[str, float] = {"count": total}
+        for quantile in quantiles:
+            rank = quantile * total
+            cumulative = 0
+            answer = bucket_upper_s(max(histogram))
+            for bucket in sorted(histogram):
+                cumulative += histogram[bucket]
+                if cumulative >= rank:
+                    answer = bucket_upper_s(bucket)
+                    break
+            summary[f"p{int(quantile * 100)}"] = answer
+        out[op] = summary
+    return out
+
+
+# -- FTS plumbing --------------------------------------------------------------
+
+
+def fts_ready(conn: sqlite3.Connection) -> bool:
+    """Whether search (and the write-behind mirror) may use FTS5 on
+    this connection: the virtual table exists and the kill switch
+    (:data:`~repro.persistence.schema.ENV_NO_FTS`) is unset."""
+    return fts_available(conn)
+
+
+def _write_text(conn: sqlite3.Connection,
+                rows: Iterable[Tuple[str, str, str]]) -> None:
+    """Upsert search rows; the FTS mirror tracks ``catalog_text`` by
+    rowid so replaced text never leaves a stale FTS entry behind."""
+    use_fts = fts_ready(conn)
+    for key, kind, text in rows:
+        conn.execute(
+            "INSERT INTO catalog_text (key, kind, text) VALUES (?, ?, ?) "
+            "ON CONFLICT(key, kind) DO UPDATE SET text = excluded.text",
+            (key, kind, text))
+        if use_fts:
+            rowid = conn.execute(
+                "SELECT rowid FROM catalog_text "
+                "WHERE key = ? AND kind = ?", (key, kind)).fetchone()[0]
+            conn.execute(
+                "INSERT OR REPLACE INTO catalog_fts "
+                "(rowid, key, kind, text) VALUES (?, ?, ?, ?)",
+                (rowid, key, kind, text))
+
+
+# -- write-behind hooks (run INSIDE the owning transactions) -------------------
+
+
+def apply_run(conn: sqlite3.Connection, run_id: str,
+              task_ids: Iterable[Any],
+              now: Optional[str] = None) -> None:
+    """Fold one recorded run into the per-task census.  Must run inside
+    the store's ``add_run`` transaction — the census can never count a
+    run that failed to commit."""
+    now = now or utc_now()
+    tasks = [str(task_id) for task_id in task_ids]
+    for task in tasks:
+        conn.execute(
+            "INSERT INTO catalog_tasks (task_id, runs, first_seen, "
+            "last_seen) VALUES (?, 1, ?, ?) "
+            "ON CONFLICT(task_id) DO UPDATE SET runs = runs + 1, "
+            "last_seen = excluded.last_seen", (task, now, now))
+    _write_text(conn, [(f"task:{task}", "task", task) for task in tasks])
+
+
+def apply_job_finish(conn: sqlite3.Connection, job_id: str, state: str,
+                     records: Sequence[Any],
+                     error: Optional[str] = None,
+                     finished_at: Optional[str] = None) -> None:
+    """Fold one job's terminal transition into the catalog.  Must run
+    inside the same transaction that writes the terminal ``server_jobs``
+    state, so a crash mid-finish leaves the catalog exactly as un-bumped
+    as the job row itself."""
+    now = finished_at or utc_now()
+    row = conn.execute(
+        "SELECT manifest, submitted_at FROM server_jobs "
+        "WHERE job_id = ?", (job_id,)).fetchone()
+    op, submitted_at = "unknown", now
+    if row is not None:
+        submitted_at = row[1]
+        try:
+            op = json.loads(row[0]).get("op") or "unknown"
+        except (TypeError, ValueError):
+            pass
+    latency_s = elapsed_s(submitted_at, now)
+    conn.execute(
+        "INSERT OR REPLACE INTO catalog_jobs (job_id, op, state, error, "
+        "submitted_at, finished_at, latency_s, records) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        (job_id, op, state, error, submitted_at, now, latency_s,
+         len(records)))
+    conn.execute(
+        "INSERT INTO catalog_latency (op, bucket, count) "
+        "VALUES (?, ?, 1) ON CONFLICT(op, bucket) "
+        "DO UPDATE SET count = count + 1",
+        (op, latency_bucket(latency_s)))
+    text_rows: List[Tuple[str, str, str]] = []
+    if error:
+        text_rows.append((f"job:{job_id}", "error", str(error)))
+    for record in records:
+        text_rows.extend(_fold_record(conn, record, job_id, now))
+    _write_text(conn, text_rows)
+
+
+def _fold_record(conn: sqlite3.Connection, record: Any, job_id: str,
+                 now: str) -> List[Tuple[str, str, str]]:
+    """Fold one streamed record into views + census; returns its search
+    rows (written in one batch by the caller)."""
+    verdict = verdict_of(record)
+    if verdict is None:
+        return []
+    workflow = str(record.workflow)
+    family = str(record.family)
+    scenario = getattr(record, "scenario", None)
+    outcome = getattr(record, "outcome", None)
+    corrected = 1 if outcome == _CORRECTED else 0
+    uncorrectable = 1 if outcome == _UNCORRECTABLE else 0
+    parts = int(getattr(record, "parts_added", 0) or 0) if corrected else 0
+    queries = int(getattr(record, "queries", 0) or 0)
+    divergent = int(getattr(record, "divergent_queries", 0) or 0)
+
+    row = conn.execute(
+        "SELECT verdict, prev_verdict, regressed, verdict_changed_at "
+        "FROM catalog_views WHERE workflow = ? AND family = ?",
+        (workflow, family)).fetchone()
+    if row is None:
+        conn.execute(
+            "INSERT INTO catalog_views (workflow, family, scenario, "
+            "verdict, prev_verdict, regressed, verdict_changed_at, "
+            "sightings, corrections, uncorrectable, parts_added, "
+            "queries, divergent_queries, first_seen, last_seen, "
+            "last_job) VALUES (?, ?, ?, ?, NULL, 0, NULL, 1, ?, ?, ?, "
+            "?, ?, ?, ?, ?)",
+            (workflow, family, scenario, verdict, corrected,
+             uncorrectable, parts, queries, divergent, now, now, job_id))
+    else:
+        current, prev, regressed, changed_at = row
+        if verdict != current:
+            prev = current
+            regressed = int(VERDICT_RANK[verdict] > VERDICT_RANK[current])
+            changed_at = now
+        conn.execute(
+            "UPDATE catalog_views SET scenario = ?, verdict = ?, "
+            "prev_verdict = ?, regressed = ?, verdict_changed_at = ?, "
+            "sightings = sightings + 1, "
+            "corrections = corrections + ?, "
+            "uncorrectable = uncorrectable + ?, "
+            "parts_added = parts_added + ?, queries = queries + ?, "
+            "divergent_queries = divergent_queries + ?, last_seen = ?, "
+            "last_job = ? WHERE workflow = ? AND family = ?",
+            (scenario, verdict, prev, regressed, changed_at, corrected,
+             uncorrectable, parts, queries, divergent, now, job_id,
+             workflow, family))
+
+    conn.execute(
+        "INSERT INTO catalog_census (scenario, views, sound, unsound, "
+        "ill_formed, corrected, uncorrectable, parts_added, queries, "
+        "divergent_queries) VALUES (?, 1, ?, ?, ?, ?, ?, ?, ?, ?) "
+        "ON CONFLICT(scenario) DO UPDATE SET "
+        "views = views + 1, sound = sound + excluded.sound, "
+        "unsound = unsound + excluded.unsound, "
+        "ill_formed = ill_formed + excluded.ill_formed, "
+        "corrected = corrected + excluded.corrected, "
+        "uncorrectable = uncorrectable + excluded.uncorrectable, "
+        "parts_added = parts_added + excluded.parts_added, "
+        "queries = queries + excluded.queries, "
+        "divergent_queries = divergent_queries "
+        "+ excluded.divergent_queries",
+        (str(scenario or "unknown"),
+         int(verdict == "sound"), int(verdict == "unsound"),
+         int(verdict == "ill_formed"), corrected, uncorrectable, parts,
+         queries, divergent))
+
+    text_rows = [(f"view:{workflow}/{family}", "view",
+                  f"{workflow} {family}")]
+    for split in getattr(record, "splits", ()) or ():
+        label, _parts, algorithm = split
+        text_rows.append((f"split:{workflow}/{family}/{label}",
+                          "composite", f"{label} {algorithm}"))
+    return text_rows
+
+
+# -- backfill ------------------------------------------------------------------
+
+
+def backfill(conn: sqlite3.Connection) -> Dict[str, int]:
+    """Rebuild every catalog table from the raw log rows, atomically.
+
+    Idempotent (wipe + re-fold), so it doubles as the pre-v3 migration
+    *and* as repair: it re-derives the fold from ``runs`` /
+    ``run_outputs`` / ``server_jobs`` / ``server_job_records`` and
+    rebuilds the FTS mirror when available.  Returns per-table row
+    counts.
+    """
+    with transaction(conn):
+        for table in CATALOG_TABLES:
+            conn.execute(f"DELETE FROM {table}")
+        if fts_ready(conn):
+            conn.execute("DELETE FROM catalog_fts")
+        for (run_id,) in conn.execute(
+                "SELECT run_id FROM runs ORDER BY position").fetchall():
+            tasks = [task for (task,) in conn.execute(
+                "SELECT task_id FROM run_outputs WHERE run_id = ? "
+                "ORDER BY position", (run_id,))]
+            apply_run(conn, run_id, tasks)
+        jobs = conn.execute(
+            "SELECT job_id, state, error, finished_at FROM server_jobs "
+            "WHERE finished_at IS NOT NULL ORDER BY rowid").fetchall()
+        for job_id, state, error, finished_at in jobs:
+            records = [pickle.loads(blob) for (blob,) in conn.execute(
+                "SELECT record FROM server_job_records "
+                "WHERE job_id = ? ORDER BY seq", (job_id,))]
+            apply_job_finish(conn, job_id, state, records, error=error,
+                             finished_at=finished_at)
+    return {table: conn.execute(
+        f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        for table in CATALOG_TABLES}
+
+
+# -- queries -------------------------------------------------------------------
+
+
+_VIEW_COLUMNS = ("workflow", "family", "scenario", "verdict",
+                 "prev_verdict", "regressed", "verdict_changed_at",
+                 "sightings", "corrections", "uncorrectable",
+                 "parts_added", "queries", "divergent_queries",
+                 "first_seen", "last_seen", "last_job")
+
+
+class AnalysisCatalog:
+    """Indexed read API over one (typically read-only) connection.
+
+    Every answer is a list/dict of primitives from the ``catalog_*``
+    tables — no record unpickling, no run hydration, so a cold store
+    stays cold.  A pre-v3 database (no catalog tables yet) answers
+    every query empty rather than raising; ``wolves db backfill
+    --catalog`` populates it.
+    """
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self.conn = conn
+
+    # -- plumbing ----------------------------------------------------------
+
+    def has_catalog(self) -> bool:
+        return self.conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE name = 'catalog_views'"
+        ).fetchone() is not None
+
+    def _rows(self, sql: str, params: tuple = ()) -> List[tuple]:
+        try:
+            return self.conn.execute(sql, params).fetchall()
+        except sqlite3.OperationalError as exc:
+            if "no such table" in str(exc):
+                return []  # pre-v3 file: an empty catalog, not an error
+            raise PersistenceError(f"catalog query failed: {exc}") from exc
+
+    @staticmethod
+    def _view_dicts(rows: List[tuple]) -> List[Dict[str, Any]]:
+        return [dict(zip(_VIEW_COLUMNS, row)) for row in rows]
+
+    # -- views -------------------------------------------------------------
+
+    def views(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-view verdict summaries, most recently seen first."""
+        sql = (f"SELECT {', '.join(_VIEW_COLUMNS)} FROM catalog_views "
+               f"ORDER BY last_seen DESC, workflow, family")
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return self._view_dicts(self._rows(sql))
+
+    def regressions(self, since: Optional[str] = None,
+                    limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Views whose latest verdict change was a worsening — one
+        indexed scan on ``(regressed, verdict_changed_at)``."""
+        sql = (f"SELECT {', '.join(_VIEW_COLUMNS)} FROM catalog_views "
+               f"WHERE regressed = 1")
+        params: tuple = ()
+        if since is not None:
+            sql += " AND verdict_changed_at >= ?"
+            params = (str(since),)
+        sql += " ORDER BY verdict_changed_at DESC, workflow, family"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return self._view_dicts(self._rows(sql, params))
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: str,
+               limit: int = 20) -> List[Dict[str, str]]:
+        """Full-text search over task/composite/view names and error
+        messages; FTS5-ranked when available, LIKE-scanned otherwise
+        (``catalog_text`` is the truth either way: FTS matches whole
+        tokens, the LIKE scan any substring)."""
+        if fts_ready(self.conn):
+            # raw first (callers may use FTS5 syntax: AND, OR, x*),
+            # then the whole query as one quoted phrase (rescues terms
+            # like "fam-2" whose hyphen is an FTS5 syntax error)
+            quoted = '"' + query.replace('"', '""') + '"'
+            for candidate in (query, quoted):
+                try:
+                    rows = self._rows(
+                        "SELECT t.key, t.kind, t.text "
+                        "FROM catalog_fts f "
+                        "JOIN catalog_text t ON t.rowid = f.rowid "
+                        "WHERE catalog_fts MATCH ? ORDER BY rank "
+                        "LIMIT ?", (candidate, int(limit)))
+                    return [{"key": key, "kind": kind, "text": text,
+                             "via": "fts"} for key, kind, text in rows]
+                except PersistenceError:
+                    continue  # un-FTS-able syntax: try the next form
+        escaped = (query.replace("\\", "\\\\").replace("%", "\\%")
+                   .replace("_", "\\_"))
+        rows = self._rows(
+            "SELECT key, kind, text FROM catalog_text "
+            "WHERE text LIKE ? ESCAPE '\\' ORDER BY kind, key LIMIT ?",
+            (f"%{escaped}%", int(limit)))
+        return [{"key": key, "kind": kind, "text": text, "via": "like"}
+                for key, kind, text in rows]
+
+    # -- jobs / latency ----------------------------------------------------
+
+    def jobs(self, limit: Optional[int] = None,
+             state: Optional[str] = None) -> List[Dict[str, Any]]:
+        sql = ("SELECT job_id, op, state, error, submitted_at, "
+               "finished_at, latency_s, records FROM catalog_jobs")
+        params: tuple = ()
+        if state is not None:
+            sql += " WHERE state = ?"
+            params = (state,)
+        sql += " ORDER BY finished_at DESC, job_id"
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        columns = ("job", "op", "state", "error", "submitted_at",
+                   "finished_at", "latency_s", "records")
+        return [dict(zip(columns, row))
+                for row in self._rows(sql, params)]
+
+    def latency_buckets(self, op: Optional[str] = None
+                        ) -> List[Tuple[str, int, int]]:
+        """Raw ``(op, bucket, count)`` histogram rows (the mergeable
+        form the gateway aggregates across shards)."""
+        sql = "SELECT op, bucket, count FROM catalog_latency"
+        params: tuple = ()
+        if op is not None:
+            sql += " WHERE op = ?"
+            params = (op,)
+        return [tuple(row) for row in self._rows(sql, params)]
+
+    def latency(self, op: Optional[str] = None
+                ) -> Dict[str, Dict[str, float]]:
+        """Per-op latency percentile estimates from the histogram."""
+        return percentiles_from_buckets(self.latency_buckets(op))
+
+    # -- census / tasks ----------------------------------------------------
+
+    def census(self) -> Dict[str, Dict[str, int]]:
+        """The divergent-query census, per scenario."""
+        rows = self._rows(
+            f"SELECT scenario, {', '.join(_CENSUS_COUNTERS)} "
+            f"FROM catalog_census ORDER BY scenario")
+        return {row[0]: dict(zip(_CENSUS_COUNTERS, row[1:]))
+                for row in rows}
+
+    def tasks(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        sql = ("SELECT task_id, runs, first_seen, last_seen "
+               "FROM catalog_tasks ORDER BY runs DESC, task_id")
+        if limit is not None:
+            sql += f" LIMIT {int(limit)}"
+        return [dict(zip(("task", "runs", "first_seen", "last_seen"),
+                         row)) for row in self._rows(sql)]
+
+    def summary(self) -> Dict[str, int]:
+        """Row counts per catalog table (the ``db stats`` payload)."""
+        return {table: (self._rows(f"SELECT COUNT(*) FROM {table}")
+                        or [(0,)])[0][0]
+                for table in CATALOG_TABLES}
+
+
+class CatalogReader(AnalysisCatalog):
+    """An :class:`AnalysisCatalog` that owns its own read-only
+    connection — the CLI / gateway convenience front door."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(connect(path, readonly=True))
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "CatalogReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# -- cross-shard merges --------------------------------------------------------
+
+
+def merge_views(rowsets: Iterable[List[Dict[str, Any]]]
+                ) -> List[Dict[str, Any]]:
+    """Merge per-shard view summaries: counters sum; verdict-shaped
+    fields follow the shard that saw the view last (timestamps are
+    lexicographically ordered, so string max == latest)."""
+    merged: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for rows in rowsets:
+        for row in rows:
+            key = (row["workflow"], row["family"])
+            current = merged.get(key)
+            if current is None:
+                merged[key] = dict(row)
+                continue
+            for counter in _VIEW_COUNTERS:
+                current[counter] += row[counter]
+            current["first_seen"] = min(current["first_seen"],
+                                        row["first_seen"])
+            if row["last_seen"] >= current["last_seen"]:
+                for field in ("scenario", "verdict", "prev_verdict",
+                              "regressed", "verdict_changed_at",
+                              "last_seen", "last_job"):
+                    current[field] = row[field]
+    return sorted(merged.values(),
+                  key=lambda row: (row["last_seen"], row["workflow"],
+                                   row["family"]), reverse=True)
+
+
+def merge_census(censuses: Iterable[Dict[str, Dict[str, int]]]
+                 ) -> Dict[str, Dict[str, int]]:
+    merged: Dict[str, Dict[str, int]] = {}
+    for census in censuses:
+        for scenario, counts in census.items():
+            slot = merged.setdefault(
+                scenario, {counter: 0 for counter in _CENSUS_COUNTERS})
+            for counter in _CENSUS_COUNTERS:
+                slot[counter] += counts.get(counter, 0)
+    return dict(sorted(merged.items()))

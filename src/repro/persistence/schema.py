@@ -40,6 +40,17 @@ DDL is ``IF NOT EXISTS``) creates the new tables and bumps the recorded
 version; v1 runs simply have no label rows until ``backfill_labels``
 (or ``wolves db backfill``) writes them.
 
+Schema version 3 adds the **analysis catalog** (``catalog_*`` tables):
+materialized per-view verdict summaries, a per-job latency histogram,
+the divergent-query census and a searchable text table, maintained
+write-behind *inside* the existing job-completion and ``add_run``
+transactions by :mod:`repro.persistence.catalog`.  Like v2, the
+migration is purely additive; pre-v3 rows are folded in by ``wolves db
+backfill --catalog``.  When the SQLite build has FTS5 (and
+``WOLVES_NO_FTS`` is unset), ``catalog_fts`` mirrors ``catalog_text``
+for ranked full-text search; without it, searches LIKE-scan
+``catalog_text`` — the plain table is always the source of truth.
+
 Payloads and params are stored as canonical JSON text; artifacts whose
 payloads cannot be represented in JSON are rejected with a
 :class:`~repro.errors.PersistenceError` at ``add_run`` time (the same
@@ -48,16 +59,28 @@ restriction the portable OPM JSON export has always had).
 
 from __future__ import annotations
 
+import os
 import sqlite3
 
 #: bump when the DDL below changes; migrations so far are additive, so
 #: ``initialize`` doubles as the migration and readers may accept any
 #: version in SUPPORTED_VERSIONS
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: versions a read-only open may encounter and still serve correctly
-#: (v1 = no label tables; every v1 table is a prefix of v2's)
-SUPPORTED_VERSIONS = (1, 2)
+#: (v1 = no label tables, v2 = no catalog tables; every older schema is
+#: a prefix of the next)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: set (to anything non-empty) to behave as if the SQLite build lacked
+#: FTS5: ``catalog_fts`` is neither created nor written, and searches
+#: fall back to LIKE scans over ``catalog_text``
+ENV_NO_FTS = "WOLVES_NO_FTS"
+
+#: the FTS5 mirror of ``catalog_text`` (rowids are kept equal); a
+#: virtual table cannot go in TABLES because the module may be missing
+FTS_TABLE = ("CREATE VIRTUAL TABLE IF NOT EXISTS catalog_fts "
+             "USING fts5(key UNINDEXED, kind UNINDEXED, text)")
 
 #: table name -> CREATE TABLE statement, in creation order
 TABLES = {
@@ -193,6 +216,86 @@ TABLES = {
             spill_bits  INTEGER NOT NULL,
             labeled_at  TEXT NOT NULL
         )""",
+    # -- v3: the analysis catalog (repro.persistence.catalog).
+    # One row per (workflow, family) ever analyzed: the latest verdict,
+    # whether the last verdict *change* was a regression (rank worsened:
+    # sound < unsound < ill_formed), and lifetime counters — every
+    # column is a deterministic fold over the job record stream, which
+    # the differential battery pins against recomputation.
+    "catalog_views": """
+        CREATE TABLE IF NOT EXISTS catalog_views (
+            workflow           TEXT NOT NULL,
+            family             TEXT NOT NULL,
+            scenario           TEXT,
+            verdict            TEXT NOT NULL,
+            prev_verdict       TEXT,
+            regressed          INTEGER NOT NULL DEFAULT 0,
+            verdict_changed_at TEXT,
+            sightings          INTEGER NOT NULL DEFAULT 0,
+            corrections        INTEGER NOT NULL DEFAULT 0,
+            uncorrectable      INTEGER NOT NULL DEFAULT 0,
+            parts_added        INTEGER NOT NULL DEFAULT 0,
+            queries            INTEGER NOT NULL DEFAULT 0,
+            divergent_queries  INTEGER NOT NULL DEFAULT 0,
+            first_seen         TEXT NOT NULL,
+            last_seen          TEXT NOT NULL,
+            last_job           TEXT,
+            PRIMARY KEY (workflow, family)
+        )""",
+    # one row per terminal job: the listing the report surfaces scan
+    # instead of unpickling server_job_records
+    "catalog_jobs": """
+        CREATE TABLE IF NOT EXISTS catalog_jobs (
+            job_id       TEXT PRIMARY KEY,
+            op           TEXT NOT NULL,
+            state        TEXT NOT NULL,
+            error        TEXT,
+            submitted_at TEXT NOT NULL,
+            finished_at  TEXT NOT NULL,
+            latency_s    REAL NOT NULL,
+            records      INTEGER NOT NULL DEFAULT 0
+        )""",
+    # t-digest-style log2 latency buckets per op: percentiles come from
+    # a bucket walk, never a scan over the jobs
+    "catalog_latency": """
+        CREATE TABLE IF NOT EXISTS catalog_latency (
+            op     TEXT NOT NULL,
+            bucket INTEGER NOT NULL,
+            count  INTEGER NOT NULL DEFAULT 0,
+            PRIMARY KEY (op, bucket)
+        )""",
+    # the divergent-query census, bucketed by scenario (the catalog's
+    # standing form of CorpusReport)
+    "catalog_census": """
+        CREATE TABLE IF NOT EXISTS catalog_census (
+            scenario          TEXT PRIMARY KEY,
+            views             INTEGER NOT NULL DEFAULT 0,
+            sound             INTEGER NOT NULL DEFAULT 0,
+            unsound           INTEGER NOT NULL DEFAULT 0,
+            ill_formed        INTEGER NOT NULL DEFAULT 0,
+            corrected         INTEGER NOT NULL DEFAULT 0,
+            uncorrectable     INTEGER NOT NULL DEFAULT 0,
+            parts_added       INTEGER NOT NULL DEFAULT 0,
+            queries           INTEGER NOT NULL DEFAULT 0,
+            divergent_queries INTEGER NOT NULL DEFAULT 0
+        )""",
+    # per-task execution census, maintained inside add_run
+    "catalog_tasks": """
+        CREATE TABLE IF NOT EXISTS catalog_tasks (
+            task_id    TEXT PRIMARY KEY,
+            runs       INTEGER NOT NULL DEFAULT 0,
+            first_seen TEXT NOT NULL,
+            last_seen  TEXT NOT NULL
+        )""",
+    # the search corpus (task/composite/view names, error messages);
+    # catalog_fts mirrors it rowid-for-rowid when FTS5 is available
+    "catalog_text": """
+        CREATE TABLE IF NOT EXISTS catalog_text (
+            key  TEXT NOT NULL,
+            kind TEXT NOT NULL,
+            text TEXT NOT NULL,
+            PRIMARY KEY (key, kind)
+        )""",
 }
 
 INDEXES = [
@@ -208,7 +311,24 @@ INDEXES = [
     "ON opm_labels(run_id, kind, node_id)",
     "CREATE INDEX IF NOT EXISTS idx_run_outputs_task "
     "ON run_outputs(task_id, artifact_id)",
+    # "which views regressed since <t>" as one indexed scan
+    "CREATE INDEX IF NOT EXISTS idx_catalog_views_regressed "
+    "ON catalog_views(regressed, verdict_changed_at)",
+    "CREATE INDEX IF NOT EXISTS idx_catalog_views_seen "
+    "ON catalog_views(last_seen)",
+    "CREATE INDEX IF NOT EXISTS idx_catalog_jobs_finished "
+    "ON catalog_jobs(finished_at)",
 ]
+
+
+def fts_available(conn: sqlite3.Connection) -> bool:
+    """Whether this ``initialize``-d database has the FTS5 mirror (the
+    build had the module and :data:`ENV_NO_FTS` was unset)."""
+    if os.environ.get(ENV_NO_FTS):
+        return False
+    return conn.execute(
+        "SELECT 1 FROM sqlite_master WHERE name = 'catalog_fts'"
+    ).fetchone() is not None
 
 
 def initialize(conn: sqlite3.Connection) -> None:
@@ -224,6 +344,11 @@ def initialize(conn: sqlite3.Connection) -> None:
             conn.execute(statement)
         for statement in INDEXES:
             conn.execute(statement)
+        if not os.environ.get(ENV_NO_FTS):
+            try:
+                conn.execute(FTS_TABLE)
+            except sqlite3.OperationalError:
+                pass  # this SQLite build lacks fts5: LIKE fallback
         conn.execute(
             "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)))

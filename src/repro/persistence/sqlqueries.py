@@ -30,6 +30,7 @@ Everything here works on a read-only connection; write-behind concerns
 from __future__ import annotations
 
 import json
+import sqlite3
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import PersistenceError, ProvenanceError
@@ -86,8 +87,8 @@ class SqlLineageQueries:
                 "SELECT r.run_id FROM runs r "
                 "JOIN run_labels l ON l.run_id = r.run_id "
                 "ORDER BY r.position")]
-        except Exception:
-            return []
+        except sqlite3.OperationalError:
+            return []  # v1 file: run_labels table absent
 
     def label_coverage(self) -> Tuple[int, int]:
         """``(labeled_runs, total_runs)`` — the ``db stats`` payload."""
@@ -95,7 +96,7 @@ class SqlLineageQueries:
         try:
             labeled = self.conn.execute(
                 "SELECT COUNT(*) FROM run_labels").fetchone()[0]
-        except Exception:
+        except sqlite3.OperationalError:
             labeled = 0  # v1 file: table absent
         return labeled, total
 

@@ -49,7 +49,7 @@ from typing import Any, FrozenSet, List, Optional, Tuple
 from repro.errors import PersistenceError, ProvenanceError
 from repro.graphs.labeling import label_provenance, spill_to_blob
 from repro.options import resolve_options
-from repro.persistence import schema
+from repro.persistence import catalog, schema
 from repro.persistence.db import journal_mode, open_checked, transaction
 from repro.persistence.sqlqueries import SqlLineageQueries
 from repro.provenance.execution import WorkflowRun
@@ -176,6 +176,9 @@ class DurableProvenanceStore(ProvenanceStore):
         with transaction(self._conn):
             self._write_rows(run.run_id, rows)
             self._write_labels(run.run_id, labels)
+            catalog.apply_run(self._conn, run.run_id,
+                              [task for task, _artifact, _pos
+                               in rows["outputs"]])
             if self._crash_before_commit:
                 os._exit(3)
         # disk is committed; mirror into the in-memory indexes (validated

@@ -42,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional
@@ -170,6 +171,7 @@ class AnalysisDaemon:
                       "done": 0, "failed": 0, "cancelled": 0,
                       "resumed": 0, "timed_out": 0, "shed": 0,
                       "quarantined": 0, "fenced": 0}
+        self._started_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -179,6 +181,7 @@ class AnalysisDaemon:
         :attr:`port`)."""
         self._loop = asyncio.get_running_loop()
         self._cond = asyncio.Condition()
+        self._started_at = time.monotonic()
         if self.db_path is not None:
             self._joblog = await self._io_call(JobLog, self.db_path)
             await self._resume()
@@ -842,6 +845,9 @@ class AnalysisDaemon:
                        "queued": len(self._queue),
                        "running": len(self._running),
                        "parked": len(self._quarantine.parked),
+                       "uptime_s": (time.monotonic() - self._started_at
+                                    if self._started_at is not None
+                                    else 0.0),
                        **self.stats})
         else:
             raise ServerError(f"unknown frame type {kind!r}",

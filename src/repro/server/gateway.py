@@ -52,6 +52,16 @@ Endpoints::
     POST /v1/jobs/<id>/cancel     cooperative cancel
     GET  /v1/replica/jobs         durable job rows via replica reads
     GET  /v1/replica/stats        per-shard durable state counts
+    GET  /v1/report/views         per-view verdict summaries, merged
+    GET  /v1/report/regressions   views whose verdict worsened
+                                  (``?since=<iso-utc>``)
+    GET  /v1/report/search        FTS/LIKE search (``?q=<query>``)
+    GET  /v1/report/latency       per-op latency percentiles
+    GET  /v1/report/census        per-scenario analysis census
+
+The ``/v1/report/*`` family answers from the shard replicas' analysis
+catalog (:mod:`repro.persistence.catalog`) — indexed scans on read-only
+connections, merged across shards, zero worker traffic.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import math
 import os
 import random
 import socket
@@ -67,6 +78,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlencode
 
 from repro.errors import (
     JobTimeoutError,
@@ -122,6 +134,10 @@ WORKER_RETRY = RetryPolicy(max_attempts=64, base_delay=0.05,
                            max_delay=0.5,
                            retryable=(ConnectionError, OSError))
 
+#: how much longer than a job's own deadline a waited submit keeps its
+#: socket open — covers gateway scheduling + the response's travel time
+CLIENT_WAIT_GRACE_S = 5.0
+
 
 @dataclass
 class _Request:
@@ -132,6 +148,12 @@ class _Request:
     headers: Dict[str, str]
     body: bytes
     request_id: str = ""
+    params: Dict[str, List[str]] = field(default_factory=dict)
+
+    def param(self, name: str, default: Optional[str] = None
+              ) -> Optional[str]:
+        values = self.params.get(name)
+        return values[0] if values else default
 
     def json(self) -> Dict[str, Any]:
         if not self.body:
@@ -675,10 +697,25 @@ class ClusterGateway:
                 workers[str(endpoint.shard)] = frame
             except (ServerError, ReproError):
                 workers[str(endpoint.shard)] = None
+        shards: Dict[str, Optional[Dict[str, Any]]] = {}
+        for shard, frame in workers.items():
+            if frame is None:
+                shards[shard] = None
+                continue
+            submitted = frame.get("submitted", 0)
+            uptime_s = frame.get("uptime_s") or 0.0
+            shards[shard] = {
+                "queue_depth": frame.get("queued", 0),
+                "running": frame.get("running", 0),
+                "coalesce_hit_rate": (frame.get("coalesced", 0)
+                                      / submitted if submitted else 0.0),
+                "jobs_per_s": (frame.get("done", 0) / uptime_s
+                               if uptime_s > 0 else 0.0),
+            }
         return {"gateway": {**self.stats, "draining": self.draining,
                             "num_shards": self.map.num_shards,
                             "quota_inflight": self.quota_inflight},
-                "workers": workers}
+                "workers": workers, "shards": shards}
 
     def _healthz(self) -> Dict[str, Any]:
         return {"draining": self.draining,
@@ -755,6 +792,75 @@ class ClusterGateway:
             return shards
 
         return {"shards": await self._replica_read(read)}
+
+    async def _handle_report(self, kind: str,
+                             request: _Request) -> Dict[str, Any]:
+        """``/v1/report/*``: the analysis catalog, aggregated across
+        every shard replica — indexed scans on read-only connections,
+        no run hydration, no worker traffic."""
+        from repro.persistence import catalog as _catalog
+        from repro.persistence.db import open_replica
+
+        if kind not in ("views", "regressions", "search", "latency",
+                        "census"):
+            raise ServerError(f"no report named {kind!r}",
+                              code="not_found")
+        since = request.param("since")
+        query = request.param("q")
+        try:
+            limit = int(request.param("limit", "50"))
+        except ValueError as exc:
+            raise ServerError("limit must be an integer",
+                              code="bad_request") from exc
+        if kind == "search" and not query:
+            raise ServerError("search needs ?q=<query>",
+                              code="bad_request")
+        dbs = self._replica_dbs()
+
+        def ask(cat: "_catalog.AnalysisCatalog") -> Any:
+            if kind == "views":
+                return cat.views(limit)
+            if kind == "regressions":
+                return cat.regressions(since, limit)
+            if kind == "search":
+                return cat.search(query, limit)
+            if kind == "latency":
+                return cat.latency_buckets()
+            return cat.census()
+
+        def read() -> Dict[str, Any]:
+            per_shard = []
+            for shard, db in dbs:
+                conn = open_replica(db)
+                try:
+                    per_shard.append(
+                        (shard, ask(_catalog.AnalysisCatalog(conn))))
+                finally:
+                    conn.close()
+            if kind in ("views", "regressions"):
+                merged = _catalog.merge_views(
+                    rows for _shard, rows in per_shard)
+                return {"report": kind, "rows": merged[:limit]}
+            if kind == "search":
+                hits, seen = [], set()
+                for shard, rows in per_shard:
+                    for row in rows:
+                        key = (row["key"], row["kind"])
+                        if key not in seen:
+                            seen.add(key)
+                            hits.append({**row, "shard": shard})
+                return {"report": kind, "rows": hits[:limit]}
+            if kind == "latency":
+                buckets = [bucket for _shard, rows in per_shard
+                           for bucket in rows]
+                return {"report": kind,
+                        "ops": _catalog.percentiles_from_buckets(
+                            buckets)}
+            return {"report": kind,
+                    "census": _catalog.merge_census(
+                        census for _shard, census in per_shard)}
+
+        return await self._replica_read(read)
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -833,7 +939,11 @@ class ClusterGateway:
                 f"X-Request-Id: {request.request_id}",
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"]
         if retry_after is not None:
-            head.append(f"Retry-After: {max(1, round(retry_after))}")
+            # the header is whole seconds (RFC 9110) and must never
+            # under-shoot the JSON body's float hint, so ceil — a
+            # 0.3s hint reads 1 in the header and 0.3 in the body on
+            # both transports
+            head.append(f"Retry-After: {max(1, math.ceil(retry_after))}")
         try:
             writer.write("\r\n".join(head).encode("latin-1")
                          + b"\r\n\r\n" + body)
@@ -843,8 +953,10 @@ class ClusterGateway:
         return keep_alive
 
     async def _route(self, request: _Request) -> Dict[str, Any]:
-        method, path = request.method, request.path.rstrip("/")
-        path = path or "/"
+        method = request.method
+        path, _sep, query = request.path.partition("?")
+        request.params = parse_qs(query) if query else {}
+        path = path.rstrip("/") or "/"
         if path == "/healthz":
             if method != "GET":
                 raise ServerError("method not allowed",
@@ -862,6 +974,9 @@ class ClusterGateway:
             return await self._handle_replica_jobs()
         if path == "/v1/replica/stats" and method == "GET":
             return await self._handle_replica_stats()
+        if path.startswith("/v1/report/") and method == "GET":
+            return await self._handle_report(
+                path[len("/v1/report/"):], request)
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
             if rest.endswith("/records") and method == "GET":
@@ -1025,6 +1140,13 @@ class GatewayClient:
                          headers=headers)
             response = conn.getresponse()
             raw = response.read()
+        except TimeoutError as exc:  # socket.timeout since 3.10
+            # a gateway that died (or stalled) mid-wait must not hang
+            # the caller — surface the same typed error the server's
+            # own deadline path uses
+            raise JobTimeoutError(
+                f"no gateway response on {method} {path} within "
+                f"{timeout}s") from exc
         finally:
             conn.close()
         try:
@@ -1049,19 +1171,32 @@ class GatewayClient:
         """Submit through the gateway; with ``wait`` the call blocks
         until the terminal state and decodes the full record stream."""
         started = time.perf_counter()
+        # a waited submit legitimately blocks for the whole job, but
+        # never forever: the job's own deadline (plus grace for the
+        # response to travel) bounds the socket, so a gateway that dies
+        # mid-wait surfaces as JobTimeoutError instead of a hang
+        usable_deadline = (isinstance(deadline_s, (int, float))
+                           and not isinstance(deadline_s, bool)
+                           and deadline_s > 0)
+        if wait and usable_deadline:
+            timeout = float(deadline_s) + CLIENT_WAIT_GRACE_S
+        else:
+            # bad deadline values still go to the gateway: its typed
+            # 400 is the contract, not a client-side TypeError
+            timeout = self.timeout
         payload = self._request(
             "POST", "/v1/jobs",
             body={"manifest": manifest.to_dict(), "wait": wait,
                   "deadline_s": deadline_s},
-            # a waited submit legitimately blocks for the whole job
-            timeout=None if wait else self.timeout)
+            timeout=timeout)
         return self._result(payload, started)
 
-    def records(self, job_id: str) -> GatewayJobResult:
+    def records(self, job_id: str,
+                timeout_s: Optional[float] = None) -> GatewayJobResult:
         """Replay (or follow to completion) a job's record stream."""
         started = time.perf_counter()
         payload = self._request("GET", f"/v1/jobs/{job_id}/records",
-                                timeout=None)
+                                timeout=timeout_s or self.timeout)
         return self._result(payload, started)
 
     @staticmethod
@@ -1086,6 +1221,15 @@ class GatewayClient:
     def cancel(self, job_id: str) -> str:
         payload = self._request("POST", f"/v1/jobs/{job_id}/cancel")
         return payload["state"]
+
+    def report(self, kind: str, **params: Any) -> Dict[str, Any]:
+        """One ``/v1/report/<kind>`` query (``views`` / ``regressions``
+        / ``search`` / ``latency`` / ``census``); keyword arguments
+        become the query string (``q=``, ``since=``, ``limit=``)."""
+        query = urlencode({key: value for key, value in params.items()
+                           if value is not None})
+        return self._request(
+            "GET", f"/v1/report/{kind}" + (f"?{query}" if query else ""))
 
     def replica_jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/replica/jobs")["jobs"]

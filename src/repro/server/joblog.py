@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import StaleJobLogError
+from repro.persistence import catalog
 from repro.persistence.db import open_checked
 from repro.persistence.db import transaction as _transaction
 from repro.resilience import faults
@@ -136,6 +137,10 @@ class JobLog:
                 "UPDATE server_jobs SET state = ?, error = ?, "
                 "finished_at = ? WHERE job_id = ?",
                 (state, error, finished, job_id))
+            if finished is not None:
+                catalog.apply_job_finish(self._conn, job_id, state, [],
+                                         error=error,
+                                         finished_at=finished)
 
     def record_finish(self, job_id: str, state: str, records: List[Any],
                       error: Optional[str] = None) -> None:
@@ -146,15 +151,18 @@ class JobLog:
         # `.before` must leave a record-less non-terminal row, one at
         # `.after` a terminal row with the full stream — never between
         faults.fire("joblog.finish.before")
+        finished = _now()
         with _transaction(self._conn):
             self._check_owner()
             self._conn.execute(
                 "UPDATE server_jobs SET state = ?, error = ?, "
                 "finished_at = ? WHERE job_id = ?",
-                (state, error, _now(), job_id))
+                (state, error, finished, job_id))
             self._conn.executemany(
                 "INSERT OR REPLACE INTO server_job_records "
                 "(job_id, seq, record) VALUES (?, ?, ?)", rows)
+            catalog.apply_job_finish(self._conn, job_id, state, records,
+                                     error=error, finished_at=finished)
         faults.fire("joblog.finish.after")
 
     # -- reads -------------------------------------------------------------

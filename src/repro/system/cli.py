@@ -244,6 +244,41 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels",
         help="report the active bitset-kernel backend and availability")
 
+    report_cmd = commands.add_parser(
+        "report", help="query the analysis catalog of a durable store "
+                       "(no sweep, no run hydration)")
+    report_sub = report_cmd.add_subparsers(dest="report_command",
+                                           required=True)
+    report_list = report_sub.add_parser(
+        "list", help="per-view verdict summaries, most recent first")
+    report_list.add_argument("path", help="SQLite database file")
+    report_list.add_argument("--limit", type=int, default=20)
+    report_search = report_sub.add_parser(
+        "search", help="full-text search over task/composite/view "
+                       "names and error messages (FTS5 when available, "
+                       "LIKE scan otherwise)")
+    report_search.add_argument("path", help="SQLite database file")
+    report_search.add_argument("query", help="search terms")
+    report_search.add_argument("--limit", type=int, default=20)
+    report_regressions = report_sub.add_parser(
+        "regressions", help="views whose latest verdict change was a "
+                            "worsening")
+    report_regressions.add_argument("path", help="SQLite database file")
+    report_regressions.add_argument(
+        "--since", default=None,
+        help="only regressions at/after this UTC timestamp "
+             "(YYYY-mm-ddTHH:MM:SSZ)")
+    report_regressions.add_argument("--limit", type=int, default=50)
+    report_latency = report_sub.add_parser(
+        "latency", help="per-op job latency percentile estimates")
+    report_latency.add_argument("path", help="SQLite database file")
+    report_latency.add_argument("--op", default=None,
+                                help="restrict to one job op")
+    report_census = report_sub.add_parser(
+        "census", help="per-scenario soundness / correction / "
+                       "divergent-query census")
+    report_census.add_argument("path", help="SQLite database file")
+
     db_cmd = commands.add_parser(
         "db", help="administer a durable provenance/analysis database")
     db_sub = db_cmd.add_subparsers(dest="db_command", required=True)
@@ -263,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
     db_backfill.add_argument("path", help="SQLite database file")
     db_backfill.add_argument("--batch", type=int, default=64,
                              help="runs labeled per transaction")
+    db_backfill.add_argument("--catalog", action="store_true",
+                             help="rebuild the v3 analysis catalog "
+                                  "(summary tables + FTS index) from "
+                                  "the raw log instead of labels")
     db_vacuum = db_sub.add_parser(
         "vacuum", help="checkpoint the WAL and compact the file")
     db_vacuum.add_argument("path", help="SQLite database file")
@@ -713,6 +752,21 @@ def cmd_db(args: argparse.Namespace) -> int:
         print(f"  label coverage: {coverage} run(s) SQL-queryable{hint}")
         return 0
     if args.db_command == "backfill":
+        if args.catalog:
+            # catalog rebuild works on any store file — including a
+            # cluster shard with no pinned workflow — so it goes
+            # through a raw connection, never the hydrating store
+            from repro.persistence import catalog as _catalog
+            conn = connect(args.path)
+            try:
+                schema.initialize(conn)
+                counts = _catalog.backfill(conn)
+            finally:
+                conn.close()
+            print(f"rebuilt analysis catalog in {args.path}:")
+            for table, count in counts.items():
+                print(f"  {table:>16}: {count} row(s)")
+            return 0
         store = DurableProvenanceStore(args.path)
         try:
             labeled = store.backfill_labels(batch=args.batch)
@@ -746,6 +800,70 @@ def cmd_db(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.persistence.catalog import CatalogReader
+
+    with CatalogReader(args.path) as catalog:
+        if args.report_command == "list":
+            rows = catalog.views(limit=args.limit)
+            if not rows:
+                print(f"{args.path}: no catalogued views "
+                      f"(run `wolves db backfill --catalog`?)")
+                return 0
+            for row in rows:
+                marker = " REGRESSED" if row["regressed"] else ""
+                print(f"{row['workflow']}/{row['family']}: "
+                      f"{row['verdict']}{marker} "
+                      f"(sightings={row['sightings']}, "
+                      f"corrections={row['corrections']}, "
+                      f"divergent={row['divergent_queries']}, "
+                      f"last_seen={row['last_seen']})")
+            return 0
+        if args.report_command == "search":
+            hits = catalog.search(args.query, limit=args.limit)
+            for hit in hits:
+                print(f"[{hit['kind']}] {hit['key']}: {hit['text']} "
+                      f"(via {hit['via']})")
+            if not hits:
+                print(f"no catalog entries match {args.query!r}")
+            return 0
+        if args.report_command == "regressions":
+            rows = catalog.regressions(since=args.since,
+                                       limit=args.limit)
+            for row in rows:
+                print(f"{row['workflow']}/{row['family']}: "
+                      f"{row['prev_verdict']} -> {row['verdict']} "
+                      f"at {row['verdict_changed_at']} "
+                      f"(job {row['last_job']})")
+            suffix = f" since {args.since}" if args.since else ""
+            print(f"{len(rows)} regression(s){suffix}")
+            return 1 if rows else 0
+        if args.report_command == "latency":
+            ops = catalog.latency(op=args.op)
+            if not ops:
+                print("no finished jobs catalogued")
+                return 0
+            for op, summary in ops.items():
+                print(f"{op}: n={int(summary['count'])} "
+                      f"p50<={summary['p50']:g}s "
+                      f"p90<={summary['p90']:g}s "
+                      f"p99<={summary['p99']:g}s")
+            return 0
+        # census
+        census = catalog.census()
+        for scenario, counts in census.items():
+            print(f"{scenario}: views={counts['views']} "
+                  f"sound={counts['sound']} "
+                  f"unsound={counts['unsound']} "
+                  f"ill_formed={counts['ill_formed']} "
+                  f"corrected={counts['corrected']} "
+                  f"uncorrectable={counts['uncorrectable']} "
+                  f"divergent_queries={counts['divergent_queries']}")
+        if not census:
+            print("no analysis records catalogued")
+        return 0
+
+
 _HANDLERS = {
     "validate": cmd_validate,
     "correct": cmd_correct,
@@ -764,6 +882,7 @@ _HANDLERS = {
     "chaos": cmd_chaos,
     "kernels": cmd_kernels,
     "db": cmd_db,
+    "report": cmd_report,
 }
 
 

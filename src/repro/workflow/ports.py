@@ -24,7 +24,7 @@ from typing import Dict, List, Mapping, Tuple
 
 import xml.etree.ElementTree as ET
 
-from repro.errors import WorkflowError
+from repro.errors import ReproError, WorkflowError
 from repro.workflow.spec import WorkflowSpec
 from repro.workflow.task import Task, TaskId
 
@@ -98,10 +98,13 @@ class PortedWorkflow:
                 f"input port {target!r} already has a producer "
                 f"(fan-in goes through distinct ports)")
         self._connections.append((source, target))
-        # acyclicity is a task-level property; validate eagerly
+        # acyclicity is a task-level property; validate eagerly.  Only
+        # expected validation failures roll back — a TypeError here is
+        # a port-resolution bug and must propagate with state intact
+        # for the caller to inspect.
         try:
             self.to_spec()
-        except Exception:
+        except ReproError:
             self._connections.pop()
             raise
 

@@ -1,0 +1,529 @@
+"""The analysis catalog: schema v3 summaries, write-behind hooks,
+query API, FTS search with the LIKE fallback, backfill, and the
+exception-narrowing fixes that rode along.
+
+The load-bearing claims pinned here:
+
+* the catalog is maintained **inside** the job-log and ``add_run``
+  transactions (a crashed finish leaves no catalog rows);
+* every query answers from indexed summary tables on a **cold** store —
+  zero run hydrations, zero record unpickling (instrumented);
+* search works identically with and without FTS5 (``WOLVES_NO_FTS``
+  forces the LIKE scan), and a pre-v3 file answers empty, not raising;
+* ``wolves db backfill --catalog`` rebuilds exactly what write-behind
+  maintained (bit-identical tables), and is idempotent;
+* ``sqlqueries`` swallows only ``sqlite3.OperationalError`` (missing
+  v1 tables), never genuine decode bugs.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core.soundness import ValidationReport
+from repro.persistence import catalog, schema
+from repro.persistence.catalog import (
+    AnalysisCatalog,
+    CatalogReader,
+    fts_ready,
+    latency_bucket,
+    merge_census,
+    merge_views,
+    percentiles_from_buckets,
+    verdict_of,
+)
+from repro.persistence.db import connect, open_checked
+from repro.persistence.sqlqueries import SqlLineageQueries
+from repro.server.joblog import JobLog
+from repro.server.protocol import JobManifest
+from repro.service.results import (
+    CorrectionOutcome,
+    LineageAudit,
+    StoreLineageRecord,
+    ViewAnalysis,
+)
+
+
+def manifest(op="analyze"):
+    from repro.repository.corpus import CorpusSpec
+
+    return JobManifest(op=op, corpus=CorpusSpec(
+        seed=7, count=2, min_size=8, max_size=12))
+
+
+def analysis(workflow, family, sound=True, well_formed=True,
+             scenario="motif"):
+    report = ValidationReport(
+        family, well_formed,
+        ["t1", "t2"] if not well_formed else None,
+        {} if sound else {"label": ("t1", "t2")})
+    return ViewAnalysis(entry_index=0, workflow=workflow, family=family,
+                        shape=scenario, scenario=scenario, tasks=5,
+                        composites=2, report=report)
+
+
+def correction(workflow, family, outcome="corrected", scenario="motif",
+               splits=(("comp-1", 2, "weak"),)):
+    return CorrectionOutcome(
+        entry_index=0, workflow=workflow, family=family,
+        scenario=scenario, outcome=outcome, composites_before=2,
+        composites_after=2 + sum(s[1] for s in splits),
+        splits=splits if outcome == "corrected" else ())
+
+
+def audit(workflow, family, queries=10, divergent=0,
+          outcome="already_sound", scenario="layered"):
+    return LineageAudit(
+        entry_index=0, workflow=workflow, family=family,
+        scenario=scenario, outcome=outcome, run_id="run-1",
+        queries=queries, divergent_queries=divergent, precision=1.0,
+        recall=1.0)
+
+
+def catalog_dump(path):
+    """Every catalog table's full contents, sorted — the equivalence
+    witness for backfill and the differential battery."""
+    conn = connect(path, readonly=True)
+    try:
+        return {table: sorted(map(tuple, conn.execute(
+            f"SELECT * FROM {table}")))
+            for table in catalog.CATALOG_TABLES}
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def joblog_db(tmp_path):
+    return str(tmp_path / "shard.db")
+
+
+def finish_one(db, job_id, records, state="done", error=None):
+    log = JobLog(db)
+    try:
+        log.record_submit(job_id, manifest())
+        log.record_finish(job_id, state, records, error=error)
+    finally:
+        log.close()
+
+
+class TestFolds:
+    def test_verdict_of_every_record_shape(self):
+        assert verdict_of(analysis("w", "f")) == "sound"
+        assert verdict_of(analysis("w", "f", sound=False)) == "unsound"
+        assert verdict_of(
+            analysis("w", "f", well_formed=False)) == "ill_formed"
+        assert verdict_of(correction("w", "f")) == "unsound"
+        assert verdict_of(
+            correction("w", "f", outcome="already_sound")) == "sound"
+        assert verdict_of(
+            correction("w", "f", outcome="uncorrectable")) \
+            == "ill_formed"
+        assert verdict_of(audit("w", "f")) == "sound"
+        # store-audit rows have no workflow: not view-shaped
+        assert verdict_of(StoreLineageRecord(
+            db_path="x.db", run_id="r1", task_id="t1", tasks=("t2",),
+            source="sql")) is None
+        assert verdict_of(object()) is None
+
+    def test_latency_buckets_are_log2(self):
+        assert latency_bucket(0.0) == 0
+        assert latency_bucket(0.5) == 0
+        assert latency_bucket(1.0) == 0
+        assert latency_bucket(1.5) == 1
+        assert latency_bucket(2.0) == 1
+        assert latency_bucket(3.0) == 2
+        assert latency_bucket(100.0) == 7
+
+    def test_percentiles_walk_bucket_upper_bounds(self):
+        rows = [("analyze", 0, 98), ("analyze", 3, 1),
+                ("analyze", 5, 1)]
+        summary = percentiles_from_buckets(rows)["analyze"]
+        assert summary["count"] == 100
+        assert summary["p50"] == 1.0
+        assert summary["p99"] == 8.0
+        # the tail is never under-reported
+        assert percentiles_from_buckets(
+            [("x", 5, 1)])["x"]["p50"] == 32.0
+
+
+class TestWriteBehind:
+    def test_job_finish_populates_every_summary_table(self, joblog_db):
+        finish_one(joblog_db, "job-1", [
+            analysis("wf-a", "fam-1"),
+            correction("wf-a", "fam-2"),
+            audit("wf-b", "fam-1", queries=12, divergent=3),
+        ])
+        with CatalogReader(joblog_db) as cat:
+            views = {(v["workflow"], v["family"]): v
+                     for v in cat.views()}
+            assert views[("wf-a", "fam-1")]["verdict"] == "sound"
+            assert views[("wf-a", "fam-2")]["verdict"] == "unsound"
+            assert views[("wf-a", "fam-2")]["corrections"] == 1
+            assert views[("wf-a", "fam-2")]["parts_added"] == 2
+            assert views[("wf-b", "fam-1")]["queries"] == 12
+            assert views[("wf-b", "fam-1")]["divergent_queries"] == 3
+            jobs = cat.jobs()
+            assert [j["job"] for j in jobs] == ["job-1"]
+            assert jobs[0]["records"] == 3
+            census = cat.census()
+            assert census["motif"]["views"] == 2
+            assert census["motif"]["corrected"] == 1
+            assert census["layered"]["divergent_queries"] == 3
+            assert cat.latency()["analyze"]["count"] == 1
+
+    def test_regression_flag_tracks_verdict_worsening(self, joblog_db):
+        finish_one(joblog_db, "job-1", [analysis("wf", "fam")])
+        with CatalogReader(joblog_db) as cat:
+            assert cat.regressions() == []
+        finish_one(joblog_db, "job-2",
+                   [analysis("wf", "fam", sound=False)])
+        with CatalogReader(joblog_db) as cat:
+            rows = cat.regressions()
+            assert [(r["prev_verdict"], r["verdict"]) for r in rows] \
+                == [("sound", "unsound")]
+            changed_at = rows[0]["verdict_changed_at"]
+            assert cat.regressions(since=changed_at) == rows
+            assert cat.regressions(since="9999-01-01T00:00:00Z") == []
+        # recovery clears the flag (an improvement is not a regression)
+        finish_one(joblog_db, "job-3", [analysis("wf", "fam")])
+        with CatalogReader(joblog_db) as cat:
+            assert cat.regressions() == []
+            view = cat.views()[0]
+            assert view["verdict"] == "sound"
+            assert view["prev_verdict"] == "unsound"
+            assert view["sightings"] == 3
+
+    def test_failed_job_error_is_searchable(self, joblog_db):
+        finish_one(joblog_db, "job-9", [], state="failed",
+                   error="KernelError: bitset backend exploded")
+        with CatalogReader(joblog_db) as cat:
+            hits = cat.search("exploded")
+            assert [h["kind"] for h in hits] == ["error"]
+            assert cat.jobs(state="failed")[0]["error"].startswith(
+                "KernelError")
+
+    def test_terminal_record_state_is_catalogued_too(self, joblog_db):
+        log = JobLog(joblog_db)
+        try:
+            log.record_submit("job-c", manifest())
+            log.record_state("job-c", "running")
+            log.record_state("job-c", "cancelled")
+        finally:
+            log.close()
+        with CatalogReader(joblog_db) as cat:
+            assert cat.jobs()[0]["state"] == "cancelled"
+
+    def test_crashed_finish_leaves_no_catalog_rows(self, joblog_db):
+        """The write-behind contract: catalog rows commit atomically
+        with the terminal job row or not at all."""
+        from repro.errors import InjectedFault
+        from repro.resilience.faults import FaultRule, injected
+
+        finish_one(joblog_db, "job-ok", [analysis("wf", "fam")])
+        log = JobLog(joblog_db)
+        try:
+            with injected(FaultRule("joblog.finish.before", "error",
+                                    count=1)):
+                log.record_submit("job-crash", manifest())
+                with pytest.raises(InjectedFault):
+                    log.record_finish("job-crash", "done",
+                                      [analysis("wf2", "fam2")])
+        finally:
+            log.close()
+        with CatalogReader(joblog_db) as cat:
+            assert [j["job"] for j in cat.jobs()] == ["job-ok"]
+            assert len(cat.views()) == 1
+
+
+class TestStoreHook:
+    def test_add_run_maintains_task_census(self, tmp_path):
+        from repro.persistence.store import DurableProvenanceStore
+        from repro.provenance.execution import execute
+        from tests.helpers import diamond_spec
+
+        spec = diamond_spec()
+        path = str(tmp_path / "store.db")
+        store = DurableProvenanceStore(path, spec)
+        try:
+            store.add_run(execute(spec, run_id="run-1"))
+            store.add_run(execute(spec, run_id="run-2"))
+        finally:
+            store.close()
+        with CatalogReader(path) as cat:
+            tasks = cat.tasks()
+            assert tasks  # every output task is censused
+            assert all(t["runs"] == 2 for t in tasks)
+            task_id = tasks[0]["task"]
+            assert any(h["kind"] == "task"
+                       for h in cat.search(task_id))
+
+
+class TestSearch:
+    def seed(self, db):
+        finish_one(db, "job-1", [
+            analysis("wf-alpha", "family-one"),
+            correction("wf-alpha", "family-two",
+                       splits=(("composite-xy", 2, "weak"),)),
+        ])
+
+    def test_fts_and_like_agree_on_whole_tokens(self, tmp_path,
+                                                monkeypatch):
+        # control both sides of the switch ourselves: the db must be
+        # initialized with the env clear or the FTS mirror never exists
+        monkeypatch.delenv(schema.ENV_NO_FTS, raising=False)
+        db = str(tmp_path / "fts.db")
+        self.seed(db)
+        with CatalogReader(db) as probe:
+            if not probe.has_catalog() or not fts_ready(probe.conn):
+                pytest.skip("sqlite build lacks FTS5")
+        joblog_db = db
+        with CatalogReader(joblog_db) as cat:
+            fts_hits = cat.search("composite-xy")
+            assert [h["via"] for h in fts_hits] == ["fts"]
+        monkeypatch.setenv(schema.ENV_NO_FTS, "1")
+        with CatalogReader(joblog_db) as cat:
+            like_hits = cat.search("composite-xy")
+            assert [h["via"] for h in like_hits] == ["like"]
+        strip = lambda hits: [(h["key"], h["kind"], h["text"])
+                              for h in hits]
+        assert strip(fts_hits) == strip(like_hits)
+
+    def test_no_fts_build_never_creates_the_virtual_table(
+            self, tmp_path, monkeypatch):
+        """With FTS5 unavailable at initialize time the catalog still
+        works end to end on the LIKE path — and flipping FTS back on
+        later finds no half-created virtual table."""
+        monkeypatch.setenv(schema.ENV_NO_FTS, "1")
+        db = str(tmp_path / "nofts.db")
+        self.seed(db)
+        conn = connect(db, readonly=True)
+        try:
+            assert conn.execute(
+                "SELECT 1 FROM sqlite_master "
+                "WHERE name = 'catalog_fts'").fetchone() is None
+        finally:
+            conn.close()
+        with CatalogReader(db) as cat:
+            assert [h["via"] for h in cat.search("family-two")] \
+                == ["like"]
+        monkeypatch.delenv(schema.ENV_NO_FTS)
+        # fts_ready stays False because the table was never created
+        with CatalogReader(db) as cat:
+            assert [h["via"] for h in cat.search("family-two")] \
+                == ["like"]
+
+    def test_like_fallback_escapes_wildcards(self, joblog_db,
+                                             monkeypatch):
+        finish_one(joblog_db, "job-esc", [], state="failed",
+                   error="literal 100% wrong_thing")
+        monkeypatch.setenv(schema.ENV_NO_FTS, "1")
+        with CatalogReader(joblog_db) as cat:
+            # % and _ are literals on the LIKE path, not wildcards
+            assert cat.search("100%")
+            assert cat.search("0% wrong")
+            assert cat.search("wrong_thing")
+            assert not cat.search("0x wrong")
+            assert not cat.search("wrongXthing")
+
+    def test_pre_v3_file_answers_empty_instead_of_raising(
+            self, tmp_path):
+        """A replica of a store that predates the catalog (no v3
+        migration yet) reports empty summaries, not OperationalError."""
+        db = str(tmp_path / "old.db")
+        conn = connect(db)
+        schema.initialize(conn)
+        for table in catalog.CATALOG_TABLES:
+            conn.execute(f"DROP TABLE {table}")
+        conn.execute("DROP TABLE IF EXISTS catalog_fts")  # absent when
+        # the file was initialized under WOLVES_NO_FTS
+        conn.close()
+        with CatalogReader(db) as cat:
+            assert not cat.has_catalog()
+            assert cat.views() == []
+            assert cat.regressions() == []
+            assert cat.search("anything") == []
+            assert cat.latency() == {}
+            assert cat.census() == {}
+
+
+class TestBackfill:
+    def test_backfill_reproduces_write_behind_exactly(self, joblog_db):
+        finish_one(joblog_db, "job-1", [
+            analysis("wf-a", "fam-1"),
+            correction("wf-a", "fam-2"),
+            audit("wf-b", "fam-1", divergent=2),
+        ])
+        finish_one(joblog_db, "job-2",
+                   [analysis("wf-a", "fam-1", sound=False)])
+        live = catalog_dump(joblog_db)
+        conn = connect(joblog_db)
+        try:
+            counts = catalog.backfill(conn)
+        finally:
+            conn.close()
+        assert catalog_dump(joblog_db) == live
+        assert counts["catalog_views"] == 3
+        # and idempotent
+        conn = connect(joblog_db)
+        try:
+            catalog.backfill(conn)
+        finally:
+            conn.close()
+        assert catalog_dump(joblog_db) == live
+
+    def test_cli_backfill_catalog_on_an_unpinned_shard(self, joblog_db,
+                                                       capsys):
+        """The shard databases have no pinned workflow; --catalog must
+        not go through the hydrating store."""
+        from repro.system.cli import main
+
+        finish_one(joblog_db, "job-1", [analysis("wf", "fam")])
+        conn = connect(joblog_db)
+        with conn:
+            for table in catalog.CATALOG_TABLES:
+                conn.execute(f"DELETE FROM {table}")
+        conn.close()
+        assert main(["db", "backfill", joblog_db, "--catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "catalog_views:   1 row(s)".replace(" ", "") \
+            in out.replace(" ", "")
+        with CatalogReader(joblog_db) as cat:
+            assert cat.views()[0]["verdict"] == "sound"
+
+
+class TestColdStoreQueries:
+    def test_report_cli_never_hydrates_runs(self, joblog_db,
+                                            monkeypatch, capsys):
+        """The acceptance bar: every `wolves report` answer comes from
+        indexed catalog scans — zero run hydrations, zero record
+        unpickling on the cold store."""
+        import pickle
+
+        from repro.persistence.store import DurableProvenanceStore
+        from repro.system.cli import main
+
+        finish_one(joblog_db, "job-1", [analysis("wf", "fam")])
+        finish_one(joblog_db, "job-2",
+                   [analysis("wf", "fam", sound=False)])
+
+        def trap_hydrate(self):
+            raise AssertionError("report query hydrated the store")
+
+        def trap_unpickle(*a, **k):
+            raise AssertionError("report query unpickled a record")
+
+        monkeypatch.setattr(DurableProvenanceStore, "_ensure_hydrated",
+                            trap_hydrate)
+        monkeypatch.setattr(pickle, "loads", trap_unpickle)
+        assert main(["report", "list", joblog_db]) == 0
+        assert main(["report", "search", joblog_db, "fam"]) == 0
+        assert main(["report", "latency", joblog_db]) == 0
+        assert main(["report", "census", joblog_db]) == 0
+        # regressions exist, so the exit code flags them
+        assert main(["report", "regressions", joblog_db,
+                     "--since", "2000-01-01T00:00:00Z"]) == 1
+        out = capsys.readouterr().out
+        assert "sound -> unsound" in out
+        assert "1 regression(s)" in out
+
+    def test_readonly_replica_answers_while_writer_is_open(
+            self, joblog_db):
+        log = JobLog(joblog_db)
+        try:
+            log.record_submit("job-1", manifest())
+            log.record_finish("job-1", "done", [analysis("wf", "fam")])
+            conn = open_checked(joblog_db, readonly=True)
+            try:
+                assert AnalysisCatalog(conn).views()[0]["verdict"] \
+                    == "sound"
+            finally:
+                conn.close()
+        finally:
+            log.close()
+
+
+class TestMerges:
+    def test_merge_views_sums_counters_latest_verdict_wins(self):
+        shard_a = [{"workflow": "wf", "family": "fam",
+                    "scenario": "motif", "verdict": "sound",
+                    "prev_verdict": None, "regressed": 0,
+                    "verdict_changed_at": None, "sightings": 2,
+                    "corrections": 1, "uncorrectable": 0,
+                    "parts_added": 2, "queries": 5,
+                    "divergent_queries": 1,
+                    "first_seen": "2026-01-01T00:00:00Z",
+                    "last_seen": "2026-01-02T00:00:00Z",
+                    "last_job": "job-a"}]
+        shard_b = [{**shard_a[0], "verdict": "unsound", "regressed": 1,
+                    "verdict_changed_at": "2026-01-03T00:00:00Z",
+                    "sightings": 3, "last_seen": "2026-01-03T00:00:00Z",
+                    "last_job": "job-b",
+                    "first_seen": "2025-12-31T00:00:00Z"}]
+        merged = merge_views([shard_a, shard_b])
+        assert len(merged) == 1
+        row = merged[0]
+        assert row["sightings"] == 5
+        assert row["corrections"] == 2
+        assert row["verdict"] == "unsound"
+        assert row["regressed"] == 1
+        assert row["last_job"] == "job-b"
+        assert row["first_seen"] == "2025-12-31T00:00:00Z"
+
+    def test_merge_census_is_plain_addition(self):
+        merged = merge_census([
+            {"motif": {"views": 2, "sound": 1, "unsound": 1,
+                       "ill_formed": 0, "corrected": 1,
+                       "uncorrectable": 0, "parts_added": 2,
+                       "queries": 4, "divergent_queries": 1}},
+            {"motif": {"views": 1, "sound": 1, "unsound": 0,
+                       "ill_formed": 0, "corrected": 0,
+                       "uncorrectable": 0, "parts_added": 0,
+                       "queries": 2, "divergent_queries": 0},
+             "layered": {"views": 1, "sound": 1, "unsound": 0,
+                         "ill_formed": 0, "corrected": 0,
+                         "uncorrectable": 0, "parts_added": 0,
+                         "queries": 0, "divergent_queries": 0}},
+        ])
+        assert merged["motif"]["views"] == 3
+        assert merged["motif"]["queries"] == 6
+        assert merged["layered"]["views"] == 1
+
+
+class TestSqlQueriesNarrowing:
+    """The bugfix satellite: only the expected missing-table error is
+    swallowed; genuine bugs propagate."""
+
+    def _queries(self, tmp_path):
+        from tests.helpers import diamond_spec
+
+        conn = connect(str(tmp_path / "q.db"))
+        schema.initialize(conn)
+        return conn, SqlLineageQueries(conn, diamond_spec())
+
+    def test_missing_table_still_reports_empty(self, tmp_path):
+        conn, queries = self._queries(tmp_path)
+        try:
+            conn.execute("DROP TABLE run_labels")
+            assert queries.labeled_run_ids() == []
+            assert queries.label_coverage() == (0, 0)
+        finally:
+            conn.close()
+
+    def test_decode_bug_is_no_longer_swallowed(self, tmp_path):
+        conn, queries = self._queries(tmp_path)
+        try:
+            class ExplodingConn:
+                def execute(self, *a, **k):
+                    raise TypeError("decode bug")
+
+            queries.conn = ExplodingConn()
+            with pytest.raises(TypeError):
+                queries.labeled_run_ids()
+        finally:
+            conn.close()
+
+    def test_programming_errors_propagate(self, tmp_path):
+        conn, queries = self._queries(tmp_path)
+        conn.close()  # closed connection: ProgrammingError, not []
+        with pytest.raises(sqlite3.ProgrammingError):
+            queries.labeled_run_ids()

@@ -1,0 +1,350 @@
+"""Differential battery: catalog summaries == recomputation from raw
+records.
+
+Every ``catalog_*`` column is specified as a deterministic fold over
+the raw ``server_jobs`` / ``server_job_records`` rows.  This module
+recomputes that fold **independently in pure Python** (unpickling the
+stored records, replaying verdict transitions job by job) across
+hypothesis-randomized job sequences and pins the SQL-maintained tables
+to it — plus:
+
+* a concurrent-writer leg: the catalog upserts are single-row writes
+  inside ``BEGIN IMMEDIATE`` transactions, so parallel writers from
+  independent connections must serialize to the same totals a serial
+  replay produces;
+* an FTS-unavailable leg: whole-token search answers the same member
+  set with the FTS5 index and with the forced LIKE fallback
+  (``WOLVES_NO_FTS``).
+"""
+
+import os
+import pickle
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.soundness import ValidationReport
+from repro.persistence import catalog, schema
+from repro.persistence.catalog import (
+    CatalogReader,
+    elapsed_s,
+    latency_bucket,
+    verdict_of,
+)
+from repro.persistence.db import connect, transaction
+from repro.server.joblog import JobLog
+from repro.server.protocol import JobManifest
+from repro.service.results import (
+    CorrectionOutcome,
+    LineageAudit,
+    ViewAnalysis,
+)
+
+WORKFLOWS = ("wf-a", "wf-b")
+FAMILIES = ("fam-1", "fam-2", "fam-3")
+SCENARIOS = ("motif", "layered")
+
+
+def manifest(op="analyze"):
+    from repro.repository.corpus import CorpusSpec
+
+    return JobManifest(op=op, corpus=CorpusSpec(
+        seed=3, count=2, min_size=8, max_size=12))
+
+
+@st.composite
+def records(draw):
+    workflow = draw(st.sampled_from(WORKFLOWS))
+    family = draw(st.sampled_from(FAMILIES))
+    scenario = draw(st.sampled_from(SCENARIOS))
+    kind = draw(st.sampled_from(("analysis", "correction", "audit")))
+    if kind == "analysis":
+        well_formed = draw(st.booleans())
+        sound = well_formed and draw(st.booleans())
+        report = ValidationReport(
+            family, well_formed,
+            None if well_formed else ["t1", "t2"],
+            {} if sound else {"label": ("t1", "t2")})
+        return ViewAnalysis(entry_index=0, workflow=workflow,
+                            family=family, shape=scenario,
+                            scenario=scenario, tasks=4, composites=1,
+                            report=report)
+    outcome = draw(st.sampled_from(
+        ("corrected", "already_sound", "uncorrectable")))
+    if kind == "correction":
+        parts = draw(st.integers(0, 3)) if outcome == "corrected" else 0
+        return CorrectionOutcome(
+            entry_index=0, workflow=workflow, family=family,
+            scenario=scenario, outcome=outcome, composites_before=1,
+            composites_after=1 + parts,
+            splits=((("c", parts, "weak"),)
+                    if outcome == "corrected" else ()))
+    queries = draw(st.integers(0, 20))
+    return LineageAudit(
+        entry_index=0, workflow=workflow, family=family,
+        scenario=scenario, outcome=outcome, run_id="r",
+        queries=queries,
+        divergent_queries=draw(st.integers(0, queries)),
+        precision=1.0, recall=1.0)
+
+
+@st.composite
+def job_sequences(draw):
+    """(state, error, records) per job — mixed outcomes, shared view
+    keys across jobs so verdict transitions actually happen."""
+    jobs = []
+    for _ in range(draw(st.integers(1, 6))):
+        state = draw(st.sampled_from(("done", "done", "done", "failed",
+                                      "cancelled")))
+        error = "OpError: synthetic" if state == "failed" else None
+        recs = draw(st.lists(records(), min_size=0, max_size=4))
+        jobs.append((state, error, recs))
+    return jobs
+
+
+RANK = {"sound": 0, "unsound": 1, "ill_formed": 2}
+
+
+def recompute(db_path):
+    """The independent pure-Python fold over the raw log rows."""
+    conn = connect(db_path, readonly=True)
+    try:
+        job_rows = conn.execute(
+            "SELECT job_id, state, error, submitted_at, finished_at "
+            "FROM server_jobs WHERE finished_at IS NOT NULL "
+            "ORDER BY rowid").fetchall()
+        stored = {}
+        for job_id, *_rest in job_rows:
+            stored[job_id] = [pickle.loads(blob) for (blob,) in
+                              conn.execute(
+                                  "SELECT record FROM "
+                                  "server_job_records WHERE job_id = ? "
+                                  "ORDER BY seq", (job_id,))]
+    finally:
+        conn.close()
+    views, census, latency, jobs = {}, {}, {}, {}
+    for job_id, state, error, submitted_at, finished_at in job_rows:
+        recs = stored[job_id]
+        latency_s = elapsed_s(submitted_at, finished_at)
+        jobs[job_id] = (state, error, latency_s, len(recs))
+        bucket = ("analyze", latency_bucket(latency_s))
+        latency[bucket] = latency.get(bucket, 0) + 1
+        for record in recs:
+            verdict = verdict_of(record)
+            if verdict is None:
+                continue
+            key = (record.workflow, record.family)
+            corrected = int(getattr(record, "outcome", None)
+                            == "corrected")
+            uncorrectable = int(getattr(record, "outcome", None)
+                                == "uncorrectable")
+            parts = (record.parts_added
+                     if corrected and hasattr(record, "parts_added")
+                     else 0)
+            queries = int(getattr(record, "queries", 0) or 0)
+            divergent = int(getattr(record, "divergent_queries", 0)
+                            or 0)
+            view = views.get(key)
+            if view is None:
+                views[key] = {
+                    "verdict": verdict, "prev_verdict": None,
+                    "regressed": 0, "verdict_changed_at": None,
+                    "sightings": 1, "corrections": corrected,
+                    "uncorrectable": uncorrectable,
+                    "parts_added": parts, "queries": queries,
+                    "divergent_queries": divergent,
+                    "last_seen": finished_at, "last_job": job_id}
+            else:
+                if verdict != view["verdict"]:
+                    view["prev_verdict"] = view["verdict"]
+                    view["regressed"] = int(
+                        RANK[verdict] > RANK[view["verdict"]])
+                    view["verdict_changed_at"] = finished_at
+                    view["verdict"] = verdict
+                view["sightings"] += 1
+                view["corrections"] += corrected
+                view["uncorrectable"] += uncorrectable
+                view["parts_added"] += parts
+                view["queries"] += queries
+                view["divergent_queries"] += divergent
+                view["last_seen"] = finished_at
+                view["last_job"] = job_id
+            slot = census.setdefault(record.scenario, {
+                "views": 0, "sound": 0, "unsound": 0, "ill_formed": 0,
+                "corrected": 0, "uncorrectable": 0, "parts_added": 0,
+                "queries": 0, "divergent_queries": 0})
+            slot["views"] += 1
+            slot[verdict] += 1
+            slot["corrected"] += corrected
+            slot["uncorrectable"] += uncorrectable
+            slot["parts_added"] += parts
+            slot["queries"] += queries
+            slot["divergent_queries"] += divergent
+    return views, census, latency, jobs
+
+
+def catalog_answers(db_path):
+    with CatalogReader(db_path) as cat:
+        views = {(v["workflow"], v["family"]): {
+            "verdict": v["verdict"], "prev_verdict": v["prev_verdict"],
+            "regressed": v["regressed"],
+            "verdict_changed_at": v["verdict_changed_at"],
+            "sightings": v["sightings"],
+            "corrections": v["corrections"],
+            "uncorrectable": v["uncorrectable"],
+            "parts_added": v["parts_added"], "queries": v["queries"],
+            "divergent_queries": v["divergent_queries"],
+            "last_seen": v["last_seen"], "last_job": v["last_job"]}
+            for v in cat.views()}
+        census = cat.census()
+        latency = {(op, bucket): count
+                   for op, bucket, count in cat.latency_buckets()}
+        jobs = {j["job"]: (j["state"], j["error"], j["latency_s"],
+                           j["records"]) for j in cat.jobs()}
+    return views, census, latency, jobs
+
+
+def replay(db_path, jobs):
+    log = JobLog(db_path)
+    try:
+        for index, (state, error, recs) in enumerate(jobs):
+            job_id = f"job-{index}"
+            log.record_submit(job_id, manifest())
+            if recs or state == "done":
+                log.record_finish(job_id, state, recs, error=error)
+            else:
+                log.record_state(job_id, "running")
+                log.record_state(job_id, state, error=error)
+    finally:
+        log.close()
+
+
+class TestDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(jobs=job_sequences())
+    def test_catalog_equals_recomputation(self, tmp_path_factory,
+                                          jobs):
+        db = str(tmp_path_factory.mktemp("diff") / "shard.db")
+        replay(db, jobs)
+        assert catalog_answers(db) == recompute(db)
+
+    @settings(max_examples=10, deadline=None)
+    @given(jobs=job_sequences())
+    def test_backfill_equals_write_behind(self, tmp_path_factory,
+                                          jobs):
+        db = str(tmp_path_factory.mktemp("bf") / "shard.db")
+        replay(db, jobs)
+        live = catalog_answers(db)
+        conn = connect(db)
+        try:
+            catalog.backfill(conn)
+        finally:
+            conn.close()
+        assert catalog_answers(db) == live
+
+    @settings(max_examples=10, deadline=None)
+    @given(jobs=job_sequences())
+    def test_fts_and_like_agree_on_view_tokens(self, tmp_path_factory,
+                                               jobs):
+        # (os.environ handled manually: hypothesis forbids the
+        # function-scoped monkeypatch fixture under @given)
+        db = str(tmp_path_factory.mktemp("fts") / "shard.db")
+        replay(db, jobs)
+
+        def member_sets(cat):
+            return {token: frozenset(
+                (h["key"], h["kind"])
+                for h in cat.search(token, limit=100))
+                for token in FAMILIES}
+
+        fts_enabled = not os.environ.get(schema.ENV_NO_FTS)
+        with CatalogReader(db) as cat:
+            with_fts = member_sets(cat)
+            if fts_enabled:  # under the CI no-FTS leg both sides LIKE
+                assert all(h["via"] == "fts"
+                           for token in FAMILIES
+                           for h in cat.search(token, limit=100))
+        os.environ[schema.ENV_NO_FTS] = "1"
+        try:
+            with CatalogReader(db) as cat:
+                without = member_sets(cat)
+        finally:
+            os.environ.pop(schema.ENV_NO_FTS, None)
+        assert with_fts == without
+
+
+class TestConcurrentWriters:
+    def test_parallel_folds_serialize_to_the_serial_totals(
+            self, tmp_path):
+        """Catalog writes are single-row upserts inside BEGIN
+        IMMEDIATE — N threads on independent connections must commute
+        to exactly the serial replay's tables."""
+        db = str(tmp_path / "conc.db")
+        conn = connect(db)
+        schema.initialize(conn)
+        conn.close()
+
+        def worker(thread_index, errors):
+            try:
+                mine = connect(db)
+                try:
+                    for batch in range(8):
+                        with transaction(mine):
+                            catalog.apply_run(
+                                mine, f"run-{thread_index}-{batch}",
+                                [f"task-{batch % 3}"],
+                                now="2026-01-01T00:00:00Z")
+                finally:
+                    mine.close()
+            except Exception as exc:  # pragma: no cover - fail witness
+                errors.append(exc)
+
+        errors = []
+        threads = [threading.Thread(target=worker, args=(i, errors))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with CatalogReader(db) as cat:
+            tasks = {t["task"]: t["runs"] for t in cat.tasks()}
+        # 4 threads x 8 batches spread over 3 task ids
+        assert sum(tasks.values()) == 32
+        assert tasks == {"task-0": 12, "task-1": 12, "task-2": 8}
+
+    def test_writer_and_reader_do_not_block_each_other(self, tmp_path):
+        """WAL: a replica read streams consistent catalog answers while
+        a writer is mid-burst."""
+        db = str(tmp_path / "rw.db")
+        conn = connect(db)
+        schema.initialize(conn)
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                with CatalogReader(db) as cat:
+                    rows = cat.tasks()
+                    total = sum(t["runs"] for t in rows)
+                    seen.append(total)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for index in range(50):
+                with transaction(conn):
+                    catalog.apply_run(conn, f"run-{index}", ["task-x"],
+                                      now="2026-01-01T00:00:00Z")
+        finally:
+            stop.set()
+            thread.join()
+            conn.close()
+        # reads observed monotonically growing committed state
+        assert seen == sorted(seen)
+        assert not seen or seen[-1] <= 50
+        with CatalogReader(db) as cat:
+            assert cat.tasks() == [{
+                "task": "task-x", "runs": 50,
+                "first_seen": "2026-01-01T00:00:00Z",
+                "last_seen": "2026-01-01T00:00:00Z"}]

@@ -81,6 +81,36 @@ class TestConnections:
             wf.connect(("b", "out"), ("a", "in"))
         assert len(wf.connections()) == 1
 
+    def test_port_resolution_bug_propagates_unmasked(self,
+                                                     monkeypatch):
+        """Regression: connect()'s eager validation used to catch bare
+        Exception, so a genuine port-resolution bug (a TypeError from
+        to_spec) was rolled back and re-raised indistinguishably from
+        an expected validation failure.  Only ReproError validation
+        failures roll the connection back; a TypeError propagates with
+        the staged connection intact for inspection."""
+        wf = self.wf()
+
+        def broken_to_spec():
+            raise TypeError("port tuple decoded to a non-pair")
+
+        monkeypatch.setattr(wf, "to_spec", broken_to_spec)
+        with pytest.raises(TypeError, match="non-pair"):
+            wf.connect(("a", "x"), ("b", "in"))
+        # the debugging evidence is still there, not silently popped
+        assert len(wf.connections()) == 1
+
+    def test_validation_failures_still_roll_back(self, monkeypatch):
+        wf = self.wf()
+
+        def failing_to_spec():
+            raise WorkflowError("synthetic validation failure")
+
+        monkeypatch.setattr(wf, "to_spec", failing_to_spec)
+        with pytest.raises(WorkflowError):
+            wf.connect(("a", "x"), ("b", "in"))
+        assert len(wf.connections()) == 0
+
     def test_unbound_inputs(self):
         wf = self.wf()
         wf.connect(("a", "x"), ("b", "in"))
